@@ -1,0 +1,18 @@
+"""Shared fixtures for the paper-scale benchmark suite.
+
+The overhead models are trained once per session at full paper scale
+(the 120 s / 1-2-4-VM Table II sweep) and reused by every prediction
+and placement benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.prediction import trained_models
+
+
+@pytest.fixture(scope="session")
+def paper_models():
+    """(single_vm_model, multi_vm_model) trained at paper scale."""
+    return trained_models(duration=120.0)

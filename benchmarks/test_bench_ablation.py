@@ -1,0 +1,228 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. **Scheduler fidelity**: the water-fill fluid limit vs the discrete
+   credit engine vs a naive equal-share allocator on the paper's
+   saturation scenario.  Equal-share *fails* the 95 % / 47 % anchors --
+   work conservation is load-bearing.
+2. **Regression robustness**: OLS vs Rousseeuw LMS with corrupted
+   training samples.
+3. **alpha(N) form**: constant vs linear (the paper's choice) vs
+   quadratic colocation coefficients, scored on held-out 3-VM data.
+4. **DES vs analytic steady state**: the 120 s measured means match the
+   converged machine snapshot, at very different cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MultiVMOverheadModel,
+    TrainingConfig,
+    alpha_constant,
+    alpha_linear,
+    alpha_quadratic,
+    error_report,
+    fit_lms,
+    fit_ols,
+    gather_training_samples,
+    samples_from_report,
+)
+from repro.monitor import MeasurementScript
+from repro.sim import Simulator
+from repro.workloads import CpuHog, PingLoad
+from repro.xen import CreditScheduler, PhysicalMachine, VMSpec, fair_share, weighted_water_fill
+
+
+class TestSchedulerAblation:
+    def test_water_fill_vs_credit_engine(self, benchmark):
+        """Fluid limit reproduces the discrete engine's allocation."""
+
+        def discrete():
+            cs = CreditScheduler(ncpus=2)
+            for k in range(4):
+                cs.add_vcpu(f"v{k}", demand_frac=0.95)
+            return cs.run(6.0)
+
+        got = benchmark(discrete)
+        fluid = weighted_water_fill([95.0] * 4, [256.0] * 4, 200.0)
+        for k in range(4):
+            assert got[f"v{k}"] == pytest.approx(fluid[k], abs=6.0)
+
+    def test_fair_share_misses_the_paper_anchors(self):
+        """Without work conservation the 2-VM point lands at 84.8 %,
+        not the measured 95 % (Dom0's unused share is stranded)."""
+        remaining = 225.0 - 12.0 - 23.4
+        wf = weighted_water_fill([100.0, 100.0, 23.4], [1, 1, 1], 225.0 - 12.0)
+        fs = fair_share([100.0, 100.0, 23.4], 225.0 - 12.0)
+        # Water-fill: Dom0 takes 23.4, guests split the rest ~95 each.
+        assert wf[0] == pytest.approx(94.8, abs=0.5)
+        # Equal share strands (71 - 23.4) points of Dom0's slice.
+        assert fs[0] == pytest.approx(71.0, abs=0.5)
+        assert sum(fs) < sum(wf) - 40.0
+        assert remaining / 2 == pytest.approx(94.8, abs=0.1)
+
+
+class TestRegressionAblation:
+    @staticmethod
+    def _corrupted_problem(outlier_frac: float):
+        rng = np.random.default_rng(12)
+        X = rng.uniform(0, 100, size=(400, 4))
+        coef = np.array([0.12, 0.0, 0.004, 0.01])
+        y = 16.8 + X @ coef + rng.normal(0, 0.3, 400)
+        n_out = int(outlier_frac * len(y))
+        y[:n_out] += rng.uniform(30, 80, n_out)
+        return X, y, coef
+
+    def test_lms_beats_ols_under_outliers(self, benchmark):
+        X, y, coef = self._corrupted_problem(0.3)
+        lms = benchmark.pedantic(
+            lambda: fit_lms(X, y, rng=np.random.default_rng(0), n_subsets=400),
+            rounds=1,
+            iterations=1,
+        )
+        ols = fit_ols(X, y)
+        lms_err = np.abs(lms.coef - coef).max()
+        ols_err = np.abs(ols.coef - coef).max()
+        assert lms_err < 0.01
+        assert ols_err > 3 * lms_err
+
+    def test_ols_wins_on_clean_data(self):
+        X, y, coef = self._corrupted_problem(0.0)
+        ols = fit_ols(X, y)
+        lms = fit_lms(X, y, rng=np.random.default_rng(0), n_subsets=200)
+        ols_err = np.abs(ols.coef - coef).max()
+        lms_err = np.abs(lms.coef - coef).max()
+        # On clean data OLS is the efficient estimator; LMS (with its
+        # RLS polish) should be close but not better by much.
+        assert ols_err < 0.005
+        assert lms_err < 0.02
+
+
+@pytest.fixture(scope="module")
+def alpha_ablation_data():
+    """Training samples (N=1,2,4) plus held-out 3-VM mixed samples."""
+    train = gather_training_samples(
+        TrainingConfig(vm_counts=(1, 2, 4), duration=40.0, warmup=3.0)
+    )
+    sim = Simulator(seed=404)
+    pm = PhysicalMachine(sim, name="pm1")
+    vms = [pm.create_vm(VMSpec(name=f"vm{k}")) for k in range(3)]
+    CpuHog(40.0).attach(vms[0])
+    CpuHog(25.0).attach(vms[1])
+    PingLoad(900.0).attach(vms[2])
+    pm.start()
+    sim.run_until(3.0)
+    held_out = samples_from_report(
+        MeasurementScript(pm).run(duration=60.0)
+    )
+    return train, held_out
+
+
+class TestAlphaAblation:
+    def _score(self, alpha, data):
+        train, held_out = data
+        model = MultiVMOverheadModel.fit(train, alpha=alpha)
+        pred = model.predict_samples(held_out)
+        measured = np.array([s.targets["dom0.cpu"] for s in held_out])
+        return error_report(pred["dom0.cpu"], measured).p90
+
+    def test_linear_alpha_is_adequate(self, benchmark, alpha_ablation_data):
+        """The paper assumes alpha(N) linear in N; on held-out 3-VM data
+        the linear form must predict well and not lose badly to the
+        alternatives."""
+        linear = benchmark.pedantic(
+            lambda: self._score(alpha_linear, alpha_ablation_data),
+            rounds=1,
+            iterations=1,
+        )
+        constant = self._score(alpha_constant, alpha_ablation_data)
+        quadratic = self._score(alpha_quadratic, alpha_ablation_data)
+        assert linear < 10.0
+        assert linear <= max(constant, quadratic) + 1.0
+
+
+class TestDesVsAnalytic:
+    def test_measured_mean_matches_converged_snapshot(self, benchmark):
+        """The 120 s DES measurement agrees with the settled snapshot;
+        the DES adds realistic noise, not bias."""
+
+        def measured():
+            sim = Simulator(seed=77)
+            pm = PhysicalMachine(sim, name="pm1")
+            vm = pm.create_vm(VMSpec(name="vm1"))
+            CpuHog(60.0).attach(vm)
+            pm.start()
+            sim.run_until(3.0)
+            report = MeasurementScript(pm).run(duration=120.0)
+            return report.mean("dom0", "cpu"), pm.snapshot().dom0_cpu_pct
+
+        mean, snapshot = benchmark.pedantic(measured, rounds=1, iterations=1)
+        assert mean == pytest.approx(snapshot, rel=0.01)
+
+
+class TestUncertaintyAwareAdmission:
+    def test_pessimistic_bound_covers_noise(self, benchmark):
+        """DESIGN.md note on admission safety: the interval model's
+        upper bound covers nearly all realized Dom0+hyp overhead, while
+        the point prediction under-shoots about half the time."""
+        from repro.models import TrainingConfig, gather_training_samples
+        from repro.models.intervals import fit_intervals
+
+        samples = gather_training_samples(
+            TrainingConfig(vm_counts=(1,), duration=30.0, warmup=3.0)
+        )
+        # Shuffle before splitting: a sequential split would train on
+        # the CPU/MEM sweeps and test on I/O/BW -- pure extrapolation.
+        order = np.random.default_rng(5).permutation(len(samples))
+        samples = [samples[i] for i in order]
+        split = len(samples) // 2
+        train, test = samples[:split], samples[split:]
+        intervals = benchmark.pedantic(
+            lambda: fit_intervals(train), rounds=1, iterations=1
+        )
+        under_point = covered = 0
+        for s in test:
+            x = s.vm_sum.as_array()
+            dom0 = intervals["dom0.cpu"].predict(x, level=0.95)
+            hyp = intervals["hyp.cpu"].predict(x, level=0.95)
+            actual = s.targets["dom0.cpu"] + s.targets["hyp.cpu"]
+            if dom0.point + hyp.point < actual:
+                under_point += 1
+            if dom0.hi + hyp.hi >= actual:
+                covered += 1
+        n = len(test)
+        assert covered / n > 0.9
+        assert under_point / n > 0.2  # point estimate misses often
+
+
+class TestVerticalScalingAblation:
+    def test_scaled_caps_vs_static_reservation(self, benchmark):
+        """CloudScale's pitch: predictive caps deliver the same guest
+        performance as an uncapped/static-100% reservation while leaving
+        quantifiable reclaimable headroom."""
+        from repro.models import TrainingConfig, train_multi_vm_model
+        from repro.placement.autoscaler import VerticalScaler
+        from repro.sim import Simulator
+        from repro.workloads import CpuHog
+        from repro.xen import PhysicalMachine, VMSpec
+
+        model = train_multi_vm_model(
+            TrainingConfig(vm_counts=(1, 2), duration=20.0, warmup=2.0)
+        )
+
+        def run_scaled():
+            sim = Simulator(seed=91)
+            pm = PhysicalMachine(sim, name="pm1")
+            vm = pm.create_vm(VMSpec(name="app"))
+            CpuHog(45.0).attach(vm)
+            scaler = VerticalScaler(pm, model)
+            pm.start()
+            scaler.start()
+            sim.run_until(60.0)
+            return pm.snapshot().vm("app").cpu_pct, scaler.current_caps()["app"]
+
+        granted, cap = benchmark.pedantic(run_scaled, rounds=1, iterations=1)
+        assert granted == pytest.approx(45.3, abs=1.0)  # no throttling
+        assert cap < 65.0  # ~35+ points reclaimable vs a 100 % reservation

@@ -1,0 +1,44 @@
+"""Figure 10 at paper scale: VOA vs VOU placement.
+
+Full protocol: scenarios 0-3, 10 random placement orders each, 500
+RUBiS clients, 120 s measured per trial.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10 import run_fig10
+
+_cache = {}
+
+
+def _results(paper_models):
+    if "fig10" not in _cache:
+        _, multi = paper_models
+        _cache["fig10"] = {
+            r.experiment_id: r for r in run_fig10(model=multi)
+        }
+    return _cache["fig10"]
+
+
+def test_fig10_full_run(benchmark, paper_models):
+    _, multi = paper_models
+    results = benchmark.pedantic(
+        lambda: run_fig10(model=multi), rounds=1, iterations=1
+    )
+    _cache["fig10"] = {r.experiment_id: r for r in results}
+    assert len(results) == 2
+    for r in results:
+        assert r.passed, (
+            r.experiment_id,
+            [c.render() for c in r.failed_checks()],
+        )
+
+
+def test_fig10a(paper_models):
+    result = _results(paper_models)["fig10a"]
+    assert result.passed, [c.render() for c in result.failed_checks()]
+
+
+def test_fig10b(paper_models):
+    result = _results(paper_models)["fig10b"]
+    assert result.passed, [c.render() for c in result.failed_checks()]

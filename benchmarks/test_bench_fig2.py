@@ -1,0 +1,41 @@
+"""Figure 2 at paper scale: single-VM micro-benchmark sweeps,
+120 s of 1 Hz sampling per intensity level."""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import (
+    run_fig2a,
+    run_fig2b,
+    run_fig2c,
+    run_fig2d,
+    run_fig2e,
+)
+
+
+def _assert_passed(result):
+    assert result.passed, [c.render() for c in result.failed_checks()]
+
+
+def test_fig2a(benchmark):
+    result = benchmark.pedantic(run_fig2a, rounds=1, iterations=1)
+    _assert_passed(result)
+
+
+def test_fig2b(benchmark):
+    result = benchmark.pedantic(run_fig2b, rounds=1, iterations=1)
+    _assert_passed(result)
+
+
+def test_fig2c(benchmark):
+    result = benchmark.pedantic(run_fig2c, rounds=1, iterations=1)
+    _assert_passed(result)
+
+
+def test_fig2d(benchmark):
+    result = benchmark.pedantic(run_fig2d, rounds=1, iterations=1)
+    _assert_passed(result)
+
+
+def test_fig2e(benchmark):
+    result = benchmark.pedantic(run_fig2e, rounds=1, iterations=1)
+    _assert_passed(result)

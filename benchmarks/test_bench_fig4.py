@@ -1,0 +1,55 @@
+"""Figure 4 at paper scale: four co-located VMs."""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.fig34 import (
+    run_bw_cpu_subfig,
+    run_bw_util_subfig,
+    run_cpu_subfig,
+    run_io_cpu_subfig,
+    run_io_util_subfig,
+)
+
+
+def _assert_passed(result):
+    assert result.passed, [c.render() for c in result.failed_checks()]
+
+
+def test_fig4a(benchmark):
+    _assert_passed(
+        benchmark.pedantic(partial(run_cpu_subfig, 4), rounds=1, iterations=1)
+    )
+
+
+def test_fig4b(benchmark):
+    _assert_passed(
+        benchmark.pedantic(
+            partial(run_io_util_subfig, 4), rounds=1, iterations=1
+        )
+    )
+
+
+def test_fig4c(benchmark):
+    _assert_passed(
+        benchmark.pedantic(
+            partial(run_io_cpu_subfig, 4), rounds=1, iterations=1
+        )
+    )
+
+
+def test_fig4d(benchmark):
+    _assert_passed(
+        benchmark.pedantic(
+            partial(run_bw_util_subfig, 4), rounds=1, iterations=1
+        )
+    )
+
+
+def test_fig4e(benchmark):
+    _assert_passed(
+        benchmark.pedantic(
+            partial(run_bw_cpu_subfig, 4), rounds=1, iterations=1
+        )
+    )

@@ -1,0 +1,17 @@
+"""Figure 5 at paper scale: intra-PM 64 Kb ping workload."""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import run_fig5a, run_fig5b
+
+
+def _assert_passed(result):
+    assert result.passed, [c.render() for c in result.failed_checks()]
+
+
+def test_fig5a(benchmark):
+    _assert_passed(benchmark.pedantic(run_fig5a, rounds=1, iterations=1))
+
+
+def test_fig5b(benchmark):
+    _assert_passed(benchmark.pedantic(run_fig5b, rounds=1, iterations=1))

@@ -1,0 +1,46 @@
+"""Figure 7 at paper scale: prediction-error CDFs for one RUBiS pair.
+
+Full protocol: 300..700 clients, 10-minute 1 Hz runs, the Eq. (2) model
+trained on the complete micro-benchmark sweep.  The benchmark times the
+whole figure; the per-subfigure tests assert each panel's shape checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig789 import run_fig7
+
+_cache = {}
+
+
+def _results(paper_models):
+    if "fig7" not in _cache:
+        single, multi = paper_models
+        _cache["fig7"] = {
+            r.experiment_id: r
+            for r in run_fig7(single_model=single, multi_model=multi)
+        }
+    return _cache["fig7"]
+
+
+def test_fig7_full_run(benchmark, paper_models):
+    single, multi = paper_models
+    results = benchmark.pedantic(
+        lambda: run_fig7(single_model=single, multi_model=multi),
+        rounds=1,
+        iterations=1,
+    )
+    _cache["fig7"] = {r.experiment_id: r for r in results}
+    assert len(results) == 4
+    for r in results:
+        assert r.passed, (
+            r.experiment_id,
+            [c.render() for c in r.failed_checks()],
+        )
+
+
+@pytest.mark.parametrize("sub", ["a", "b", "c", "d"])
+def test_fig7_checks(paper_models, sub):
+    result = _results(paper_models)[f"fig7{sub}"]
+    assert result.passed, [c.render() for c in result.failed_checks()]

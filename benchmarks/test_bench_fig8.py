@@ -1,0 +1,41 @@
+"""Figure 8 at paper scale: two co-located RUBiS pairs per PM (Eq. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig789 import run_fig8
+
+_cache = {}
+
+
+def _results(paper_models):
+    if "fig8" not in _cache:
+        single, multi = paper_models
+        _cache["fig8"] = {
+            r.experiment_id: r
+            for r in run_fig8(single_model=single, multi_model=multi)
+        }
+    return _cache["fig8"]
+
+
+def test_fig8_full_run(benchmark, paper_models):
+    single, multi = paper_models
+    results = benchmark.pedantic(
+        lambda: run_fig8(single_model=single, multi_model=multi),
+        rounds=1,
+        iterations=1,
+    )
+    _cache["fig8"] = {r.experiment_id: r for r in results}
+    assert len(results) == 4
+    for r in results:
+        assert r.passed, (
+            r.experiment_id,
+            [c.render() for c in r.failed_checks()],
+        )
+
+
+@pytest.mark.parametrize("sub", ["a", "b", "c", "d"])
+def test_fig8_checks(paper_models, sub):
+    result = _results(paper_models)[f"fig8{sub}"]
+    assert result.passed, [c.render() for c in result.failed_checks()]

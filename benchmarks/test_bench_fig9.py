@@ -1,0 +1,45 @@
+"""Figure 9 at paper scale: three RUBiS pairs per PM.
+
+N=3 was never in the training grid (1/2/4), so this also exercises the
+alpha(N) interpolation of Eq. (3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig789 import run_fig9
+
+_cache = {}
+
+
+def _results(paper_models):
+    if "fig9" not in _cache:
+        single, multi = paper_models
+        _cache["fig9"] = {
+            r.experiment_id: r
+            for r in run_fig9(single_model=single, multi_model=multi)
+        }
+    return _cache["fig9"]
+
+
+def test_fig9_full_run(benchmark, paper_models):
+    single, multi = paper_models
+    results = benchmark.pedantic(
+        lambda: run_fig9(single_model=single, multi_model=multi),
+        rounds=1,
+        iterations=1,
+    )
+    _cache["fig9"] = {r.experiment_id: r for r in results}
+    assert len(results) == 4
+    for r in results:
+        assert r.passed, (
+            r.experiment_id,
+            [c.render() for c in r.failed_checks()],
+        )
+
+
+@pytest.mark.parametrize("sub", ["a", "b", "c", "d"])
+def test_fig9_checks(paper_models, sub):
+    result = _results(paper_models)[f"fig9{sub}"]
+    assert result.passed, [c.render() for c in result.failed_checks()]

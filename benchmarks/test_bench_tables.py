@@ -1,0 +1,25 @@
+"""Benchmarks regenerating Tables I-III."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import run_table1, run_table2, run_table3
+
+
+def _assert_passed(result):
+    assert result.passed, [c.render() for c in result.failed_checks()]
+
+
+def test_table1(benchmark):
+    result = benchmark(run_table1)
+    _assert_passed(result)
+    assert "xentop" in result.text
+
+
+def test_table2(benchmark):
+    result = benchmark(run_table2)
+    _assert_passed(result)
+
+
+def test_table3(benchmark):
+    result = benchmark(run_table3)
+    _assert_passed(result)

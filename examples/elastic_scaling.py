@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Elastic vertical scaling (the CloudScale mechanism VOA builds on).
+
+A guest's load follows a daily-pattern-style wave; the vertical scaler
+predicts each interval's demand (FFT signature + Markov + padding) and
+resizes the VM's credit-scheduler cap just above it -- the tenant gets
+headroom without a static worst-case reservation, and the provider can
+plan the reclaimed capacity using the overhead model.
+
+Run:  python examples/elastic_scaling.py
+"""
+
+from repro.models import TrainingConfig, train_multi_vm_model
+from repro.placement import VerticalScaler
+from repro.sim import Simulator
+from repro.workloads import CpuHog, DynamicWorkload
+from repro.xen import PhysicalMachine, VMSpec
+import math
+
+
+def main() -> None:
+    print("Training the overhead model (condensed sweep)...")
+    model = train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2, 4), duration=30.0, warmup=3.0)
+    )
+
+    sim = Simulator(seed=5)
+    pm = PhysicalMachine(sim, name="pm1")
+    vm = pm.create_vm(VMSpec(name="app"))
+    hog = CpuHog(0.0).attach(vm)
+    # A 60-second "day": load swings between ~15 % and ~65 %.
+    DynamicWorkload(
+        sim, hog, lambda t: 40.0 + 25.0 * math.sin(2 * math.pi * t / 60.0)
+    )
+
+    scaler = VerticalScaler(pm, model)
+    pm.start()
+    scaler.start()
+
+    # Let the FFT signature detector see two full waves first.
+    sim.run_until(120.0)
+
+    print("\n  time   demand   granted   cap")
+    print("  " + "-" * 34)
+    samples = []
+    for _ in range(24):
+        sim.run_until(sim.now + 5.0)
+        snap = pm.snapshot()
+        cap = scaler.current_caps()["app"]
+        granted = snap.vm("app").cpu_pct
+        demand = vm.cpu_demand_total
+        samples.append((demand, granted, cap))
+        print(
+            f"  {sim.now:5.0f}s {demand:7.1f}% {granted:8.1f}% "
+            f"{cap:6.1f}%"
+        )
+
+    pinned = sum(1 for _, g, c in samples if g >= c - 0.5)
+    slack = sum(c - g for _, g, c in samples) / len(samples)
+    print(
+        f"\nCap-pinned intervals: {pinned}/{len(samples)}; mean cap "
+        f"slack {slack:.1f} points -- the cap rides just above demand "
+        "instead of a static 100 % reservation."
+    )
+
+
+if __name__ == "__main__":
+    main()

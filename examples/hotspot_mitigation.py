@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Overhead-aware hotspot mitigation (Sandpiper-style, model-driven).
+
+The paper motivates its model with cloud management tasks: detecting
+that a PM is *actually* overloaded -- counting Dom0 and hypervisor
+overhead -- and migrating VMs away.  This example:
+
+1. trains the Eq. (3) overhead model,
+2. deploys four busy guests on PM1 and one calm guest on PM2,
+3. watches PM1 with the k-out-of-k hotspot detector,
+4. plans overhead-aware migrations and applies them through the
+   cluster's live-migration API,
+5. shows the hotspot cleared and no new hotspot created.
+
+Run:  python examples/hotspot_mitigation.py
+"""
+
+from repro.cluster import Cluster
+from repro.models import TrainingConfig, train_multi_vm_model
+from repro.monitor.metrics import vm_utilization_vector
+from repro.placement import HotspotDetector, MigrationPlanner, VmObservation
+from repro.sim import Simulator
+from repro.workloads import CpuHog
+from repro.xen import VMSpec
+
+
+def observe(cluster, pm_name):
+    pm = cluster.pms[pm_name]
+    snap = pm.snapshot()
+    return [
+        VmObservation(
+            name=name,
+            demand=vm_utilization_vector(snap.vm(name)),
+            mem_mb=pm.vms[name].spec.mem_mb,
+        )
+        for name in pm.vms
+    ]
+
+
+def main() -> None:
+    print("Training the Eq. (3) overhead model (condensed sweep)...")
+    model = train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2, 4), duration=40.0, warmup=3.0)
+    )
+    detector = HotspotDetector(model, k=3, threshold_frac=0.85)
+    planner = MigrationPlanner(model, target_frac=0.8)
+
+    sim = Simulator(seed=7)
+    cluster = Cluster(sim)
+    cluster.create_pm("pm1")
+    cluster.create_pm("pm2")
+    for k in range(4):
+        CpuHog(60.0).attach(cluster.place_vm(VMSpec(name=f"busy{k}"), "pm1"))
+    CpuHog(10.0).attach(cluster.place_vm(VMSpec(name="calm"), "pm2"))
+    cluster.start()
+    cluster.run(3.0)
+
+    # Observed utilizations are *granted* CPU: a squeezed guest looks
+    # smaller than its true demand, and migrating one VM away lets the
+    # rest expand.  Sandpiper iterates for exactly this reason -- so do
+    # we: observe -> detect -> migrate, until the hotspot clears.
+    for round_no in range(1, 4):
+        print(f"\nMitigation round {round_no}: monitoring PM1 at 1 Hz...")
+        hot = False
+        for _ in range(6):
+            cluster.run(1.0)
+            vms = observe(cluster, "pm1")
+            predicted = detector.predicted_pm_cpu(vms)
+            hot = detector.observe("pm1", vms)
+            print(
+                f"  t={sim.now:5.1f}s predicted PM1 CPU = {predicted:6.1f}% "
+                f"(threshold {detector.threshold:.0f}%) hot={hot}"
+            )
+            if hot:
+                break
+        if not hot:
+            print("  no sustained hotspot -- done.")
+            break
+        placement = {
+            "pm1": observe(cluster, "pm1"),
+            "pm2": observe(cluster, "pm2"),
+        }
+        moves = planner.plan("pm1", placement)
+        if not moves:
+            print("  nothing movable without creating a new hotspot.")
+            break
+        print(f"  moves: {[(m.vm, m.src, '->', m.dst) for m in moves]}")
+        for mv in moves:
+            cluster.migrate_vm(mv.vm, mv.dst)
+        detector.reset("pm1")
+        cluster.run(3.0)
+
+    print()
+    for pm_name in ("pm1", "pm2"):
+        vms = observe(cluster, pm_name)
+        predicted = detector.predicted_pm_cpu(vms)
+        print(
+            f"final: {pm_name} predicted CPU = {predicted:6.1f}% "
+            f"({'OK' if predicted <= detector.threshold else 'STILL HOT'})"
+        )
+
+
+if __name__ == "__main__":
+    main()

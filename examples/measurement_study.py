@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Measurement study: sweep the Table II micro benchmarks.
+
+Re-runs a condensed version of the paper's Section IV study -- every
+benchmark kind at every intensity level on a single guest -- prints the
+overhead curves with their increase rates (the paper's dY/dX metric),
+and archives the raw series to CSV for external plotting.
+
+Run:  python examples/measurement_study.py [output.csv]
+"""
+
+import sys
+
+from repro.analysis import summarize_rates
+from repro.experiments import microbench_sweep
+from repro.traces import Trace, TraceSet, save_csv
+from repro.workloads import KINDS, TABLE_II
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "measurement_study.csv"
+    archive = TraceSet()
+    for kind in KINDS:
+        spec = TABLE_II[kind]
+        sweep = microbench_sweep(kind, n_vms=1, duration=30.0, seed=7)
+        print(f"\n=== {spec.label} workload ({spec.units}) ===")
+        print(f"{'level':>8} {'vm.cpu':>8} {'dom0.cpu':>9} {'hyp.cpu':>8} "
+              f"{'pm.io':>8} {'pm.bw':>9}")
+        for i, level in enumerate(sweep.levels):
+            print(
+                f"{level:>8g} {sweep.series('vm0', 'cpu')[i]:>8.2f} "
+                f"{sweep.series('dom0', 'cpu')[i]:>9.2f} "
+                f"{sweep.series('hyp', 'cpu')[i]:>8.2f} "
+                f"{sweep.series('pm', 'io')[i]:>8.2f} "
+                f"{sweep.series('pm', 'bw')[i]:>9.1f}"
+            )
+        dom0 = summarize_rates(sweep.levels, sweep.series("dom0", "cpu"))
+        print(
+            f"Dom0 CPU increase rate: {dom0.initial:.4f} -> {dom0.final:.4f} "
+            f"per unit of {spec.units}"
+        )
+        for entity in ("vm0", "dom0", "hyp", "pm"):
+            resources = ("cpu",) if entity == "hyp" else ("cpu", "io", "bw")
+            for res in resources:
+                archive.add(
+                    Trace(
+                        f"{kind}.{entity}.{res}",
+                        list(range(len(sweep.levels))),
+                        sweep.series(entity, res),
+                    )
+                )
+    save_csv(archive, out_path)
+    print(f"\nRaw series archived to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

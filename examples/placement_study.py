@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Overhead-aware vs -unaware placement (the Figure 10 story, condensed).
+
+Profiles the paper's 5-VM scenario with the CloudScale predictor,
+places the VMs with VOA and with VOU, runs RUBiS on both deployments,
+and reports throughput and total processing time.
+
+Run:  python examples/placement_study.py
+"""
+
+from repro.models import TrainingConfig, train_multi_vm_model
+from repro.placement import VOA, VOU, VM_NAMES, profile_demands, run_trial
+
+
+def main() -> None:
+    print("Training the Eq. (3) overhead model (condensed sweep)...")
+    model = train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2, 4), duration=40.0, warmup=3.0)
+    )
+
+    scenario = 3  # all three aux VMs run lookbusy at 50 % CPU
+    print(f"Profiling VM demands for scenario {scenario} via CloudScale...")
+    demands = profile_demands(scenario, seed=11, profile_s=40.0)
+    for name in VM_NAMES:
+        d = demands[name]
+        print(f"  {name:<8} cpu={d.cpu:6.1f}%  bw={d.bw:8.1f} Kb/s")
+
+    # The adversarial deployment order: the web tier arrives first, the
+    # three hogs next -- VOU happily packs all four onto PM1.
+    order = ["vm1-web", "vm3", "vm4", "vm5", "vm2-db"]
+    print(f"\nDeployment order: {order}\n")
+    for strategy in (VOA, VOU):
+        trial = run_trial(
+            scenario,
+            strategy,
+            model if strategy == VOA else None,
+            demands,
+            order=order,
+            seed=99,
+            duration_s=120.0,
+        )
+        on_pm1 = trial.plan.vms_on("pm1")
+        print(f"{strategy.upper()}: pm1 hosts {on_pm1}")
+        print(
+            f"      throughput {trial.throughput_rps:6.1f} req/s, "
+            f"total time {trial.total_time_s:7.1f} s"
+        )
+    print(
+        "\nVOU ignores Dom0/hypervisor CPU, overloads PM1, and the RUBiS "
+        "web tier is squeezed; VOA's model-based check splits the load."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  Keeping this shim
+(and omitting ``[build-system]`` from pyproject.toml) lets
+``pip install -e .`` use the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro: a full reproduction of *Profiling and Understanding
+Virtualization Overhead in Cloud* (Chen, Patel, Shen, Zhou -- ICPP 2015).
+
+The package simulates the paper's Xen testbed from mechanism (credit
+scheduler, Dom0 netback/blkback, striped virtual disks), re-runs its
+measurement study (Figures 2-5), fits its virtualization-overhead
+regression models (Eq. 1-3), validates them on a RUBiS-style two-tier
+application (Figures 7-9), and reproduces the overhead-aware placement
+result (Figure 10).
+
+Quick start::
+
+    from repro.sim import Simulator
+    from repro.xen import PhysicalMachine, VMSpec
+    from repro.monitor import MeasurementScript
+    from repro.workloads import CpuHog
+
+    sim = Simulator(seed=42)
+    pm = PhysicalMachine(sim, name="pm1")
+    vm = pm.create_vm(VMSpec(name="vm1"))
+    CpuHog(90.0).attach(vm)
+    pm.start()
+    sim.run_until(3.0)
+    report = MeasurementScript(pm).run(duration=120.0)
+    print(report.mean("dom0", "cpu"), report.mean("hyp", "cpu"))
+
+Subpackages
+-----------
+:mod:`repro.sim`
+    Deterministic discrete-event kernel.
+:mod:`repro.xen`
+    The Xen substrate: PM, hypervisor + credit scheduler, Dom0, devices.
+:mod:`repro.workloads`
+    lookbusy/ping-style micro benchmarks (Table II).
+:mod:`repro.monitor`
+    xentop/top/mpstat/vmstat/ifconfig emulations (Table I) and the
+    unified measurement script.
+:mod:`repro.models`
+    The paper's contribution: Eq. (1)-(3) overhead regression models.
+:mod:`repro.rubis`
+    Two-tier RUBiS application model (Section VI workload).
+:mod:`repro.placement`
+    CloudScale predictor and VOA/VOU placement (Section VI-B).
+:mod:`repro.cluster`
+    Multi-PM orchestration and inter-PM traffic routing.
+:mod:`repro.experiments`
+    One reproduction harness per table/figure, with shape checks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,41 @@
+"""Shared analysis utilities: increase rates and empirical CDFs."""
+
+from repro.analysis.cdf import empirical_cdf, fraction_at_value, value_at_fraction
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    means_differ,
+    percentile_band,
+)
+from repro.analysis.sensitivity import (
+    Sensitivity,
+    parameter_sensitivity,
+    render_sensitivity,
+    sensitivity_matrix,
+)
+from repro.analysis.rates import (
+    RateSummary,
+    fit_slope,
+    increase_rates,
+    is_convex,
+    summarize_rates,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "RateSummary",
+    "Sensitivity",
+    "parameter_sensitivity",
+    "render_sensitivity",
+    "sensitivity_matrix",
+    "bootstrap_mean_ci",
+    "means_differ",
+    "percentile_band",
+    "empirical_cdf",
+    "fit_slope",
+    "fraction_at_value",
+    "increase_rates",
+    "is_convex",
+    "summarize_rates",
+    "value_at_fraction",
+]

@@ -1,0 +1,36 @@
+"""Empirical CDF helpers for the Figure 7-9 error plots."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def empirical_cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """``(sorted values, cumulative fraction in percent)``.
+
+    The y-axis is in percent to match the paper's "CDF of prediction
+    error (%)" axes.
+    """
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0:
+        raise ValueError("no values")
+    frac = 100.0 * np.arange(1, len(v) + 1) / len(v)
+    return v, frac
+
+
+def value_at_fraction(values, fraction_pct: float) -> float:
+    """Smallest value v with ``CDF(v) >= fraction_pct``."""
+    if not (0.0 < fraction_pct <= 100.0):
+        raise ValueError("fraction_pct must be in (0, 100]")
+    v, frac = empirical_cdf(values)
+    idx = int(np.searchsorted(frac, fraction_pct))
+    idx = min(idx, len(v) - 1)
+    return float(v[idx])
+
+
+def fraction_at_value(values, threshold: float) -> float:
+    """CDF evaluated at ``threshold``, in percent."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("no values")
+    return 100.0 * float(np.mean(v <= threshold))

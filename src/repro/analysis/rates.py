@@ -1,0 +1,76 @@
+"""Increase-rate analysis (paper Section IV).
+
+The paper characterizes every overhead curve by its *increase rate*
+``dY/dX`` -- "the increase of Y value for each unit increase of X
+value" -- and frequently reports how the rate grows along the curve
+(e.g. Dom0 CPU rate growing from 0.01 to 0.31 under CPU load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def increase_rates(xs, ys) -> np.ndarray:
+    """Pairwise ``dY/dX`` along a curve sampled at increasing ``xs``."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be equal-length 1-D arrays")
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    dx = np.diff(x)
+    if np.any(dx <= 0):
+        raise ValueError("xs must be strictly increasing")
+    return np.diff(y) / dx
+
+
+@dataclass(frozen=True)
+class RateSummary:
+    """First/last/overall increase rates of one curve."""
+
+    initial: float
+    final: float
+    overall: float
+
+    @property
+    def growth(self) -> float:
+        """``final / initial`` (inf when the initial rate is ~0)."""
+        if abs(self.initial) < 1e-12:
+            return float("inf")
+        return self.final / self.initial
+
+
+def summarize_rates(xs, ys) -> RateSummary:
+    """The paper-style rate summary of a swept curve."""
+    rates = increase_rates(xs, ys)
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    overall = (y[-1] - y[0]) / (x[-1] - x[0])
+    return RateSummary(
+        initial=float(rates[0]), final=float(rates[-1]), overall=float(overall)
+    )
+
+
+def fit_slope(xs, ys) -> float:
+    """Least-squares slope of y on x (for "constant increase rate" checks)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    xc = x - x.mean()
+    denom = float(np.dot(xc, xc))
+    if denom == 0:
+        raise ValueError("xs are all identical")
+    return float(np.dot(xc, y - y.mean()) / denom)
+
+
+def is_convex(ys, *, tolerance: float = 1e-9) -> bool:
+    """Whether a uniformly sampled curve has non-decreasing increments."""
+    y = np.asarray(ys, dtype=float)
+    if len(y) < 3:
+        raise ValueError("need at least three points")
+    increments = np.diff(y)
+    return bool(np.all(np.diff(increments) >= -tolerance))

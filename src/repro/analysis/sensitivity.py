@@ -1,0 +1,110 @@
+"""Calibration sensitivity analysis.
+
+DESIGN.md anchors the simulator to the paper's measured numbers via the
+constants in :class:`~repro.xen.calibration.XenCalibration`.  This
+module quantifies how sensitive a reproduced output is to each
+constant: perturb one parameter by a relative delta, re-evaluate an
+output functional, and report the elasticity
+
+    (dOutput / Output) / (dParam / Param).
+
+High-elasticity constants are the load-bearing ones -- the sensitivity
+benchmark documents that the headline anchors respond to their intended
+parameters and not to incidental ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from repro.xen.calibration import DEFAULT_CALIBRATION, XenCalibration
+
+#: An output functional: calibration -> scalar observable.
+OutputFn = Callable[[XenCalibration], float]
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Elasticity of one output with respect to one parameter."""
+
+    parameter: str
+    output: str
+    base_value: float
+    perturbed_value: float
+    elasticity: float
+
+    @property
+    def significant(self) -> bool:
+        """Whether the output visibly responds (|elasticity| > 0.05)."""
+        return abs(self.elasticity) > 0.05
+
+
+def parameter_sensitivity(
+    parameter: str,
+    output_name: str,
+    output_fn: OutputFn,
+    *,
+    calibration: XenCalibration = DEFAULT_CALIBRATION,
+    rel_delta: float = 0.1,
+) -> Sensitivity:
+    """Central-difference elasticity of ``output_fn`` w.r.t. ``parameter``."""
+    if not hasattr(calibration, parameter):
+        raise ValueError(f"unknown calibration parameter {parameter!r}")
+    if not 0.0 < rel_delta < 1.0:
+        raise ValueError("rel_delta must be in (0, 1)")
+    base_param = getattr(calibration, parameter)
+    if base_param == 0:
+        raise ValueError(f"parameter {parameter!r} is zero; elasticity undefined")
+    base_out = output_fn(calibration)
+    hi = output_fn(
+        calibration.with_overrides(**{parameter: base_param * (1 + rel_delta)})
+    )
+    lo = output_fn(
+        calibration.with_overrides(**{parameter: base_param * (1 - rel_delta)})
+    )
+    if base_out == 0:
+        raise ValueError(f"output {output_name!r} is zero at baseline")
+    elasticity = ((hi - lo) / base_out) / (2 * rel_delta)
+    return Sensitivity(
+        parameter=parameter,
+        output=output_name,
+        base_value=base_out,
+        perturbed_value=hi,
+        elasticity=elasticity,
+    )
+
+
+def sensitivity_matrix(
+    parameters: Sequence[str],
+    outputs: Dict[str, OutputFn],
+    *,
+    calibration: XenCalibration = DEFAULT_CALIBRATION,
+    rel_delta: float = 0.1,
+) -> Dict[str, Dict[str, Sensitivity]]:
+    """Elasticity of every output w.r.t. every parameter."""
+    if not parameters or not outputs:
+        raise ValueError("parameters and outputs must be non-empty")
+    return {
+        param: {
+            name: parameter_sensitivity(
+                param, name, fn, calibration=calibration, rel_delta=rel_delta
+            )
+            for name, fn in outputs.items()
+        }
+        for param in parameters
+    }
+
+
+def render_sensitivity(matrix: Dict[str, Dict[str, Sensitivity]]) -> str:
+    """Fixed-width elasticity table."""
+    outputs = sorted(next(iter(matrix.values())))
+    width = max(len(p) for p in matrix) + 2
+    lines = [
+        "".ljust(width) + "  ".join(f"{o:>14}" for o in outputs),
+    ]
+    for param in sorted(matrix):
+        row = matrix[param]
+        cells = "  ".join(f"{row[o].elasticity:>14.3f}" for o in outputs)
+        lines.append(param.ljust(width) + cells)
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Resampling statistics for experiment summaries.
+
+The paper's Figure 10 error bars show the 10th/90th percentile over 10
+placement trials.  These helpers add the standard machinery for
+reporting such small-sample results honestly: bootstrap confidence
+intervals for means and percentile bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided interval around a point estimate."""
+
+    point: float
+    lo: float
+    hi: float
+    level: float
+
+    def __post_init__(self) -> None:
+        if not self.lo <= self.hi:
+            raise ValueError("interval bounds out of order")
+        if not 0.0 < self.level < 1.0:
+            raise ValueError("level must be in (0, 1)")
+
+    @property
+    def halfwidth(self) -> float:
+        """Half the interval width."""
+        return (self.hi - self.lo) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies in the interval."""
+        return self.lo <= value <= self.hi
+
+
+def bootstrap_mean_ci(
+    values,
+    *,
+    level: float = 0.9,
+    n_resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI for the mean of ``values``."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("no values")
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must be in (0, 1)")
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be >= 10")
+    rng = rng or np.random.default_rng(0)
+    idx = rng.integers(0, len(v), size=(n_resamples, len(v)))
+    means = v[idx].mean(axis=1)
+    alpha = (1.0 - level) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        point=float(v.mean()), lo=float(lo), hi=float(hi), level=level
+    )
+
+
+def percentile_band(
+    values, *, lo_pct: float = 10.0, hi_pct: float = 90.0
+) -> Tuple[float, float]:
+    """The paper's error-bar band: (lo, hi) percentiles of the trials."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("no values")
+    if not 0.0 <= lo_pct < hi_pct <= 100.0:
+        raise ValueError("need 0 <= lo_pct < hi_pct <= 100")
+    return (
+        float(np.percentile(v, lo_pct)),
+        float(np.percentile(v, hi_pct)),
+    )
+
+
+def means_differ(
+    a,
+    b,
+    *,
+    level: float = 0.9,
+    n_resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> bool:
+    """Bootstrap test: does mean(a) - mean(b) exclude zero?
+
+    Used by the Figure 10 analysis to state "VOA beats VOU" with a
+    resampling justification rather than a bare mean comparison.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    rng = rng or np.random.default_rng(0)
+    idx_a = rng.integers(0, len(a), size=(n_resamples, len(a)))
+    idx_b = rng.integers(0, len(b), size=(n_resamples, len(b)))
+    diffs = a[idx_a].mean(axis=1) - b[idx_b].mean(axis=1)
+    alpha = (1.0 - level) / 2.0
+    lo, hi = np.quantile(diffs, [alpha, 1.0 - alpha])
+    return lo > 0.0 or hi < 0.0

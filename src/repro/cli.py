@@ -1,0 +1,175 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``repro list``
+    Enumerate every reproducible artifact id.
+``repro run fig2a [--fast] [--out DIR]``
+    Reproduce one artifact (or a whole group like ``fig2``) and print
+    the series and shape-check verdicts; non-zero exit if a check fails.
+``repro all [--fast]``
+    The full reproduction sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments import runner
+from repro.experiments.base import ExperimentResult
+
+
+def _write_out(results: List[ExperimentResult], out_dir: Path) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for res in results:
+        (out_dir / f"{res.experiment_id}.txt").write_text(res.render() + "\n")
+        if res.series:
+            # Long-format CSV so differently-shaped series (sweeps, CDF
+            # curves) coexist in one file per artifact.
+            lines = ["series,x,y"]
+            for s in res.series:
+                for x, y in zip(s.x, s.y):
+                    lines.append(f"{s.label},{x:.9g},{y:.9g}")
+            (out_dir / f"{res.experiment_id}.csv").write_text(
+                "\n".join(lines) + "\n"
+            )
+
+
+def _report(results: List[ExperimentResult], out: Optional[Path]) -> int:
+    for res in results:
+        print(res.render())
+        print()
+    if out is not None:
+        _write_out(results, out)
+    failed = [r for r in results if not r.passed]
+    if failed:
+        ids = ", ".join(r.experiment_id for r in failed)
+        print(f"FAILED shape checks in: {ids}", file=sys.stderr)
+        return 1
+    print(f"All shape checks passed ({len(results)} artifact(s)).")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Profiling and Understanding "
+            "Virtualization Overhead in Cloud' (ICPP 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all reproducible artifact ids")
+
+    run_p = sub.add_parser("run", help="reproduce one artifact or group")
+    run_p.add_argument("id", help="artifact id (fig2a) or group id (fig2)")
+    run_p.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink durations/trials for a quick smoke run",
+    )
+    run_p.add_argument(
+        "--out", type=Path, default=None, help="directory to write reports"
+    )
+
+    all_p = sub.add_parser("all", help="reproduce every table and figure")
+    all_p.add_argument("--fast", action="store_true")
+    all_p.add_argument("--out", type=Path, default=None)
+
+    report_p = sub.add_parser(
+        "report", help="run everything and write EXPERIMENTS.md"
+    )
+    report_p.add_argument("--fast", action="store_true")
+    report_p.add_argument(
+        "--out", type=Path, default=Path("EXPERIMENTS.md"),
+        help="output markdown file (default: EXPERIMENTS.md)",
+    )
+
+    validate_p = sub.add_parser(
+        "validate",
+        help="train the overhead model and print fit quality + "
+        "cross-validated RMSE",
+    )
+    validate_p.add_argument("--fast", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early.
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for artifact in runner.ALL_IDS:
+            print(artifact)
+        return 0
+    if args.command == "run":
+        try:
+            if args.id in runner.GROUP_IDS:
+                results = runner.run_group(args.id, fast=args.fast)
+            else:
+                results = [runner.run(args.id, fast=args.fast)]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return _report(results, args.out)
+    if args.command == "report":
+        from repro.experiments.report import generate_experiments_md
+
+        results = runner.run_all(fast=args.fast)
+        args.out.write_text(
+            generate_experiments_md(results, fast=args.fast) + "\n"
+        )
+        failed = [r.experiment_id for r in results if not r.passed]
+        print(f"wrote {args.out} ({len(results)} artifacts)")
+        if failed:
+            print(f"shape-check failures: {', '.join(failed)}", file=sys.stderr)
+            return 1
+        return 0
+    if args.command == "validate":
+        return _validate(fast=args.fast)
+    assert args.command == "all"
+    return _report(runner.run_all(fast=args.fast), args.out)
+
+
+def _validate(*, fast: bool) -> int:
+    from repro.models import (
+        MultiVMOverheadModel,
+        TrainingConfig,
+        cross_validate_multi,
+        fit_quality,
+        gather_training_samples,
+        render_quality_table,
+    )
+
+    cfg = (
+        TrainingConfig(vm_counts=(1, 2, 4), duration=20.0, warmup=3.0)
+        if fast
+        else TrainingConfig()
+    )
+    print("Gathering the micro-benchmark training sweep...")
+    samples = gather_training_samples(cfg)
+    model = MultiVMOverheadModel.fit(samples)
+    from repro.models import describe_multi_vm
+
+    print()
+    print(describe_multi_vm(model))
+    print(f"\nIn-sample fit quality ({len(samples)} observations):")
+    print(render_quality_table(fit_quality(model, samples)))
+    print("\n5-fold cross-validated RMSE per target:")
+    for target, rmse in sorted(cross_validate_multi(samples).items()):
+        print(f"  {target:<10} {rmse:8.4f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

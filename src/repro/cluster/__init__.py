@@ -1,0 +1,22 @@
+"""Multi-PM testbed orchestration."""
+
+from repro.cluster.cluster import ROUTING_PRIORITY, Cluster
+from repro.cluster.deployment import (
+    Deployment,
+    DeploymentSpec,
+    RubisRef,
+    VmPlacement,
+    WorkloadRef,
+    build_deployment,
+)
+
+__all__ = [
+    "Cluster",
+    "Deployment",
+    "DeploymentSpec",
+    "ROUTING_PRIORITY",
+    "RubisRef",
+    "VmPlacement",
+    "WorkloadRef",
+    "build_deployment",
+]

@@ -1,0 +1,174 @@
+"""Declarative testbed deployments.
+
+Experiments keep re-building the same shapes -- N PMs, VMs with
+workloads, RUBiS pairs -- with a dozen lines of imperative setup each.
+:class:`DeploymentSpec` describes a testbed as data and
+:func:`build_deployment` materializes it on a fresh simulator, which
+keeps scenario definitions inspectable and serializable.
+
+Example::
+
+    spec = DeploymentSpec(
+        pms=("pm1", "pm2"),
+        vms=(
+            VmPlacement("web", "pm1"),
+            VmPlacement("db", "pm2"),
+            VmPlacement("hog", "pm1", workload=WorkloadRef("cpu", 50.0)),
+        ),
+        rubis=(RubisRef(web="web", db="db", clients=500),),
+    )
+    dep = build_deployment(spec, seed=42)
+    dep.cluster.run(120.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rubis.app import RUBiSApplication
+from repro.workloads.base import Workload
+from repro.workloads.suite import KINDS, make_benchmark
+from repro.xen.calibration import XenCalibration
+from repro.xen.specs import MachineSpec, VMSpec
+
+
+@dataclass(frozen=True)
+class WorkloadRef:
+    """A Table II workload by kind and intensity (native units)."""
+
+    kind: str
+    intensity: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+        if self.intensity < 0:
+            raise ValueError("intensity must be >= 0")
+
+
+@dataclass(frozen=True)
+class VmPlacement:
+    """One guest: name, hosting PM, optional spec/workload."""
+
+    name: str
+    pm: str
+    mem_mb: int = 256
+    workload: Optional[WorkloadRef] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.pm:
+            raise ValueError("name and pm must be non-empty")
+
+
+@dataclass(frozen=True)
+class RubisRef:
+    """One RUBiS application across two already-declared VMs."""
+
+    web: str
+    db: str
+    clients: int
+    name: str = "rubis"
+
+    def __post_init__(self) -> None:
+        if self.clients <= 0:
+            raise ValueError("clients must be positive")
+        if self.web == self.db:
+            raise ValueError("web and db tiers must differ")
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """A complete testbed description."""
+
+    pms: Tuple[str, ...]
+    vms: Tuple[VmPlacement, ...] = ()
+    rubis: Tuple[RubisRef, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.pms:
+            raise ValueError("need at least one PM")
+        if len(set(self.pms)) != len(self.pms):
+            raise ValueError("duplicate PM names")
+        names = [v.name for v in self.vms]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate VM names")
+        unknown_pm = {v.pm for v in self.vms} - set(self.pms)
+        if unknown_pm:
+            raise ValueError(f"VMs reference unknown PMs {sorted(unknown_pm)}")
+        declared = set(names)
+        for app in self.rubis:
+            missing = {app.web, app.db} - declared
+            if missing:
+                raise ValueError(
+                    f"RUBiS app {app.name!r} references undeclared VMs "
+                    f"{sorted(missing)}"
+                )
+
+
+@dataclass
+class Deployment:
+    """A materialized testbed, ready to run."""
+
+    sim: Simulator
+    cluster: Cluster
+    workloads: Dict[str, Workload] = field(default_factory=dict)
+    apps: Dict[str, "RUBiSApplication"] = field(default_factory=dict)
+
+    def start(self) -> None:
+        """Start the cluster and every application."""
+        self.cluster.start()
+        for app in self.apps.values():
+            app.start()
+
+    def run(self, seconds: float) -> None:
+        """Advance the shared clock."""
+        self.cluster.run(seconds)
+
+
+def build_deployment(
+    spec: DeploymentSpec,
+    *,
+    seed: int = 0,
+    machine_spec: Optional[MachineSpec] = None,
+    calibration: Optional[XenCalibration] = None,
+) -> Deployment:
+    """Materialize a :class:`DeploymentSpec` on a fresh simulator."""
+    # Imported here to break the cluster <-> rubis package cycle.
+    from repro.rubis.app import RUBiSApplication
+    from repro.rubis.client import ClientPopulation
+
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, spec=machine_spec, calibration=calibration)
+    for pm in spec.pms:
+        cluster.create_pm(pm)
+    dep = Deployment(sim=sim, cluster=cluster)
+    for placement in spec.vms:
+        vm = cluster.place_vm(
+            VMSpec(name=placement.name, mem_mb=placement.mem_mb), placement.pm
+        )
+        if placement.workload is not None:
+            wl = make_benchmark(
+                placement.workload.kind, placement.workload.intensity
+            )
+            wl.attach(vm)
+            dep.workloads[placement.name] = wl
+    for app_ref in spec.rubis:
+        if app_ref.name in dep.apps:
+            raise ValueError(f"duplicate RUBiS app name {app_ref.name!r}")
+        dep.apps[app_ref.name] = RUBiSApplication(
+            cluster,
+            cluster.find_vm(app_ref.web),
+            cluster.find_vm(app_ref.db),
+            ClientPopulation(
+                app_ref.clients, rng=sim.rng(f"clients-{app_ref.name}")
+            ),
+            name=app_ref.name,
+        )
+    return dep

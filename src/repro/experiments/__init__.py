@@ -1,0 +1,29 @@
+"""Per-table / per-figure reproduction harness (DESIGN.md section 5)."""
+
+from repro.experiments.base import (
+    Check,
+    ExperimentResult,
+    Series,
+    approx_check,
+    bound_check,
+)
+from repro.experiments.sweeps import (
+    FAST_DURATION_S,
+    PAPER_DURATION_S,
+    SweepResult,
+    intra_pm_sweep,
+    microbench_sweep,
+)
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "FAST_DURATION_S",
+    "PAPER_DURATION_S",
+    "Series",
+    "SweepResult",
+    "approx_check",
+    "bound_check",
+    "intra_pm_sweep",
+    "microbench_sweep",
+]

@@ -1,0 +1,163 @@
+"""Figure 10: virtualization-overhead-aware VM placement (VOA vs VOU).
+
+Bar charts over the four workload scenarios:
+
+* (a) mean RUBiS throughput with 10th/90th-percentile error bars;
+* (b) total processing time.
+
+Shape criteria: VOA's throughput is stable across scenarios and at
+least VOU's everywhere; VOU degrades as the scenario index (number of
+loaded co-located VMs) rises; VOA's total time stays at or below VOU's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.base import (
+    Check,
+    ExperimentResult,
+    Series,
+    bound_check,
+)
+from repro.experiments.prediction import trained_models
+from repro.models.multi_vm import MultiVMOverheadModel
+from repro.placement.placer import VOA, VOU
+from repro.placement.scenario import (
+    DEFAULT_TRIALS,
+    SCENARIOS,
+    ScenarioResult,
+    run_scenario_experiment,
+)
+
+
+def _grid(
+    model: Optional[MultiVMOverheadModel],
+    scenarios: Sequence[int],
+    trials: int,
+    duration_s: float,
+    profile_s: float,
+    seed: int,
+) -> dict[tuple[int, str], ScenarioResult]:
+    if model is None:
+        _, model = trained_models()
+    results = run_scenario_experiment(
+        model,
+        scenarios=scenarios,
+        trials=trials,
+        duration_s=duration_s,
+        profile_s=profile_s,
+        seed=seed,
+    )
+    return {(r.scenario, r.strategy): r for r in results}
+
+
+def run_fig10a(
+    *,
+    model: Optional[MultiVMOverheadModel] = None,
+    scenarios: Sequence[int] = SCENARIOS,
+    trials: int = DEFAULT_TRIALS,
+    duration_s: float = 120.0,
+    profile_s: float = 60.0,
+    seed: int = 2015,
+    _grid_cache: Optional[dict] = None,
+) -> ExperimentResult:
+    """Fig. 10(a): average throughput of VOA vs VOU."""
+    grid = _grid_cache or _grid(
+        model, scenarios, trials, duration_s, profile_s, seed
+    )
+    xs = [float(s) for s in scenarios]
+    voa = [grid[(s, VOA)].mean_throughput() for s in scenarios]
+    vou = [grid[(s, VOU)].mean_throughput() for s in scenarios]
+    checks: list[Check] = []
+    for i, s in enumerate(scenarios):
+        checks.append(
+            bound_check(
+                f"VOA >= VOU at scenario {s}", voa[i], above=vou[i] - 1e-9
+            )
+        )
+    checks.append(
+        bound_check(
+            "VOA throughput stable across scenarios",
+            max(voa) - min(voa),
+            below=0.1 * max(voa),
+        )
+    )
+    heaviest = len(scenarios) - 1
+    checks.append(
+        bound_check(
+            "VOU degrades in the heaviest scenario",
+            vou[heaviest],
+            below=0.93 * voa[heaviest],
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig10a",
+        title="Average RUBiS throughput: VOA vs VOU",
+        series=[
+            Series("VOA", xs, voa, "Workload scenario", "Throughput (req/s)"),
+            Series("VOU", xs, vou, "Workload scenario", "Throughput (req/s)"),
+        ],
+        checks=checks,
+    )
+
+
+def run_fig10b(
+    *,
+    model: Optional[MultiVMOverheadModel] = None,
+    scenarios: Sequence[int] = SCENARIOS,
+    trials: int = DEFAULT_TRIALS,
+    duration_s: float = 120.0,
+    profile_s: float = 60.0,
+    seed: int = 2015,
+    _grid_cache: Optional[dict] = None,
+) -> ExperimentResult:
+    """Fig. 10(b): total request-processing time of VOA vs VOU."""
+    grid = _grid_cache or _grid(
+        model, scenarios, trials, duration_s, profile_s, seed
+    )
+    xs = [float(s) for s in scenarios]
+    voa = [grid[(s, VOA)].mean_total_time() for s in scenarios]
+    vou = [grid[(s, VOU)].mean_total_time() for s in scenarios]
+    checks: list[Check] = [
+        bound_check(
+            f"VOU total time >= VOA at scenario {s}",
+            vou[i],
+            above=voa[i] - 1e-9,
+        )
+        for i, s in enumerate(scenarios)
+    ]
+    heaviest = len(scenarios) - 1
+    checks.append(
+        bound_check(
+            "VOU total time inflated in heaviest scenario",
+            vou[heaviest],
+            above=1.05 * voa[heaviest],
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig10b",
+        title="Total processing time: VOA vs VOU",
+        series=[
+            Series("VOA", xs, voa, "Workload scenario", "Total time (s)"),
+            Series("VOU", xs, vou, "Workload scenario", "Total time (s)"),
+        ],
+        checks=checks,
+    )
+
+
+def run_fig10(
+    *,
+    model: Optional[MultiVMOverheadModel] = None,
+    scenarios: Sequence[int] = SCENARIOS,
+    trials: int = DEFAULT_TRIALS,
+    duration_s: float = 120.0,
+    profile_s: float = 60.0,
+    seed: int = 2015,
+) -> list[ExperimentResult]:
+    """Both Figure 10 panels from one shared scenario grid."""
+    grid = _grid(model, scenarios, trials, duration_s, profile_s, seed)
+    return [
+        run_fig10a(_grid_cache=grid, scenarios=scenarios),
+        run_fig10b(_grid_cache=grid, scenarios=scenarios),
+    ]

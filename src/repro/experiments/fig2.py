@@ -1,0 +1,199 @@
+"""Figure 2: resource utilizations for one VM.
+
+Five subfigures, all from single-VM micro-benchmark sweeps:
+
+* (a) CPU utilizations (VM, Dom0, hypervisor) vs CPU workload;
+* (b) I/O utilizations (VM, Dom0, PM) vs I/O workload;
+* (c) CPU utilizations vs I/O workload;
+* (d) BW utilizations (VM, Dom0, PM) vs BW workload;
+* (e) CPU utilizations vs BW workload.
+
+Shape criteria come from the paper's Section IV-A summary: Dom0 and
+hypervisor CPU baselines and convex growth, PM I/O ~ 2x VM I/O, zero
+Dom0 I/O and BW, constant 0.01 Dom0-CPU slope under BW load, and the
+near-zero PM bandwidth overhead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rates import fit_slope, summarize_rates
+from repro.experiments.base import (
+    Check,
+    ExperimentResult,
+    Series,
+    approx_check,
+    bound_check,
+)
+from repro.experiments.sweeps import PAPER_DURATION_S, microbench_sweep
+
+#: Entities plotted per CPU-utilization subfigure.
+CPU_ENTITIES = (("hyp", "Hypervisor"), ("vm0", "VM"), ("dom0", "Dom0"))
+
+
+def _cpu_series(sweep, x_label: str) -> list[Series]:
+    return [
+        Series(
+            label=label,
+            x=list(sweep.levels),
+            y=sweep.series(entity, "cpu"),
+            x_label=x_label,
+            y_label="CPU utilization (%)",
+        )
+        for entity, label in CPU_ENTITIES
+    ]
+
+
+def run_fig2a(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> ExperimentResult:
+    """Fig. 2(a): CPU utilizations for a CPU-intensive single VM."""
+    sweep = microbench_sweep("cpu", 1, duration=duration, seed=seed)
+    dom0 = sweep.series("dom0", "cpu")
+    hyp = sweep.series("hyp", "cpu")
+    vm = sweep.series("vm0", "cpu")
+    dom0_rates = summarize_rates(sweep.levels, dom0)
+    hyp_rates = summarize_rates(sweep.levels, hyp)
+    checks = [
+        approx_check("dom0 baseline 16.8%", dom0[0], 16.8, abs_tol=0.5),
+        approx_check("dom0 endpoint 29.5%", dom0[-1], 29.5, abs_tol=1.0),
+        approx_check("hyp baseline 3.0%", hyp[0], 3.0, abs_tol=0.5),
+        approx_check("hyp endpoint 14%", hyp[-1], 14.0, abs_tol=1.0),
+        bound_check(
+            "dom0 rate grows (0.01 -> ~0.3)",
+            dom0_rates.final,
+            above=3 * max(dom0_rates.initial, 1e-6),
+        ),
+        bound_check(
+            "hyp rate grows (0.04 -> ~0.26)",
+            hyp_rates.final,
+            above=2 * max(hyp_rates.initial, 1e-6),
+        ),
+        approx_check("VM tracks input at 99%", vm[-1], 99.0, abs_tol=1.0),
+    ]
+    return ExperimentResult(
+        experiment_id="fig2a",
+        title="CPU utilizations for CPU-intensive workload (1 VM)",
+        series=_cpu_series(sweep, "Input CPU workload (%)"),
+        checks=checks,
+    )
+
+
+def run_fig2b(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> ExperimentResult:
+    """Fig. 2(b): I/O utilizations for an I/O-intensive single VM."""
+    sweep = microbench_sweep("io", 1, duration=duration, seed=seed)
+    vm = sweep.series("vm0", "io")
+    pm = sweep.series("pm", "io")
+    dom0 = sweep.series("dom0", "io")
+    ratio = (pm[-1] - 18.8) / vm[-1]
+    checks = [
+        approx_check("PM I/O ~ 2x VM I/O", ratio, 2.05, abs_tol=0.15),
+        bound_check("dom0 I/O is zero", max(dom0), below=1e-9),
+        approx_check(
+            "VM I/O tracks input", vm[-1], sweep.levels[-1], abs_tol=2.0
+        ),
+    ]
+    series = [
+        Series("PM", list(sweep.levels), pm, "Input I/O workload (blocks/s)", "I/O utilization (blocks/s)"),
+        Series("VM", list(sweep.levels), vm, "Input I/O workload (blocks/s)", "I/O utilization (blocks/s)"),
+        Series("Dom0", list(sweep.levels), dom0, "Input I/O workload (blocks/s)", "I/O utilization (blocks/s)"),
+    ]
+    return ExperimentResult(
+        experiment_id="fig2b",
+        title="I/O utilizations for I/O-intensive workload (1 VM)",
+        series=series,
+        checks=checks,
+    )
+
+
+def run_fig2c(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> ExperimentResult:
+    """Fig. 2(c): CPU utilizations stay flat under I/O load."""
+    sweep = microbench_sweep("io", 1, duration=duration, seed=seed)
+    dom0 = sweep.series("dom0", "cpu")
+    hyp = sweep.series("hyp", "cpu")
+    vm = sweep.series("vm0", "cpu")
+    checks = [
+        bound_check(
+            "dom0 CPU stable (16 +/- 0.3 style)",
+            max(dom0) - min(dom0),
+            below=0.8,
+        ),
+        bound_check("hyp CPU stable", max(hyp) - min(hyp), below=0.5),
+        approx_check("VM CPU flat at 0.84%", vm[-1], 0.84 + 0.3, abs_tol=0.5),
+    ]
+    return ExperimentResult(
+        experiment_id="fig2c",
+        title="CPU utilizations for I/O-intensive workload (1 VM)",
+        series=_cpu_series(sweep, "Input I/O workload (blocks/s)"),
+        checks=checks,
+    )
+
+
+def run_fig2d(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> ExperimentResult:
+    """Fig. 2(d): BW utilizations for a BW-intensive single VM."""
+    sweep = microbench_sweep("bw", 1, duration=duration, seed=seed)
+    vm = sweep.series("vm0", "bw")
+    pm = sweep.series("pm", "bw")
+    dom0 = sweep.series("dom0", "bw")
+    overhead_kbps = pm[-1] - vm[-1]
+    checks = [
+        bound_check("dom0 BW is zero", max(dom0), below=1e-9),
+        approx_check(
+            "VM BW tracks input (Kb/s)",
+            vm[-1],
+            sweep.levels[-1] * 1000.0,
+            abs_tol=30.0,
+        ),
+        bound_check(
+            "PM BW overhead negligible (~400 B/s)",
+            overhead_kbps,
+            below=15.0,
+            above=0.0,
+        ),
+    ]
+    series = [
+        Series("PM", list(sweep.levels), pm, "Input BW workload (Mb/s)", "BW utilization (Kb/s)"),
+        Series("VM", list(sweep.levels), vm, "Input BW workload (Mb/s)", "BW utilization (Kb/s)"),
+        Series("Dom0", list(sweep.levels), dom0, "Input BW workload (Mb/s)", "BW utilization (Kb/s)"),
+    ]
+    return ExperimentResult(
+        experiment_id="fig2d",
+        title="BW utilizations for BW-intensive workload (1 VM)",
+        series=series,
+        checks=checks,
+    )
+
+
+def run_fig2e(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> ExperimentResult:
+    """Fig. 2(e): CPU utilizations under BW load (Dom0 slope 0.01)."""
+    sweep = microbench_sweep("bw", 1, duration=duration, seed=seed)
+    dom0 = sweep.series("dom0", "cpu")
+    hyp = sweep.series("hyp", "cpu")
+    vm = sweep.series("vm0", "cpu")
+    kbps_levels = [lv * 1000.0 for lv in sweep.levels]
+    slope = fit_slope(kbps_levels, dom0)
+    checks = [
+        approx_check("dom0 slope 0.01 %/(Kb/s)", slope, 0.01, abs_tol=0.002),
+        approx_check("dom0 endpoint ~30%", dom0[-1], 29.7, abs_tol=1.5),
+        bound_check("VM CPU rises to ~3%", vm[-1], below=4.0, above=2.0),
+        bound_check(
+            "hyp CPU rises slightly (2.5 -> 3.5)",
+            hyp[-1] - hyp[0],
+            below=1.6,
+            above=0.4,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig2e",
+        title="CPU utilizations for BW-intensive workload (1 VM)",
+        series=_cpu_series(sweep, "Input BW workload (Mb/s)"),
+        checks=checks,
+    )
+
+
+def run_fig2(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> list[ExperimentResult]:
+    """All five Figure 2 subfigures."""
+    return [
+        run_fig2a(duration=duration, seed=seed),
+        run_fig2b(duration=duration, seed=seed),
+        run_fig2c(duration=duration, seed=seed),
+        run_fig2d(duration=duration, seed=seed),
+        run_fig2e(duration=duration, seed=seed),
+    ]

@@ -1,0 +1,212 @@
+"""Figures 3 and 4: resource utilizations for 2 / 4 co-located VMs.
+
+Same five subfigures as Figure 2, but with every guest running the
+benchmark simultaneously.  The new shape criteria (Section IV-B):
+
+* CPU saturation: guests settle at ~95 % (N=2) / ~47 % (N=4); Dom0 and
+  hypervisor plateau at 23.4 % / 12.0 %.
+* PM I/O remains ~2x the *sum* of guest I/O.
+* Dom0's CPU-vs-BW slope stays 0.01 per aggregate Kb/s, so the
+  per-figure slope over per-VM intensity scales with N; the hypervisor
+  slope is ~0.0005 per aggregate Kb/s.
+* PM BW overhead ~3 % of the guest sum.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rates import fit_slope
+from repro.experiments.base import (
+    ExperimentResult,
+    Series,
+    approx_check,
+    bound_check,
+)
+from repro.experiments.fig2 import CPU_ENTITIES, _cpu_series
+from repro.experiments.sweeps import PAPER_DURATION_S, microbench_sweep
+
+
+def _figure_id(n_vms: int, sub: str) -> str:
+    return {2: "fig3", 4: "fig4"}[n_vms] + sub
+
+
+def run_cpu_subfig(
+    n_vms: int, *, duration: float = PAPER_DURATION_S, seed: int = 42
+) -> ExperimentResult:
+    """Fig. 3(a) / 4(a): CPU utilizations with co-located CPU hogs."""
+    sweep = microbench_sweep("cpu", n_vms, duration=duration, seed=seed)
+    dom0 = sweep.series("dom0", "cpu")
+    hyp = sweep.series("hyp", "cpu")
+    vm = sweep.series("vm0", "cpu")
+    vm_sat = {2: 95.0, 4: 47.0}[n_vms]
+    checks = [
+        approx_check(
+            f"VM saturates at ~{vm_sat}%", vm[-1], vm_sat, abs_tol=1.5
+        ),
+        approx_check("dom0 plateau 23.4%", dom0[-1], 23.4, abs_tol=1.0),
+        approx_check("hyp plateau 12.0%", hyp[-1], 12.0, abs_tol=1.0),
+        bound_check(
+            "dom0 rises then flattens (plateau < single-VM endpoint)",
+            dom0[-1],
+            below=29.5,
+            above=dom0[0],
+        ),
+        bound_check(
+            "VM cannot reach 100% under colocation", vm[-1], below=99.0
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id=_figure_id(n_vms, "a"),
+        title=f"CPU utilizations for CPU-intensive workload ({n_vms} VMs)",
+        series=_cpu_series(sweep, "Input CPU workload (%)"),
+        checks=checks,
+    )
+
+
+def run_io_util_subfig(
+    n_vms: int, *, duration: float = PAPER_DURATION_S, seed: int = 42
+) -> ExperimentResult:
+    """Fig. 3(b) / 4(b): I/O utilizations with co-located I/O hogs."""
+    sweep = microbench_sweep("io", n_vms, duration=duration, seed=seed)
+    vm = sweep.series("vm0", "io")
+    pm = sweep.series("pm", "io")
+    dom0 = sweep.series("dom0", "io")
+    # "The I/O utilization of the PM is more than twice of the sum of
+    # the utilizations of its guest VMs."
+    ratio = (pm[-1] - 18.8) / (n_vms * vm[-1])
+    checks = [
+        approx_check("PM I/O ~ 2x sum of VM I/O", ratio, 2.05, abs_tol=0.15),
+        bound_check("dom0 I/O is zero", max(dom0), below=1e-9),
+    ]
+    series = [
+        Series("PM", list(sweep.levels), pm, "Input I/O workload (blocks/s)", "I/O utilization (blocks/s)"),
+        Series("VM", list(sweep.levels), vm, "Input I/O workload (blocks/s)", "I/O utilization (blocks/s)"),
+        Series("Dom0", list(sweep.levels), dom0, "Input I/O workload (blocks/s)", "I/O utilization (blocks/s)"),
+    ]
+    return ExperimentResult(
+        experiment_id=_figure_id(n_vms, "b"),
+        title=f"I/O utilizations for I/O-intensive workload ({n_vms} VMs)",
+        series=series,
+        checks=checks,
+    )
+
+
+def run_io_cpu_subfig(
+    n_vms: int, *, duration: float = PAPER_DURATION_S, seed: int = 42
+) -> ExperimentResult:
+    """Fig. 3(c) / 4(c): CPU utilizations stay stable under I/O load."""
+    sweep = microbench_sweep("io", n_vms, duration=duration, seed=seed)
+    dom0 = sweep.series("dom0", "cpu")
+    hyp = sweep.series("hyp", "cpu")
+    checks = [
+        approx_check(
+            "dom0 ~17.4% (small colocation lift)", dom0[-1], 17.4, abs_tol=0.7
+        ),
+        bound_check("dom0 CPU stable", max(dom0) - min(dom0), below=1.0),
+        bound_check("hyp CPU stable", max(hyp) - min(hyp), below=0.8),
+    ]
+    return ExperimentResult(
+        experiment_id=_figure_id(n_vms, "c"),
+        title=f"CPU utilizations for I/O-intensive workload ({n_vms} VMs)",
+        series=_cpu_series(sweep, "Input I/O workload (blocks/s)"),
+        checks=checks,
+    )
+
+
+def run_bw_util_subfig(
+    n_vms: int, *, duration: float = PAPER_DURATION_S, seed: int = 42
+) -> ExperimentResult:
+    """Fig. 3(d) / 4(d): BW utilizations; ~3% PM overhead on the sum."""
+    sweep = microbench_sweep("bw", n_vms, duration=duration, seed=seed)
+    vm = sweep.series("vm0", "bw")
+    pm = sweep.series("pm", "bw")
+    dom0 = sweep.series("dom0", "bw")
+    vm_sum = n_vms * vm[-1]
+    overhead_frac = (pm[-1] - vm_sum) / pm[-1]
+    checks = [
+        bound_check("dom0 BW is zero", max(dom0), below=1e-9),
+        bound_check(
+            "PM BW overhead ~3% of guest sum",
+            overhead_frac,
+            below=0.05,
+            above=0.005,
+        ),
+    ]
+    series = [
+        Series("PM", list(sweep.levels), pm, "Input BW workload (Mb/s)", "BW utilization (Kb/s)"),
+        Series("VM", list(sweep.levels), vm, "Input BW workload (Mb/s)", "BW utilization (Kb/s)"),
+        Series("Dom0", list(sweep.levels), dom0, "Input BW workload (Mb/s)", "BW utilization (Kb/s)"),
+    ]
+    return ExperimentResult(
+        experiment_id=_figure_id(n_vms, "d"),
+        title=f"BW utilizations for BW-intensive workload ({n_vms} VMs)",
+        series=series,
+        checks=checks,
+    )
+
+
+def run_bw_cpu_subfig(
+    n_vms: int, *, duration: float = PAPER_DURATION_S, seed: int = 42
+) -> ExperimentResult:
+    """Fig. 3(e) / 4(e): Dom0/hypervisor CPU vs co-located BW load."""
+    sweep = microbench_sweep("bw", n_vms, duration=duration, seed=seed)
+    dom0 = sweep.series("dom0", "cpu")
+    hyp = sweep.series("hyp", "cpu")
+    # Per-VM intensity in Kb/s; aggregate = N x per-VM, so the slope
+    # over per-VM Kb/s is N x 0.01 (the paper: Fig 4(e)'s Dom0 slope is
+    # twice Fig 3(e)'s).
+    kbps = [lv * 1000.0 for lv in sweep.levels]
+    dom0_slope = fit_slope(kbps, dom0) / n_vms
+    hyp_slope = fit_slope(kbps, hyp) / n_vms
+    endpoint = {2: 41.8, 4: 67.1}[n_vms]
+    hyp_endpoint = {2: 4.0, 4: 6.3}[n_vms]
+    checks = [
+        approx_check(
+            "dom0 slope 0.01 per aggregate Kb/s",
+            dom0_slope,
+            0.01,
+            abs_tol=0.002,
+        ),
+        approx_check(
+            f"dom0 endpoint ~{endpoint}%", dom0[-1], endpoint, abs_tol=2.5
+        ),
+        approx_check(
+            "hyp slope ~0.0005 per aggregate Kb/s",
+            hyp_slope,
+            0.00055,
+            abs_tol=0.0002,
+        ),
+        approx_check(
+            f"hyp endpoint ~{hyp_endpoint}%",
+            hyp[-1],
+            hyp_endpoint,
+            abs_tol=1.2,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id=_figure_id(n_vms, "e"),
+        title=f"CPU utilizations for BW-intensive workload ({n_vms} VMs)",
+        series=_cpu_series(sweep, "Input BW workload (Mb/s)"),
+        checks=checks,
+    )
+
+
+def run_fig3(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> list[ExperimentResult]:
+    """All five Figure 3 subfigures (2 co-located VMs)."""
+    return [
+        run_cpu_subfig(2, duration=duration, seed=seed),
+        run_io_util_subfig(2, duration=duration, seed=seed),
+        run_io_cpu_subfig(2, duration=duration, seed=seed),
+        run_bw_util_subfig(2, duration=duration, seed=seed),
+        run_bw_cpu_subfig(2, duration=duration, seed=seed),
+    ]
+
+
+def run_fig4(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> list[ExperimentResult]:
+    """All five Figure 4 subfigures (4 co-located VMs)."""
+    return [
+        run_cpu_subfig(4, duration=duration, seed=seed),
+        run_io_util_subfig(4, duration=duration, seed=seed),
+        run_io_cpu_subfig(4, duration=duration, seed=seed),
+        run_bw_util_subfig(4, duration=duration, seed=seed),
+        run_bw_cpu_subfig(4, duration=duration, seed=seed),
+    ]

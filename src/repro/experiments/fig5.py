@@ -1,0 +1,90 @@
+"""Figure 5: intra-PM bandwidth-intensive workload.
+
+VM1 pings VM2 *on the same PM* with 64 Kb packets.  Shape criteria
+(Section IV-B):
+
+* (a) Dom0 and PM bandwidth utilizations are **zero** -- redirected
+  packets never occupy the physical NIC; the guests still see the
+  traffic on their VIFs.
+* (b) Dom0 CPU rises at 0.002 per Kb/s -- 5x less than the inter-PM
+  rate of 0.01.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rates import fit_slope
+from repro.experiments.base import (
+    ExperimentResult,
+    Series,
+    approx_check,
+    bound_check,
+)
+from repro.experiments.fig2 import _cpu_series
+from repro.experiments.sweeps import PAPER_DURATION_S, intra_pm_sweep
+from repro.xen.calibration import DEFAULT_CALIBRATION
+
+
+def run_fig5a(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> ExperimentResult:
+    """Fig. 5(a): bandwidth utilizations for intra-PM traffic."""
+    sweep = intra_pm_sweep(duration=duration, seed=seed)
+    vm = sweep.series("vm0", "bw")
+    pm = sweep.series("pm", "bw")
+    dom0 = sweep.series("dom0", "bw")
+    floor = DEFAULT_CALIBRATION.pm_bw_floor_kbps
+    checks = [
+        bound_check("dom0 BW is zero", max(dom0), below=1e-9),
+        bound_check(
+            "PM BW stays at the idle floor (no physical traffic)",
+            max(pm) - floor,
+            below=0.5,
+        ),
+        approx_check(
+            "VM still sees its traffic (Kb/s)",
+            vm[-1],
+            sweep.levels[-1] * 1000.0,
+            abs_tol=30.0,
+        ),
+    ]
+    series = [
+        Series("PM", list(sweep.levels), pm, "Input BW workload (Mb/s)", "BW utilization (Kb/s)"),
+        Series("VM", list(sweep.levels), vm, "Input BW workload (Mb/s)", "BW utilization (Kb/s)"),
+        Series("Dom0", list(sweep.levels), dom0, "Input BW workload (Mb/s)", "BW utilization (Kb/s)"),
+    ]
+    return ExperimentResult(
+        experiment_id="fig5a",
+        title="BW utilizations for intra-PM BW-intensive workload",
+        series=series,
+        checks=checks,
+    )
+
+
+def run_fig5b(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> ExperimentResult:
+    """Fig. 5(b): Dom0 CPU slope is 0.002 -- 5x below inter-PM."""
+    sweep = intra_pm_sweep(duration=duration, seed=seed)
+    dom0 = sweep.series("dom0", "cpu")
+    kbps = [lv * 1000.0 for lv in sweep.levels]
+    slope = fit_slope(kbps, dom0)
+    inter_rate = DEFAULT_CALIBRATION.dom0_net_pct_per_kbps
+    checks = [
+        approx_check("dom0 slope 0.002 %/(Kb/s)", slope, 0.002, abs_tol=0.0006),
+        approx_check(
+            "slope is 5x below inter-PM rate",
+            inter_rate / max(slope, 1e-9),
+            5.0,
+            abs_tol=1.5,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="fig5b",
+        title="CPU utilizations for intra-PM BW-intensive workload",
+        series=_cpu_series(sweep, "Input BW workload (Mb/s)"),
+        checks=checks,
+    )
+
+
+def run_fig5(*, duration: float = PAPER_DURATION_S, seed: int = 42) -> list[ExperimentResult]:
+    """Both Figure 5 subfigures."""
+    return [
+        run_fig5a(duration=duration, seed=seed),
+        run_fig5b(duration=duration, seed=seed),
+    ]

@@ -1,0 +1,187 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every artifact.
+
+Each table/figure carries (a) the paper's reported numbers (static,
+transcribed below) and (b) our measured values, harvested from the
+shape-check details of a live reproduction run.  ``repro report`` writes
+the document; the checked-in EXPERIMENTS.md is one such run at paper
+scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.base import ExperimentResult
+
+#: What the paper reports, per artifact id.
+PAPER_CLAIMS: Dict[str, List[str]] = {
+    "table1": [
+        "xentop/top/mpstat/ifconfig/vmstat each cover only part of the "
+        "VM/Dom0/PM x cpu/mem/io/bw matrix; no single tool suffices, "
+        "motivating the unified script.",
+    ],
+    "table2": [
+        "CPU 1/30/60/90/99 %, MEM 0.03/5/10/20/50 Mb, "
+        "I/O 15/19/27/46/72 blocks/s, BW 0.001/0.16/0.32/0.64/1.28 Mb/s.",
+    ],
+    "table3": [
+        "CPU overhead = |Dom0| + |hypervisor| (CPU and BW workloads); "
+        "I/O, BW, MEM overheads = |sum(VM) - PM|.",
+    ],
+    "fig2a": [
+        "Dom0 CPU 16.8 % -> 29.5 % with increase rate growing 0.01 -> 0.31;",
+        "hypervisor CPU 3 % -> 14 % with rate growing 0.04 -> 0.26.",
+    ],
+    "fig2b": [
+        "PM I/O is nearly twice the VM I/O; Dom0 I/O is zero.",
+    ],
+    "fig2c": [
+        "All CPU utilizations stable under varying I/O intensity "
+        "(I/O capped near 90 blocks/s by the virtual disk).",
+    ],
+    "fig2d": [
+        "PM BW ~ VM BW with ~400 bytes/s overhead; Dom0 BW is zero.",
+    ],
+    "fig2e": [
+        "Dom0 CPU 16.0 % -> 30.2 % at a constant increase rate 0.01 per "
+        "Kb/s; VM CPU 0.5 % -> 3 %; hypervisor 2.5 % -> 3.5 %.",
+    ],
+    "fig3a": [
+        "Guests saturate at ~95 % each; Dom0 and hypervisor rise then "
+        "hold ~23.4 % / ~12.0 %.",
+    ],
+    "fig3b": ["PM I/O more than twice the sum of guest I/O."],
+    "fig3c": ["Dom0 ~17.4 %, VM ~0.84 %, hypervisor ~2.7 %, all stable."],
+    "fig3d": ["PM BW overhead ~3 % of the guest sum; Dom0 BW zero."],
+    "fig3e": [
+        "Dom0 17.1 % -> 41.8 % (rate 0.01 on aggregate Kb/s); "
+        "hypervisor 2.6 % -> 4.0 % (rate ~0.0005).",
+    ],
+    "fig4a": [
+        "Guests saturate at ~47 % each; Dom0 ~23.4 %, hypervisor ~12.0 %.",
+    ],
+    "fig4b": ["PM I/O more than twice the sum of guest I/O."],
+    "fig4c": ["Dom0 ~17.4 %, hypervisor ~3.5 %, stable across intensity."],
+    "fig4d": ["PM BW overhead ~3 % of guest sum."],
+    "fig4e": [
+        "Dom0 17.3 % -> 67.1 % (slope 2x Figure 3(e): twice the aggregate "
+        "intensity); hypervisor 3.5 % -> 6.3 %.",
+    ],
+    "fig5a": [
+        "Dom0 and PM bandwidth are zero for intra-PM traffic (packets "
+        "redirected inside the PM never reach the NIC).",
+    ],
+    "fig5b": [
+        "Dom0 CPU rises at 0.002 per Kb/s -- 5x less than inter-PM.",
+    ],
+    "fig6": [
+        "Experiment setup: a client host drives the RUBiS web front-end "
+        "in VM1 on PM1; the database runs in VM2 on PM2; each PM has its "
+        "own Dom0 and hypervisor.",
+    ],
+    "fig7a": ["90 % of PM1 CPU prediction errors < 3 %; errors shrink as clients grow."],
+    "fig7b": ["90 % of PM2 CPU prediction errors < 4 % (DB tier has lower BW, so relatively higher errors)."],
+    "fig7c": ["90 % of PM1 BW errors < 4 %; ~80 % < 1 %."],
+    "fig7d": ["90 % of PM2 BW errors < 4 %; ~80 % < 1 %."],
+    "fig8a": ["90 % of PM1 CPU errors < 2 %."],
+    "fig8b": ["90 % of PM2 CPU errors < 5 %."],
+    "fig8c": ["90 % of PM1 BW errors < 3.5 %."],
+    "fig8d": ["90 % of PM2 BW errors < 3.5 %."],
+    "fig9a": ["90 % of PM1 CPU errors < 2 %."],
+    "fig9b": ["Most PM2 CPU errors ~4.5 %."],
+    "fig9c": ["80 % of PM1 BW errors < 1 %."],
+    "fig9d": ["80 % of PM2 BW errors < 1 %."],
+    "fig10a": [
+        "VOA throughput stable (~85 req/s) and above VOU in every "
+        "scenario; VOU degrades as more co-located VMs run lookbusy.",
+    ],
+    "fig10b": [
+        "VOU total processing time exceeds VOA's, increasingly so with "
+        "scenario index.",
+    ],
+    "memconst": [
+        "(Section III-C, unplotted) Memory workloads leave Dom0 CPU at "
+        "16.8 %, hypervisor at 3.0 %, PM I/O at 18.8 blocks/s and PM BW "
+        "at 254 bytes/s -- hence no memory figures in the paper.",
+    ],
+    "toolover": [
+        "(Section III-A, motivation) Running every tool everywhere "
+        "perturbs the measured system; the unified script minimizes the "
+        "probe footprint.",
+    ],
+    "pmconsist": [
+        "(Section III-C) 'We carried out the same experiment in "
+        "different PMs and the results are the same' -- the paper "
+        "reports one PM.",
+    ],
+    "purity": [
+        "(Section III-B) httperf/Iperf-style benchmarks 'cannot provide "
+        "a workload that has high utilization on a sole resource and "
+        "low overhead on other resources'; the Table II generators can.",
+    ],
+}
+
+#: Known, documented deviations of the reproduction.
+DEVIATIONS: Dict[str, str] = {
+    "fig2a": (
+        "Terminal Dom0 increase rate measures ~0.25 vs the paper's "
+        "reading of 0.31; the 16.8 -> 29.5 endpoints pin the quadratic."
+    ),
+    "fig7a": (
+        "Our substrate's Dom0 response is convex while Eq. (1) is "
+        "linear, so single-VM CPU errors peak at ~7 % at 300 clients "
+        "(paper: 3 %), converging toward the paper's band at 700 "
+        "clients. The decreasing-with-clients shape is asserted."
+    ),
+    "fig7b": "Same linear-vs-convex bias as fig7a (~8 % worst-case p90).",
+}
+
+
+def _artifact_section(result: ExperimentResult) -> str:
+    lines = [f"### {result.experiment_id}: {result.title}", ""]
+    claims = PAPER_CLAIMS.get(result.experiment_id)
+    if claims:
+        lines.append("**Paper reports:**")
+        lines.extend(f"- {c}" for c in claims)
+        lines.append("")
+    lines.append("**Measured (this reproduction):**")
+    for check in result.checks:
+        mark = "x" if check.passed else " "
+        detail = f" -- {check.detail}" if check.detail else ""
+        lines.append(f"- [{mark}] {check.name}{detail}")
+    deviation = DEVIATIONS.get(result.experiment_id)
+    if deviation:
+        lines.append("")
+        lines.append(f"**Deviation:** {deviation}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_experiments_md(
+    results: Sequence[ExperimentResult], *, fast: bool = False
+) -> str:
+    """Render the full EXPERIMENTS.md body from live results."""
+    if not results:
+        raise ValueError("no experiment results to report")
+    n_pass = sum(1 for r in results if r.passed)
+    header = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Reproduction of every table and figure in *Profiling and "
+        "Understanding Virtualization Overhead in Cloud* (ICPP 2015).",
+        "",
+        "Generated by `repro report`"
+        + (" (fast mode — reduced durations/trials)." if fast else
+           " at paper scale (120 s sweeps, 10-minute RUBiS runs, 10 "
+           "placement trials)."),
+        "",
+        f"**Shape checks: {n_pass}/{len(results)} artifacts pass.**",
+        "",
+        "Absolute numbers come from our simulated substrate (see "
+        "DESIGN.md section 2 for the substitutions), so the comparison "
+        "below is about *shape*: baselines, plateaus, slopes, ratios, "
+        "who wins and by how much.",
+        "",
+    ]
+    body = [_artifact_section(r) for r in results]
+    return "\n".join(header) + "\n" + "\n".join(body)

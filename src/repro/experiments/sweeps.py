@@ -1,0 +1,111 @@
+"""Shared micro-benchmark sweep machinery for Figures 2-5.
+
+One *sweep* runs a Table II benchmark at every intensity level on
+``n_vms`` co-located guests and records the mean utilization of each
+entity/resource per level -- exactly the points the paper's Figures 2-4
+plot.  Figure 5 (intra-PM traffic) gets its own driver because the
+workload targets a co-located VM instead of an external host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.monitor.script import MeasurementScript
+from repro.sim.engine import Simulator
+from repro.workloads.netload import intra_pm_ping
+from repro.workloads.suite import BW, intensity_levels, make_benchmark
+from repro.xen.calibration import XenCalibration
+from repro.xen.machine import PhysicalMachine
+from repro.xen.specs import VMSpec
+
+#: Duration of each measurement in the paper (2 minutes at 1 Hz).
+PAPER_DURATION_S = 120.0
+#: Fast-mode duration used by the test suite.
+FAST_DURATION_S = 12.0
+#: Warm-up simulated before sampling starts.
+WARMUP_S = 3.0
+
+
+@dataclass
+class SweepResult:
+    """Per-level mean utilizations of one benchmark sweep."""
+
+    kind: str
+    n_vms: int
+    levels: List[float]
+    #: (entity, resource) -> one mean per level.  Entities: ``vm0`` (the
+    #: representative guest -- the paper notes all guests measure the
+    #: same), ``dom0``, ``hyp``, ``pm``.
+    means: Dict[Tuple[str, str], List[float]]
+
+    def series(self, entity: str, resource: str) -> List[float]:
+        """The curve for one entity/resource over the sweep levels."""
+        try:
+            return self.means[(entity, resource)]
+        except KeyError:
+            raise KeyError(
+                f"no ({entity}, {resource}) series in sweep {self.kind}"
+            ) from None
+
+
+def microbench_sweep(
+    kind: str,
+    n_vms: int,
+    *,
+    duration: float = PAPER_DURATION_S,
+    seed: int = 42,
+    calibration: Optional[XenCalibration] = None,
+    levels: Optional[List[float]] = None,
+) -> SweepResult:
+    """Sweep one Table II benchmark over its intensity grid."""
+    levels = list(levels) if levels is not None else list(intensity_levels(kind))
+    means: Dict[Tuple[str, str], List[float]] = {}
+    for idx, level in enumerate(levels):
+        sim = Simulator(seed=seed + idx)
+        pm = PhysicalMachine(sim, name="pm1", calibration=calibration)
+        vms = [pm.create_vm(VMSpec(name=f"vm{k}")) for k in range(n_vms)]
+        for vm in vms:
+            make_benchmark(kind, level).attach(vm)
+        pm.start()
+        sim.run_until(WARMUP_S)
+        report = MeasurementScript(pm).run(duration=duration)
+        for entity in ("vm0", "dom0", "pm"):
+            for resource in ("cpu", "mem", "io", "bw"):
+                means.setdefault((entity, resource), []).append(
+                    report.mean(entity, resource)
+                )
+        means.setdefault(("hyp", "cpu"), []).append(report.mean("hyp", "cpu"))
+    return SweepResult(kind=kind, n_vms=n_vms, levels=levels, means=means)
+
+
+def intra_pm_sweep(
+    *,
+    duration: float = PAPER_DURATION_S,
+    seed: int = 42,
+    calibration: Optional[XenCalibration] = None,
+    levels: Optional[List[float]] = None,
+) -> SweepResult:
+    """Figure 5's sweep: VM1 pings VM2 on the same PM with 64 Kb packets.
+
+    Levels are the Table II BW grid in Mb/s; VM1 is the measured guest.
+    """
+    levels = list(levels) if levels is not None else list(intensity_levels(BW))
+    means: Dict[Tuple[str, str], List[float]] = {}
+    for idx, level in enumerate(levels):
+        sim = Simulator(seed=seed + idx)
+        pm = PhysicalMachine(sim, name="pm1", calibration=calibration)
+        vm1 = pm.create_vm(VMSpec(name="vm0"))
+        pm.create_vm(VMSpec(name="vm1"))
+        intra_pm_ping(level * 1000.0, "vm1").attach(vm1)
+        pm.start()
+        sim.run_until(WARMUP_S)
+        report = MeasurementScript(pm).run(duration=duration)
+        for entity in ("vm0", "dom0", "pm"):
+            for resource in ("cpu", "mem", "io", "bw"):
+                means.setdefault((entity, resource), []).append(
+                    report.mean(entity, resource)
+                )
+        means.setdefault(("hyp", "cpu"), []).append(report.mean("hyp", "cpu"))
+    return SweepResult(kind="bw-intra", n_vms=2, levels=levels, means=means)

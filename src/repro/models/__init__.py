@@ -1,0 +1,118 @@
+"""Virtualization-overhead estimation models (paper Section V).
+
+Public entry points:
+
+* :func:`~repro.models.training.train_single_vm_model` /
+  :class:`~repro.models.single_vm.SingleVMOverheadModel` -- Eq. (1)-(2).
+* :func:`~repro.models.training.train_multi_vm_model` /
+  :class:`~repro.models.multi_vm.MultiVMOverheadModel` -- Eq. (3).
+* :mod:`~repro.models.regression` -- OLS and Rousseeuw LMS engines.
+* :mod:`~repro.models.evaluation` -- the |p-m|/m error CDFs of Figs 7-9.
+"""
+
+from repro.models.evaluation import (
+    ErrorReport,
+    error_report,
+    relative_errors,
+    summarize,
+)
+from repro.models.multi_vm import (
+    MultiVMOverheadModel,
+    alpha_constant,
+    alpha_linear,
+    alpha_quadratic,
+)
+from repro.models.attribution import (
+    AttributionReport,
+    OverheadShare,
+    attribute_overhead,
+)
+from repro.models.describe import describe_multi_vm, describe_single_vm
+from repro.models.hetero import (
+    HeterogeneousOverheadModel,
+    TypedSample,
+    typed_samples_from_report,
+)
+from repro.models.intervals import (
+    IntervalModel,
+    PredictionInterval,
+    fit_intervals,
+    pessimistic_pm_cpu,
+)
+from repro.models.online import OnlineOverheadModel, RecursiveLeastSquares
+from repro.models.regression import LinearModel, fit, fit_lms, fit_ols
+from repro.models.residuals import BinBias, bias_by_bin, max_abs_bias, render_bias
+from repro.models.validation import (
+    FitQuality,
+    cross_validate_multi,
+    fit_quality,
+    kfold_indices,
+    render_quality_table,
+)
+from repro.models.samples import (
+    TARGETS,
+    TrainingSample,
+    design_matrix,
+    samples_from_report,
+    target_vector,
+    vm_counts,
+)
+from repro.models.single_vm import PredictedUtilization, SingleVMOverheadModel
+from repro.models.training import (
+    TrainingConfig,
+    gather_training_samples,
+    run_benchmark_measurement,
+    train_multi_vm_model,
+    train_single_vm_model,
+)
+
+__all__ = [
+    "AttributionReport",
+    "BinBias",
+    "bias_by_bin",
+    "max_abs_bias",
+    "render_bias",
+    "ErrorReport",
+    "OverheadShare",
+    "attribute_overhead",
+    "FitQuality",
+    "HeterogeneousOverheadModel",
+    "IntervalModel",
+    "PredictionInterval",
+    "fit_intervals",
+    "pessimistic_pm_cpu",
+    "TypedSample",
+    "typed_samples_from_report",
+    "cross_validate_multi",
+    "describe_multi_vm",
+    "describe_single_vm",
+    "fit_quality",
+    "kfold_indices",
+    "render_quality_table",
+    "LinearModel",
+    "MultiVMOverheadModel",
+    "OnlineOverheadModel",
+    "RecursiveLeastSquares",
+    "PredictedUtilization",
+    "SingleVMOverheadModel",
+    "TARGETS",
+    "TrainingConfig",
+    "TrainingSample",
+    "alpha_constant",
+    "alpha_linear",
+    "alpha_quadratic",
+    "design_matrix",
+    "error_report",
+    "fit",
+    "fit_lms",
+    "fit_ols",
+    "gather_training_samples",
+    "relative_errors",
+    "run_benchmark_measurement",
+    "samples_from_report",
+    "summarize",
+    "target_vector",
+    "train_multi_vm_model",
+    "train_single_vm_model",
+    "vm_counts",
+]

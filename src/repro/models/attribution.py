@@ -1,0 +1,147 @@
+"""Attributing platform overhead back to the guests that cause it.
+
+Dom0 and hypervisor CPU is real cost, but it appears on no guest's
+meter -- the billing problem the paper's introduction raises.  With a
+fitted overhead model the attribution is principled: Eq. (1) is linear,
+so each guest's *marginal* contribution to Dom0/hypervisor CPU is the
+model evaluated on that guest's utilization alone (coefficients times
+its metrics), and the intercept (the platform's idle burn) is the
+provider's own cost.
+
+:func:`attribute_overhead` splits a PM's measured overhead into one
+share per guest plus the residual idle/base share, normalizing so the
+shares exactly sum to the measured total (the model's small residual is
+spread proportionally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.models.multi_vm import MultiVMOverheadModel
+from repro.models.single_vm import SingleVMOverheadModel
+from repro.monitor.metrics import ResourceVector
+
+#: The overhead targets attribution covers.
+OVERHEAD_TARGETS = ("dom0.cpu", "hyp.cpu")
+
+
+@dataclass(frozen=True)
+class OverheadShare:
+    """One guest's attributed share of platform CPU overhead."""
+
+    vm: str
+    dom0_cpu_pct: float
+    hyp_cpu_pct: float
+
+    @property
+    def total_pct(self) -> float:
+        """Combined Dom0 + hypervisor share."""
+        return self.dom0_cpu_pct + self.hyp_cpu_pct
+
+
+@dataclass(frozen=True)
+class AttributionReport:
+    """Full apportionment of one PM's measured overhead."""
+
+    shares: Dict[str, OverheadShare]
+    #: The provider-side base burn (model intercepts), not billed to
+    #: any guest.
+    base_dom0_cpu_pct: float
+    base_hyp_cpu_pct: float
+    #: What was actually measured (shares + base sum to these exactly).
+    measured_dom0_cpu_pct: float
+    measured_hyp_cpu_pct: float
+
+    def share(self, vm: str) -> OverheadShare:
+        """One guest's share."""
+        try:
+            return self.shares[vm]
+        except KeyError:
+            raise KeyError(
+                f"no share for {vm!r}; have {sorted(self.shares)}"
+            ) from None
+
+    def billed_fraction(self, vm: str) -> float:
+        """Guest's fraction of the billable (above-base) overhead."""
+        billable = (
+            self.measured_dom0_cpu_pct
+            - self.base_dom0_cpu_pct
+            + self.measured_hyp_cpu_pct
+            - self.base_hyp_cpu_pct
+        )
+        if billable <= 0:
+            return 0.0
+        return self.share(vm).total_pct / billable
+
+
+def _marginal(model, target: str, util: ResourceVector) -> float:
+    """Coefficient-weighted contribution of one guest (no intercept)."""
+    if isinstance(model, SingleVMOverheadModel):
+        coefs = model.coefficients(target).coef
+    else:
+        coefs = model.base_coefficients(target)[1:]
+    return float(max(0.0, coefs @ util.as_array()))
+
+
+def _intercept(model, target: str) -> float:
+    if isinstance(model, SingleVMOverheadModel):
+        return model.coefficients(target).intercept
+    return float(model.base_coefficients(target)[0])
+
+
+def attribute_overhead(
+    model: SingleVMOverheadModel | MultiVMOverheadModel,
+    vm_utils: Mapping[str, ResourceVector],
+    *,
+    measured_dom0_cpu_pct: float,
+    measured_hyp_cpu_pct: float,
+) -> AttributionReport:
+    """Split measured Dom0/hypervisor CPU across the hosted guests.
+
+    Each guest's raw share is its linear marginal contribution under the
+    model; raw shares are then rescaled so that base + shares reproduce
+    the measured totals exactly (consistent billing: nothing invented,
+    nothing dropped).
+    """
+    if not vm_utils:
+        raise ValueError("need at least one guest")
+    if measured_dom0_cpu_pct < 0 or measured_hyp_cpu_pct < 0:
+        raise ValueError("measured overhead must be >= 0")
+
+    base = {t: _intercept(model, t) for t in OVERHEAD_TARGETS}
+    raw: Dict[str, Dict[str, float]] = {
+        name: {t: _marginal(model, t, util) for t in OVERHEAD_TARGETS}
+        for name, util in vm_utils.items()
+    }
+    measured = {
+        "dom0.cpu": measured_dom0_cpu_pct,
+        "hyp.cpu": measured_hyp_cpu_pct,
+    }
+    scaled: Dict[str, Dict[str, float]] = {name: {} for name in raw}
+    for t in OVERHEAD_TARGETS:
+        billable = max(0.0, measured[t] - base[t])
+        total_raw = sum(r[t] for r in raw.values())
+        for name, r in raw.items():
+            if total_raw > 0:
+                scaled[name][t] = billable * r[t] / total_raw
+            else:
+                # No modelled driver: split evenly (e.g. all guests idle
+                # but jitter pushed the measurement above base).
+                scaled[name][t] = billable / len(raw)
+    shares = {
+        name: OverheadShare(
+            vm=name,
+            dom0_cpu_pct=vals["dom0.cpu"],
+            hyp_cpu_pct=vals["hyp.cpu"],
+        )
+        for name, vals in scaled.items()
+    }
+    return AttributionReport(
+        shares=shares,
+        base_dom0_cpu_pct=min(base["dom0.cpu"], measured_dom0_cpu_pct),
+        base_hyp_cpu_pct=min(base["hyp.cpu"], measured_hyp_cpu_pct),
+        measured_dom0_cpu_pct=measured_dom0_cpu_pct,
+        measured_hyp_cpu_pct=measured_hyp_cpu_pct,
+    )

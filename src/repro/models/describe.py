@@ -1,0 +1,64 @@
+"""Human-readable descriptions of fitted overhead models.
+
+Renders the paper's coefficient sets -- Eq. (2)'s matrix ``a`` and
+Eq. (3)'s ``a``/``o`` pairs -- as fixed-width tables, with the feature
+labels the paper uses (:math:`a_o, a_c, a_m, a_i, a_n`).  Used by
+``repro validate`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.multi_vm import MultiVMOverheadModel
+from repro.models.samples import TARGETS
+from repro.models.single_vm import SingleVMOverheadModel
+
+#: Column labels in the paper's notation.
+COEF_LABELS = ("a_o", "a_c", "a_m", "a_i", "a_n")
+
+
+def _table(title: str, rows: List[List[str]], header: List[str]) -> str:
+    widths = [
+        max(len(header[i]), max(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def describe_single_vm(model: SingleVMOverheadModel) -> str:
+    """Eq. (2)'s coefficient matrix as a table."""
+    header = ["target"] + list(COEF_LABELS)
+    matrix = model.coefficient_matrix()
+    rows = [
+        [target] + [f"{v:.5g}" for v in matrix[i]]
+        for i, target in enumerate(TARGETS)
+    ]
+    return _table("Single-VM model (Eq. 2): M_hat = a M", rows, header)
+
+
+def describe_multi_vm(model: MultiVMOverheadModel) -> str:
+    """Eq. (3)'s base and colocation coefficient sets as tables."""
+    header = ["target"] + list(COEF_LABELS)
+    base_rows = [
+        [t] + [f"{v:.5g}" for v in model.base_coefficients(t)]
+        for t in TARGETS
+    ]
+    o_header = ["target", "o_const", "o_c", "o_m", "o_i", "o_n"]
+    o_rows = [
+        [t] + [f"{v:.5g}" for v in model.colocation_coefficients(t)]
+        for t in TARGETS
+    ]
+    return (
+        _table(
+            "Multi-VM model (Eq. 3): M_hat = a(sum M) + alpha(N) o(sum M)",
+            base_rows,
+            header,
+        )
+        + "\n\n"
+        + _table("Colocation coefficients o:", o_rows, o_header)
+    )

@@ -1,0 +1,92 @@
+"""Prediction-accuracy evaluation (paper Section VI-A).
+
+The paper scores its model with the relative prediction error
+``|p - m| / m`` per 1 Hz observation and reports its empirical CDF
+(Figures 7-9).  :class:`ErrorReport` packages one such error
+distribution with the percentile helpers the figure criteria use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def relative_errors(predicted, measured) -> np.ndarray:
+    """``|p - m| / m`` elementwise, as *percent*.
+
+    Raises on non-positive measurements -- a zero denominator means the
+    metric was not exercised and the comparison is meaningless.
+    """
+    p = np.asarray(predicted, dtype=float)
+    m = np.asarray(measured, dtype=float)
+    if p.shape != m.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {m.shape}")
+    if p.size == 0:
+        raise ValueError("no observations")
+    if np.any(m <= 0):
+        raise ValueError("measured values must be positive for relative error")
+    return 100.0 * np.abs(p - m) / m
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """An empirical prediction-error distribution (percent units)."""
+
+    errors: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.sort(np.asarray(self.errors, dtype=float))
+        if arr.size == 0:
+            raise ValueError("empty error set")
+        if np.any(arr < 0):
+            raise ValueError("errors must be >= 0")
+        object.__setattr__(self, "errors", arr)
+
+    def __len__(self) -> int:
+        return len(self.errors)
+
+    def percentile(self, q: float) -> float:
+        """Error value at the ``q``-th percentile (0-100)."""
+        return float(np.percentile(self.errors, q))
+
+    @property
+    def p90(self) -> float:
+        """The paper's headline statistic: the 90th-percentile error."""
+        return self.percentile(90.0)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Share of observations with error <= ``threshold`` percent."""
+        return float(np.mean(self.errors <= threshold))
+
+    def cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(error values, cumulative fraction in percent)`` -- the
+        exact series plotted in Figures 7-9."""
+        n = len(self.errors)
+        frac = 100.0 * np.arange(1, n + 1) / n
+        return self.errors.copy(), frac
+
+    def mean(self) -> float:
+        """Mean relative error."""
+        return float(np.mean(self.errors))
+
+
+def error_report(predicted, measured) -> ErrorReport:
+    """Build an :class:`ErrorReport` from prediction/measurement arrays."""
+    return ErrorReport(relative_errors(predicted, measured))
+
+
+def summarize(reports: Dict[str, ErrorReport]) -> Dict[str, Dict[str, float]]:
+    """Tabulate p50/p80/p90/max per labeled report (for EXPERIMENTS.md)."""
+    return {
+        label: {
+            "p50": r.percentile(50),
+            "p80": r.percentile(80),
+            "p90": r.p90,
+            "max": float(r.errors[-1]),
+            "n": float(len(r)),
+        }
+        for label, r in reports.items()
+    }

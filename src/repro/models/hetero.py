@@ -1,0 +1,258 @@
+"""Heterogeneous-VM overhead model (the paper's future work).
+
+The paper's conclusion names its open problem: "improving the model for
+estimating the resource utilization overhead for different types of VMs
+with diverse configurations, when they are co-located in a PM".
+Eq. (3) sums *all* guests into one vector, so two VM types with
+different per-unit overhead (e.g. a network appliance whose Kb/s cost
+Dom0 more than a batch worker's) are indistinguishable.
+
+:class:`HeterogeneousOverheadModel` generalizes Eq. (3) with one
+coefficient block per declared VM type::
+
+    M_hat = sum_t  a_t (sum_{k in type t} M_k)  +  alpha(N) * o (sum_k M_k)
+
+It degenerates to the paper's model when only one type is declared, and
+the tests show it recovering per-type structure that the pooled model
+averages away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.multi_vm import alpha_linear
+from repro.models.regression import LinearModel, fit
+from repro.models.samples import TARGETS
+from repro.models.single_vm import PredictedUtilization
+from repro.monitor.metrics import ResourceVector
+
+
+@dataclass(frozen=True)
+class TypedSample:
+    """One observation of a PM hosting typed guests.
+
+    ``by_type`` maps each declared type to the elementwise sum of the
+    utilization vectors of its guests (absent types mean zero), and
+    ``counts`` to the number of guests of that type.
+    """
+
+    by_type: Dict[str, ResourceVector]
+    counts: Dict[str, int]
+    targets: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        missing = set(TARGETS) - set(self.targets)
+        if missing:
+            raise ValueError(f"sample missing targets {sorted(missing)}")
+        bad = set(self.by_type) - set(self.counts)
+        if bad:
+            raise ValueError(f"types without counts: {sorted(bad)}")
+        if any(c < 0 for c in self.counts.values()):
+            raise ValueError("counts must be >= 0")
+
+    @property
+    def n_vms(self) -> int:
+        """Total guests in the observation."""
+        return sum(self.counts.values())
+
+    def total(self) -> ResourceVector:
+        """Sum over all types."""
+        out = ResourceVector()
+        for vec in self.by_type.values():
+            out = out + vec
+        return out
+
+
+class HeterogeneousOverheadModel:
+    """Eq. (3) with per-VM-type base coefficient blocks."""
+
+    def __init__(
+        self,
+        vm_types: Sequence[str],
+        models: Dict[str, LinearModel],
+        *,
+        alpha: Callable[[float], float] = alpha_linear,
+    ) -> None:
+        if not vm_types:
+            raise ValueError("need at least one VM type")
+        if len(set(vm_types)) != len(vm_types):
+            raise ValueError("duplicate VM types")
+        missing = set(TARGETS) - set(models)
+        if missing:
+            raise ValueError(f"missing per-target models: {sorted(missing)}")
+        self.vm_types = tuple(vm_types)
+        self._models = dict(models)
+        self._alpha = alpha
+
+    # -- fitting -----------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        vm_types: Sequence[str],
+        samples: Sequence[TypedSample],
+        *,
+        alpha: Callable[[float], float] = alpha_linear,
+        method: str = "ols",
+        **kwargs,
+    ) -> "HeterogeneousOverheadModel":
+        """Fit from typed observations.
+
+        Requires samples where each declared type actually appears, so
+        its coefficient block is identified.
+        """
+        if not samples:
+            raise ValueError("no training samples")
+        vm_types = tuple(vm_types)
+        for t in vm_types:
+            if not any(s.counts.get(t, 0) > 0 for s in samples):
+                raise ValueError(f"type {t!r} never appears in the samples")
+        unknown = {
+            t for s in samples for t in s.by_type if t not in vm_types
+        }
+        if unknown:
+            raise ValueError(f"samples contain undeclared types {sorted(unknown)}")
+        X = np.vstack([cls._features(vm_types, s, alpha) for s in samples])
+        models = {
+            tgt: fit(
+                X,
+                np.array([s.targets[tgt] for s in samples]),
+                method=method,
+                **kwargs,
+            )
+            for tgt in TARGETS
+        }
+        return cls(vm_types, models, alpha=alpha)
+
+    @staticmethod
+    def _features(
+        vm_types: Tuple[str, ...],
+        sample: TypedSample,
+        alpha: Callable[[float], float],
+    ) -> np.ndarray:
+        blocks = [
+            sample.by_type.get(t, ResourceVector()).as_array()
+            for t in vm_types
+        ]
+        a = alpha(sample.n_vms)
+        total = sample.total().as_array()
+        return np.concatenate(blocks + [[a], a * total])
+
+    # -- coefficient access --------------------------------------------------
+
+    def type_coefficients(self, vm_type: str, target: str) -> np.ndarray:
+        """The ``a_t`` block ``[a_c, a_m, a_i, a_n]`` for one type."""
+        if vm_type not in self.vm_types:
+            raise ValueError(f"unknown VM type {vm_type!r}")
+        m = self._model(target)
+        i = 4 * self.vm_types.index(vm_type)
+        return m.coef[i : i + 4]
+
+    def _model(self, target: str) -> LinearModel:
+        try:
+            return self._models[target]
+        except KeyError:
+            raise ValueError(f"unknown target {target!r}") from None
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(
+        self, vms: Sequence[Tuple[str, ResourceVector]]
+    ) -> PredictedUtilization:
+        """Predict PM utilization for a typed guest list."""
+        if not vms:
+            raise ValueError("need at least one (type, utilization) pair")
+        by_type: Dict[str, ResourceVector] = {}
+        counts: Dict[str, int] = {}
+        for vm_type, vec in vms:
+            if vm_type not in self.vm_types:
+                raise ValueError(f"unknown VM type {vm_type!r}")
+            by_type[vm_type] = by_type.get(vm_type, ResourceVector()) + vec
+            counts[vm_type] = counts.get(vm_type, 0) + 1
+        sample = TypedSample(
+            by_type=by_type,
+            counts=counts,
+            targets={t: 0.0 for t in TARGETS},
+        )
+        x = self._features(self.vm_types, sample, self._alpha)
+        dom0 = float(self._models["dom0.cpu"].predict(x))
+        hyp = float(self._models["hyp.cpu"].predict(x))
+        total_cpu = sample.total().cpu
+        return PredictedUtilization(
+            dom0_cpu=dom0,
+            hyp_cpu=hyp,
+            pm_cpu=dom0 + hyp + total_cpu,
+            pm_mem=float(self._models["pm.mem"].predict(x)),
+            pm_io=float(self._models["pm.io"].predict(x)),
+            pm_bw=float(self._models["pm.bw"].predict(x)),
+        )
+
+    def predict_samples(
+        self, samples: Sequence[TypedSample]
+    ) -> Dict[str, np.ndarray]:
+        """Vectorized prediction over typed observations."""
+        if not samples:
+            raise ValueError("no samples")
+        X = np.vstack(
+            [self._features(self.vm_types, s, self._alpha) for s in samples]
+        )
+        out = {t: np.asarray(self._models[t].predict(X)) for t in TARGETS}
+        total_cpu = np.array([s.total().cpu for s in samples])
+        out["pm.cpu"] = out["dom0.cpu"] + out["hyp.cpu"] + total_cpu
+        return out
+
+
+def typed_samples_from_report(report, type_of: Dict[str, str]) -> List[TypedSample]:
+    """Explode a measurement report into per-second typed samples.
+
+    ``type_of`` maps every VM entity in the report to its declared type;
+    unmapped VMs are an error (silent drops would bias the fit).
+    """
+    import numpy as np
+
+    from repro.models.samples import samples_from_report  # noqa: F401
+
+    vm_names = [
+        e for e in report.entities() if e not in ("dom0", "hyp", "pm")
+    ]
+    if not vm_names:
+        raise ValueError("report contains no VM traces")
+    missing = set(vm_names) - set(type_of)
+    if missing:
+        raise ValueError(f"VMs without a declared type: {sorted(missing)}")
+
+    per_vm = {
+        name: {
+            res: report.series(name, res).values
+            for res in ("cpu", "mem", "io", "bw")
+        }
+        for name in vm_names
+    }
+    target_series = {t: report.traces[t].values for t in TARGETS}
+    n = len(next(iter(target_series.values())))
+    out: List[TypedSample] = []
+    for i in range(n):
+        by_type: Dict[str, ResourceVector] = {}
+        counts: Dict[str, int] = {}
+        for name in vm_names:
+            t = type_of[name]
+            vec = ResourceVector(
+                cpu=float(per_vm[name]["cpu"][i]),
+                mem=float(per_vm[name]["mem"][i]),
+                io=float(per_vm[name]["io"][i]),
+                bw=float(per_vm[name]["bw"][i]),
+            )
+            by_type[t] = by_type.get(t, ResourceVector()) + vec
+            counts[t] = counts.get(t, 0) + 1
+        out.append(
+            TypedSample(
+                by_type=by_type,
+                counts=counts,
+                targets={t: float(s[i]) for t, s in target_series.items()},
+            )
+        )
+    return out

@@ -1,0 +1,128 @@
+"""Online (streaming) refitting of the overhead model.
+
+In a production monitoring loop new per-second samples arrive forever;
+refitting Eq. (1) from scratch each second is wasteful.  This module
+provides **recursive least squares** with optional exponential
+forgetting: each ``update`` folds one observation into the estimate in
+O(p^2), and a forgetting factor < 1 lets the coefficients track drift
+(e.g. a hypervisor upgrade changing per-packet costs).
+
+``OnlineOverheadModel`` maintains one RLS estimator per overhead target
+over the 4-feature utilization vector, mirroring the batch
+:class:`~repro.models.single_vm.SingleVMOverheadModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.regression import LinearModel
+from repro.models.samples import TARGETS, TrainingSample
+from repro.monitor.metrics import ResourceVector
+
+
+class RecursiveLeastSquares:
+    """Exponentially-weighted RLS for ``y = theta . [1, x]``.
+
+    Parameters
+    ----------
+    n_features:
+        Dimension of ``x`` (the intercept is handled internally).
+    forgetting:
+        Exponential forgetting factor in (0, 1]; 1.0 = ordinary RLS.
+    delta:
+        Initial covariance scale (large = uninformative prior).
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        *,
+        forgetting: float = 1.0,
+        delta: float = 1e4,
+    ) -> None:
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError("forgetting must be in (0, 1]")
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.n_features = n_features
+        self.forgetting = forgetting
+        p = n_features + 1
+        self._theta = np.zeros(p)
+        self._P = delta * np.eye(p)
+        self.n_updates = 0
+
+    def update(self, x, y: float) -> None:
+        """Fold one observation into the estimate (O(p^2))."""
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape != (self.n_features,):
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape}"
+            )
+        phi = np.concatenate(([1.0], x))
+        lam = self.forgetting
+        Pphi = self._P @ phi
+        gain = Pphi / (lam + phi @ Pphi)
+        err = y - phi @ self._theta
+        self._theta = self._theta + gain * err
+        self._P = (self._P - np.outer(gain, Pphi)) / lam
+        # Symmetrize to contain numerical drift.
+        self._P = 0.5 * (self._P + self._P.T)
+        self.n_updates += 1
+
+    def predict(self, x) -> float:
+        """Evaluate the current estimate at ``x``."""
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape != (self.n_features,):
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape}"
+            )
+        return float(self._theta[0] + self._theta[1:] @ x)
+
+    def as_linear_model(self) -> LinearModel:
+        """Snapshot the current estimate as a batch-style model."""
+        return LinearModel(
+            intercept=float(self._theta[0]), coef=self._theta[1:].copy()
+        )
+
+
+class OnlineOverheadModel:
+    """Streaming Eq. (1): one RLS per overhead target."""
+
+    def __init__(
+        self, *, forgetting: float = 1.0, delta: float = 1e4
+    ) -> None:
+        self._rls: Dict[str, RecursiveLeastSquares] = {
+            t: RecursiveLeastSquares(4, forgetting=forgetting, delta=delta)
+            for t in TARGETS
+        }
+
+    @property
+    def n_updates(self) -> int:
+        """Observations folded in so far."""
+        return self._rls[TARGETS[0]].n_updates
+
+    def update(self, sample: TrainingSample) -> None:
+        """Fold one per-second observation into every target model."""
+        x = sample.vm_sum.as_array()
+        for target, rls in self._rls.items():
+            rls.update(x, sample.targets[target])
+
+    def predict(self, vm_util: ResourceVector) -> Dict[str, float]:
+        """Predict every target (plus the derived ``pm.cpu``)."""
+        if self.n_updates == 0:
+            raise RuntimeError("no observations yet")
+        x = vm_util.as_array()
+        out = {t: rls.predict(x) for t, rls in self._rls.items()}
+        out["pm.cpu"] = out["dom0.cpu"] + out["hyp.cpu"] + vm_util.cpu
+        return out
+
+    def coefficients(self, target: str) -> LinearModel:
+        """Current coefficient snapshot for one target."""
+        if target not in self._rls:
+            raise ValueError(f"unknown target {target!r}")
+        return self._rls[target].as_linear_model()

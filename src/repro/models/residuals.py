@@ -1,0 +1,115 @@
+"""Residual diagnostics for the overhead regressions.
+
+EXPERIMENTS.md documents one systematic deviation: the linear Eq. (1)
+model over/under-shoots the *convex* Dom0 response in the middle of the
+CPU range.  :func:`bias_by_bin` makes that visible without plots: it
+bins the training samples by one feature and reports the mean residual
+per bin.  A well-specified linear model shows ~zero bias everywhere; a
+convex target under a linear fit shows the tell-tale negative-positive-
+negative (or inverted) bow across bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.models.multi_vm import MultiVMOverheadModel
+from repro.models.samples import TARGETS, TrainingSample
+from repro.models.single_vm import SingleVMOverheadModel
+
+#: Feature names in the canonical order of the utilization vector.
+FEATURES = ("cpu", "mem", "io", "bw")
+
+
+@dataclass(frozen=True)
+class BinBias:
+    """Mean residual of one feature bin."""
+
+    lo: float
+    hi: float
+    n: int
+    mean_residual: float
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("n must be >= 0")
+
+
+def _predictions(model, samples: Sequence[TrainingSample], target: str):
+    if isinstance(model, SingleVMOverheadModel):
+        X = np.vstack([s.vm_sum.as_array() for s in samples])
+        return np.asarray(model.predict_many(X)[target])
+    assert isinstance(model, MultiVMOverheadModel)
+    return np.asarray(model.predict_samples(samples)[target])
+
+
+def bias_by_bin(
+    model: SingleVMOverheadModel | MultiVMOverheadModel,
+    samples: Sequence[TrainingSample],
+    *,
+    target: str = "dom0.cpu",
+    feature: str = "cpu",
+    bins: int = 5,
+) -> List[BinBias]:
+    """Mean residual (measured - predicted) per feature bin."""
+    if not samples:
+        raise ValueError("no samples")
+    if target not in TARGETS:
+        raise ValueError(f"unknown target {target!r}")
+    if feature not in FEATURES:
+        raise ValueError(f"unknown feature {feature!r}")
+    if bins < 2:
+        raise ValueError("bins must be >= 2")
+    values = np.array(
+        [s.vm_sum.get(feature) for s in samples], dtype=float
+    )
+    measured = np.array([s.targets[target] for s in samples])
+    predicted = _predictions(model, samples, target)
+    resid = measured - predicted
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        return [BinBias(lo=lo, hi=hi, n=len(samples),
+                        mean_residual=float(resid.mean()))]
+    edges = np.linspace(lo, hi, bins + 1)
+    out: List[BinBias] = []
+    for b in range(bins):
+        if b == bins - 1:
+            mask = (values >= edges[b]) & (values <= edges[b + 1])
+        else:
+            mask = (values >= edges[b]) & (values < edges[b + 1])
+        n = int(mask.sum())
+        out.append(
+            BinBias(
+                lo=float(edges[b]),
+                hi=float(edges[b + 1]),
+                n=n,
+                mean_residual=float(resid[mask].mean()) if n else 0.0,
+            )
+        )
+    return out
+
+
+def max_abs_bias(bias: Sequence[BinBias], *, min_n: int = 1) -> float:
+    """Largest |mean residual| across bins with at least ``min_n`` samples.
+
+    Thin bins carry mostly measurement noise; diagnostics usually set
+    ``min_n`` to a handful of samples.
+    """
+    if min_n < 1:
+        raise ValueError("min_n must be >= 1")
+    populated = [b for b in bias if b.n >= min_n]
+    if not populated:
+        raise ValueError("no sufficiently populated bins")
+    return max(abs(b.mean_residual) for b in populated)
+
+
+def render_bias(bias: Sequence[BinBias]) -> str:
+    """Fixed-width diagnostic table."""
+    lines = [f"{'bin':>20} {'n':>6} {'mean residual':>14}"]
+    for b in bias:
+        label = f"[{b.lo:.3g}, {b.hi:.3g}]"
+        lines.append(f"{label:>20} {b.n:>6} {b.mean_residual:>14.4f}")
+    return "\n".join(lines)

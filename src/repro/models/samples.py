@@ -1,0 +1,106 @@
+"""Training-sample containers shared by the overhead models.
+
+One :class:`TrainingSample` is one synchronized 1 Hz observation of a
+PM: how many guests it hosted, the elementwise *sum* of their
+utilization vectors (the models' input per Eq. (3)), and the measured
+overhead targets.
+
+Target vocabulary
+-----------------
+``dom0.cpu`` and ``hyp.cpu`` are modeled directly; the PM CPU
+prediction is then assembled as Dom0 + hypervisor + guest CPU exactly
+as the paper does ("we predicted the PM CPU utilization based on the
+predicted Dom0 and hypervisor utilizations").  ``pm.mem`` / ``pm.io`` /
+``pm.bw`` are modeled directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.monitor.metrics import ResourceVector
+from repro.monitor.script import MeasurementReport
+
+#: Overhead targets every model fits, in canonical order.
+TARGETS: tuple[str, ...] = ("dom0.cpu", "hyp.cpu", "pm.mem", "pm.io", "pm.bw")
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One (input, targets) observation."""
+
+    n_vms: int
+    vm_sum: ResourceVector
+    targets: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.n_vms <= 0:
+            raise ValueError("n_vms must be positive")
+        missing = set(TARGETS) - set(self.targets)
+        if missing:
+            raise ValueError(f"sample missing targets {sorted(missing)}")
+
+
+def samples_from_report(
+    report: MeasurementReport, *, n_vms: int | None = None
+) -> List[TrainingSample]:
+    """Explode a measurement report into per-second training samples.
+
+    VM names are discovered from the report (everything that is not
+    ``dom0`` / ``hyp`` / ``pm``); ``n_vms`` overrides the count when a
+    report intentionally exposes only a subset of guests.
+    """
+    vm_names = [
+        e for e in report.entities() if e not in ("dom0", "hyp", "pm")
+    ]
+    if not vm_names:
+        raise ValueError("report contains no VM traces")
+    count = n_vms if n_vms is not None else len(vm_names)
+
+    cpu = np.sum(
+        [report.series(v, "cpu").values for v in vm_names], axis=0
+    )
+    mem = np.sum(
+        [report.series(v, "mem").values for v in vm_names], axis=0
+    )
+    io = np.sum([report.series(v, "io").values for v in vm_names], axis=0)
+    bw = np.sum([report.series(v, "bw").values for v in vm_names], axis=0)
+    target_series = {t: report.traces[t].values for t in TARGETS}
+
+    out: List[TrainingSample] = []
+    for i in range(len(cpu)):
+        out.append(
+            TrainingSample(
+                n_vms=count,
+                vm_sum=ResourceVector(
+                    cpu=float(cpu[i]),
+                    mem=float(mem[i]),
+                    io=float(io[i]),
+                    bw=float(bw[i]),
+                ),
+                targets={t: float(s[i]) for t, s in target_series.items()},
+            )
+        )
+    return out
+
+
+def design_matrix(samples: Sequence[TrainingSample]) -> np.ndarray:
+    """Stack the summed VM utilization vectors into an (n, 4) matrix."""
+    if not samples:
+        raise ValueError("no samples")
+    return np.vstack([s.vm_sum.as_array() for s in samples])
+
+
+def target_vector(samples: Sequence[TrainingSample], target: str) -> np.ndarray:
+    """Extract one target column."""
+    if target not in TARGETS:
+        raise ValueError(f"unknown target {target!r}; expected one of {TARGETS}")
+    return np.array([s.targets[target] for s in samples], dtype=float)
+
+
+def vm_counts(samples: Iterable[TrainingSample]) -> np.ndarray:
+    """The ``N`` column (guests per sample)."""
+    return np.array([s.n_vms for s in samples], dtype=float)

@@ -1,0 +1,132 @@
+"""The single-VM virtualization-overhead model (paper Eq. (1)-(2)).
+
+Each overhead target is a linear combination of the guest's utilization
+vector::
+
+    M_hat = a_o + a_c*M_c + a_m*M_m + a_i*M_i + a_n*M_n      (Eq. 1)
+
+fitted per target by regression over the micro-benchmark measurements;
+stacking the per-target coefficient rows gives the paper's coefficient
+matrix ``a`` with ``M_hat = a M`` (Eq. 2).  PM CPU is assembled from the
+predicted Dom0 and hypervisor utilizations plus the observed guest CPU,
+exactly as the paper evaluates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.models.regression import LinearModel, fit
+from repro.models.samples import (
+    TARGETS,
+    TrainingSample,
+    design_matrix,
+    target_vector,
+)
+from repro.monitor.metrics import RESOURCES, ResourceVector
+
+
+@dataclass(frozen=True)
+class PredictedUtilization:
+    """Model output for one observation."""
+
+    dom0_cpu: float
+    hyp_cpu: float
+    pm_cpu: float
+    pm_mem: float
+    pm_io: float
+    pm_bw: float
+
+    def get(self, target: str) -> float:
+        """Access a component by trace-style name (e.g. ``"pm.bw"``)."""
+        key = target.replace(".", "_")
+        if not hasattr(self, key):
+            raise ValueError(f"unknown target {target!r}")
+        return getattr(self, key)
+
+
+class SingleVMOverheadModel:
+    """Eq. (1)-(2): per-target affine maps over the VM utilization vector."""
+
+    def __init__(self, models: Dict[str, LinearModel]) -> None:
+        missing = set(TARGETS) - set(models)
+        if missing:
+            raise ValueError(f"missing per-target models: {sorted(missing)}")
+        self._models = dict(models)
+
+    @classmethod
+    def fit(
+        cls,
+        samples: Sequence[TrainingSample],
+        *,
+        method: str = "ols",
+        **kwargs,
+    ) -> "SingleVMOverheadModel":
+        """Fit from single-VM training samples.
+
+        Raises
+        ------
+        ValueError
+            If any sample has ``n_vms != 1`` -- colocated data belongs to
+            :class:`~repro.models.multi_vm.MultiVMOverheadModel`.
+        """
+        if not samples:
+            raise ValueError("no training samples")
+        bad = [s.n_vms for s in samples if s.n_vms != 1]
+        if bad:
+            raise ValueError(
+                f"single-VM model got samples with n_vms={set(bad)}"
+            )
+        X = design_matrix(samples)
+        models = {
+            t: fit(X, target_vector(samples, t), method=method, **kwargs)
+            for t in TARGETS
+        }
+        return cls(models)
+
+    def coefficients(self, target: str) -> LinearModel:
+        """The fitted :class:`LinearModel` for one target."""
+        try:
+            return self._models[target]
+        except KeyError:
+            raise ValueError(f"unknown target {target!r}") from None
+
+    def coefficient_matrix(self) -> np.ndarray:
+        """The paper's ``a``: one row per target, columns
+        ``[a_o, a_c, a_m, a_i, a_n]`` in :data:`TARGETS` order."""
+        return np.vstack(
+            [
+                np.concatenate(
+                    ([self._models[t].intercept], self._models[t].coef)
+                )
+                for t in TARGETS
+            ]
+        )
+
+    def predict(self, vm_util: ResourceVector) -> PredictedUtilization:
+        """Predict PM/Dom0/hypervisor utilization for one guest."""
+        x = vm_util.as_array()
+        dom0 = float(self._models["dom0.cpu"].predict(x))
+        hyp = float(self._models["hyp.cpu"].predict(x))
+        return PredictedUtilization(
+            dom0_cpu=dom0,
+            hyp_cpu=hyp,
+            # PM CPU via the paper's indirect sum: predicted Dom0 +
+            # predicted hypervisor + observed guest CPU.
+            pm_cpu=dom0 + hyp + vm_util.cpu,
+            pm_mem=float(self._models["pm.mem"].predict(x)),
+            pm_io=float(self._models["pm.io"].predict(x)),
+            pm_bw=float(self._models["pm.bw"].predict(x)),
+        )
+
+    def predict_many(self, X: np.ndarray) -> Dict[str, np.ndarray]:
+        """Vectorized prediction over an (n, 4) utilization matrix."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != len(RESOURCES):
+            raise ValueError("X must be (n_samples, 4)")
+        out = {t: np.asarray(self._models[t].predict(X)) for t in TARGETS}
+        out["pm.cpu"] = out["dom0.cpu"] + out["hyp.cpu"] + X[:, 0]
+        return out

@@ -1,0 +1,138 @@
+"""Training pipeline: micro benchmarks -> measurements -> fitted models.
+
+Mirrors the paper's Section V procedure: run the Table II benchmark grid
+on 1 / 2 / 4 co-located VMs, record the synchronized per-second
+measurements, and regress the overhead targets on the summed guest
+utilization vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.models.multi_vm import MultiVMOverheadModel, alpha_linear
+from repro.models.samples import TrainingSample, samples_from_report
+from repro.models.single_vm import SingleVMOverheadModel
+from repro.monitor.script import MeasurementScript
+from repro.sim.engine import Simulator
+from repro.workloads.suite import KINDS, intensity_levels, make_benchmark
+from repro.xen.calibration import XenCalibration
+from repro.xen.machine import PhysicalMachine
+from repro.xen.specs import VMSpec
+
+
+@dataclass
+class TrainingConfig:
+    """Knobs of the data-gathering sweep.
+
+    The defaults mirror the paper: all four benchmark kinds, all five
+    Table II levels, 1/2/4 co-located VMs, 120 s of 1 Hz samples per
+    configuration.  Tests shrink ``duration`` for speed.
+    """
+
+    kinds: Tuple[str, ...] = KINDS
+    vm_counts: Tuple[int, ...] = (1, 2, 4)
+    duration: float = 120.0
+    seed: int = 2015
+    calibration: Optional[XenCalibration] = None
+    #: Skip this many leading seconds (scheduler fixed-point warm-up).
+    warmup: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= self.warmup:
+            raise ValueError("duration must exceed warmup")
+        if not self.kinds:
+            raise ValueError("kinds must be non-empty")
+        if any(n <= 0 for n in self.vm_counts):
+            raise ValueError("vm_counts must be positive")
+
+
+def run_benchmark_measurement(
+    kind: str,
+    intensity: float,
+    n_vms: int,
+    *,
+    duration: float = 120.0,
+    seed: int = 2015,
+    warmup: float = 3.0,
+    calibration: Optional[XenCalibration] = None,
+    noiseless: bool = False,
+):
+    """One measurement run: ``n_vms`` guests all running one benchmark.
+
+    Returns the :class:`~repro.monitor.script.MeasurementReport`; the
+    warm-up seconds are simulated before sampling starts so the
+    scheduler fixed point has settled (as the paper's steady-state
+    measurements had).
+    """
+    sim = Simulator(seed=seed)
+    pm = PhysicalMachine(sim, name="pm1", calibration=calibration)
+    vms = [pm.create_vm(VMSpec(name=f"vm{k}")) for k in range(n_vms)]
+    for vm in vms:
+        make_benchmark(kind, intensity).attach(vm)
+    pm.start()
+    sim.run_until(warmup)
+    return MeasurementScript(pm, noiseless=noiseless).run(duration=duration)
+
+
+def gather_training_samples(
+    config: Optional[TrainingConfig] = None,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[TrainingSample]:
+    """Run the full Table II x VM-count sweep and pool the samples."""
+    cfg = config or TrainingConfig()
+    samples: List[TrainingSample] = []
+    run_id = 0
+    for n_vms in cfg.vm_counts:
+        for kind in cfg.kinds:
+            for level in intensity_levels(kind):
+                run_id += 1
+                if progress is not None:
+                    progress(f"run {run_id}: {kind}@{level} x{n_vms}")
+                report = run_benchmark_measurement(
+                    kind,
+                    level,
+                    n_vms,
+                    duration=cfg.duration - cfg.warmup,
+                    seed=cfg.seed + run_id,
+                    warmup=cfg.warmup,
+                    calibration=cfg.calibration,
+                )
+                samples.extend(samples_from_report(report))
+    return samples
+
+
+def train_single_vm_model(
+    config: Optional[TrainingConfig] = None,
+    *,
+    method: str = "ols",
+    **fit_kwargs,
+) -> SingleVMOverheadModel:
+    """Gather single-VM data and fit Eq. (1)-(2)."""
+    cfg = config or TrainingConfig()
+    single_cfg = TrainingConfig(
+        kinds=cfg.kinds,
+        vm_counts=(1,),
+        duration=cfg.duration,
+        seed=cfg.seed,
+        calibration=cfg.calibration,
+        warmup=cfg.warmup,
+    )
+    samples = gather_training_samples(single_cfg)
+    return SingleVMOverheadModel.fit(samples, method=method, **fit_kwargs)
+
+
+def train_multi_vm_model(
+    config: Optional[TrainingConfig] = None,
+    *,
+    method: str = "ols",
+    alpha: Callable[[float], float] = alpha_linear,
+    **fit_kwargs,
+) -> MultiVMOverheadModel:
+    """Gather the 1/2/4-VM sweep and fit Eq. (3)."""
+    samples = gather_training_samples(config or TrainingConfig())
+    return MultiVMOverheadModel.fit(
+        samples, method=method, alpha=alpha, **fit_kwargs
+    )

@@ -1,0 +1,129 @@
+"""Model validation utilities: cross-validation and residual analysis.
+
+The paper evaluates its model on a held-out application (RUBiS); these
+helpers add the standard in-sample rigor an open-source release needs:
+k-fold cross-validation over the training samples, per-target residual
+summaries, and a goodness-of-fit report that EXPERIMENTS.md's model
+section draws from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.models.multi_vm import MultiVMOverheadModel, alpha_linear
+from repro.models.samples import TARGETS, TrainingSample
+from repro.models.single_vm import SingleVMOverheadModel
+
+
+@dataclass(frozen=True)
+class FitQuality:
+    """Goodness-of-fit of one target's regression."""
+
+    target: str
+    r_squared: float
+    rmse: float
+    max_abs_residual: float
+
+    def __post_init__(self) -> None:
+        if self.rmse < 0 or self.max_abs_residual < 0:
+            raise ValueError("error statistics must be >= 0")
+
+
+def _quality(target: str, actual: np.ndarray, predicted: np.ndarray) -> FitQuality:
+    resid = actual - predicted
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((actual - actual.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FitQuality(
+        target=target,
+        r_squared=r2,
+        rmse=float(np.sqrt(np.mean(resid**2))),
+        max_abs_residual=float(np.max(np.abs(resid))),
+    )
+
+
+def fit_quality(
+    model: SingleVMOverheadModel | MultiVMOverheadModel,
+    samples: Sequence[TrainingSample],
+) -> Dict[str, FitQuality]:
+    """In-sample fit quality per target."""
+    if not samples:
+        raise ValueError("no samples")
+    if isinstance(model, SingleVMOverheadModel):
+        X = np.vstack([s.vm_sum.as_array() for s in samples])
+        pred = model.predict_many(X)
+    else:
+        pred = model.predict_samples(samples)
+    out = {}
+    for target in TARGETS:
+        actual = np.array([s.targets[target] for s in samples])
+        out[target] = _quality(target, actual, np.asarray(pred[target]))
+    return out
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Shuffled k-fold index partition of ``range(n)``."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} samples")
+    perm = rng.permutation(n)
+    return [fold for fold in np.array_split(perm, k)]
+
+
+def cross_validate_multi(
+    samples: Sequence[TrainingSample],
+    *,
+    k: int = 5,
+    seed: int = 0,
+    alpha: Callable[[float], float] = alpha_linear,
+    method: str = "ols",
+) -> Dict[str, float]:
+    """K-fold cross-validated RMSE per target for the Eq. (3) model.
+
+    Folds are drawn sample-wise (the paper's per-second observations are
+    plentiful); each fold's model is trained on the remaining folds.
+    Folds that lose all but one VM count are skipped -- the multi-VM
+    model is unidentifiable there.
+    """
+    samples = list(samples)
+    rng = np.random.default_rng(seed)
+    folds = kfold_indices(len(samples), k, rng)
+    sq_errors: Dict[str, List[float]] = {t: [] for t in TARGETS}
+    for fold in folds:
+        test_idx = set(int(i) for i in fold)
+        train = [s for i, s in enumerate(samples) if i not in test_idx]
+        test = [samples[i] for i in sorted(test_idx)]
+        if len({s.n_vms for s in train}) < 2 or not test:
+            continue
+        model = MultiVMOverheadModel.fit(train, alpha=alpha, method=method)
+        pred = model.predict_samples(test)
+        for target in TARGETS:
+            actual = np.array([s.targets[target] for s in test])
+            sq_errors[target].extend(
+                ((np.asarray(pred[target]) - actual) ** 2).tolist()
+            )
+    out = {}
+    for target, errs in sq_errors.items():
+        if not errs:
+            raise RuntimeError("every fold was degenerate; lower k")
+        out[target] = float(np.sqrt(np.mean(errs)))
+    return out
+
+
+def render_quality_table(quality: Dict[str, FitQuality]) -> str:
+    """Fixed-width text table of fit quality (for reports)."""
+    lines = [f"{'target':<10} {'R^2':>8} {'RMSE':>10} {'max |resid|':>12}"]
+    for target in TARGETS:
+        q = quality[target]
+        lines.append(
+            f"{target:<10} {q.r_squared:>8.4f} {q.rmse:>10.4f} "
+            f"{q.max_abs_residual:>12.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Cluster-wide synchronized monitoring.
+
+The Section VI experiments monitor several PMs at once; this
+coordinator owns one
+:class:`~repro.monitor.script.MeasurementScript` per machine, starts and
+stops them on the shared clock, and returns the reports keyed by PM
+name -- the multi-PM analogue of the paper's per-host script.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.monitor.script import MeasurementReport, MeasurementScript
+
+
+class ClusterMonitor:
+    """One synchronized measurement script per PM of a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        interval: float = 1.0,
+        noiseless: bool = False,
+        tool_failure_prob: float = 0.0,
+    ) -> None:
+        if not cluster.pms:
+            raise ValueError("cluster has no PMs to monitor")
+        self.cluster = cluster
+        self._scripts: Dict[str, MeasurementScript] = {
+            name: MeasurementScript(
+                pm,
+                interval=interval,
+                noiseless=noiseless,
+                tool_failure_prob=tool_failure_prob,
+            )
+            for name, pm in cluster.pms.items()
+        }
+        self._running = False
+
+    @property
+    def pm_names(self) -> list[str]:
+        """Monitored machines."""
+        return sorted(self._scripts)
+
+    def start(self) -> None:
+        """Start sampling on every PM."""
+        if self._running:
+            raise RuntimeError("cluster monitor already running")
+        for script in self._scripts.values():
+            script.start()
+        self._running = True
+
+    def stop(self) -> Dict[str, MeasurementReport]:
+        """Stop sampling and collect one report per PM."""
+        if not self._running:
+            raise RuntimeError("cluster monitor was never started")
+        self._running = False
+        return {name: s.stop() for name, s in self._scripts.items()}
+
+    def run(self, duration: float) -> Dict[str, MeasurementReport]:
+        """Start, advance the shared clock, stop, and report."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.start()
+        self.cluster.run(duration)
+        return self.stop()
+
+    def missed_samples(self) -> int:
+        """Total carry-forward samples across all PMs (failure injection)."""
+        return sum(s.missed_samples for s in self._scripts.values())

@@ -1,0 +1,106 @@
+"""Metric vocabulary and utilization vectors.
+
+The paper tracks four resources per entity -- CPU, memory, disk I/O and
+network bandwidth -- in that order (its model vectors are
+``M = [Mc, Mm, Mi, Mn]^T``).  :data:`RESOURCES` fixes the order once;
+:class:`ResourceVector` is the 4-vector used across the models package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+#: Canonical resource order: CPU %, memory MB, disk blocks/s, net Kb/s.
+RESOURCES: tuple[str, ...] = ("cpu", "mem", "io", "bw")
+
+#: Human-readable units per resource.
+UNITS: dict[str, str] = {
+    "cpu": "%",
+    "mem": "MB",
+    "io": "blocks/s",
+    "bw": "Kb/s",
+}
+
+#: Entity labels used in trace names.
+ENTITY_DOM0 = "dom0"
+ENTITY_HYPERVISOR = "hyp"
+ENTITY_PM = "pm"
+
+
+def trace_name(entity: str, resource: str) -> str:
+    """Canonical trace name ``<entity>.<resource>``."""
+    if resource not in RESOURCES:
+        raise ValueError(f"unknown resource {resource!r}; expected {RESOURCES}")
+    if not entity:
+        raise ValueError("entity must be non-empty")
+    return f"{entity}.{resource}"
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A (cpu, mem, io, bw) utilization 4-vector.
+
+    Immutable; arithmetic returns new vectors.  This is the ``M`` of the
+    paper's Eq. (1)-(3).
+    """
+
+    cpu: float = 0.0
+    mem: float = 0.0
+    io: float = 0.0
+    bw: float = 0.0
+
+    def __iter__(self) -> Iterator[float]:
+        return iter((self.cpu, self.mem, self.io, self.bw))
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cpu + other.cpu,
+            self.mem + other.mem,
+            self.io + other.io,
+            self.bw + other.bw,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cpu - other.cpu,
+            self.mem - other.mem,
+            self.io - other.io,
+            self.bw - other.bw,
+        )
+
+    def scale(self, factor: float) -> "ResourceVector":
+        """Multiply every component by ``factor``."""
+        return ResourceVector(
+            self.cpu * factor,
+            self.mem * factor,
+            self.io * factor,
+            self.bw * factor,
+        )
+
+    def as_array(self) -> np.ndarray:
+        """The vector as a length-4 float array in canonical order."""
+        return np.array([self.cpu, self.mem, self.io, self.bw], dtype=float)
+
+    @classmethod
+    def from_array(cls, arr) -> "ResourceVector":
+        """Build from any length-4 sequence in canonical order."""
+        vals = np.asarray(arr, dtype=float).ravel()
+        if vals.shape != (4,):
+            raise ValueError(f"expected 4 components, got shape {vals.shape}")
+        return cls(*vals.tolist())
+
+    def get(self, resource: str) -> float:
+        """Component by resource name."""
+        if resource not in RESOURCES:
+            raise ValueError(f"unknown resource {resource!r}")
+        return getattr(self, resource)
+
+
+def vm_utilization_vector(util) -> ResourceVector:
+    """Convert a :class:`~repro.xen.machine.VmUtilization` record."""
+    return ResourceVector(
+        cpu=util.cpu_pct, mem=util.mem_mb, io=util.io_bps, bw=util.bw_kbps
+    )

@@ -1,0 +1,104 @@
+"""Measurement-tool self-overhead: why the paper built a unified script.
+
+Section III-A's argument is that no existing tool combination can
+"concurrently measure different metrics ... without introducing extra
+resource consumption (on VMs or Dom0)".  This module models the probe
+cost of each Table I tool and lets an experiment quantify the
+perturbation:
+
+* **naive strategy** -- every tool runs as its own periodic process
+  wherever it must run (``top``/``vmstat``/``mpstat``/``ifconfig``
+  polling inside each guest, ``xentop`` + host tools in Dom0), each
+  paying its full invocation cost;
+* **unified script** -- the paper's approach: one synchronized pass
+  invokes each required tool exactly once per interval and only where
+  needed, so the per-interval cost is the minimal covering set.
+
+The probe costs are charged to the simulated Dom0 / guests through the
+``probe_cpu_pct`` hooks, so the perturbation shows up in the *measured*
+utilizations exactly as it did on the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.xen.machine import PhysicalMachine
+
+#: Per-invocation CPU cost of each tool, in percent of one (V)CPU while
+#: sampling at 1 Hz: (cost in Dom0, cost inside each guest it polls).
+#: Values are representative of the real tools' top-of-`top` footprints.
+TOOL_PROBE_COST: Dict[str, Tuple[float, float]] = {
+    "xentop": (1.10, 0.0),  # walks all domain info in Dom0
+    "top": (0.35, 0.35),  # runs in Dom0 and/or inside each guest
+    "mpstat": (0.15, 0.15),
+    "vmstat": (0.12, 0.12),
+    "ifconfig": (0.08, 0.08),
+}
+
+#: Tools (and where they run) in the naive everything-everywhere setup.
+NAIVE_DOM0_TOOLS: Tuple[str, ...] = (
+    "xentop",
+    "top",
+    "mpstat",
+    "vmstat",
+    "ifconfig",
+)
+NAIVE_GUEST_TOOLS: Tuple[str, ...] = ("top", "mpstat", "vmstat", "ifconfig")
+
+#: The unified script's minimal covering set (Table I's ``+`` cells):
+#: xentop + vmstat + ifconfig + mpstat in Dom0, top inside each guest.
+UNIFIED_DOM0_TOOLS: Tuple[str, ...] = ("xentop", "mpstat", "vmstat", "ifconfig")
+UNIFIED_GUEST_TOOLS: Tuple[str, ...] = ("top",)
+
+
+@dataclass(frozen=True)
+class ProbeLoad:
+    """Aggregate probe CPU charged to Dom0 and to each guest."""
+
+    dom0_cpu_pct: float
+    per_guest_cpu_pct: float
+
+    def __post_init__(self) -> None:
+        if self.dom0_cpu_pct < 0 or self.per_guest_cpu_pct < 0:
+            raise ValueError("probe loads must be >= 0")
+
+
+def probe_load(
+    dom0_tools: Iterable[str], guest_tools: Iterable[str]
+) -> ProbeLoad:
+    """Compute the probe load of a tool deployment."""
+    dom0 = 0.0
+    for tool in dom0_tools:
+        if tool not in TOOL_PROBE_COST:
+            raise ValueError(f"unknown tool {tool!r}")
+        dom0 += TOOL_PROBE_COST[tool][0]
+    guest = 0.0
+    for tool in guest_tools:
+        if tool not in TOOL_PROBE_COST:
+            raise ValueError(f"unknown tool {tool!r}")
+        guest += TOOL_PROBE_COST[tool][1]
+    return ProbeLoad(dom0_cpu_pct=dom0, per_guest_cpu_pct=guest)
+
+
+def naive_probe_load() -> ProbeLoad:
+    """Everything running everywhere (the pre-script status quo)."""
+    return probe_load(NAIVE_DOM0_TOOLS, NAIVE_GUEST_TOOLS)
+
+
+def unified_probe_load() -> ProbeLoad:
+    """The paper's unified script: the minimal covering set."""
+    return probe_load(UNIFIED_DOM0_TOOLS, UNIFIED_GUEST_TOOLS)
+
+
+def apply_probe_load(pm: PhysicalMachine, load: ProbeLoad) -> None:
+    """Charge a probe deployment to a machine's Dom0 and guests."""
+    pm.dom0.probe_cpu_pct = load.dom0_cpu_pct
+    for vm in pm.vms.values():
+        vm.demand.probe_cpu_pct = load.per_guest_cpu_pct
+
+
+def clear_probe_load(pm: PhysicalMachine) -> None:
+    """Remove all probe charges (the ideal zero-overhead observer)."""
+    apply_probe_load(pm, ProbeLoad(0.0, 0.0))

@@ -1,0 +1,221 @@
+"""The unified measurement script (paper Section III-A).
+
+No single tool covers all metrics, so the paper runs a shell script that
+launches the right tool for each metric, synchronized at 1 Hz:
+
+* ``xentop`` in Dom0 -> guest and Dom0 CPU / I/O / bandwidth;
+* ``top`` inside each guest -> guest memory (and in Dom0 -> Dom0 memory);
+* ``mpstat`` in Xen -> hypervisor CPU;
+* ``vmstat`` / ``ifconfig`` in Dom0 -> PM I/O and PM bandwidth;
+* PM memory = Dom0 memory + sum of guest memories (estimated);
+* PM CPU = Dom0 + hypervisor + sum of guest CPU (computed indirectly,
+  Section III-C).
+
+:class:`MeasurementScript` emulates exactly that composition and
+returns the samples as a :class:`~repro.traces.TraceSet` wrapped in a
+:class:`MeasurementReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.monitor.metrics import (
+    ENTITY_DOM0,
+    ENTITY_HYPERVISOR,
+    ENTITY_PM,
+    RESOURCES,
+    UNITS,
+    trace_name,
+)
+from repro.monitor.tools import (
+    SCOPE_DOM0,
+    SCOPE_PM,
+    SCOPE_VM,
+    IfConfig,
+    MpStat,
+    ToolFailure,
+    Top,
+    VmStat,
+    XenTop,
+)
+from repro.sim.process import PeriodicProcess
+from repro.traces import Trace, TraceSet
+from repro.xen.machine import MONITOR_PRIORITY, PhysicalMachine
+
+#: The paper samples once per second ...
+DEFAULT_INTERVAL = 1.0
+#: ... for two minutes per configuration.
+DEFAULT_DURATION = 120.0
+
+
+@dataclass
+class MeasurementReport:
+    """The outcome of one measurement run."""
+
+    pm_name: str
+    traces: TraceSet
+
+    def mean(self, entity: str, resource: str) -> float:
+        """Mean utilization over the run (the paper's reported value)."""
+        return self.traces[trace_name(entity, resource)].mean()
+
+    def series(self, entity: str, resource: str) -> Trace:
+        """The full 1 Hz series for one metric."""
+        return self.traces[trace_name(entity, resource)]
+
+    def entities(self) -> List[str]:
+        """All measured entities (VM names plus dom0 / hyp / pm)."""
+        return sorted({name.split(".", 1)[0] for name in self.traces.names})
+
+
+class MeasurementScript:
+    """Synchronized 1 Hz monitoring of one PM.
+
+    Parameters
+    ----------
+    pm:
+        The machine to monitor (its simulator provides the clock and
+        the per-tool noise streams).
+    interval:
+        Sampling period in seconds.
+    noiseless:
+        Disable measurement noise (useful for calibration tests).
+    """
+
+    def __init__(
+        self,
+        pm: PhysicalMachine,
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        noiseless: bool = False,
+        tool_failure_prob: float = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.pm = pm
+        self.interval = interval
+        rng = pm.sim.rng
+        key = f"monitor.{pm.name}"
+        kw = dict(noiseless=noiseless, failure_prob=tool_failure_prob)
+        self._xentop = XenTop(pm.cal, rng(f"{key}.xentop"), **kw)
+        self._top = Top(pm.cal, rng(f"{key}.top"), **kw)
+        self._mpstat = MpStat(pm.cal, rng(f"{key}.mpstat"), **kw)
+        self._vmstat = VmStat(pm.cal, rng(f"{key}.vmstat"), **kw)
+        self._ifconfig = IfConfig(pm.cal, rng(f"{key}.ifconfig"), **kw)
+        self._times: List[float] = []
+        self._samples: Dict[str, List[float]] = {}
+        self._proc: Optional[PeriodicProcess] = None
+        #: Readings lost to transient tool failures (each one is filled
+        #: with the previous reading, as the shell script does).
+        self.missed_samples = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sampling at the next interval boundary."""
+        if self._proc is not None and not self._proc.stopped:
+            raise RuntimeError("measurement script already running")
+        self._times.clear()
+        self._samples.clear()
+        self._proc = PeriodicProcess(
+            self.pm.sim, self.interval, self._sample, priority=MONITOR_PRIORITY
+        )
+
+    def stop(self) -> MeasurementReport:
+        """Stop sampling and assemble the report."""
+        if self._proc is None:
+            raise RuntimeError("measurement script was never started")
+        self._proc.stop()
+        self._proc = None
+        return self._build_report()
+
+    def run(self, duration: float = DEFAULT_DURATION) -> MeasurementReport:
+        """Start, simulate ``duration`` seconds, stop, and report."""
+        if duration < self.interval:
+            raise ValueError("duration shorter than one sampling interval")
+        self.start()
+        self.pm.sim.run_until(self.pm.sim.now + duration)
+        return self.stop()
+
+    # -- internals ---------------------------------------------------------
+
+    def _record(self, entity: str, resource: str, value: float) -> None:
+        self._samples.setdefault(trace_name(entity, resource), []).append(value)
+
+    def _read(
+        self, tool, snap, scope: str, resource: str, entity: str, vm_name=None
+    ) -> float:
+        """One reading; a transient tool failure repeats the previous
+        sample (the shell script's carry-forward behaviour)."""
+        try:
+            return tool.read(snap, scope, resource, vm_name)
+        except ToolFailure:
+            self.missed_samples += 1
+            prev = self._samples.get(trace_name(entity, resource))
+            return prev[-1] if prev else 0.0
+
+    def _sample(self, now: float) -> None:
+        snap = self.pm.snapshot()
+        self._times.append(now)
+
+        guest_cpu = guest_mem = 0.0
+        for name in snap.vms:
+            cpu = self._read(self._xentop, snap, SCOPE_VM, "cpu", name, name)
+            io = self._read(self._xentop, snap, SCOPE_VM, "io", name, name)
+            bw = self._read(self._xentop, snap, SCOPE_VM, "bw", name, name)
+            mem = self._read(self._top, snap, SCOPE_VM, "mem", name, name)
+            self._record(name, "cpu", cpu)
+            self._record(name, "io", io)
+            self._record(name, "bw", bw)
+            self._record(name, "mem", mem)
+            guest_cpu += cpu
+            guest_mem += mem
+
+        dom0_cpu = self._read(
+            self._xentop, snap, SCOPE_DOM0, "cpu", ENTITY_DOM0
+        )
+        dom0_mem = self._read(self._top, snap, SCOPE_DOM0, "mem", ENTITY_DOM0)
+        self._record(ENTITY_DOM0, "cpu", dom0_cpu)
+        self._record(ENTITY_DOM0, "mem", dom0_mem)
+        self._record(
+            ENTITY_DOM0,
+            "io",
+            self._read(self._xentop, snap, SCOPE_DOM0, "io", ENTITY_DOM0),
+        )
+        self._record(
+            ENTITY_DOM0,
+            "bw",
+            self._read(self._xentop, snap, SCOPE_DOM0, "bw", ENTITY_DOM0),
+        )
+
+        hyp_cpu = self._read(
+            self._mpstat, snap, SCOPE_PM, "cpu", ENTITY_HYPERVISOR
+        )
+        self._record(ENTITY_HYPERVISOR, "cpu", hyp_cpu)
+
+        # PM CPU is computed indirectly as the component sum (paper
+        # Section III-C); PM memory is estimated as Dom0 + guests.
+        self._record(ENTITY_PM, "cpu", dom0_cpu + hyp_cpu + guest_cpu)
+        self._record(ENTITY_PM, "mem", dom0_mem + guest_mem)
+        self._record(
+            ENTITY_PM,
+            "io",
+            self._read(self._vmstat, snap, SCOPE_PM, "io", ENTITY_PM),
+        )
+        self._record(
+            ENTITY_PM,
+            "bw",
+            self._read(self._ifconfig, snap, SCOPE_PM, "bw", ENTITY_PM),
+        )
+
+    def _build_report(self) -> MeasurementReport:
+        times = np.asarray(self._times)
+        traces = TraceSet()
+        for name, values in sorted(self._samples.items()):
+            resource = name.rsplit(".", 1)[1]
+            traces.add(Trace(name, times, np.asarray(values), UNITS[resource]))
+        return MeasurementReport(pm_name=self.pm.name, traces=traces)

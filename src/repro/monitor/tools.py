@@ -1,0 +1,309 @@
+"""Emulated measurement tools with the paper's Table I capability matrix.
+
+None of the standard tools can observe everything (Table I): ``xentop``
+sees guest and Dom0 CPU/I/O/bandwidth but no memory; ``top`` must run
+*inside* each VM to read its memory; ``mpstat`` is the only view of the
+hypervisor's CPU; ``vmstat``/``ifconfig`` provide the PM's I/O and
+bandwidth.  Each emulated tool therefore exposes exactly the metrics its
+real counterpart can, raising :class:`CapabilityError` otherwise, and
+perturbs readings with the calibrated measurement noise -- the unified
+measurement script composes them the way the paper's shell script does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.monitor.metrics import RESOURCES
+from repro.xen.calibration import XenCalibration
+from repro.xen.machine import MachineSnapshot
+
+#: Entities a tool can be asked about.
+SCOPE_VM = "vm"
+SCOPE_DOM0 = "dom0"
+SCOPE_PM = "pm"  # the paper's "PM/hypervisor" column
+
+
+class CapabilityError(LookupError):
+    """The tool cannot measure the requested (scope, resource) pair."""
+
+
+class ToolFailure(RuntimeError):
+    """A transient sampling failure (tool timed out / was descheduled).
+
+    Real 1 Hz shell-script monitoring loses occasional samples when a
+    tool hangs past its slot; the unified script carries the previous
+    reading forward.  Injected via ``failure_prob``.
+    """
+
+
+@dataclass(frozen=True)
+class Capability:
+    """One cell of Table I."""
+
+    supported: bool
+    #: The real tool must run inside the guest for this metric (the
+    #: table's ``*`` annotation).
+    inside_vm: bool = False
+    #: Included in the paper's unified script (the ``+`` annotation).
+    in_script: bool = False
+
+    @property
+    def cell(self) -> str:
+        """Render as a Table I cell: ``Y``, ``Y*``, ``Y+``, ``Y*+``, ``-``."""
+        if not self.supported:
+            return "-"
+        return "Y" + ("*" if self.inside_vm else "") + (
+            "+" if self.in_script else ""
+        )
+
+
+def _cap(code: str) -> Capability:
+    """Parse a Table I cell code."""
+    if code == "-":
+        return Capability(False)
+    if not code.startswith("Y"):
+        raise ValueError(f"bad capability code {code!r}")
+    return Capability(True, inside_vm="*" in code, in_script="+" in code)
+
+
+#: Table I, verbatim.  Keys: tool -> (scope, resource) -> cell code.
+TABLE_I: Dict[str, Dict[Tuple[str, str], Capability]] = {
+    "xentop": {
+        (SCOPE_VM, "cpu"): _cap("Y+"),
+        (SCOPE_VM, "mem"): _cap("-"),
+        (SCOPE_VM, "io"): _cap("Y+"),
+        (SCOPE_VM, "bw"): _cap("Y+"),
+        (SCOPE_DOM0, "cpu"): _cap("Y+"),
+        (SCOPE_DOM0, "mem"): _cap("-"),
+        (SCOPE_DOM0, "io"): _cap("Y+"),
+        (SCOPE_DOM0, "bw"): _cap("Y+"),
+        (SCOPE_PM, "cpu"): _cap("-"),
+        (SCOPE_PM, "mem"): _cap("-"),
+        (SCOPE_PM, "io"): _cap("-"),
+        (SCOPE_PM, "bw"): _cap("-"),
+    },
+    "top": {
+        (SCOPE_VM, "cpu"): _cap("Y*"),
+        (SCOPE_VM, "mem"): _cap("Y*+"),
+        (SCOPE_VM, "io"): _cap("-"),
+        (SCOPE_VM, "bw"): _cap("-"),
+        (SCOPE_DOM0, "cpu"): _cap("Y"),
+        (SCOPE_DOM0, "mem"): _cap("Y+"),
+        (SCOPE_DOM0, "io"): _cap("-"),
+        (SCOPE_DOM0, "bw"): _cap("-"),
+        (SCOPE_PM, "cpu"): _cap("-"),
+        (SCOPE_PM, "mem"): _cap("-"),
+        (SCOPE_PM, "io"): _cap("-"),
+        (SCOPE_PM, "bw"): _cap("-"),
+    },
+    "mpstat": {
+        (SCOPE_VM, "cpu"): _cap("Y*"),
+        (SCOPE_VM, "mem"): _cap("-"),
+        (SCOPE_VM, "io"): _cap("-"),
+        (SCOPE_VM, "bw"): _cap("-"),
+        (SCOPE_DOM0, "cpu"): _cap("-"),
+        (SCOPE_DOM0, "mem"): _cap("-"),
+        (SCOPE_DOM0, "io"): _cap("-"),
+        (SCOPE_DOM0, "bw"): _cap("-"),
+        (SCOPE_PM, "cpu"): _cap("Y+"),
+        (SCOPE_PM, "mem"): _cap("-"),
+        (SCOPE_PM, "io"): _cap("-"),
+        (SCOPE_PM, "bw"): _cap("-"),
+    },
+    "ifconfig": {
+        (SCOPE_VM, "cpu"): _cap("-"),
+        (SCOPE_VM, "mem"): _cap("-"),
+        (SCOPE_VM, "io"): _cap("-"),
+        (SCOPE_VM, "bw"): _cap("Y*"),
+        (SCOPE_DOM0, "cpu"): _cap("-"),
+        (SCOPE_DOM0, "mem"): _cap("-"),
+        (SCOPE_DOM0, "io"): _cap("-"),
+        (SCOPE_DOM0, "bw"): _cap("-"),
+        (SCOPE_PM, "cpu"): _cap("-"),
+        (SCOPE_PM, "mem"): _cap("-"),
+        (SCOPE_PM, "io"): _cap("-"),
+        (SCOPE_PM, "bw"): _cap("Y+"),
+    },
+    "vmstat": {
+        (SCOPE_VM, "cpu"): _cap("Y*"),
+        (SCOPE_VM, "mem"): _cap("Y*"),
+        (SCOPE_VM, "io"): _cap("Y*"),
+        (SCOPE_VM, "bw"): _cap("-"),
+        (SCOPE_DOM0, "cpu"): _cap("-"),
+        (SCOPE_DOM0, "mem"): _cap("Y"),
+        (SCOPE_DOM0, "io"): _cap("-"),
+        (SCOPE_DOM0, "bw"): _cap("-"),
+        (SCOPE_PM, "cpu"): _cap("Y"),
+        (SCOPE_PM, "mem"): _cap("-"),
+        (SCOPE_PM, "io"): _cap("Y+"),
+        (SCOPE_PM, "bw"): _cap("-"),
+    },
+}
+
+
+class MeasurementTool:
+    """Base emulated tool: capability checks + calibrated reading noise.
+
+    Subclasses bind a Table I row and implement the noise-free value
+    lookup; this class validates capabilities and perturbs the reading
+    with the measurement noise of
+    :class:`~repro.xen.calibration.XenCalibration` (multiplicative
+    log-normal plus a small additive jitter floor; exact zeros are read
+    as exact zeros, as real counters do).
+    """
+
+    #: Tool name; must be a key of :data:`TABLE_I`.
+    name: str = ""
+
+    def __init__(
+        self,
+        cal: XenCalibration,
+        rng: np.random.Generator,
+        *,
+        noiseless: bool = False,
+        failure_prob: float = 0.0,
+    ) -> None:
+        if self.name not in TABLE_I:
+            raise ValueError(f"unknown tool {self.name!r}")
+        if not 0.0 <= failure_prob < 1.0:
+            raise ValueError("failure_prob must be in [0, 1)")
+        self._cal = cal
+        self._rng = rng
+        self._noiseless = noiseless
+        self.failure_prob = failure_prob
+        self.capabilities = TABLE_I[self.name]
+
+    def can_measure(self, scope: str, resource: str) -> bool:
+        """Whether this tool supports the (scope, resource) pair."""
+        cap = self.capabilities.get((scope, resource))
+        return bool(cap and cap.supported)
+
+    def read(
+        self,
+        snapshot: MachineSnapshot,
+        scope: str,
+        resource: str,
+        vm_name: Optional[str] = None,
+    ) -> float:
+        """One perturbed reading of the metric.
+
+        Raises
+        ------
+        CapabilityError
+            If the real tool cannot observe this metric.
+        """
+        if resource not in RESOURCES:
+            raise ValueError(f"unknown resource {resource!r}")
+        if not self.can_measure(scope, resource):
+            raise CapabilityError(
+                f"{self.name} cannot measure {scope}.{resource} (Table I)"
+            )
+        if scope == SCOPE_VM and vm_name is None:
+            raise ValueError("vm_name is required for VM-scope readings")
+        if self.failure_prob > 0.0 and self._rng.random() < self.failure_prob:
+            raise ToolFailure(f"{self.name} missed its sampling slot")
+        value = self._value(snapshot, scope, resource, vm_name)
+        return self._perturb(value, resource)
+
+    def _perturb(self, value: float, resource: str) -> float:
+        if self._noiseless or value == 0.0:
+            return value
+        sigma = self._cal.noise_sigma_for(resource)
+        noisy = value * float(np.exp(self._rng.normal(0.0, sigma)))
+        noisy += float(self._rng.uniform(0.0, self._cal.noise_floor))
+        return max(0.0, noisy)
+
+    def _value(
+        self,
+        snapshot: MachineSnapshot,
+        scope: str,
+        resource: str,
+        vm_name: Optional[str],
+    ) -> float:
+        if scope == SCOPE_VM:
+            util = snapshot.vm(vm_name)  # type: ignore[arg-type]
+            return {
+                "cpu": util.cpu_pct,
+                "mem": util.mem_mb,
+                "io": util.io_bps,
+                "bw": util.bw_kbps,
+            }[resource]
+        if scope == SCOPE_DOM0:
+            return {
+                "cpu": snapshot.dom0_cpu_pct,
+                "mem": snapshot.dom0_mem_mb,
+                "io": snapshot.dom0_io_bps,
+                "bw": snapshot.dom0_bw_kbps,
+            }[resource]
+        if scope == SCOPE_PM:
+            return {
+                "cpu": snapshot.hypervisor_cpu_pct,
+                "mem": snapshot.pm_mem_mb,
+                "io": snapshot.pm_io_bps,
+                "bw": snapshot.pm_bw_kbps,
+            }[resource]
+        raise ValueError(f"unknown scope {scope!r}")
+
+
+class XenTop(MeasurementTool):
+    """``xentop``: per-domain CPU / I/O / bandwidth from Dom0."""
+
+    name = "xentop"
+
+
+class Top(MeasurementTool):
+    """``top``: CPU and memory of the host it runs on (VM or Dom0)."""
+
+    name = "top"
+
+
+class MpStat(MeasurementTool):
+    """``mpstat`` in Xen: the only window onto hypervisor CPU."""
+
+    name = "mpstat"
+
+
+class IfConfig(MeasurementTool):
+    """``ifconfig``: interface byte counters (PM NIC or guest VIF)."""
+
+    name = "ifconfig"
+
+
+class VmStat(MeasurementTool):
+    """``vmstat``: host-level CPU / memory / block I/O counters."""
+
+    name = "vmstat"
+
+
+ALL_TOOLS = (XenTop, Top, MpStat, IfConfig, VmStat)
+
+
+def render_table_i() -> str:
+    """Render Table I as fixed-width text (the ``table1`` experiment)."""
+    scopes = [
+        (SCOPE_VM, "VM"),
+        (SCOPE_DOM0, "Dom0"),
+        (SCOPE_PM, "PM/hyp"),
+    ]
+    header = ["tool"] + [
+        f"{label}.{res}" for _, label in scopes for res in RESOURCES
+    ]
+    rows = []
+    for tool, caps in TABLE_I.items():
+        row = [tool]
+        for scope, _ in scopes:
+            for res in RESOURCES:
+                row.append(caps[(scope, res)].cell)
+        rows.append(row)
+    widths = [
+        max(len(header[i]), max(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

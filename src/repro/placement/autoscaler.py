@@ -1,0 +1,148 @@
+"""CloudScale-style vertical auto-scaling (elastic resource caps).
+
+CloudScale's headline mechanism -- the system the paper builds VOA on
+top of -- is *vertical* scaling: each VM's credit-scheduler CPU cap is
+continuously resized to its predicted demand plus padding, so tenants
+get what they need without static worst-case reservations.  When the
+sum of desired caps exceeds the PM's (overhead-adjusted!) guest
+capacity, CloudScale resolves the conflict by scaling the caps down,
+favouring... everyone equally in the simple policy, or by weight.
+
+:class:`VerticalScaler` implements that loop on a simulated PM:
+
+1. per VM, feed the observed CPU usage into a
+   :class:`~repro.placement.cloudscale.DemandPredictor`;
+2. set the VM's runtime cap to the padded prediction (bounded by the
+   VCPU size, floored to keep starving guests schedulable);
+3. if the caps oversubscribe the guest capacity left after the
+   model-predicted Dom0/hypervisor overhead, shrink them
+   proportionally (weight-aware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.monitor.metrics import vm_utilization_vector
+from repro.models.multi_vm import MultiVMOverheadModel
+from repro.placement.cloudscale import DemandPredictor, PredictorConfig
+from repro.sim.process import PeriodicProcess
+from repro.xen.machine import MONITOR_PRIORITY, PhysicalMachine
+
+
+@dataclass(frozen=True)
+class ScalerConfig:
+    """Tuning of the vertical scaling loop."""
+
+    #: Scaling interval in seconds.
+    interval: float = 1.0
+    #: Minimum cap so a VM can always make progress.
+    min_cap_pct: float = 5.0
+    #: Hard per-VCPU ceiling.
+    max_cap_pct: float = 100.0
+    #: Extra headroom multiplier on the padded prediction.
+    headroom: float = 1.05
+    #: Fraction of the effective capacity usable by guest caps.
+    capacity_frac: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if not 0 < self.min_cap_pct <= self.max_cap_pct:
+            raise ValueError("need 0 < min_cap_pct <= max_cap_pct")
+        if self.headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        if not 0 < self.capacity_frac <= 1.0:
+            raise ValueError("capacity_frac must be in (0, 1]")
+
+
+class VerticalScaler:
+    """Predictive per-VM CPU cap management on one PM."""
+
+    def __init__(
+        self,
+        pm: PhysicalMachine,
+        model: MultiVMOverheadModel,
+        *,
+        config: Optional[ScalerConfig] = None,
+        predictor_config: Optional[PredictorConfig] = None,
+    ) -> None:
+        self.pm = pm
+        self.model = model
+        self.config = config or ScalerConfig()
+        self._predictor_config = predictor_config
+        self._predictors: Dict[str, DemandPredictor] = {}
+        self._proc: Optional[PeriodicProcess] = None
+        #: Ticks on which conflict resolution had to shrink caps.
+        self.conflicts = 0
+
+    def start(self) -> None:
+        """Begin the scaling loop."""
+        if self._proc is not None and not self._proc.stopped:
+            raise RuntimeError("scaler already running")
+        self._proc = PeriodicProcess(
+            self.pm.sim,
+            self.config.interval,
+            self._tick,
+            priority=MONITOR_PRIORITY + 2,
+        )
+
+    def stop(self, *, release_caps: bool = True) -> None:
+        """Stop scaling; optionally uncap every guest."""
+        if self._proc is not None:
+            self._proc.stop()
+            self._proc = None
+        if release_caps:
+            for vm in self.pm.vms.values():
+                vm.cap_override_pct = None
+
+    def current_caps(self) -> Dict[str, Optional[float]]:
+        """The cap override currently applied per VM."""
+        return {
+            name: vm.cap_override_pct for name, vm in self.pm.vms.items()
+        }
+
+    # -- loop ----------------------------------------------------------------
+
+    def _predictor(self, name: str) -> DemandPredictor:
+        if name not in self._predictors:
+            self._predictors[name] = DemandPredictor(self._predictor_config)
+        return self._predictors[name]
+
+    def _tick(self, _now: float) -> None:
+        cfg = self.config
+        snap = self.pm.snapshot()
+        desired: Dict[str, float] = {}
+        for name, util in snap.vms.items():
+            pred = self._predictor(name)
+            pred.update(util.cpu_pct)
+            want = pred.predict() * cfg.headroom
+            desired[name] = min(
+                cfg.max_cap_pct, max(cfg.min_cap_pct, want)
+            )
+
+        # Guest capacity after the model's overhead prediction for the
+        # *desired* operating point.
+        utils = [vm_utilization_vector(u) for u in snap.vms.values()]
+        overhead = (
+            self.model.predict(utils).dom0_cpu
+            + self.model.predict(utils).hyp_cpu
+            if utils
+            else 0.0
+        )
+        budget = max(
+            0.0,
+            (self.pm.cal.effective_capacity_pct - overhead)
+            * cfg.capacity_frac,
+        )
+        total = sum(desired.values())
+        if total > budget > 0:
+            self.conflicts += 1
+            scale = budget / total
+            desired = {
+                name: max(cfg.min_cap_pct, cap * scale)
+                for name, cap in desired.items()
+            }
+        for name, cap in desired.items():
+            self.pm.vms[name].cap_override_pct = cap

@@ -1,0 +1,139 @@
+"""CloudScale-style online resource-demand prediction.
+
+The paper's Section VI-B plugs its overhead model into CloudScale
+(Shen et al., SoCC'11), "a system that employs online resource demand
+prediction".  CloudScale's predictor has two tiers:
+
+1. an **FFT signature detector**: if the recent demand window shows a
+   dominant periodic component, the window from one period ago is the
+   prediction;
+2. otherwise a **discrete-time Markov chain** over quantized demand
+   states predicts the expected next state;
+
+plus **padding**: a burst headroom added to the raw prediction (the
+maximum of recent under-prediction errors), because under-provisioning
+hurts more than over-provisioning.
+
+This module implements that stack for one metric; placement composes
+four of them into a per-VM demand vector.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Tuning knobs of :class:`DemandPredictor`."""
+
+    #: Sliding-window length in samples.
+    window: int = 120
+    #: Minimum samples before predictions are meaningful.
+    min_history: int = 8
+    #: A spectral peak must carry this fraction of non-DC energy to count
+    #: as a signature (CloudScale's "signature-driven" mode gate).
+    signature_threshold: float = 0.4
+    #: Number of quantization bins for the Markov fallback.
+    markov_bins: int = 10
+    #: Window of recent errors considered for padding.
+    padding_window: int = 20
+    #: Extra padding as a fraction of the raw prediction.
+    padding_frac: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.window < 4:
+            raise ValueError("window must be >= 4")
+        if not 2 <= self.min_history <= self.window:
+            raise ValueError("min_history must be in [2, window]")
+        if not 0.0 < self.signature_threshold <= 1.0:
+            raise ValueError("signature_threshold must be in (0, 1]")
+        if self.markov_bins < 2:
+            raise ValueError("markov_bins must be >= 2")
+        if self.padding_frac < 0:
+            raise ValueError("padding_frac must be >= 0")
+
+
+class DemandPredictor:
+    """Online predictor for one resource metric of one VM."""
+
+    def __init__(self, config: Optional[PredictorConfig] = None) -> None:
+        self.config = config or PredictorConfig()
+        self._history: Deque[float] = deque(maxlen=self.config.window)
+        self._errors: Deque[float] = deque(maxlen=self.config.padding_window)
+        self._last_raw: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def update(self, value: float) -> None:
+        """Feed one observed demand sample (and score the last prediction)."""
+        if value < 0:
+            raise ValueError("demand must be >= 0")
+        if self._last_raw is not None:
+            # Positive error = under-prediction = what padding must cover.
+            self._errors.append(value - self._last_raw)
+        self._history.append(float(value))
+
+    def predict_raw(self) -> float:
+        """Un-padded next-interval prediction (signature, else Markov)."""
+        n = len(self._history)
+        if n == 0:
+            raise RuntimeError("no demand history yet")
+        data = np.asarray(self._history)
+        if n < self.config.min_history:
+            return float(data.mean())
+        period = self._detect_signature(data)
+        if period is not None and period < n:
+            return float(data[n - period])
+        return self._markov_predict(data)
+
+    def predict(self) -> float:
+        """Padded prediction: raw + burst headroom (never negative)."""
+        raw = self.predict_raw()
+        self._last_raw = raw
+        pad = self.config.padding_frac * raw
+        if self._errors:
+            pad = max(pad, max(self._errors))
+        return max(0.0, raw + pad)
+
+    # -- internals ---------------------------------------------------------
+
+    def _detect_signature(self, data: np.ndarray) -> Optional[int]:
+        """Dominant period in samples, or None if no strong signature."""
+        detrended = data - data.mean()
+        if np.allclose(detrended, 0.0):
+            return None
+        spectrum = np.abs(np.fft.rfft(detrended)) ** 2
+        spectrum[0] = 0.0
+        total = spectrum.sum()
+        if total <= 0:
+            return None
+        k = int(np.argmax(spectrum))
+        if spectrum[k] / total < self.config.signature_threshold:
+            return None
+        period = int(round(len(data) / k))
+        return period if period >= 2 else None
+
+    def _markov_predict(self, data: np.ndarray) -> float:
+        """Expected next value under a first-order chain on value bins."""
+        lo, hi = float(data.min()), float(data.max())
+        if hi - lo < 1e-12:
+            return lo
+        nbins = self.config.markov_bins
+        edges = np.linspace(lo, hi, nbins + 1)
+        states = np.clip(np.digitize(data, edges) - 1, 0, nbins - 1)
+        counts = np.zeros((nbins, nbins))
+        for a, b in zip(states[:-1], states[1:]):
+            counts[a, b] += 1.0
+        current = states[-1]
+        row = counts[current]
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        if row.sum() == 0:
+            return float(centers[current])
+        probs = row / row.sum()
+        return float(np.dot(probs, centers))

@@ -1,0 +1,142 @@
+"""Overhead-aware server consolidation.
+
+The mirror image of hotspot mitigation: when the cluster is
+underutilized, packing guests onto fewer PMs lets the remainder be
+powered down.  Doing this *without* the overhead model is exactly the
+VOU failure mode of Figure 10 -- a consolidation plan that looks
+feasible by guest sums can exhaust a PM once Dom0 and hypervisor costs
+materialize.  :class:`ConsolidationPlanner` therefore admits a packing
+only when the Eq. (3) model predicts every destination stays under the
+utilization target.
+
+Algorithm: repeatedly try to empty the *least-loaded* PM by first-fit-
+decreasing its guests (by predicted CPU) into the other PMs; a PM is
+only released if every one of its guests fits somewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.models.multi_vm import MultiVMOverheadModel
+from repro.placement.migration import Move, VmObservation
+from repro.xen.calibration import DEFAULT_CALIBRATION, XenCalibration
+from repro.xen.specs import MachineSpec
+
+
+@dataclass
+class ConsolidationPlan:
+    """Outcome of a consolidation round."""
+
+    moves: List[Move] = field(default_factory=list)
+    #: PMs emptied by the plan, in release order.
+    released_pms: List[str] = field(default_factory=list)
+
+    @property
+    def pms_saved(self) -> int:
+        """How many machines can be powered down."""
+        return len(self.released_pms)
+
+
+class ConsolidationPlanner:
+    """Model-checked first-fit-decreasing consolidation."""
+
+    def __init__(
+        self,
+        model: MultiVMOverheadModel,
+        *,
+        spec: Optional[MachineSpec] = None,
+        calibration: Optional[XenCalibration] = None,
+        target_frac: float = 0.8,
+    ) -> None:
+        if not 0.0 < target_frac <= 1.0:
+            raise ValueError("target_frac must be in (0, 1]")
+        self.model = model
+        self.spec = spec or MachineSpec()
+        self.cal = calibration or DEFAULT_CALIBRATION
+        self.target = target_frac * self.cal.effective_capacity_pct
+
+    # -- admission ---------------------------------------------------------
+
+    def _pm_cpu(self, vms: Sequence[VmObservation]) -> float:
+        if not vms:
+            return self.cal.dom0_cpu_base + self.cal.hyp_cpu_base
+        return self.model.predict([v.demand for v in vms]).pm_cpu
+
+    def _fits(self, resident: List[VmObservation], vm: VmObservation) -> bool:
+        mem = self.cal.dom0_mem_mb + sum(r.mem_mb for r in resident) + vm.mem_mb
+        if mem > self.spec.mem_mb:
+            return False
+        return self._pm_cpu(resident + [vm]) <= self.target
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(
+        self, placement: Dict[str, List[VmObservation]]
+    ) -> ConsolidationPlan:
+        """Plan moves that empty as many PMs as possible.
+
+        ``placement`` maps PM name to resident guest observations; the
+        input is not mutated.  The plan is conservative: a source PM is
+        released only if *all* of its guests can be re-placed with every
+        destination staying under the target.
+        """
+        if not placement:
+            raise ValueError("placement must be non-empty")
+        state: Dict[str, List[VmObservation]] = {
+            pm: list(vms) for pm, vms in placement.items()
+        }
+        plan = ConsolidationPlan()
+        progress = True
+        while progress:
+            progress = False
+            # Candidate sources: non-empty PMs, least loaded first.
+            sources = sorted(
+                (pm for pm, vms in state.items() if vms),
+                key=lambda pm: self._pm_cpu(state[pm]),
+            )
+            for src in sources:
+                trial = {pm: list(vms) for pm, vms in state.items()}
+                trial_moves: List[Move] = []
+                # First-fit-decreasing by predicted guest CPU demand.
+                evictees = sorted(
+                    trial[src], key=lambda v: v.demand.cpu, reverse=True
+                )
+                ok = True
+                for vm in evictees:
+                    dst_found = None
+                    for dst, resident in trial.items():
+                        # Never move into the source or re-open an empty
+                        # PM -- consolidation must reduce the PM count.
+                        if dst == src or not resident:
+                            continue
+                        if self._fits(resident, vm):
+                            dst_found = dst
+                            break
+                    if dst_found is None:
+                        ok = False
+                        break
+                    trial[src].remove(vm)
+                    trial[dst_found].append(vm)
+                    trial_moves.append(Move(vm=vm.name, src=src, dst=dst_found))
+                if ok:
+                    state = trial
+                    plan.moves.extend(trial_moves)
+                    plan.released_pms.append(src)
+                    progress = True
+                    break  # recompute source ordering
+        return plan
+
+    def apply(
+        self,
+        placement: Dict[str, List[VmObservation]],
+        plan: ConsolidationPlan,
+    ) -> Dict[str, List[VmObservation]]:
+        """Return the placement after executing a plan (for verification)."""
+        state = {pm: list(vms) for pm, vms in placement.items()}
+        for mv in plan.moves:
+            vm = next(v for v in state[mv.src] if v.name == mv.vm)
+            state[mv.src].remove(vm)
+            state[mv.dst].append(vm)
+        return state

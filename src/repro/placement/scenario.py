@@ -1,0 +1,253 @@
+"""The Figure 10 provisioning experiment.
+
+Paper Section VI-B: five identical VMs (1 VCPU, a few hundred MB each).
+Two run RUBiS (web front-end in VM1, database in VM2) at 500 clients;
+the other three (VM3-VM5) are idle in scenario 0 and run ``lookbusy`` at
+50 % CPU in one / two / all three of them in scenarios 1 / 2 / 3.
+CloudScale predicts each VM's demand; the VMs are then deployed one by
+one in random order, with (VOA) or without (VOU) the virtualization
+overhead model in the admission check.  Each placement is repeated 10
+times; RUBiS throughput and total processing time are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.models.multi_vm import MultiVMOverheadModel
+from repro.monitor.metrics import ResourceVector
+from repro.placement.cloudscale import DemandPredictor
+from repro.placement.placer import (
+    VOA,
+    VOU,
+    Placer,
+    PlacementPlan,
+    PlacementRequest,
+)
+from repro.rubis.app import RUBiSApplication
+from repro.rubis.client import ClientPopulation
+from repro.sim.engine import Simulator
+from repro.workloads.lookbusy import CpuHog
+from repro.xen.specs import VMSpec
+
+#: Paper scenario ids: number of VM3-VM5 running lookbusy at 50 %.
+SCENARIOS: Tuple[int, ...] = (0, 1, 2, 3)
+#: lookbusy intensity in the loaded aux VMs.
+AUX_CPU_PCT = 50.0
+#: RUBiS client population (paper: 500 simultaneous clients).
+SCENARIO_CLIENTS = 500
+#: VM memory; sized so four guests fit one PM and a fifth does not
+#: (2048 MB total - 350 MB Dom0 = 1698 usable; 4 x 400 = 1600).
+SCENARIO_VM_MEM_MB = 400
+#: Placement repetitions (paper: "repeated this VM placement process
+#: for 10 times").
+DEFAULT_TRIALS = 10
+
+VM_NAMES = ("vm1-web", "vm2-db", "vm3", "vm4", "vm5")
+
+
+def _vm_spec(name: str) -> VMSpec:
+    return VMSpec(name=name, mem_mb=SCENARIO_VM_MEM_MB)
+
+
+def profile_demands(
+    scenario: int,
+    *,
+    clients: int = SCENARIO_CLIENTS,
+    seed: int = 7,
+    profile_s: float = 60.0,
+) -> Dict[str, ResourceVector]:
+    """CloudScale profiling phase: observe each VM, predict its demand.
+
+    The five VMs run on ample capacity (web and DB on separate PMs, aux
+    hogs on a third) while per-second demand is observed; each metric is
+    fed through a :class:`DemandPredictor` and the padded prediction
+    becomes the VM's demand vector for placement.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(f"scenario must be one of {SCENARIOS}")
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim)
+    for pm in ("prof1", "prof2", "prof3"):
+        cluster.create_pm(pm)
+    web = cluster.place_vm(_vm_spec(VM_NAMES[0]), "prof1")
+    db = cluster.place_vm(_vm_spec(VM_NAMES[1]), "prof2")
+    aux = [
+        cluster.place_vm(_vm_spec(name), "prof3") for name in VM_NAMES[2:]
+    ]
+    for k, vm in enumerate(aux):
+        if k < scenario:
+            CpuHog(AUX_CPU_PCT).attach(vm)
+    app = RUBiSApplication(
+        cluster,
+        web,
+        db,
+        ClientPopulation(
+            clients, ramp_s=10.0, rng=sim.rng("profile-clients")
+        ),
+    )
+    cluster.start()
+    app.start()
+
+    predictors: Dict[str, Dict[str, DemandPredictor]] = {
+        name: {res: DemandPredictor() for res in ("cpu", "mem", "io", "bw")}
+        for name in VM_NAMES
+    }
+    t_end = sim.now + profile_s
+    while sim.now < t_end:
+        cluster.run(1.0)
+        for name, preds in predictors.items():
+            util = cluster.pm_of(name).snapshot().vm(name)
+            preds["cpu"].update(util.cpu_pct)
+            preds["mem"].update(util.mem_mb)
+            preds["io"].update(util.io_bps)
+            preds["bw"].update(util.bw_kbps)
+    return {
+        name: ResourceVector(
+            cpu=preds["cpu"].predict(),
+            mem=preds["mem"].predict(),
+            io=preds["io"].predict(),
+            bw=preds["bw"].predict(),
+        )
+        for name, preds in predictors.items()
+    }
+
+
+@dataclass
+class TrialResult:
+    """One placement + run of one strategy."""
+
+    scenario: int
+    strategy: str
+    plan: PlacementPlan
+    throughput_rps: float
+    total_time_s: float
+
+
+@dataclass
+class ScenarioResult:
+    """All trials of one (scenario, strategy) cell of Figure 10."""
+
+    scenario: int
+    strategy: str
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def throughputs(self) -> np.ndarray:
+        return np.array([t.throughput_rps for t in self.trials])
+
+    @property
+    def total_times(self) -> np.ndarray:
+        return np.array([t.total_time_s for t in self.trials])
+
+    def mean_throughput(self) -> float:
+        """Figure 10(a)'s bar height."""
+        return float(self.throughputs.mean())
+
+    def mean_total_time(self) -> float:
+        """Figure 10(b)'s bar height."""
+        return float(self.total_times.mean())
+
+    def throughput_percentiles(self) -> Tuple[float, float]:
+        """(10th, 90th) percentile -- the paper's error bars."""
+        return (
+            float(np.percentile(self.throughputs, 10)),
+            float(np.percentile(self.throughputs, 90)),
+        )
+
+
+def run_trial(
+    scenario: int,
+    strategy: str,
+    model: Optional[MultiVMOverheadModel],
+    demands: Dict[str, ResourceVector],
+    *,
+    order: Sequence[str],
+    seed: int,
+    duration_s: float = 120.0,
+    clients: int = SCENARIO_CLIENTS,
+) -> TrialResult:
+    """Place the five VMs in ``order`` and run RUBiS for ``duration_s``."""
+    if scenario not in SCENARIOS:
+        raise ValueError(f"scenario must be one of {SCENARIOS}")
+    if sorted(order) != sorted(VM_NAMES):
+        raise ValueError(f"order must be a permutation of {VM_NAMES}")
+    placer = Placer(["pm1", "pm2"], strategy=strategy, model=model)
+    requests = [
+        PlacementRequest(spec=_vm_spec(name), demand=demands[name])
+        for name in order
+    ]
+    plan = placer.place(requests)
+
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim)
+    cluster.create_pm("pm1")
+    cluster.create_pm("pm2")
+    vms = {
+        name: cluster.place_vm(_vm_spec(name), plan.assignment[name])
+        for name in VM_NAMES
+    }
+    for k, name in enumerate(VM_NAMES[2:]):
+        if k < scenario:
+            CpuHog(AUX_CPU_PCT).attach(vms[name])
+    app = RUBiSApplication(
+        cluster,
+        vms[VM_NAMES[0]],
+        vms[VM_NAMES[1]],
+        ClientPopulation(
+            clients, ramp_s=10.0, rng=sim.rng("trial-clients")
+        ),
+    )
+    cluster.start()
+    app.start()
+    cluster.run(duration_s)
+    return TrialResult(
+        scenario=scenario,
+        strategy=strategy,
+        plan=plan,
+        throughput_rps=app.mean_throughput(),
+        total_time_s=app.total_time(),
+    )
+
+
+def run_scenario_experiment(
+    model: MultiVMOverheadModel,
+    *,
+    scenarios: Sequence[int] = SCENARIOS,
+    trials: int = DEFAULT_TRIALS,
+    duration_s: float = 120.0,
+    seed: int = 2015,
+    profile_s: float = 60.0,
+) -> List[ScenarioResult]:
+    """The full Figure 10 grid: scenarios x {VOA, VOU} x trials."""
+    rng = np.random.default_rng(seed)
+    results: List[ScenarioResult] = []
+    for scenario in scenarios:
+        demands = profile_demands(
+            scenario, seed=seed + scenario, profile_s=profile_s
+        )
+        cells = {
+            VOA: ScenarioResult(scenario=scenario, strategy=VOA),
+            VOU: ScenarioResult(scenario=scenario, strategy=VOU),
+        }
+        for trial in range(trials):
+            order = list(VM_NAMES)
+            rng.shuffle(order)
+            for strategy in (VOA, VOU):
+                cells[strategy].trials.append(
+                    run_trial(
+                        scenario,
+                        strategy,
+                        model if strategy == VOA else None,
+                        demands,
+                        order=order,
+                        seed=seed * 1000 + scenario * 100 + trial,
+                        duration_s=duration_s,
+                    )
+                )
+        results.extend(cells.values())
+    return results

@@ -1,0 +1,159 @@
+"""The two-tier RUBiS deployment on the simulated testbed.
+
+A :class:`RUBiSApplication` wires a web-tier guest and a database-tier
+guest (placed on any PMs of a :class:`~repro.cluster.Cluster`) to a
+:class:`~repro.rubis.client.ClientPopulation`:
+
+* client requests arrive at the web PM's NIC (external inbound);
+* the web tier answers clients (external outbound flow) and queries the
+  DB tier (inter- or intra-PM flow, depending on placement);
+* the DB tier returns result rows and pays disk I/O per query.
+
+Throughput is closed-loop: when either tier's granted CPU falls short
+of its demand, completed requests scale down proportionally -- this is
+what degrades under the overhead-unaware placement of Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.rubis.client import ClientPopulation
+from repro.rubis.requests import BIDDING_MIX, mix_demand
+from repro.sim.process import PeriodicProcess
+from repro.xen.machine import WORKLOAD_PRIORITY
+from repro.xen.network import Flow, external_host
+from repro.xen.vm import GuestVM
+
+
+class RUBiSApplication:
+    """One web + DB RUBiS instance driven by an emulated client pool."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        web_vm: GuestVM,
+        db_vm: GuestVM,
+        clients: ClientPopulation,
+        *,
+        name: str = "rubis",
+        mix=BIDDING_MIX,
+    ) -> None:
+        if web_vm.name == db_vm.name:
+            raise ValueError("web and DB tiers must be distinct VMs")
+        self.cluster = cluster
+        self.web_vm = web_vm
+        self.db_vm = db_vm
+        self.clients = clients
+        self.name = name
+        self.mix = mix
+        self._resp_flow = web_vm.add_flow(
+            Flow(src=web_vm.name, dst=external_host(f"{name}-clients"))
+        )
+        self._query_flow = web_vm.add_flow(
+            Flow(src=web_vm.name, dst=db_vm.name)
+        )
+        self._result_flow = db_vm.add_flow(
+            Flow(src=db_vm.name, dst=web_vm.name)
+        )
+        self._proc: Optional[PeriodicProcess] = None
+        self._t0: Optional[float] = None
+        self._prev_offered: Optional[float] = None
+        self._prev_web_demand = 0.0
+        self._prev_db_demand = 0.0
+        #: Per-second series, aligned: offered and completed requests/s.
+        self.times: List[float] = []
+        self.offered_rps: List[float] = []
+        self.completed_rps: List[float] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin driving the tiers (1 Hz updates)."""
+        if self._proc is not None and not self._proc.stopped:
+            raise RuntimeError(f"{self.name} already started")
+        self._t0 = self.cluster.sim.now
+        self._proc = PeriodicProcess(
+            self.cluster.sim, 1.0, self._tick, priority=WORKLOAD_PRIORITY
+        )
+
+    def stop(self) -> None:
+        """Stop driving; tiers keep their last demand."""
+        if self._proc is not None:
+            self._proc.stop()
+            self._proc = None
+
+    # -- per-second update -------------------------------------------------
+
+    def _tick(self, now: float) -> None:
+        assert self._t0 is not None
+        rel = now - self._t0
+
+        # Score the *previous* second first: the current grants reflect
+        # the demand written at the last tick, so this is the consistent
+        # (offered, demand, grant) pairing.
+        if self._prev_offered is not None:
+            completed = self._prev_offered * min(
+                1.0,
+                self._satisfaction(self.web_vm, self._prev_web_demand),
+                self._satisfaction(self.db_vm, self._prev_db_demand),
+            )
+            self.times.append(now)
+            self.offered_rps.append(self._prev_offered)
+            self.completed_rps.append(completed)
+
+        offered = self.clients.request_rate(rel)
+        demand = mix_demand(offered, self.mix)
+
+        # Tier demands for the coming second.
+        self.web_vm.demand.cpu_pct = demand.web_cpu_pct
+        self.db_vm.demand.cpu_pct = demand.db_cpu_pct
+        self.db_vm.demand.io_bps = demand.db_io_bps
+        self._resp_flow.kbps = demand.web_to_client_kbps
+        self._query_flow.kbps = demand.web_to_db_kbps
+        self._result_flow.kbps = demand.db_to_web_kbps
+
+        # Client request traffic arrives at whatever PM currently hosts
+        # the web tier (placement may move it).
+        web_pm = self.cluster.pm_of(self.web_vm.name)
+        key = f"app-{self.name}:{self.web_vm.name}"
+        for pm in self.cluster.pms.values():
+            pm.external_inbound_kbps.pop(key, None)
+        web_pm.external_inbound_kbps[key] = demand.client_to_web_kbps
+
+        self._prev_offered = offered
+        self._prev_web_demand = self.web_vm.cpu_demand_total
+        self._prev_db_demand = self.db_vm.cpu_demand_total
+
+    @staticmethod
+    def _satisfaction(vm: GuestVM, demand: float) -> float:
+        if demand <= 0:
+            return 1.0
+        return min(1.0, vm.granted.cpu_pct / demand)
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def total_offered(self) -> float:
+        """Requests offered since start (1 s bins)."""
+        return float(sum(self.offered_rps))
+
+    @property
+    def total_completed(self) -> float:
+        """Requests completed since start."""
+        return float(sum(self.completed_rps))
+
+    def mean_throughput(self) -> float:
+        """Mean completed requests/s (Figure 10(a)'s metric)."""
+        if not self.completed_rps:
+            raise RuntimeError(f"{self.name} has no samples yet")
+        return self.total_completed / len(self.completed_rps)
+
+    def total_time(self) -> float:
+        """Seconds needed to process the offered work at the achieved
+        rate (Figure 10(b)'s metric): offered volume / throughput."""
+        tput = self.mean_throughput()
+        if tput <= 0:
+            return float("inf")
+        return self.total_offered / tput

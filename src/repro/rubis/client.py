@@ -1,0 +1,103 @@
+"""The emulated client population.
+
+The paper's workload generator loads RUBiS "between 300 and 700
+simultaneous clients" and creates "a variable rate workload ... by
+increasing the number of clients over a ten minute period".
+:class:`ClientPopulation` models a closed-loop population: each client
+issues a request, waits out a think time, and repeats, so the offered
+request rate is ``active_clients / think_time``.  Within a run the
+active count ramps up to the nominal level and carries a small periodic
+wave plus noise, giving the per-second variability the prediction
+experiments need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+#: RUBiS-style mean think time between requests, seconds.
+DEFAULT_THINK_TIME_S = 6.0
+#: Client counts evaluated by the paper (Figures 7-9 curves).
+PAPER_CLIENT_COUNTS = (300, 400, 500, 600, 700)
+
+
+class ClientPopulation:
+    """A closed-loop client population with ramp-up and variability.
+
+    Parameters
+    ----------
+    nominal_clients:
+        Target population (the figure legend value).
+    think_time_s:
+        Mean think time; the offered rate is ``active / think``.
+    ramp_s:
+        Seconds to ramp from 60 % to 100 % of the nominal population.
+    wave_amplitude:
+        Relative amplitude of the slow sinusoidal load wave.
+    wave_period_s:
+        Period of the load wave.
+    rng:
+        Generator for per-second arrival noise; omit for a noiseless
+        population.
+    noise_rel:
+        Relative std-dev of per-second request-rate noise.
+    """
+
+    def __init__(
+        self,
+        nominal_clients: int,
+        *,
+        think_time_s: float = DEFAULT_THINK_TIME_S,
+        ramp_s: float = 120.0,
+        wave_amplitude: float = 0.08,
+        wave_period_s: float = 97.0,
+        rng: Optional[np.random.Generator] = None,
+        noise_rel: float = 0.03,
+    ) -> None:
+        if nominal_clients <= 0:
+            raise ValueError("nominal_clients must be positive")
+        if think_time_s <= 0:
+            raise ValueError("think_time_s must be positive")
+        if ramp_s < 0:
+            raise ValueError("ramp_s must be >= 0")
+        if not 0.0 <= wave_amplitude < 1.0:
+            raise ValueError("wave_amplitude must be in [0, 1)")
+        if noise_rel < 0:
+            raise ValueError("noise_rel must be >= 0")
+        self.nominal_clients = nominal_clients
+        self.think_time_s = think_time_s
+        self.ramp_s = ramp_s
+        self.wave_amplitude = wave_amplitude
+        self.wave_period_s = wave_period_s
+        self._rng = rng
+        self.noise_rel = noise_rel
+
+    def active_clients(self, t: float) -> float:
+        """Deterministic active-population curve at time ``t``."""
+        if t < 0:
+            raise ValueError("time must be >= 0")
+        if self.ramp_s > 0:
+            ramp = 0.6 + 0.4 * min(1.0, t / self.ramp_s)
+        else:
+            ramp = 1.0
+        wave = 1.0 + self.wave_amplitude * math.sin(
+            2.0 * math.pi * t / self.wave_period_s
+        )
+        return self.nominal_clients * ramp * wave
+
+    def request_rate(self, t: float) -> float:
+        """Offered requests/s at time ``t`` (noise applied if seeded)."""
+        rate = self.active_clients(t) / self.think_time_s
+        if self._rng is not None and self.noise_rel > 0:
+            rate *= float(
+                np.exp(self._rng.normal(0.0, self.noise_rel))
+            )
+        return max(0.0, rate)
+
+    @property
+    def steady_rate(self) -> float:
+        """Nominal offered rate once fully ramped (requests/s)."""
+        return self.nominal_clients / self.think_time_s

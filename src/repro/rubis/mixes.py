@@ -1,0 +1,69 @@
+"""Alternative RUBiS workload mixes.
+
+RUBiS ships two standard transition tables: the **bidding mix** (15 %
+read-write interactions; the default used by the paper's evaluation and
+by :data:`repro.rubis.requests.BIDDING_MIX`) and the **browsing mix**
+(read-only).  The browsing mix shifts load toward the web tier (heavier
+page traffic, no write transactions, fewer DB blocks), which changes
+the overhead profile the model must predict -- useful for testing the
+model on workloads outside its RUBiS-bidding comfort zone.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.rubis.requests import BIDDING_MIX, RequestClass
+
+#: The read-only browsing mix: no bids/buys, more browsing and viewing.
+BROWSING_MIX: Tuple[RequestClass, ...] = (
+    RequestClass(
+        name="browse_categories",
+        mix=0.42,
+        web_cpu_pct_s=0.68,
+        db_cpu_pct_s=0.185,
+        req_kb=1.3,
+        resp_kb=7.2,
+        query_kb=0.64,
+        result_kb=2.4,
+        db_io_blocks=0.12,
+    ),
+    RequestClass(
+        name="search_items",
+        mix=0.30,
+        web_cpu_pct_s=0.82,
+        db_cpu_pct_s=0.37,
+        req_kb=1.45,
+        resp_kb=8.8,
+        query_kb=0.96,
+        result_kb=3.6,
+        db_io_blocks=0.35,
+    ),
+    RequestClass(
+        name="view_item",
+        mix=0.28,
+        web_cpu_pct_s=0.59,
+        db_cpu_pct_s=0.23,
+        req_kb=1.2,
+        resp_kb=6.4,
+        query_kb=0.48,
+        result_kb=2.0,
+        db_io_blocks=0.18,
+    ),
+)
+
+#: Named mixes for configuration surfaces.
+MIXES = {
+    "bidding": BIDDING_MIX,
+    "browsing": BROWSING_MIX,
+}
+
+
+def get_mix(name: str) -> Tuple[RequestClass, ...]:
+    """Look a standard mix up by name."""
+    try:
+        return MIXES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown RUBiS mix {name!r}; have {sorted(MIXES)}"
+        ) from None

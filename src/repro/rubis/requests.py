@@ -1,0 +1,179 @@
+"""RUBiS request classes and per-request resource costs.
+
+RUBiS (the Rice University Bidding System) is the eBay-like two-tier
+benchmark the paper validates its model on: a web front-end VM and a
+database back-end VM serve a browsing/bidding mix from emulated clients.
+We model the standard bidding mix's main interaction classes, each with
+per-request costs on both tiers:
+
+* web CPU (request parsing, templating) and DB CPU (query execution),
+* client<->web traffic (request in, HTML response out),
+* web<->db traffic (SQL out, result rows back),
+* DB disk reads for queries that miss the buffer pool.
+
+The absolute numbers are synthetic but sized so a 500-client load
+produces the operating region the paper describes (web tier
+bandwidth-heavy and CPU-loaded, DB tier lighter on bandwidth -- the
+stated reason PM2's prediction errors run higher than PM1's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """Cost profile of one RUBiS interaction type.
+
+    CPU costs are in percent-seconds of one VCPU per request (i.e. a
+    cost of 0.5 occupies 0.5 % of a VCPU at 1 request/s); traffic in Kb
+    per request; disk in blocks per request.
+    """
+
+    name: str
+    #: Fraction of the workload mix (all classes sum to 1).
+    mix: float
+    web_cpu_pct_s: float
+    db_cpu_pct_s: float
+    req_kb: float
+    resp_kb: float
+    query_kb: float
+    result_kb: float
+    db_io_blocks: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mix <= 1.0:
+            raise ValueError("mix must be in [0, 1]")
+        for f in (
+            "web_cpu_pct_s",
+            "db_cpu_pct_s",
+            "req_kb",
+            "resp_kb",
+            "query_kb",
+            "result_kb",
+            "db_io_blocks",
+        ):
+            if getattr(self, f) < 0:
+                raise ValueError(f"{f} must be >= 0")
+
+
+#: The RUBiS bidding mix (browsing-heavy, per the standard workload).
+#: Costs are sized so the paper's largest scenario -- three RUBiS web
+#: tiers sharing one PM at 700 clients each (Figure 9) -- stays inside
+#: the PM's effective capacity, like the authors' testbed did.
+BIDDING_MIX: Tuple[RequestClass, ...] = (
+    RequestClass(
+        name="browse_categories",
+        mix=0.30,
+        web_cpu_pct_s=0.68,
+        db_cpu_pct_s=0.185,
+        req_kb=1.3,
+        resp_kb=7.2,
+        query_kb=0.64,
+        result_kb=2.4,
+        db_io_blocks=0.15,
+    ),
+    RequestClass(
+        name="search_items",
+        mix=0.25,
+        web_cpu_pct_s=0.82,
+        db_cpu_pct_s=0.37,
+        req_kb=1.45,
+        resp_kb=8.8,
+        query_kb=0.96,
+        result_kb=3.6,
+        db_io_blocks=0.40,
+    ),
+    RequestClass(
+        name="view_item",
+        mix=0.25,
+        web_cpu_pct_s=0.59,
+        db_cpu_pct_s=0.23,
+        req_kb=1.2,
+        resp_kb=6.4,
+        query_kb=0.48,
+        result_kb=2.0,
+        db_io_blocks=0.20,
+    ),
+    RequestClass(
+        name="place_bid",
+        mix=0.12,
+        web_cpu_pct_s=0.91,
+        db_cpu_pct_s=0.51,
+        req_kb=1.6,
+        resp_kb=4.8,
+        query_kb=1.1,
+        result_kb=1.0,
+        db_io_blocks=0.50,
+    ),
+    RequestClass(
+        name="register_buy",
+        mix=0.08,
+        web_cpu_pct_s=1.05,
+        db_cpu_pct_s=0.60,
+        req_kb=1.75,
+        resp_kb=4.0,
+        query_kb=1.3,
+        result_kb=0.8,
+        db_io_blocks=0.60,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class TierDemand:
+    """Aggregate per-second demand induced by a request rate."""
+
+    web_cpu_pct: float
+    db_cpu_pct: float
+    client_to_web_kbps: float
+    web_to_client_kbps: float
+    web_to_db_kbps: float
+    db_to_web_kbps: float
+    db_io_bps: float
+
+
+def mix_demand(
+    rps: float, mix: Tuple[RequestClass, ...] = BIDDING_MIX
+) -> TierDemand:
+    """Demand vector for ``rps`` requests/s under a workload mix."""
+    if rps < 0:
+        raise ValueError("request rate must be >= 0")
+    total_mix = sum(rc.mix for rc in mix)
+    if abs(total_mix - 1.0) > 1e-6:
+        raise ValueError(f"mix fractions sum to {total_mix}, expected 1.0")
+    web_cpu = db_cpu = c2w = w2c = w2d = d2w = io = 0.0
+    for rc in mix:
+        r = rps * rc.mix
+        web_cpu += r * rc.web_cpu_pct_s
+        db_cpu += r * rc.db_cpu_pct_s
+        c2w += r * rc.req_kb
+        w2c += r * rc.resp_kb
+        w2d += r * rc.query_kb
+        d2w += r * rc.result_kb
+        io += r * rc.db_io_blocks
+    return TierDemand(
+        web_cpu_pct=web_cpu,
+        db_cpu_pct=db_cpu,
+        client_to_web_kbps=c2w,
+        web_to_client_kbps=w2c,
+        web_to_db_kbps=w2d,
+        db_to_web_kbps=d2w,
+        db_io_bps=io,
+    )
+
+
+def per_request_cost(mix: Tuple[RequestClass, ...] = BIDDING_MIX) -> Dict[str, float]:
+    """Mix-weighted mean cost of one request (capacity planning)."""
+    d = mix_demand(1.0, mix)
+    return {
+        "web_cpu_pct_s": d.web_cpu_pct,
+        "db_cpu_pct_s": d.db_cpu_pct,
+        "client_to_web_kb": d.client_to_web_kbps,
+        "web_to_client_kb": d.web_to_client_kbps,
+        "web_to_db_kb": d.web_to_db_kbps,
+        "db_to_web_kb": d.db_to_web_kbps,
+        "db_io_blocks": d.db_io_bps,
+    }

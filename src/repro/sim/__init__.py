@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+This subpackage provides the minimal, dependency-free event-driven
+machinery the Xen substrate is built on:
+
+* :class:`~repro.sim.events.Event` and
+  :class:`~repro.sim.events.EventQueue` -- a stable priority queue of
+  timestamped callbacks.
+* :class:`~repro.sim.engine.Simulator` -- the clock and scheduler.
+* :class:`~repro.sim.process.PeriodicProcess` -- a recurring activity
+  (workload ticks, monitor sampling, scheduler quanta).
+* :class:`~repro.sim.rng.RngRegistry` -- named, independently seeded
+  random streams so components never perturb each other's noise.
+
+The kernel is deliberately small and fully deterministic: two runs with
+the same seed produce bit-identical traces, which the test-suite relies
+on heavily.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import SimTracer, TraceEvent
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "PeriodicProcess",
+    "RngRegistry",
+    "SimTracer",
+    "Simulator",
+    "TraceEvent",
+]

@@ -1,0 +1,124 @@
+"""Timestamped events and the stable event queue.
+
+Events are ordered by ``(time, priority, seq)``.  ``seq`` is a
+monotonically increasing insertion counter, which makes ordering *stable*:
+two events scheduled for the same instant at the same priority fire in
+the order they were scheduled.  Stability matters for reproducibility --
+the Xen scheduler quantum, workload ticks and monitor samples frequently
+coincide on whole-second boundaries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Default event priority.  Lower values fire first at equal timestamps.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    priority:
+        Tie-break for events at the same instant; lower fires first.
+    seq:
+        Insertion counter; guarantees stable FIFO order for ties.
+    callback:
+        Callable invoked as ``callback(event)`` when the event fires.
+    payload:
+        Arbitrary user data carried by the event.
+    cancelled:
+        Set via :meth:`cancel`; cancelled events are skipped by the queue.
+    """
+
+    time: float
+    priority: int = DEFAULT_PRIORITY
+    seq: int = 0
+    callback: Optional[Callable[["Event"], None]] = field(
+        default=None, compare=False
+    )
+    payload: Any = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be silently dropped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if not self.cancelled and self.callback is not None:
+            self.callback(self)
+
+
+class EventQueue:
+    """A heap of :class:`Event` with stable same-time ordering.
+
+    The queue never raises on popping cancelled events -- they are lazily
+    discarded, which keeps :meth:`cancel` O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def __bool__(self) -> bool:
+        self._discard_cancelled_head()
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return the event.
+
+        Raises
+        ------
+        ValueError
+            If ``time`` is negative or not finite.
+        """
+        if not (time >= 0.0) or time != time or time == float("inf"):
+            raise ValueError(f"event time must be finite and >= 0, got {time!r}")
+        ev = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or ``None``."""
+        self._discard_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._discard_cancelled_head()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def _discard_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,88 @@
+"""Recurring simulated activities.
+
+Most actors in the testbed are periodic: workloads update their demand
+every tick, the credit scheduler runs every 30 ms quantum, monitors
+sample once per second.  :class:`PeriodicProcess` packages the schedule /
+reschedule / stop pattern so components only write their per-tick body.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class PeriodicProcess:
+    """Invoke ``body(now)`` every ``interval`` seconds.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    interval:
+        Period in seconds; must be positive.
+    body:
+        Callable invoked with the current simulation time.
+    priority:
+        Event priority of the ticks (lower fires first at equal times).
+    start_at:
+        Absolute time of the first tick; defaults to ``sim.now + interval``.
+
+    The process self-reschedules after each tick until :meth:`stop` is
+    called.  Ticks therefore land on the exact lattice
+    ``start_at + k * interval`` with no drift.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        body: Callable[[float], None],
+        *,
+        priority: int = 0,
+        start_at: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self._sim = sim
+        self._interval = interval
+        self._body = body
+        self._priority = priority
+        self._next_time = sim.now + interval if start_at is None else start_at
+        self._event: Optional[Event] = None
+        self._stopped = False
+        self.ticks = 0
+        self._schedule()
+
+    @property
+    def interval(self) -> float:
+        """The tick period in seconds."""
+        return self._interval
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has been called."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Cancel the pending tick and stop rescheduling."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _schedule(self) -> None:
+        if self._stopped:
+            return
+        self._event = self._sim.at(
+            self._next_time, self._tick, priority=self._priority
+        )
+
+    def _tick(self, _ev: Event) -> None:
+        self._event = None
+        self.ticks += 1
+        self._body(self._sim.now)
+        self._next_time += self._interval
+        self._schedule()

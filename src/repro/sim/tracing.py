@@ -1,0 +1,105 @@
+"""Simulator event tracing (debugging instrumentation).
+
+A :class:`SimTracer` records a bounded, filterable log of interesting
+moments -- component state changes, scheduler decisions, experiment
+milestones -- stamped with the simulation clock.  Components emit via
+:meth:`SimTracer.emit`; nothing is recorded unless a tracer is
+installed, so the hot path stays free of logging overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded moment."""
+
+    time: float
+    source: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.time:12.3f}s] {self.source}: {self.message}"
+
+
+class SimTracer:
+    """Bounded in-memory event log bound to one simulator clock.
+
+    Parameters
+    ----------
+    sim:
+        The clock source.
+    capacity:
+        Maximum retained events (oldest dropped first).
+    source_filter:
+        Optional predicate on the source label; events from filtered-out
+        sources are not recorded.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        capacity: int = 10_000,
+        source_filter: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._sim = sim
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._filter = source_filter
+        #: Total emitted (including dropped and filtered).
+        self.emitted = 0
+        #: Recorded but later evicted by the capacity bound.
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, source: str, message: str) -> None:
+        """Record one event at the current simulation time."""
+        if not source:
+            raise ValueError("source must be non-empty")
+        self.emitted += 1
+        if self._filter is not None and not self._filter(source):
+            return
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(time=self._sim.now, source=source, message=message)
+        )
+
+    def events(
+        self,
+        *,
+        source: Optional[str] = None,
+        since: float = float("-inf"),
+    ) -> List[TraceEvent]:
+        """Recorded events, optionally restricted by source and time."""
+        return [
+            ev
+            for ev in self._events
+            if ev.time >= since and (source is None or ev.source == source)
+        ]
+
+    def tail(self, n: int = 20) -> List[TraceEvent]:
+        """The most recent ``n`` events."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return list(self._events)[-n:]
+
+    def clear(self) -> None:
+        """Drop all recorded events (counters keep running)."""
+        self._events.clear()
+
+    def render(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
+        """Human-readable dump."""
+        return "\n".join(
+            ev.render() for ev in (events if events is not None else self._events)
+        )

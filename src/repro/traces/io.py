@@ -1,0 +1,89 @@
+"""CSV / JSON round-tripping for traces.
+
+The experiment harness archives every measurement run so figures can be
+re-rendered without re-simulating; the formats are deliberately plain
+(one CSV per trace set, wide layout; JSON with explicit schema) so the
+data can be inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.traces.trace import Trace, TraceSet
+
+PathLike = Union[str, Path]
+
+#: Schema tag written into JSON exports.
+JSON_SCHEMA = "repro.traceset.v1"
+
+
+def save_csv(traces: TraceSet, path: PathLike) -> None:
+    """Write a trace set as a wide CSV: ``time`` plus one column each.
+
+    All traces must share timestamps (true for monitor output).
+    """
+    names = traces.names
+    if not names:
+        raise ValueError("cannot save an empty trace set")
+    mat = traces.matrix(names)
+    times = traces[names[0]].times
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time"] + names)
+        for i, t in enumerate(times):
+            writer.writerow([f"{t:.6f}"] + [f"{v:.9g}" for v in mat[i]])
+
+
+def load_csv(path: PathLike, units: dict[str, str] | None = None) -> TraceSet:
+    """Read a wide CSV written by :func:`save_csv`."""
+    units = units or {}
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if not header or header[0] != "time":
+            raise ValueError(f"{path}: not a trace CSV (missing time column)")
+        names = header[1:]
+        rows = [[float(x) for x in row] for row in reader if row]
+    if not rows:
+        raise ValueError(f"{path}: no samples")
+    data = np.asarray(rows)
+    out = TraceSet()
+    for j, name in enumerate(names):
+        out.add(Trace(name, data[:, 0], data[:, j + 1], units.get(name, "")))
+    return out
+
+
+def save_json(traces: TraceSet, path: PathLike) -> None:
+    """Write a trace set as schema-tagged JSON (self-describing)."""
+    doc = {
+        "schema": JSON_SCHEMA,
+        "traces": [
+            {
+                "name": tr.name,
+                "units": tr.units,
+                "times": tr.times.tolist(),
+                "values": tr.values.tolist(),
+            }
+            for tr in traces
+        ],
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+
+
+def load_json(path: PathLike) -> TraceSet:
+    """Read a trace set written by :func:`save_json`."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("schema") != JSON_SCHEMA:
+        raise ValueError(f"{path}: not a {JSON_SCHEMA} document")
+    out = TraceSet()
+    for rec in doc["traces"]:
+        out.add(Trace(rec["name"], rec["times"], rec["values"], rec["units"]))
+    return out

@@ -1,0 +1,118 @@
+"""Synthetic demand-trace generators.
+
+Used to stress the CloudScale predictor and the regression models with
+workload patterns the measurement study cannot produce on demand:
+strict periodicity, on/off bursts, random walks, and ramps.  All
+generators are deterministic given their generator argument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+
+def _times(n: int, period: float) -> np.ndarray:
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    return period * np.arange(1, n + 1)
+
+
+def constant(n: int, level: float, *, period: float = 1.0, name: str = "constant") -> Trace:
+    """A flat trace at ``level``."""
+    if level < 0:
+        raise ValueError("level must be >= 0")
+    t = _times(n, period)
+    return Trace(name, t, np.full(n, float(level)))
+
+
+def periodic(
+    n: int,
+    *,
+    mean: float,
+    amplitude: float,
+    wave_period: float,
+    period: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    noise: float = 0.0,
+    name: str = "periodic",
+) -> Trace:
+    """A sinusoidal demand signature (CloudScale's favourite case)."""
+    if amplitude < 0 or mean < 0:
+        raise ValueError("mean and amplitude must be >= 0")
+    if wave_period <= 0:
+        raise ValueError("wave_period must be positive")
+    t = _times(n, period)
+    values = mean + amplitude * np.sin(2.0 * math.pi * t / wave_period)
+    if rng is not None and noise > 0:
+        values = values * np.exp(rng.normal(0.0, noise, n))
+    return Trace(name, t, np.maximum(0.0, values))
+
+
+def onoff(
+    n: int,
+    *,
+    low: float,
+    high: float,
+    on_len: int,
+    off_len: int,
+    period: float = 1.0,
+    name: str = "onoff",
+) -> Trace:
+    """A square-wave burst pattern: ``on_len`` highs, ``off_len`` lows."""
+    if on_len <= 0 or off_len <= 0:
+        raise ValueError("on_len and off_len must be positive")
+    if low < 0 or high < low:
+        raise ValueError("need 0 <= low <= high")
+    t = _times(n, period)
+    cycle = on_len + off_len
+    phase = np.arange(n) % cycle
+    values = np.where(phase < on_len, float(high), float(low))
+    return Trace(name, t, values)
+
+
+def random_walk(
+    n: int,
+    *,
+    start: float,
+    step_sigma: float,
+    rng: np.random.Generator,
+    lo: float = 0.0,
+    hi: float = float("inf"),
+    period: float = 1.0,
+    name: str = "walk",
+) -> Trace:
+    """A reflected Gaussian random walk in ``[lo, hi]``."""
+    if step_sigma < 0:
+        raise ValueError("step_sigma must be >= 0")
+    if not lo <= start <= hi:
+        raise ValueError("start must lie in [lo, hi]")
+    t = _times(n, period)
+    steps = rng.normal(0.0, step_sigma, n)
+    values = np.empty(n)
+    cur = float(start)
+    for i in range(n):
+        cur = min(hi, max(lo, cur + steps[i]))
+        values[i] = cur
+    return Trace(name, t, values)
+
+
+def ramp(
+    n: int,
+    *,
+    start: float,
+    end: float,
+    period: float = 1.0,
+    name: str = "ramp",
+) -> Trace:
+    """A linear ramp from ``start`` to ``end`` (either direction)."""
+    if start < 0 or end < 0:
+        raise ValueError("levels must be >= 0")
+    t = _times(n, period)
+    return Trace(name, t, np.linspace(start, end, n))

@@ -1,0 +1,171 @@
+"""Time-series containers used by the monitoring and modeling layers.
+
+A :class:`Trace` is one named metric sampled at known times; a
+:class:`TraceSet` is a bundle of traces on a shared clock (one
+measurement run).  Both are thin, vectorized wrappers over numpy arrays
+-- the regression pipeline consumes them directly as matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Trace:
+    """One metric's time series.
+
+    Attributes
+    ----------
+    name:
+        Metric identifier, conventionally ``"<entity>.<resource>"``
+        (e.g. ``"vm1.cpu"``, ``"pm.bw"``).
+    times:
+        Sample timestamps in seconds, strictly increasing.
+    values:
+        Sample values, same length as ``times``.
+    units:
+        Unit label for reports (``"%"``, ``"blocks/s"``, ``"Kb/s"``,
+        ``"MB"``).
+    """
+
+    name: str
+    times: np.ndarray
+    values: np.ndarray
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.ndim != 1 or self.values.ndim != 1:
+            raise ValueError("times and values must be 1-D")
+        if len(self.times) != len(self.values):
+            raise ValueError(
+                f"times ({len(self.times)}) and values ({len(self.values)}) "
+                "must have equal length"
+            )
+        if len(self.times) > 1 and not np.all(np.diff(self.times) > 0):
+            raise ValueError("times must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times.tolist(), self.values.tolist()))
+
+    # -- statistics ------------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (the paper's reported statistic)."""
+        if len(self) == 0:
+            raise ValueError(f"trace {self.name!r} is empty")
+        return float(np.mean(self.values))
+
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0 for singleton traces)."""
+        if len(self) == 0:
+            raise ValueError(f"trace {self.name!r} is empty")
+        if len(self) == 1:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the values (0-100)."""
+        if len(self) == 0:
+            raise ValueError(f"trace {self.name!r} is empty")
+        return float(np.percentile(self.values, q))
+
+    # -- transformations ---------------------------------------------------
+
+    def window(self, t0: float, t1: float) -> "Trace":
+        """Samples with ``t0 <= time <= t1`` as a new trace."""
+        if t1 < t0:
+            raise ValueError("window end before start")
+        mask = (self.times >= t0) & (self.times <= t1)
+        return Trace(self.name, self.times[mask], self.values[mask], self.units)
+
+    def resample(self, period: float) -> "Trace":
+        """Bucket-average onto a regular grid of width ``period``.
+
+        Bucket ``k`` spans ``[k*period, (k+1)*period)`` and is stamped at
+        its right edge; empty buckets are dropped.  The total integral
+        (mean x duration) is conserved up to edge effects, which the
+        property tests verify.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if len(self) == 0:
+            return Trace(self.name, [], [], self.units)
+        idx = np.floor(self.times / period).astype(int)
+        buckets = np.unique(idx)
+        out_t = np.empty(len(buckets))
+        out_v = np.empty(len(buckets))
+        for i, b in enumerate(buckets):
+            sel = idx == b
+            out_t[i] = (b + 1) * period
+            out_v[i] = float(np.mean(self.values[sel]))
+        return Trace(self.name, out_t, out_v, self.units)
+
+    def map(self, fn) -> "Trace":
+        """Apply ``fn`` elementwise to the values."""
+        return Trace(self.name, self.times.copy(), fn(self.values), self.units)
+
+
+class TraceSet:
+    """A bundle of traces from one measurement run."""
+
+    def __init__(self, traces: Optional[Iterable[Trace]] = None) -> None:
+        self._traces: Dict[str, Trace] = {}
+        for tr in traces or ():
+            self.add(tr)
+
+    def add(self, trace: Trace) -> None:
+        """Insert a trace; duplicate names are rejected."""
+        if trace.name in self._traces:
+            raise ValueError(f"duplicate trace {trace.name!r}")
+        self._traces[trace.name] = trace
+
+    def __getitem__(self, name: str) -> Trace:
+        try:
+            return self._traces[name]
+        except KeyError:
+            raise KeyError(
+                f"no trace {name!r}; have {sorted(self._traces)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces.values())
+
+    @property
+    def names(self) -> list[str]:
+        """Sorted trace names."""
+        return sorted(self._traces)
+
+    def means(self) -> Dict[str, float]:
+        """Mean of every trace (the paper's per-run summary)."""
+        return {name: tr.mean() for name, tr in sorted(self._traces.items())}
+
+    def matrix(self, names: Sequence[str]) -> np.ndarray:
+        """Column-stack the selected traces into an (n_samples, k) array.
+
+        All selected traces must share identical timestamps.
+        """
+        if not names:
+            raise ValueError("names must be non-empty")
+        cols = [self[n] for n in names]
+        base = cols[0].times
+        for tr in cols[1:]:
+            if len(tr.times) != len(base) or not np.allclose(tr.times, base):
+                raise ValueError(
+                    f"trace {tr.name!r} is not aligned with {cols[0].name!r}"
+                )
+        return np.column_stack([tr.values for tr in cols])

@@ -1,0 +1,111 @@
+"""Workload abstractions.
+
+A workload is attached to a :class:`~repro.xen.vm.GuestVM` and drives
+its demand vector.  Static workloads (the Table II micro benchmarks)
+write the demand once; dynamic workloads (RUBiS load ramps) reschedule
+themselves on a 1 Hz :class:`~repro.sim.process.PeriodicProcess` and
+evaluate an intensity profile at each tick.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.xen.machine import WORKLOAD_PRIORITY
+from repro.xen.vm import GuestVM
+
+
+class Workload(abc.ABC):
+    """Base class: attach/detach protocol plus an intensity dial."""
+
+    def __init__(self, intensity: float) -> None:
+        if intensity < 0:
+            raise ValueError("intensity must be >= 0")
+        self._intensity = float(intensity)
+        self._vm: Optional[GuestVM] = None
+
+    @property
+    def intensity(self) -> float:
+        """Current workload intensity in the workload's native unit."""
+        return self._intensity
+
+    @intensity.setter
+    def intensity(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("intensity must be >= 0")
+        self._intensity = float(value)
+        if self._vm is not None:
+            self._apply(self._vm)
+
+    @property
+    def vm(self) -> Optional[GuestVM]:
+        """The guest this workload currently drives, if any."""
+        return self._vm
+
+    def attach(self, vm: GuestVM) -> "Workload":
+        """Start driving ``vm``'s demand; returns ``self`` for chaining."""
+        if self._vm is not None:
+            raise RuntimeError("workload is already attached")
+        self._vm = vm
+        self._apply(vm)
+        return self
+
+    def detach(self) -> None:
+        """Stop driving the guest and clear the demand we wrote."""
+        if self._vm is None:
+            return
+        self._clear(self._vm)
+        self._vm = None
+
+    @abc.abstractmethod
+    def _apply(self, vm: GuestVM) -> None:
+        """Write the demand corresponding to the current intensity."""
+
+    @abc.abstractmethod
+    def _clear(self, vm: GuestVM) -> None:
+        """Undo whatever :meth:`_apply` wrote."""
+
+
+class DynamicWorkload:
+    """Drives a workload's intensity from a time profile.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the clock.
+    workload:
+        An attached (or about-to-be-attached) :class:`Workload`.
+    profile:
+        ``profile(t) -> intensity`` evaluated once per ``period``.
+    period:
+        Update period in seconds (default 1 s, the paper's monitoring
+        resolution).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workload: Workload,
+        profile: Callable[[float], float],
+        *,
+        period: float = 1.0,
+    ) -> None:
+        self.workload = workload
+        self.profile = profile
+        self._proc = PeriodicProcess(
+            sim,
+            period,
+            self._tick,
+            priority=WORKLOAD_PRIORITY,
+            start_at=sim.now,
+        )
+
+    def _tick(self, now: float) -> None:
+        self.workload.intensity = max(0.0, float(self.profile(now)))
+
+    def stop(self) -> None:
+        """Stop updating; the workload keeps its last intensity."""
+        self._proc.stop()

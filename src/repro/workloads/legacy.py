@@ -1,0 +1,139 @@
+"""httperf / Iperf-style legacy benchmark generators.
+
+Prior work ([12], [13], [14] in the paper) drove its measurements with
+``httperf`` and ``Iperf``.  Section III-B's critique: those benchmarks
+"cannot provide a workload that has high utilization on a sole resource
+and low overhead on other resources" -- an httperf connection burns web
+CPU *and* bandwidth *and* disk; Iperf saturates bandwidth while also
+consuming CPU.  The paper builds lookbusy/ping micro benchmarks instead.
+
+These classes reproduce the legacy generators so the critique is
+testable: :func:`resource_purity` quantifies how concentrated a
+workload's resource footprint is, and the suite shows Table II
+benchmarks scoring near 1.0 while httperf/Iperf smear across resources.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.base import Workload
+from repro.xen.network import Flow, external_host
+from repro.xen.vm import GuestVM
+
+
+class HttperfLoad(Workload):
+    """An httperf-style HTTP request generator.
+
+    Intensity unit: requests/s.  Each request costs guest CPU (parsing,
+    templating), transfers a response over the network and occasionally
+    misses the page cache (disk reads) -- a deliberately *impure*
+    workload.
+    """
+
+    def __init__(
+        self,
+        intensity: float,
+        *,
+        dst: str = "server",
+        cpu_pct_per_rps: float = 0.45,
+        resp_kb: float = 8.0,
+        io_bps_per_rps: float = 0.25,
+    ) -> None:
+        super().__init__(intensity)
+        if min(cpu_pct_per_rps, resp_kb, io_bps_per_rps) < 0:
+            raise ValueError("per-request costs must be >= 0")
+        self.cpu_pct_per_rps = cpu_pct_per_rps
+        self.resp_kb = resp_kb
+        self.io_bps_per_rps = io_bps_per_rps
+        self.dst = external_host(dst)
+        self._flow: Optional[Flow] = None
+
+    def _apply(self, vm: GuestVM) -> None:
+        rps = self.intensity
+        vm.demand.cpu_pct = self.cpu_pct_per_rps * rps
+        vm.demand.io_bps = self.io_bps_per_rps * rps
+        kbps = self.resp_kb * rps
+        if self._flow is None:
+            self._flow = vm.add_flow(
+                Flow(src=vm.name, dst=self.dst, kbps=kbps, packet_kb=self.resp_kb)
+            )
+        else:
+            self._flow.kbps = kbps
+
+    def _clear(self, vm: GuestVM) -> None:
+        vm.demand.cpu_pct = 0.0
+        vm.demand.io_bps = 0.0
+        if self._flow is not None:
+            vm.remove_flow(self._flow)
+            self._flow = None
+
+
+class IperfLoad(Workload):
+    """An Iperf-style bulk TCP stream.
+
+    Intensity unit: Mb/s.  Saturating a stream costs real guest CPU
+    (copying, checksums) on top of the bandwidth itself -- about 1 % of
+    a VCPU per 10 Mb/s on period hardware.
+    """
+
+    def __init__(
+        self,
+        intensity: float,
+        *,
+        dst: str = "sink",
+        cpu_pct_per_mbps: float = 0.1,
+    ) -> None:
+        super().__init__(intensity)
+        if cpu_pct_per_mbps < 0:
+            raise ValueError("cpu_pct_per_mbps must be >= 0")
+        self.cpu_pct_per_mbps = cpu_pct_per_mbps
+        self.dst = external_host(dst)
+        self._flow: Optional[Flow] = None
+
+    def _apply(self, vm: GuestVM) -> None:
+        mbps = self.intensity
+        vm.demand.cpu_pct = self.cpu_pct_per_mbps * mbps
+        if self._flow is None:
+            self._flow = vm.add_flow(
+                Flow(src=vm.name, dst=self.dst, kbps=mbps * 1000.0)
+            )
+        else:
+            self._flow.kbps = mbps * 1000.0
+
+    def _clear(self, vm: GuestVM) -> None:
+        vm.demand.cpu_pct = 0.0
+        if self._flow is not None:
+            vm.remove_flow(self._flow)
+            self._flow = None
+
+
+#: Default purity scales: the Table II maxima (cpu %, mem Mb, io
+#: blocks/s, bw Kb/s) -- the measurement study's operating envelope.
+TABLE_II_SCALES = (99.0, 50.0, 72.0, 1280.0)
+
+
+def resource_purity(
+    vm: GuestVM, scales: tuple[float, float, float, float] = TABLE_II_SCALES
+) -> float:
+    """How single-resource a guest's demand footprint is, in [0, 1].
+
+    Each resource demand is normalized by ``scales`` (cpu, mem, io, bw;
+    defaulting to the Table II maxima, i.e. the measurement study's
+    operating envelope); purity is the largest normalized share of the
+    total.  A Table II micro benchmark scores ~1.0; an httperf-style
+    mix scores well below.  The metric is scale-relative by nature --
+    pass capacity-based scales to judge purity at line-rate intensities.
+    """
+    if len(scales) != 4 or any(s <= 0 for s in scales):
+        raise ValueError("scales must be four positive numbers")
+    norm = [
+        vm.demand.cpu_pct / scales[0],
+        vm.demand.mem_mb / scales[1],
+        vm.demand.io_bps / scales[2],
+        vm.outbound_kbps() / scales[3],
+    ]
+    total = sum(norm)
+    if total <= 0:
+        raise ValueError("guest has no demand; purity undefined")
+    return max(norm) / total

@@ -1,0 +1,67 @@
+"""lookbusy-style single-resource hogs.
+
+The paper generates its CPU-, memory- and I/O-intensive micro
+benchmarks with `lookbusy` because, unlike application benchmarks, it
+loads exactly one resource while leaving the others near idle (Section
+III-B).  These classes replicate that property: each hog writes exactly
+one field of the guest's demand vector (plus, for the I/O hog, the small
+fixed CPU cost the tool itself exhibits -- the paper measures a flat
+0.84 % guest CPU during I/O runs).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.xen.vm import GuestVM
+
+#: Guest CPU consumed by the I/O generator itself, independent of the
+#: I/O intensity (paper Figs. 2c/3c/4c report a flat 0.84 %).
+IO_HOG_CPU_PCT = 0.84
+
+
+class CpuHog(Workload):
+    """Busy-spin at a target CPU utilization (``lookbusy -c N``).
+
+    Intensity unit: percent of one VCPU (Table II grid: 1/30/60/90/99).
+    """
+
+    def _apply(self, vm: GuestVM) -> None:
+        vm.demand.cpu_pct = self.intensity
+
+    def _clear(self, vm: GuestVM) -> None:
+        vm.demand.cpu_pct = 0.0
+
+
+class MemHog(Workload):
+    """Hold a memory working set (``lookbusy -m SIZE``).
+
+    Intensity unit: MiB (Table II grid: 0.03/5/10/20/50).
+    """
+
+    def _apply(self, vm: GuestVM) -> None:
+        vm.demand.mem_mb = self.intensity
+
+    def _clear(self, vm: GuestVM) -> None:
+        vm.demand.mem_mb = 0.0
+
+
+class IoHog(Workload):
+    """Generate disk traffic at a target block rate (``lookbusy -d``).
+
+    Intensity unit: blocks/s (Table II grid: 15/19/27/46/72).  Also
+    charges the generator's own fixed CPU cost to the guest.
+    """
+
+    def __init__(self, intensity: float, *, cpu_cost_pct: float = IO_HOG_CPU_PCT):
+        super().__init__(intensity)
+        if cpu_cost_pct < 0:
+            raise ValueError("cpu_cost_pct must be >= 0")
+        self.cpu_cost_pct = cpu_cost_pct
+
+    def _apply(self, vm: GuestVM) -> None:
+        vm.demand.io_bps = self.intensity
+        vm.demand.cpu_pct = self.cpu_cost_pct
+
+    def _clear(self, vm: GuestVM) -> None:
+        vm.demand.io_bps = 0.0
+        vm.demand.cpu_pct = 0.0

@@ -1,0 +1,106 @@
+"""ping-style network bandwidth workloads.
+
+The paper uses ``ping`` with large payloads to generate bandwidth-
+intensive traffic (Table II) -- to a VM on another PM for the inter-PM
+experiments, and between two co-located VMs with 64 Kb packets for the
+intra-PM experiment (Figure 5).
+
+A :class:`PingLoad` owns one outbound :class:`~repro.xen.network.Flow`
+whose rate tracks the workload intensity, plus the small guest CPU cost
+of running the generator itself (paper Fig. 2e: VM CPU starts at 0.5 %
+under the lightest bandwidth load).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.base import Workload
+from repro.xen.network import Flow, external_host
+from repro.xen.vm import GuestVM
+
+#: Guest CPU the ping generator itself burns, before per-Kb/s costs.
+PING_BASE_CPU_PCT = 0.5
+#: Payload used by the paper's intra-PM experiment (64 Kb).
+INTRA_PM_PACKET_KB = 64.0
+
+
+class PingLoad(Workload):
+    """Stream packets at a target rate.
+
+    Parameters
+    ----------
+    intensity:
+        Offered rate in Kb/s.  (Table II lists Mb/s; the suite converts.)
+    dst:
+        Destination: a VM name for VM-to-VM traffic, or any host label
+        for traffic leaving the cluster (wrapped via
+        :func:`~repro.xen.network.external_host` when ``external=True``).
+    external:
+        If true, ``dst`` is outside the simulated cluster.
+    intra_pm:
+        Force intra-PM classification (the owning machine also detects
+        co-located destinations automatically).
+    packet_kb:
+        Payload size per packet.
+    base_cpu_pct:
+        Generator CPU cost charged to the guest.
+    """
+
+    def __init__(
+        self,
+        intensity: float,
+        *,
+        dst: str = "peer",
+        external: bool = True,
+        intra_pm: bool = False,
+        packet_kb: float = 12.0,
+        base_cpu_pct: float = PING_BASE_CPU_PCT,
+    ) -> None:
+        super().__init__(intensity)
+        if external and intra_pm:
+            raise ValueError("a flow cannot be both external and intra-PM")
+        if base_cpu_pct < 0:
+            raise ValueError("base_cpu_pct must be >= 0")
+        self.dst = external_host(dst) if external else dst
+        self.intra_pm = intra_pm
+        self.packet_kb = packet_kb
+        self.base_cpu_pct = base_cpu_pct
+        self._flow: Optional[Flow] = None
+
+    @property
+    def flow(self) -> Optional[Flow]:
+        """The live flow while attached."""
+        return self._flow
+
+    def _apply(self, vm: GuestVM) -> None:
+        if self._flow is None:
+            self._flow = vm.add_flow(
+                Flow(
+                    src=vm.name,
+                    dst=self.dst,
+                    kbps=self.intensity,
+                    packet_kb=self.packet_kb,
+                    intra_pm=self.intra_pm,
+                )
+            )
+        else:
+            self._flow.kbps = self.intensity
+        vm.demand.cpu_pct = self.base_cpu_pct
+
+    def _clear(self, vm: GuestVM) -> None:
+        if self._flow is not None:
+            vm.remove_flow(self._flow)
+            self._flow = None
+        vm.demand.cpu_pct = 0.0
+
+
+def intra_pm_ping(intensity_kbps: float, dst_vm: str) -> PingLoad:
+    """The paper's Figure 5 workload: 64 Kb pings to a co-located VM."""
+    return PingLoad(
+        intensity_kbps,
+        dst=dst_vm,
+        external=False,
+        intra_pm=True,
+        packet_kb=INTRA_PM_PACKET_KB,
+    )

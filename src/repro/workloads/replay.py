@@ -1,0 +1,119 @@
+"""Trace-replay workloads.
+
+The paper's evaluation is "trace-driven": recorded utilization series
+drive the experiments.  :class:`TraceReplay` plays a recorded
+:class:`~repro.traces.Trace` back into a guest's demand -- replaying a
+production CPU trace against the simulator, or re-running a measured
+RUBiS tier without the application logic.
+
+The trace is sampled with zero-order hold (the value in force at time
+``t`` is the last sample at or before ``t``); replay can loop and can
+be time-scaled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.traces.trace import Trace
+from repro.workloads.base import Workload
+from repro.xen.machine import WORKLOAD_PRIORITY
+from repro.xen.vm import GuestVM
+
+
+def value_at(trace: Trace, t: float) -> float:
+    """Zero-order-hold lookup: the last sample at or before ``t``.
+
+    Before the first sample the first value holds (leading flat).
+    """
+    if len(trace) == 0:
+        raise ValueError(f"trace {trace.name!r} is empty")
+    idx = int(np.searchsorted(trace.times, t, side="right")) - 1
+    idx = max(0, idx)
+    return float(trace.values[idx])
+
+
+class TraceReplay:
+    """Drive one resource of a guest from a recorded trace.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the clock.
+    workload:
+        The single-resource workload whose intensity is driven (e.g. a
+        :class:`~repro.workloads.lookbusy.CpuHog` attached to the target
+        guest).
+    trace:
+        The recorded series, in the workload's intensity units.
+    loop:
+        Restart from the beginning when the trace ends (otherwise the
+        last value holds).
+    time_scale:
+        Playback speed; 2.0 replays the trace twice as fast.
+    period:
+        Update period in simulated seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workload: Workload,
+        trace: Trace,
+        *,
+        loop: bool = False,
+        time_scale: float = 1.0,
+        period: float = 1.0,
+    ) -> None:
+        if len(trace) == 0:
+            raise ValueError("cannot replay an empty trace")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.workload = workload
+        self.trace = trace
+        self.loop = loop
+        self.time_scale = time_scale
+        self._t0 = sim.now
+        self._span = float(trace.times[-1])
+        self._proc = PeriodicProcess(
+            sim,
+            period,
+            self._tick,
+            priority=WORKLOAD_PRIORITY,
+            start_at=sim.now,
+        )
+
+    @property
+    def finished(self) -> bool:
+        """True once a non-looping replay has passed the trace end."""
+        return self._proc.stopped
+
+    def stop(self) -> None:
+        """Stop replaying; the workload keeps its last intensity."""
+        self._proc.stop()
+
+    def _tick(self, now: float) -> None:
+        t = (now - self._t0) * self.time_scale
+        if self.loop and self._span > 0:
+            t = t % self._span
+        elif t > self._span:
+            self.workload.intensity = float(self.trace.values[-1])
+            self._proc.stop()
+            return
+        self.workload.intensity = max(0.0, value_at(self.trace, t))
+
+
+def replay_onto_vm(
+    sim: Simulator,
+    vm: GuestVM,
+    trace: Trace,
+    workload: Workload,
+    **kwargs,
+) -> TraceReplay:
+    """Attach ``workload`` to ``vm`` and replay ``trace`` through it."""
+    workload.attach(vm)
+    return TraceReplay(sim, workload, trace, **kwargs)

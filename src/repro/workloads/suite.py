@@ -1,0 +1,97 @@
+"""Table II: the measurement-study benchmark grids.
+
+The paper sweeps each single-resource benchmark over five intensity
+levels (Section III-B, Table II).  This module is the single source of
+truth for those grids; the figure experiments and benchmarks enumerate
+them from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.workloads.base import Workload
+from repro.workloads.lookbusy import CpuHog, IoHog, MemHog
+from repro.workloads.netload import PingLoad
+
+#: Benchmark kind identifiers (paper drops "-intensive" for brevity).
+CPU = "cpu"
+MEM = "mem"
+IO = "io"
+BW = "bw"
+
+KINDS: Tuple[str, ...] = (CPU, MEM, IO, BW)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One row of Table II."""
+
+    kind: str
+    label: str
+    units: str
+    levels: Tuple[float, ...]
+
+
+#: Table II, verbatim.
+TABLE_II: Dict[str, BenchmarkSpec] = {
+    CPU: BenchmarkSpec(
+        kind=CPU,
+        label="CPU-intensive",
+        units="%",
+        levels=(1.0, 30.0, 60.0, 90.0, 99.0),
+    ),
+    MEM: BenchmarkSpec(
+        kind=MEM,
+        label="MEM-intensive",
+        units="Mb",
+        levels=(0.03, 5.0, 10.0, 20.0, 50.0),
+    ),
+    IO: BenchmarkSpec(
+        kind=IO,
+        label="I/O-intensive",
+        units="blocks/s",
+        levels=(15.0, 19.0, 27.0, 46.0, 72.0),
+    ),
+    BW: BenchmarkSpec(
+        kind=BW,
+        label="BW-intensive",
+        units="Mb/s",
+        levels=(0.001, 0.16, 0.32, 0.64, 1.28),
+    ),
+}
+
+
+def intensity_levels(kind: str) -> Tuple[float, ...]:
+    """The five Table II intensity levels for ``kind``."""
+    return _spec(kind).levels
+
+
+def make_benchmark(kind: str, intensity: float, **kwargs) -> Workload:
+    """Instantiate the workload for one Table II cell.
+
+    ``intensity`` is given in the table's native unit (so BW in Mb/s);
+    conversion to the simulator's Kb/s happens here.  Extra ``kwargs``
+    are forwarded to the workload constructor (e.g. ``dst`` for BW).
+    """
+    spec = _spec(kind)
+    if intensity < 0:
+        raise ValueError("intensity must be >= 0")
+    if kind == CPU:
+        return CpuHog(intensity, **kwargs)
+    if kind == MEM:
+        return MemHog(intensity, **kwargs)
+    if kind == IO:
+        return IoHog(intensity, **kwargs)
+    assert spec.kind == BW
+    return PingLoad(intensity * 1000.0, **kwargs)
+
+
+def _spec(kind: str) -> BenchmarkSpec:
+    try:
+        return TABLE_II[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark kind {kind!r}; expected one of {KINDS}"
+        ) from None

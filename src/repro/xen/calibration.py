@@ -1,0 +1,267 @@
+"""Calibration constants anchoring the simulator to the paper's testbed.
+
+Every constant below is traceable to a number reported in Section IV of
+the paper; the derivations are spelled out next to each field.  All of
+the simulator's cost accounting reads from this one dataclass --
+experiments and tests never hard-code these values.
+
+Calibration method
+------------------
+The paper reports *anchor points* (baselines, endpoints, increase rates,
+plateaus).  We choose the smallest mechanistic model that passes through
+the anchors:
+
+* Dom0 and hypervisor CPU demand are each
+
+  ``base + colo * (N-1) * act + lin * s + quad * s**2``
+
+  where ``s = total_granted_guest_cpu / (1 + sigma * (N-1))`` is the
+  *batched* control-load signal (Dom0 amortizes event-channel and
+  xenstore work across co-located VMs -- the batching discount
+  ``sigma`` is why per-VM overhead shrinks with colocation), ``act`` is
+  the mean granted guest CPU as a fraction of a VCPU (idle co-located
+  VMs cost almost nothing), and ``colo`` is per-additional-VM
+  housekeeping (per-domain xenstore watches, qemu-dm).
+
+* Network processing adds ``nb_inter`` (or ``nb_intra``) percentage
+  points of Dom0 CPU per Kb/s routed through the VIFs, and ``evtchn``
+  points of hypervisor CPU per Kb/s (event-channel notifications).
+
+* The credit scheduler serves the hypervisor off the top, then Dom0
+  (boost priority), then water-fills guests inside the remaining
+  effective capacity.
+
+Closed-form fit (see the field comments for the arithmetic):
+
+=====================  ==========================================
+anchor (paper)          constraint satisfied
+=====================  ==========================================
+Dom0 idle 16.8 %        ``dom0_cpu_base``
+Dom0 29.5 % @ 99 % VM   ``dom0_ctl_quad`` given ``dom0_ctl_lin``
+Dom0 plateau 23.4 %     ``dom0_batch_sigma``, ``dom0_colo_pct`` (N=2 and N=4)
+hyp idle 3.0 %          ``hyp_cpu_base``
+hyp 14 % @ 99 % VM      ``hyp_ctl_quad`` given ``hyp_ctl_lin``
+hyp plateau 12.0 %      ``hyp_batch_sigma``, ``hyp_colo_pct``
+guests 95 % / 47 %      ``effective_capacity_pct`` = 225
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class XenCalibration:
+    """All tunable constants of the Xen overhead model."""
+
+    # ------------------------------------------------------------------
+    # CPU baselines (Section III-C / IV-A).
+    # ------------------------------------------------------------------
+    #: Dom0 CPU while all guests idle.  Paper: "constant values of 16.8%"
+    #: in the memory experiments and the y-intercept of Fig. 2(a).
+    dom0_cpu_base: float = 16.8
+    #: Hypervisor CPU while all guests idle.  Paper: 3.0 %.
+    hyp_cpu_base: float = 3.0
+
+    # ------------------------------------------------------------------
+    # Dom0 control-work response to guest CPU activity (Fig. 2a, 3a, 4a).
+    # ------------------------------------------------------------------
+    #: Initial increase rate of Dom0 CPU per point of VM CPU.  Paper:
+    #: rate grows "from 0.01" (Fig. 2a).
+    dom0_ctl_lin: float = 0.01
+    #: Convexity chosen so a single VM at 99 % drives Dom0 to 29.5 %:
+    #: 16.8 + 0.01*99 + q*99^2 = 29.5  =>  q = 11.71/9801 = 1.1948e-3.
+    #: The terminal increase rate is then 0.01 + 2*q*99 = 0.247, matching
+    #: the paper's reported "to 0.31" growth within reading accuracy.
+    dom0_ctl_quad: float = 11.71 / 9801.0
+    #: Batching discount: the control-load signal for N co-located VMs is
+    #: total/(1 + sigma*(N-1)).  Solved together with ``dom0_colo_pct``
+    #: so the saturated Dom0 demand is 23.4 % at both N=2 (guests ~95 %
+    #: each) and N=4 (guests ~47 % each):  sigma = 3.6, colo = 4.36.
+    dom0_batch_sigma: float = 3.6
+    #: Per-additional-active-VM housekeeping, scaled by mean guest
+    #: activity (percentage points at full activity).
+    dom0_colo_pct: float = 4.36
+
+    # ------------------------------------------------------------------
+    # Hypervisor response to guest CPU activity (Fig. 2a, 3a, 4a).
+    # ------------------------------------------------------------------
+    #: Initial increase rate of hypervisor CPU per point of VM CPU.
+    #: Paper: rate grows "from 0.04" (Fig. 2a).
+    hyp_ctl_lin: float = 0.04
+    #: 3 + 0.04*99 + q*99^2 = 14  =>  q = 7.04/9801 = 7.183e-4.
+    hyp_ctl_quad: float = 7.04 / 9801.0
+    #: Solved like Dom0's against the 12.0 % plateau: sigma = 2.9,
+    #: colo = 5.65.
+    hyp_batch_sigma: float = 2.9
+    hyp_colo_pct: float = 5.65
+
+    # ------------------------------------------------------------------
+    # Network path costs (Fig. 2d/2e, 3d/3e, 4d/4e, 5a/5b).
+    # ------------------------------------------------------------------
+    #: Dom0 CPU points per Kb/s of inter-PM guest traffic (netback +
+    #: NIC interrupt path).  Paper: constant increase rate 0.01 in
+    #: Figs. 2(e), 3(e), 4(e).
+    dom0_net_pct_per_kbps: float = 0.01
+    #: Dom0 CPU points per Kb/s of *intra*-PM guest traffic (VIF-to-VIF
+    #: redirection skips the physical NIC).  Paper: 0.002, i.e. 5x less
+    #: (Fig. 5b).
+    dom0_net_intra_pct_per_kbps: float = 0.002
+    #: Hypervisor CPU points per Kb/s (event-channel notifications).
+    #: Paper: increase rates ~0.0005 in Figs. 3(e)/4(e).
+    hyp_net_pct_per_kbps: float = 0.00055
+    #: Hypervisor points per Kb/s for intra-PM traffic (fewer interrupts).
+    hyp_net_intra_pct_per_kbps: float = 0.0003
+    #: Guest CPU points per Kb/s it sends/receives (front-end driver).
+    #: Paper Fig. 2(e): VM CPU rises 0.5 % -> 3 % over 1280 Kb/s.
+    vm_net_pct_per_kbps: float = 0.002
+    #: PM bandwidth overhead: fraction of aggregate guest traffic lost to
+    #: encapsulation/scheduling when N>1 flows share the NIC.  Combined
+    #: with the constant chatter below this reproduces the paper's
+    #: "|PM-sum(VM)|/PM = 3 %" for multi-VM and the ~400 B/s single-VM
+    #: overhead of Fig. 2(d).
+    pm_bw_overhead_frac: float = 0.03
+    #: Constant PM network chatter in Kb/s while guests transmit
+    #: (~400 bytes/s, Fig. 2d).
+    pm_bw_chatter_kbps: float = 3.2
+    #: Idle PM bandwidth floor in Kb/s (254 bytes/s; memory experiments).
+    pm_bw_floor_kbps: float = 2.03
+
+    # ------------------------------------------------------------------
+    # Disk path costs (Fig. 2b/2c, 3b/3c, 4b/4c).
+    # ------------------------------------------------------------------
+    #: PM blocks issued per guest block: the virtual disk is striped so
+    #: "a single read or write by the guest VM may involve several reads
+    #: or writes"; paper: PM I/O is "slightly more than twice" VM I/O.
+    io_amplification: float = 2.05
+    #: Idle PM I/O floor in blocks/s (memory experiments: 18.8 blocks/s).
+    pm_io_floor_bps: float = 18.8
+    #: Dom0 CPU points per guest block/s (blkback request handling).
+    #: Sized so 2-4 I/O-loaded VMs lift Dom0 from 16.8 to ~17.4 %
+    #: (Figs. 3c/4c) while one stays within "16 +/- 0.3" (Fig. 2c).
+    dom0_io_pct_per_bps: float = 0.003
+    #: Hypervisor CPU points per guest block/s (grant-table traps).
+    hyp_io_pct_per_bps: float = 0.0027
+    #: Guest CPU consumed by the I/O benchmark itself, independent of
+    #: intensity (paper reports a flat 0.84 %).
+    vm_io_cpu_pct: float = 0.84
+
+    # ------------------------------------------------------------------
+    # Memory accounting.
+    # ------------------------------------------------------------------
+    #: Dom0 resident memory in MiB (driver domain working set).
+    dom0_mem_mb: float = 350.0
+
+    # ------------------------------------------------------------------
+    # Scheduling capacity (Fig. 3a, 4a).
+    # ------------------------------------------------------------------
+    #: Effective schedulable CPU capacity of the PM in percentage points.
+    #: The paper's saturated measurements sum to ~225 (guests 188-190 +
+    #: Dom0 23.4 + hypervisor 12.0) on a nominal 400-point quad core; we
+    #: adopt that delivered capacity as the arbitration budget.  With it,
+    #: 2 saturated guests settle at ~95 % each and 4 at ~47 % each
+    #: exactly as measured.
+    effective_capacity_pct: float = 225.0
+
+    # ------------------------------------------------------------------
+    # Measurement noise (applied by the monitoring tools, not the
+    # machine state).
+    # ------------------------------------------------------------------
+    #: Multiplicative log-normal sigma on each 1-Hz CPU/disk sample
+    #: (sampling-based counters jitter).
+    noise_sigma: float = 0.02
+    #: Sigma for memory and network readings: resident-set sizes and
+    #: NIC byte counters are cumulative/absolute and far more precise
+    #: (the paper's 80 %-below-1 % bandwidth prediction errors require
+    #: this).
+    noise_sigma_precise: float = 0.004
+    #: Additive jitter floor in percentage points / native units.
+    noise_floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dom0_cpu_base",
+            "hyp_cpu_base",
+            "io_amplification",
+            "effective_capacity_pct",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if (
+            self.noise_sigma < 0
+            or self.noise_sigma_precise < 0
+            or self.noise_floor < 0
+        ):
+            raise ValueError("noise parameters must be >= 0")
+
+    def noise_sigma_for(self, resource: str) -> float:
+        """Measurement-noise sigma by resource kind."""
+        return (
+            self.noise_sigma_precise
+            if resource in ("mem", "bw")
+            else self.noise_sigma
+        )
+
+    # -- derived response curves ---------------------------------------
+
+    def dom0_ctl_demand(
+        self, granted_guest_cpu: list[float] | tuple[float, ...]
+    ) -> float:
+        """Dom0 control-work CPU demand (%, excl. net/disk terms).
+
+        ``granted_guest_cpu`` holds the CPU actually granted to each
+        co-located guest (percent of VCPU) during the previous quantum.
+        """
+        return self._ctl_demand(
+            granted_guest_cpu,
+            base=self.dom0_cpu_base,
+            lin=self.dom0_ctl_lin,
+            quad=self.dom0_ctl_quad,
+            sigma=self.dom0_batch_sigma,
+            colo=self.dom0_colo_pct,
+        )
+
+    def hyp_ctl_demand(
+        self, granted_guest_cpu: list[float] | tuple[float, ...]
+    ) -> float:
+        """Hypervisor scheduling/trap CPU demand (%, excl. net/disk)."""
+        return self._ctl_demand(
+            granted_guest_cpu,
+            base=self.hyp_cpu_base,
+            lin=self.hyp_ctl_lin,
+            quad=self.hyp_ctl_quad,
+            sigma=self.hyp_batch_sigma,
+            colo=self.hyp_colo_pct,
+        )
+
+    @staticmethod
+    def _ctl_demand(
+        granted: list[float] | tuple[float, ...],
+        *,
+        base: float,
+        lin: float,
+        quad: float,
+        sigma: float,
+        colo: float,
+    ) -> float:
+        n = len(granted)
+        if n == 0:
+            return base
+        total = float(sum(granted))
+        signal = total / (1.0 + sigma * (n - 1))
+        activity = total / (100.0 * n)
+        return (
+            base
+            + colo * (n - 1) * activity
+            + lin * signal
+            + quad * signal * signal
+        )
+
+    def with_overrides(self, **kwargs: float) -> "XenCalibration":
+        """Return a copy with selected constants replaced (ablations)."""
+        return replace(self, **kwargs)
+
+
+#: The calibration used by every experiment unless overridden.
+DEFAULT_CALIBRATION = XenCalibration()

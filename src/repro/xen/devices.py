@@ -1,0 +1,121 @@
+"""Virtual device models: the striped virtual disk and the physical NIC.
+
+Both devices translate *guest-visible* utilization into *PM-visible*
+utilization, which is where the paper's I/O and bandwidth overheads come
+from:
+
+* the virtual disk is striped across physical extents, so one guest
+  block turns into ~2.05 physical blocks (Fig. 2b: "PM's I/O utilization
+  is nearly twice as much as the VM's");
+* the NIC carries encapsulation/scheduling overhead that grows with the
+  number of VMs sharing it (3 % for multi-VM traffic, ~400 B/s for a
+  single flow) plus a small idle chatter floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.xen.calibration import XenCalibration
+from repro.xen.scheduler import weighted_water_fill
+from repro.xen.specs import MachineSpec
+
+
+@dataclass
+class DiskResult:
+    """Outcome of one disk arbitration round."""
+
+    #: Granted guest throughput, blocks/s, aligned with the input order.
+    granted_bps: list[float]
+    #: Physical disk utilization, blocks/s (amplified + floor).
+    pm_io_bps: float
+
+
+class VirtualDiskArray:
+    """The striped virtual block device shared by all guests on a PM."""
+
+    def __init__(self, spec: MachineSpec, cal: XenCalibration) -> None:
+        self._spec = spec
+        self._cal = cal
+
+    def arbitrate(self, demands_bps: Sequence[float]) -> DiskResult:
+        """Grant guest disk throughput and compute PM utilization.
+
+        ``demands_bps`` must already be capped per-VM by the caller
+        (:attr:`repro.xen.vm.GuestVM.io_demand_capped`); this method
+        additionally enforces the aggregate physical ceiling, fairly.
+        """
+        if any(d < 0 for d in demands_bps):
+            raise ValueError("disk demands must be >= 0")
+        # The physical ceiling applies to amplified traffic.
+        amp = self._cal.io_amplification
+        budget_guest_bps = max(
+            0.0, (self._spec.disk_iops_cap - self._cal.pm_io_floor_bps) / amp
+        )
+        if sum(demands_bps) <= budget_guest_bps:
+            granted = [float(d) for d in demands_bps]
+        else:
+            granted = weighted_water_fill(
+                list(demands_bps), [1.0] * len(demands_bps), budget_guest_bps
+            )
+        pm = amp * sum(granted) + self._cal.pm_io_floor_bps
+        return DiskResult(granted_bps=granted, pm_io_bps=pm)
+
+
+@dataclass
+class NicResult:
+    """Outcome of one NIC arbitration round."""
+
+    #: Granted *inter-PM* outbound rate per flow (Kb/s), input order.
+    granted_kbps: list[float]
+    #: Physical NIC utilization in Kb/s (overhead + chatter + floor).
+    pm_bw_kbps: float
+
+
+class PhysicalNic:
+    """The Gigabit NIC shared by all inter-PM flows on a PM.
+
+    Intra-PM flows never reach this device (the paper's Figure 5(a)
+    shows zero PM bandwidth for VM-to-VM traffic inside one PM); the
+    machine filters them out before calling :meth:`arbitrate`.
+    """
+
+    def __init__(self, spec: MachineSpec, cal: XenCalibration) -> None:
+        self._spec = spec
+        self._cal = cal
+
+    def arbitrate(
+        self, flow_kbps: Sequence[float], n_senders: int
+    ) -> NicResult:
+        """Grant inter-PM flow rates and compute PM bandwidth.
+
+        Parameters
+        ----------
+        flow_kbps:
+            Offered rate of each inter-PM flow.
+        n_senders:
+            Number of distinct VMs with active inter-PM traffic; drives
+            the sharing-overhead fraction (single sender: only the
+            constant ~400 B/s chatter; N senders: up to the calibrated
+            3 % encapsulation overhead).
+        """
+        if any(k < 0 for k in flow_kbps):
+            raise ValueError("flow rates must be >= 0")
+        if n_senders < 0:
+            raise ValueError("n_senders must be >= 0")
+        line = self._spec.nic_kbps
+        if sum(flow_kbps) <= line:
+            granted = [float(k) for k in flow_kbps]
+        else:
+            granted = weighted_water_fill(
+                list(flow_kbps), [1.0] * len(flow_kbps), line
+            )
+        total = sum(granted)
+        pm = self._cal.pm_bw_floor_kbps
+        if total > 0:
+            share_frac = self._cal.pm_bw_overhead_frac * (
+                1.0 - 1.0 / max(1, n_senders)
+            )
+            pm += total * (1.0 + share_frac) + self._cal.pm_bw_chatter_kbps
+        return NicResult(granted_kbps=granted, pm_bw_kbps=min(pm, line))

@@ -1,0 +1,91 @@
+"""The device-driver domain (Dom0).
+
+Dom0 hosts the back-end drivers: **netback** (network packets between
+guest VIFs and the physical NIC, or between two VIFs for intra-PM
+traffic) and **blkback** (disk request forwarding).  Everything the
+guests push through those drivers costs Dom0 CPU:
+
+* a baseline of housekeeping work (16.8 % on the paper's testbed);
+* control-signal processing that grows convexly with the CPU activity
+  of the guests it serves, amortized across co-located guests
+  (:meth:`~repro.xen.calibration.XenCalibration.dom0_ctl_demand`);
+* per-Kb/s packet processing -- 0.01 points for inter-PM traffic,
+  0.002 for intra-PM traffic (VIF-to-VIF redirection skips the NIC
+  interrupt path, the paper's "5X less");
+* per-block/s blkback request handling.
+
+Dom0 consumes **no** disk or network bandwidth itself (the data path is
+accounted at the PM level; Dom0 only shuffles descriptors), matching the
+paper's observation that Dom0 I/O and bandwidth utilizations are always
+zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.xen.calibration import XenCalibration
+
+
+@dataclass
+class Dom0State:
+    """Instantaneous Dom0 utilization (what `xentop`/`top` would show)."""
+
+    cpu_pct: float = 0.0
+    mem_mb: float = 0.0
+    io_bps: float = 0.0  # always 0 by construction; kept for symmetry
+    bw_kbps: float = 0.0  # always 0 by construction
+
+
+class Dom0:
+    """Driver-domain demand model and utilization record."""
+
+    #: Scheduler weight of Dom0.  XenServer boosts the driver domain so
+    #: it is served before guests; the machine implements the boost by
+    #: granting Dom0 ahead of the guest water-fill.
+    BOOST_WEIGHT = 65535
+
+    def __init__(self, cal: XenCalibration) -> None:
+        self._cal = cal
+        self.state = Dom0State(mem_mb=cal.dom0_mem_mb)
+        #: CPU burned by monitoring probes running in Dom0 (xentop,
+        #: vmstat, ...); owned by :mod:`repro.monitor.overhead`.
+        self.probe_cpu_pct = 0.0
+
+    def cpu_demand(
+        self,
+        granted_guest_cpu: Sequence[float],
+        inter_kbps: float,
+        intra_kbps: float,
+        guest_io_bps: float,
+    ) -> float:
+        """Dom0 CPU demand for the coming quantum.
+
+        Parameters
+        ----------
+        granted_guest_cpu:
+            Per-guest CPU granted in the previous quantum (% of VCPU).
+        inter_kbps:
+            Aggregate guest traffic crossing the physical NIC.
+        intra_kbps:
+            Aggregate guest traffic redirected VIF-to-VIF inside the PM.
+        guest_io_bps:
+            Aggregate granted guest disk throughput (blocks/s).
+        """
+        cal = self._cal
+        demand = cal.dom0_ctl_demand(list(granted_guest_cpu))
+        demand += cal.dom0_net_pct_per_kbps * inter_kbps
+        demand += cal.dom0_net_intra_pct_per_kbps * intra_kbps
+        demand += cal.dom0_io_pct_per_bps * guest_io_bps
+        demand += self.probe_cpu_pct
+        return demand
+
+    def record(self, granted_cpu_pct: float) -> None:
+        """Store the CPU actually granted by the scheduler."""
+        self.state.cpu_pct = granted_cpu_pct
+
+    @property
+    def mem_mb(self) -> float:
+        """Dom0 resident memory (constant working set)."""
+        return self._cal.dom0_mem_mb

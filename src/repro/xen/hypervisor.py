@@ -1,0 +1,58 @@
+"""The Xen hypervisor's own resource consumption.
+
+The hypervisor traps guest activity and schedules VCPUs; its CPU cost
+has three parts the paper measures separately:
+
+* a baseline (3.0 % on the paper's testbed, measured with ``mpstat``);
+* scheduling/trap work convex in guest CPU activity, amortized across
+  co-located guests
+  (:meth:`~repro.xen.calibration.XenCalibration.hyp_ctl_demand`);
+* event-channel notification work per Kb/s of guest traffic (the
+  ~0.0005 increase rate of Figs. 3e/4e) and per block/s of disk traffic
+  (grant-table traps).
+
+Hypervisor CPU is accounted in percent of *real* CPU and is served off
+the top of the machine's capacity -- the hypervisor preempts everything,
+so its demand is always met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.xen.calibration import XenCalibration
+
+
+@dataclass
+class HypervisorState:
+    """Instantaneous hypervisor utilization (what ``mpstat`` shows)."""
+
+    cpu_pct: float = 0.0
+
+
+class Hypervisor:
+    """Hypervisor demand model and utilization record."""
+
+    def __init__(self, cal: XenCalibration) -> None:
+        self._cal = cal
+        self.state = HypervisorState()
+
+    def cpu_demand(
+        self,
+        granted_guest_cpu: Sequence[float],
+        inter_kbps: float,
+        intra_kbps: float,
+        guest_io_bps: float,
+    ) -> float:
+        """Hypervisor CPU demand for the coming quantum."""
+        cal = self._cal
+        demand = cal.hyp_ctl_demand(list(granted_guest_cpu))
+        demand += cal.hyp_net_pct_per_kbps * inter_kbps
+        demand += cal.hyp_net_intra_pct_per_kbps * intra_kbps
+        demand += cal.hyp_io_pct_per_bps * guest_io_bps
+        return demand
+
+    def record(self, granted_cpu_pct: float) -> None:
+        """Store the CPU the hypervisor consumed this quantum."""
+        self.state.cpu_pct = granted_cpu_pct

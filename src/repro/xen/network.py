@@ -1,0 +1,85 @@
+"""Network flows between VMs and across PMs.
+
+The paper distinguishes two packet paths (Section IV-B, Figure 5):
+
+* **inter-PM** -- packets traverse netback in Dom0, the physical NIC and
+  the wire; they consume PM bandwidth and cost Dom0 0.01 percentage
+  points of CPU per Kb/s.
+* **intra-PM** -- packets between co-located VMs are redirected between
+  VIFs inside Dom0; they never touch the physical NIC (zero PM
+  bandwidth) and cost 5x less Dom0 CPU (0.002 points per Kb/s).
+
+A :class:`Flow` is a unidirectional stream of traffic from a source VM
+to a destination.  The destination can be another VM (possibly on the
+same PM) or an external host such as a load-generator client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Destination prefix for hosts outside the simulated cluster.
+EXTERNAL_PREFIX = "external:"
+
+
+@dataclass
+class Flow:
+    """A unidirectional traffic stream.
+
+    Attributes
+    ----------
+    src:
+        Name of the sending VM.
+    dst:
+        Name of the receiving VM, or ``"external:<host>"`` for traffic
+        leaving the cluster (e.g. RUBiS clients).
+    kbps:
+        Offered rate in Kb/s; mutable (workloads ramp it).
+    packet_kb:
+        Packet size in Kb (the paper's intra-PM experiment uses 64 Kb
+        ping payloads).
+    intra_pm:
+        Whether both endpoints share a PM.  Maintained by the owning
+        :class:`~repro.xen.machine.PhysicalMachine` /
+        :class:`~repro.cluster.cluster.Cluster`; may also be set
+        explicitly for standalone experiments.
+    name:
+        Optional label for diagnostics.
+    """
+
+    src: str
+    dst: str
+    kbps: float = 0.0
+    packet_kb: float = 12.0
+    intra_pm: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.src:
+            raise ValueError("flow src must be non-empty")
+        if not self.dst:
+            raise ValueError("flow dst must be non-empty")
+        if self.kbps < 0:
+            raise ValueError("flow rate must be >= 0")
+        if self.packet_kb <= 0:
+            raise ValueError("packet size must be positive")
+        if not self.name:
+            self.name = f"{self.src}->{self.dst}"
+
+    @property
+    def external(self) -> bool:
+        """True if the destination lies outside the simulated cluster."""
+        return self.dst.startswith(EXTERNAL_PREFIX)
+
+    @property
+    def packets_per_s(self) -> float:
+        """Offered packet rate."""
+        return self.kbps / self.packet_kb
+
+
+def external_host(host: str) -> str:
+    """Build an external destination id for :class:`Flow`."""
+    if not host:
+        raise ValueError("host must be non-empty")
+    return EXTERNAL_PREFIX + host

@@ -1,0 +1,124 @@
+"""Hardware and VM specifications.
+
+The defaults mirror the paper's testbed (Section III-C): each PM is a
+2.66 GHz quad-core Xeon with 2 GB RAM, a 60 GB SATA disk and a single
+Gigabit NIC; each guest VM has 1 VCPU, 256 MB of memory and runs Debian
+Squeeze (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a physical machine.
+
+    Attributes
+    ----------
+    cores:
+        Number of physical CPU cores.  Total CPU capacity is
+        ``cores * 100`` percentage points.
+    cpu_ghz:
+        Core frequency; informational (costs are calibrated in % terms).
+    mem_mb:
+        Physical memory in MiB.
+    disk_gb:
+        Disk size in GiB; informational.
+    disk_iops_cap:
+        Aggregate disk throughput ceiling in blocks/s.
+    nic_mbps:
+        Physical NIC line rate in Mb/s.
+    """
+
+    cores: int = 4
+    cpu_ghz: float = 2.66
+    mem_mb: int = 2048
+    disk_gb: int = 60
+    disk_iops_cap: float = 5000.0
+    nic_mbps: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.mem_mb <= 0:
+            raise ValueError("mem_mb must be positive")
+        if self.nic_mbps <= 0:
+            raise ValueError("nic_mbps must be positive")
+
+    @property
+    def cpu_capacity_pct(self) -> float:
+        """Total CPU capacity in percentage points (100 per core)."""
+        return 100.0 * self.cores
+
+    @property
+    def nic_kbps(self) -> float:
+        """NIC line rate in Kb/s."""
+        return self.nic_mbps * 1000.0
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """Static description of a guest VM (DomU).
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a machine/cluster.
+    vcpus:
+        Number of virtual CPUs.  The paper's guests are single-VCPU.
+    mem_mb:
+        Configured guest memory in MiB.
+    weight:
+        Credit-scheduler weight (Xen default 256).
+    cap_pct:
+        Credit-scheduler cap in percent of one VCPU; 0 means uncapped
+        (Xen semantics).
+    io_cap_bps:
+        Maximum virtual-disk throughput in blocks/s.  The paper observes
+        a default ceiling of about 90 blocks/s (Section IV-A).
+    os_mem_mb:
+        Memory the guest OS consumes while idle.
+    os_cpu_pct:
+        CPU the guest OS consumes while idle (background daemons).
+    """
+
+    name: str = "vm"
+    vcpus: int = 1
+    mem_mb: int = 256
+    weight: int = 256
+    cap_pct: float = 0.0
+    io_cap_bps: float = 90.0
+    os_mem_mb: float = 80.0
+    os_cpu_pct: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("VM name must be non-empty")
+        if self.vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+        if self.mem_mb <= 0:
+            raise ValueError("mem_mb must be positive")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.cap_pct < 0:
+            raise ValueError("cap_pct must be >= 0")
+        if self.os_mem_mb > self.mem_mb:
+            raise ValueError("guest OS memory exceeds configured memory")
+
+    @property
+    def cpu_capacity_pct(self) -> float:
+        """Maximum CPU this VM can consume, in % of VCPU."""
+        hard = 100.0 * self.vcpus
+        return min(hard, self.cap_pct) if self.cap_pct > 0 else hard
+
+
+def paper_machine_spec() -> MachineSpec:
+    """The PM configuration used throughout the paper's measurements."""
+    return MachineSpec()
+
+
+def paper_vm_spec(name: str) -> VMSpec:
+    """The guest configuration used in the paper (1 VCPU, 256 MB)."""
+    return VMSpec(name=name)

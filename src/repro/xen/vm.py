@@ -1,0 +1,153 @@
+"""Guest virtual machines (DomUs).
+
+A :class:`GuestVM` carries two vectors of state:
+
+* :attr:`GuestVM.demand` -- what the guest *wants* this quantum, written
+  by the attached workloads (CPU %, memory MiB, disk blocks/s, network
+  flows).
+* :attr:`GuestVM.granted` -- what the machine actually *delivered* last
+  quantum, written by :class:`~repro.xen.machine.PhysicalMachine` after
+  scheduler arbitration and device caps.  This is what the monitoring
+  tools observe (xentop reports consumed CPU, not desired CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.xen.network import Flow
+from repro.xen.specs import VMSpec
+
+
+@dataclass
+class ResourceDemand:
+    """What a guest asks for in the current quantum.
+
+    ``cpu_pct`` here is *workload* CPU; the guest OS baseline from the
+    spec is added by the machine.  ``mem_mb`` likewise excludes the OS
+    resident set.
+    """
+
+    cpu_pct: float = 0.0
+    mem_mb: float = 0.0
+    io_bps: float = 0.0
+    #: CPU burned by monitoring probes running *inside* the guest (the
+    #: Table I ``*`` tools); owned by :mod:`repro.monitor.overhead`, so
+    #: it never fights the workload's writer.
+    probe_cpu_pct: float = 0.0
+
+    def reset(self) -> None:
+        """Zero out the demand (workload detached; probes kept)."""
+        self.cpu_pct = 0.0
+        self.mem_mb = 0.0
+        self.io_bps = 0.0
+
+
+@dataclass
+class ResourceGrant:
+    """What the machine delivered to a guest last quantum.
+
+    ``bw_kbps`` is the guest-visible network utilization: the sum of
+    granted outbound and inbound traffic (intra-PM traffic counts here
+    even though it never reaches the physical NIC -- the guest's VIF
+    still carried it, which is exactly what xentop reports).
+    """
+
+    cpu_pct: float = 0.0
+    mem_mb: float = 0.0
+    io_bps: float = 0.0
+    bw_kbps: float = 0.0
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(cpu, mem, io, bw)`` -- the paper's metric order."""
+        return (self.cpu_pct, self.mem_mb, self.io_bps, self.bw_kbps)
+
+
+class GuestVM:
+    """A guest VM: spec + demand + grant + outbound flows."""
+
+    def __init__(self, spec: VMSpec) -> None:
+        self.spec = spec
+        self.demand = ResourceDemand()
+        self.granted = ResourceGrant()
+        #: Outbound flows owned by this VM.  Inbound traffic is derived
+        #: by the machine from other VMs' flows targeting this VM.
+        self.flows: list[Flow] = []
+        #: Runtime credit-scheduler cap override in percent of a VCPU
+        #: (``None`` = use the spec's cap).  Written by vertical scalers
+        #: (`xl sched-credit -c` at runtime on real Xen).
+        self.cap_override_pct: float | None = None
+
+    @property
+    def effective_cap_pct(self) -> float:
+        """The cap currently enforced by the scheduler (0 = uncapped)."""
+        if self.cap_override_pct is None:
+            return self.spec.cap_pct
+        if self.cap_override_pct < 0:
+            raise ValueError("cap override must be >= 0")
+        return self.cap_override_pct
+
+    @property
+    def name(self) -> str:
+        """The VM's unique name."""
+        return self.spec.name
+
+    # -- demand manipulation (workload API) -----------------------------
+
+    def add_flow(self, flow: Flow) -> Flow:
+        """Attach an outbound flow; ``flow.src`` must be this VM."""
+        if flow.src != self.name:
+            raise ValueError(
+                f"flow src {flow.src!r} does not match VM {self.name!r}"
+            )
+        self.flows.append(flow)
+        return flow
+
+    def remove_flow(self, flow: Flow) -> None:
+        """Detach a previously added flow."""
+        self.flows.remove(flow)
+
+    def clear_flows(self) -> None:
+        """Drop all outbound flows."""
+        self.flows.clear()
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def cpu_demand_total(self) -> float:
+        """Workload + OS baseline + probe CPU, clamped to VCPU capacity."""
+        raw = (
+            self.demand.cpu_pct
+            + self.demand.probe_cpu_pct
+            + self.spec.os_cpu_pct
+        )
+        return min(raw, self.spec.cpu_capacity_pct)
+
+    @property
+    def mem_total_mb(self) -> float:
+        """Resident memory: OS + workload, clamped to configured memory."""
+        return min(
+            self.spec.os_mem_mb + self.demand.mem_mb, float(self.spec.mem_mb)
+        )
+
+    @property
+    def io_demand_capped(self) -> float:
+        """Disk demand after the virtual-disk throughput cap."""
+        return min(self.demand.io_bps, self.spec.io_cap_bps)
+
+    def outbound_kbps(self) -> float:
+        """Total offered outbound traffic."""
+        return sum(f.kbps for f in self.flows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GuestVM({self.name!r}, cpu={self.granted.cpu_pct:.1f}%, "
+            f"mem={self.granted.mem_mb:.0f}MB, io={self.granted.io_bps:.1f}, "
+            f"bw={self.granted.bw_kbps:.1f})"
+        )
+
+
+def total_granted_cpu(vms: Iterable[GuestVM]) -> float:
+    """Sum of granted CPU across guests (percent of VCPU)."""
+    return sum(vm.granted.cpu_pct for vm in vms)

@@ -1,0 +1,120 @@
+"""Tests for increase-rate and CDF analysis utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    empirical_cdf,
+    fit_slope,
+    fraction_at_value,
+    increase_rates,
+    is_convex,
+    summarize_rates,
+    value_at_fraction,
+)
+
+
+class TestIncreaseRates:
+    def test_linear_curve_has_constant_rate(self):
+        xs = [0, 10, 20, 30]
+        ys = [1, 2, 3, 4]
+        np.testing.assert_allclose(increase_rates(xs, ys), [0.1, 0.1, 0.1])
+
+    def test_quadratic_curve_has_growing_rate(self):
+        xs = np.array([0.0, 1, 2, 3, 4])
+        rates = increase_rates(xs, xs**2)
+        assert np.all(np.diff(rates) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            increase_rates([1.0], [1.0])
+        with pytest.raises(ValueError):
+            increase_rates([1.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            increase_rates([2.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            increase_rates([[1, 2]], [[1, 2]])
+
+    def test_summary_matches_paper_style(self):
+        # A curve like Dom0 CPU under CPU load: rate 0.01 -> ~0.25.
+        xs = np.array([1.0, 30, 60, 90, 99])
+        ys = 16.8 + 0.01 * xs + 0.0012 * xs**2
+        s = summarize_rates(xs, ys)
+        assert s.initial == pytest.approx(0.01 + 0.0012 * 31, abs=0.01)
+        assert s.final > s.initial
+        assert s.growth > 3
+        assert s.overall == pytest.approx((ys[-1] - ys[0]) / 98, rel=1e-9)
+
+    def test_growth_with_zero_initial(self):
+        s = summarize_rates([0, 1, 2], [5.0, 5.0, 6.0])
+        assert s.growth == float("inf")
+
+
+class TestFitSlope:
+    def test_exact_line(self):
+        xs = np.linspace(0, 10, 20)
+        assert fit_slope(xs, 3.0 * xs + 2) == pytest.approx(3.0)
+
+    def test_noisy_line(self):
+        rng = np.random.default_rng(0)
+        xs = np.linspace(0, 100, 200)
+        ys = 0.01 * xs + rng.normal(0, 0.01, 200)
+        assert fit_slope(xs, ys) == pytest.approx(0.01, abs=0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_slope([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_slope([2.0, 2.0], [1.0, 2.0])
+
+
+class TestConvexity:
+    def test_detects_convex(self):
+        xs = np.arange(5, dtype=float)
+        assert is_convex(xs**2)
+        assert is_convex(xs)  # linear counts as (weakly) convex
+
+    def test_detects_concave(self):
+        assert not is_convex(np.sqrt(np.arange(1, 10, dtype=float)))
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            is_convex([1.0, 2.0])
+
+
+class TestCdfHelpers:
+    def test_empirical_cdf(self):
+        vals, frac = empirical_cdf([3.0, 1.0, 2.0, 4.0])
+        np.testing.assert_array_equal(vals, [1, 2, 3, 4])
+        np.testing.assert_allclose(frac, [25, 50, 75, 100])
+
+    def test_value_at_fraction(self):
+        vals = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert value_at_fraction(vals, 90.0) == 5.0
+        assert value_at_fraction(vals, 40.0) == 2.0
+        with pytest.raises(ValueError):
+            value_at_fraction(vals, 0.0)
+        with pytest.raises(ValueError):
+            value_at_fraction(vals, 101.0)
+
+    def test_fraction_at_value(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert fraction_at_value(vals, 2.5) == pytest.approx(50.0)
+        assert fraction_at_value(vals, 0.0) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+        with pytest.raises(ValueError):
+            fraction_at_value([], 1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100)
+    )
+    def test_fraction_and_value_are_inverse_ish(self, values):
+        v90 = value_at_fraction(values, 90.0)
+        assert fraction_at_value(values, v90) >= 90.0 - 1e-9

@@ -1,0 +1,106 @@
+"""Tests for calibration sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    parameter_sensitivity,
+    render_sensitivity,
+    sensitivity_matrix,
+)
+from repro.xen import DEFAULT_CALIBRATION
+
+
+def dom0_at_99(cal):
+    return cal.dom0_ctl_demand([99.0])
+
+
+def hyp_at_99(cal):
+    return cal.hyp_ctl_demand([99.0])
+
+
+class TestParameterSensitivity:
+    def test_baseline_drives_its_own_output(self):
+        s = parameter_sensitivity("dom0_cpu_base", "dom0@99", dom0_at_99)
+        # Dom0 baseline contributes 16.8 of 29.5 -> elasticity ~0.57.
+        assert s.elasticity == pytest.approx(16.8 / 29.5, abs=0.02)
+        assert s.significant
+
+    def test_cross_parameter_is_inert(self):
+        # Hypervisor output must not react to a Dom0 parameter.
+        s = parameter_sensitivity("dom0_ctl_quad", "hyp@99", hyp_at_99)
+        assert s.elasticity == pytest.approx(0.0, abs=1e-9)
+        assert not s.significant
+
+    def test_quadratic_term_dominates_endpoint(self):
+        s = parameter_sensitivity("dom0_ctl_quad", "dom0@99", dom0_at_99)
+        # quad contributes 11.7 of 29.5 at the endpoint.
+        assert s.elasticity == pytest.approx(11.71 / 29.5, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown calibration"):
+            parameter_sensitivity("not_a_param", "x", dom0_at_99)
+        with pytest.raises(ValueError):
+            parameter_sensitivity(
+                "dom0_cpu_base", "x", dom0_at_99, rel_delta=0.0
+            )
+
+    def test_base_values_recorded(self):
+        s = parameter_sensitivity("dom0_cpu_base", "dom0@99", dom0_at_99)
+        assert s.base_value == pytest.approx(29.5, abs=0.1)
+        assert s.perturbed_value > s.base_value
+
+
+class TestSensitivityMatrix:
+    def test_matrix_shape_and_render(self):
+        matrix = sensitivity_matrix(
+            ["dom0_cpu_base", "hyp_cpu_base"],
+            {"dom0@99": dom0_at_99, "hyp@99": hyp_at_99},
+        )
+        assert set(matrix) == {"dom0_cpu_base", "hyp_cpu_base"}
+        assert set(matrix["dom0_cpu_base"]) == {"dom0@99", "hyp@99"}
+        text = render_sensitivity(matrix)
+        assert "dom0_cpu_base" in text and "hyp@99" in text
+
+    def test_orthogonality_of_baselines(self):
+        matrix = sensitivity_matrix(
+            ["dom0_cpu_base", "hyp_cpu_base"],
+            {"dom0@99": dom0_at_99, "hyp@99": hyp_at_99},
+        )
+        # Each baseline moves only its own component's output.
+        assert matrix["dom0_cpu_base"]["hyp@99"].elasticity == 0.0
+        assert matrix["hyp_cpu_base"]["dom0@99"].elasticity == 0.0
+        assert matrix["dom0_cpu_base"]["dom0@99"].significant
+        assert matrix["hyp_cpu_base"]["hyp@99"].significant
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity_matrix([], {"x": dom0_at_99})
+        with pytest.raises(ValueError):
+            sensitivity_matrix(["dom0_cpu_base"], {})
+
+
+class TestEndToEndSensitivity:
+    def test_io_amplification_drives_pm_io(self):
+        from repro.monitor import MeasurementScript
+        from repro.sim import Simulator
+        from repro.workloads import IoHog
+        from repro.xen import PhysicalMachine, VMSpec
+
+        def pm_io(cal):
+            sim = Simulator(seed=3)
+            pm = PhysicalMachine(sim, name="pm1", calibration=cal)
+            vm = pm.create_vm(VMSpec(name="v"))
+            IoHog(46.0).attach(vm)
+            pm.start()
+            sim.run_until(2.0)
+            return pm.snapshot().pm_io_bps
+
+        s = parameter_sensitivity(
+            "io_amplification", "pm.io@46", pm_io,
+            calibration=DEFAULT_CALIBRATION,
+        )
+        # pm_io = amp * 46 + floor: elasticity = amp*46 / (amp*46+18.8).
+        expect = 2.05 * 46 / (2.05 * 46 + 18.8)
+        assert s.elasticity == pytest.approx(expect, abs=0.03)

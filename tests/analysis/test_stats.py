@@ -1,0 +1,92 @@
+"""Tests for bootstrap statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    means_differ,
+    percentile_band,
+)
+
+
+class TestConfidenceInterval:
+    def test_properties(self):
+        ci = ConfidenceInterval(point=5.0, lo=4.0, hi=6.0, level=0.9)
+        assert ci.halfwidth == pytest.approx(1.0)
+        assert ci.contains(5.5)
+        assert not ci.contains(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(point=1.0, lo=2.0, hi=1.0, level=0.9)
+        with pytest.raises(ValueError):
+            ConfidenceInterval(point=1.0, lo=0.0, hi=2.0, level=1.5)
+
+
+class TestBootstrapMeanCi:
+    def test_covers_true_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, 200)
+        ci = bootstrap_mean_ci(data, level=0.95, rng=np.random.default_rng(1))
+        assert ci.contains(10.0)
+        assert ci.point == pytest.approx(data.mean())
+
+    def test_interval_narrows_with_samples(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_mean_ci(
+            rng.normal(0, 1, 10), rng=np.random.default_rng(3)
+        )
+        big = bootstrap_mean_ci(
+            rng.normal(0, 1, 1000), rng=np.random.default_rng(3)
+        )
+        assert big.halfwidth < small.halfwidth
+
+    def test_deterministic_with_seeded_rng(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        a = bootstrap_mean_ci(data, rng=np.random.default_rng(7))
+        b = bootstrap_mean_ci(data, rng=np.random.default_rng(7))
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], level=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], n_resamples=5)
+
+
+class TestPercentileBand:
+    def test_default_band_matches_paper_error_bars(self):
+        values = list(range(1, 101))
+        lo, hi = percentile_band(values)
+        assert lo == pytest.approx(10.9)
+        assert hi == pytest.approx(90.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile_band([])
+        with pytest.raises(ValueError):
+            percentile_band([1.0], lo_pct=90, hi_pct=10)
+
+
+class TestMeansDiffer:
+    def test_detects_clear_separation(self):
+        rng = np.random.default_rng(4)
+        voa = rng.normal(83.0, 1.0, 10)
+        vou = rng.normal(60.0, 5.0, 10)
+        assert means_differ(voa, vou, rng=np.random.default_rng(5))
+
+    def test_no_false_positive_on_identical(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(50.0, 5.0, 15)
+        b = rng.normal(50.0, 5.0, 15)
+        assert not means_differ(a, b, rng=np.random.default_rng(7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            means_differ([], [1.0])

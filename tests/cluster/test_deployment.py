@@ -1,0 +1,119 @@
+"""Tests for declarative deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    DeploymentSpec,
+    RubisRef,
+    VmPlacement,
+    WorkloadRef,
+    build_deployment,
+)
+
+
+def two_pm_spec(**kwargs):
+    defaults = dict(
+        pms=("pm1", "pm2"),
+        vms=(
+            VmPlacement("web", "pm1"),
+            VmPlacement("db", "pm2"),
+            VmPlacement("hog", "pm1", workload=WorkloadRef("cpu", 50.0)),
+        ),
+        rubis=(RubisRef(web="web", db="db", clients=400),),
+    )
+    defaults.update(kwargs)
+    return DeploymentSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        two_pm_spec()  # no raise
+
+    def test_no_pms(self):
+        with pytest.raises(ValueError):
+            DeploymentSpec(pms=())
+
+    def test_duplicate_pm(self):
+        with pytest.raises(ValueError):
+            DeploymentSpec(pms=("a", "a"))
+
+    def test_duplicate_vm(self):
+        with pytest.raises(ValueError):
+            two_pm_spec(
+                vms=(VmPlacement("x", "pm1"), VmPlacement("x", "pm2")),
+                rubis=(),
+            )
+
+    def test_unknown_pm_reference(self):
+        with pytest.raises(ValueError, match="unknown PMs"):
+            two_pm_spec(vms=(VmPlacement("x", "pm9"),), rubis=())
+
+    def test_rubis_references_declared_vms(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            two_pm_spec(rubis=(RubisRef(web="web", db="ghost", clients=10),))
+
+    def test_workload_ref_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadRef("gpu", 1.0)
+        with pytest.raises(ValueError):
+            WorkloadRef("cpu", -1.0)
+
+    def test_rubis_ref_validation(self):
+        with pytest.raises(ValueError):
+            RubisRef(web="a", db="a", clients=10)
+        with pytest.raises(ValueError):
+            RubisRef(web="a", db="b", clients=0)
+
+
+class TestBuildDeployment:
+    def test_materializes_everything(self):
+        dep = build_deployment(two_pm_spec(), seed=3)
+        assert set(dep.cluster.pms) == {"pm1", "pm2"}
+        assert dep.cluster.pm_of("web").name == "pm1"
+        assert dep.cluster.pm_of("hog").name == "pm1"
+        assert "hog" in dep.workloads
+        assert "rubis" in dep.apps
+
+    def test_runs_end_to_end(self):
+        dep = build_deployment(two_pm_spec(), seed=4)
+        dep.start()
+        dep.run(15.0)
+        snap = dep.cluster.pms["pm1"].snapshot()
+        assert snap.vm("hog").cpu_pct == pytest.approx(50.3, abs=0.5)
+        assert snap.vm("web").cpu_pct > 10.0
+        assert dep.apps["rubis"].total_completed > 0
+
+    def test_deterministic_given_seed(self):
+        a = build_deployment(two_pm_spec(), seed=9)
+        b = build_deployment(two_pm_spec(), seed=9)
+        for dep in (a, b):
+            dep.start()
+            dep.run(10.0)
+        sa = a.cluster.pms["pm1"].snapshot()
+        sb = b.cluster.pms["pm1"].snapshot()
+        assert sa.dom0_cpu_pct == sb.dom0_cpu_pct
+        assert a.apps["rubis"].total_completed == pytest.approx(
+            b.apps["rubis"].total_completed
+        )
+
+    def test_duplicate_app_names_rejected(self):
+        spec = two_pm_spec(
+            rubis=(
+                RubisRef(web="web", db="db", clients=10, name="r"),
+                RubisRef(web="web", db="db", clients=10, name="r"),
+            )
+        )
+        with pytest.raises(ValueError, match="duplicate RUBiS app"):
+            build_deployment(spec)
+
+    def test_memory_overcommit_surfaces(self):
+        spec = DeploymentSpec(
+            pms=("pm1",),
+            vms=tuple(
+                VmPlacement(f"v{i}", "pm1", mem_mb=400) for i in range(5)
+            ),
+        )
+        with pytest.raises(MemoryError):
+            build_deployment(spec)

@@ -1,0 +1,73 @@
+"""Tests for experiment result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import (
+    Check,
+    ExperimentResult,
+    Series,
+    approx_check,
+    bound_check,
+)
+
+
+class TestSeries:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Series("s", [1.0, 2.0], [1.0])
+
+    def test_valid(self):
+        s = Series("s", [1.0], [2.0], "x", "y")
+        assert s.label == "s"
+
+
+class TestChecks:
+    def test_approx_check(self):
+        assert approx_check("c", 10.0, 10.2, abs_tol=0.5).passed
+        assert not approx_check("c", 10.0, 11.0, abs_tol=0.5).passed
+
+    def test_bound_check_below(self):
+        assert bound_check("c", 1.0, below=2.0).passed
+        assert not bound_check("c", 3.0, below=2.0).passed
+
+    def test_bound_check_above(self):
+        assert bound_check("c", 3.0, above=2.0).passed
+        assert not bound_check("c", 1.0, above=2.0).passed
+
+    def test_bound_check_interval(self):
+        assert bound_check("c", 1.5, below=2.0, above=1.0).passed
+        assert not bound_check("c", 2.5, below=2.0, above=1.0).passed
+
+    def test_render(self):
+        assert "[PASS]" in Check("ok", True).render()
+        assert "[FAIL]" in Check("bad", False, "detail").render()
+
+
+class TestExperimentResult:
+    def test_passed_aggregates_checks(self):
+        res = ExperimentResult(
+            "x", "t", checks=[Check("a", True), Check("b", False)]
+        )
+        assert not res.passed
+        assert [c.name for c in res.failed_checks()] == ["b"]
+
+    def test_check_lookup(self):
+        res = ExperimentResult("x", "t", checks=[Check("a", True)])
+        assert res.check("a").passed
+        with pytest.raises(KeyError):
+            res.check("zz")
+
+    def test_render_contains_everything(self):
+        res = ExperimentResult(
+            "figX",
+            "a title",
+            series=[Series("curve", [1.0, 2.0], [3.0, 4.0], "in", "out")],
+            checks=[Check("c1", True, "fine")],
+            notes="a note",
+        )
+        text = res.render()
+        assert "figX" in text and "a title" in text
+        assert "curve" in text and "[PASS] c1" in text
+        assert "a note" in text

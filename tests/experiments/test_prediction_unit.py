@@ -1,0 +1,76 @@
+"""Unit tests for the prediction-experiment machinery (Figures 7-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.prediction import (
+    PredictionRun,
+    run_prediction_experiment,
+    trained_models,
+)
+from repro.models.evaluation import ErrorReport
+
+
+def fake_run() -> PredictionRun:
+    reports = {
+        ("pm1", "pm.cpu", 300): ErrorReport(np.array([1.0, 2.0, 3.0])),
+        ("pm1", "pm.cpu", 700): ErrorReport(np.array([0.5, 1.0, 1.5])),
+        ("pm2", "pm.cpu", 300): ErrorReport(np.array([4.0, 5.0, 6.0])),
+        ("pm2", "pm.cpu", 700): ErrorReport(np.array([4.0, 4.5, 5.0])),
+    }
+    return PredictionRun(n_apps=1, reports=reports)
+
+
+class TestPredictionRun:
+    def test_report_lookup(self):
+        run = fake_run()
+        rep = run.report("pm1", "pm.cpu", 300)
+        assert rep.p90 == pytest.approx(2.8)
+
+    def test_worst_and_best_p90(self):
+        run = fake_run()
+        worst = run.worst_p90("pm1", "pm.cpu")
+        best = run.best_p90("pm1", "pm.cpu")
+        assert worst == pytest.approx(2.8)
+        assert best == pytest.approx(1.4)
+        assert run.worst_p90("pm2", "pm.cpu") > worst
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            fake_run().report("pm9", "pm.cpu", 300)
+
+
+class TestRunPredictionExperiment:
+    def test_rejects_bad_n_apps(self):
+        single, multi = trained_models(duration=20.0)
+        with pytest.raises(ValueError):
+            run_prediction_experiment(0, single, multi)
+
+    def test_small_run_produces_all_keys(self):
+        single, multi = trained_models(duration=20.0)
+        run = run_prediction_experiment(
+            1, single, multi, client_counts=(300,), duration=30.0
+        )
+        assert set(run.reports) == {
+            ("pm1", "pm.cpu", 300),
+            ("pm1", "pm.bw", 300),
+            ("pm2", "pm.cpu", 300),
+            ("pm2", "pm.bw", 300),
+        }
+        for rep in run.reports.values():
+            assert len(rep) == 30  # one error per 1 Hz sample
+
+    def test_deterministic_given_seed(self):
+        single, multi = trained_models(duration=20.0)
+        a = run_prediction_experiment(
+            1, single, multi, client_counts=(300,), duration=15.0, seed=5
+        )
+        b = run_prediction_experiment(
+            1, single, multi, client_counts=(300,), duration=15.0, seed=5
+        )
+        np.testing.assert_array_equal(
+            a.report("pm1", "pm.cpu", 300).errors,
+            b.report("pm1", "pm.cpu", 300).errors,
+        )

@@ -1,0 +1,64 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import Check, ExperimentResult
+from repro.experiments.report import (
+    DEVIATIONS,
+    PAPER_CLAIMS,
+    generate_experiments_md,
+)
+from repro.experiments.runner import ALL_IDS
+
+
+def result(experiment_id="fig2a", passed=True):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="a title",
+        checks=[Check("some check", passed, "detail text")],
+    )
+
+
+class TestGenerateExperimentsMd:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            generate_experiments_md([])
+
+    def test_contains_claims_and_checks(self):
+        md = generate_experiments_md([result("fig2a")])
+        assert "### fig2a" in md
+        assert "Paper reports" in md
+        assert "increase rate growing 0.01" in md  # the fig2a claim
+        assert "- [x] some check -- detail text" in md
+
+    def test_failed_check_rendered_unchecked(self):
+        md = generate_experiments_md([result(passed=False)])
+        assert "- [ ] some check" in md
+        assert "1/" not in md.split("\n")[0]  # header counts below
+
+    def test_pass_counter(self):
+        md = generate_experiments_md(
+            [result("fig2a"), result("fig2b", passed=False)]
+        )
+        assert "1/2 artifacts pass" in md
+
+    def test_fast_mode_note(self):
+        fast = generate_experiments_md([result()], fast=True)
+        full = generate_experiments_md([result()], fast=False)
+        assert "fast mode" in fast
+        assert "paper scale" in full
+
+    def test_deviations_included(self):
+        md = generate_experiments_md([result("fig7a")])
+        assert "**Deviation:**" in md
+        assert "convex" in md
+
+    def test_every_artifact_has_a_claim(self):
+        missing = [i for i in ALL_IDS if i not in PAPER_CLAIMS]
+        assert missing == [], f"PAPER_CLAIMS missing {missing}"
+
+    def test_deviation_ids_are_valid(self):
+        unknown = [i for i in DEVIATIONS if i not in ALL_IDS]
+        assert unknown == []

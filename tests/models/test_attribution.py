@@ -1,0 +1,148 @@
+"""Tests for model-based overhead attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    TrainingConfig,
+    attribute_overhead,
+    train_multi_vm_model,
+    train_single_vm_model,
+)
+from repro.monitor.metrics import ResourceVector
+
+
+@pytest.fixture(scope="module")
+def single_model():
+    return train_single_vm_model(
+        TrainingConfig(vm_counts=(1,), duration=12.0, warmup=2.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def multi_model():
+    return train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2), duration=12.0, warmup=2.0)
+    )
+
+
+class TestAttribution:
+    def test_shares_plus_base_reproduce_measurement(self, single_model):
+        report = attribute_overhead(
+            single_model,
+            {
+                "a": ResourceVector(cpu=60.0, mem=80.0),
+                "b": ResourceVector(cpu=20.0, mem=80.0, bw=500.0),
+            },
+            measured_dom0_cpu_pct=30.0,
+            measured_hyp_cpu_pct=10.0,
+        )
+        total_dom0 = report.base_dom0_cpu_pct + sum(
+            s.dom0_cpu_pct for s in report.shares.values()
+        )
+        total_hyp = report.base_hyp_cpu_pct + sum(
+            s.hyp_cpu_pct for s in report.shares.values()
+        )
+        assert total_dom0 == pytest.approx(30.0)
+        assert total_hyp == pytest.approx(10.0)
+
+    def test_network_heavy_guest_pays_more_dom0(self, single_model):
+        # Dom0's dominant driver is network traffic (0.01 %/Kb/s); the
+        # BW-heavy guest must carry the larger Dom0 share.
+        report = attribute_overhead(
+            single_model,
+            {
+                "cpu-guy": ResourceVector(cpu=60.0, mem=80.0),
+                "net-guy": ResourceVector(cpu=5.0, mem=80.0, bw=1200.0),
+            },
+            measured_dom0_cpu_pct=32.0,
+            measured_hyp_cpu_pct=8.0,
+        )
+        assert (
+            report.share("net-guy").dom0_cpu_pct
+            > report.share("cpu-guy").dom0_cpu_pct
+        )
+        # The CPU-heavy guest dominates hypervisor cost (scheduling).
+        assert (
+            report.share("cpu-guy").hyp_cpu_pct
+            > report.share("net-guy").hyp_cpu_pct
+        )
+
+    def test_billed_fractions_sum_to_one(self, single_model):
+        report = attribute_overhead(
+            single_model,
+            {
+                "a": ResourceVector(cpu=40.0, mem=80.0),
+                "b": ResourceVector(cpu=40.0, mem=80.0),
+            },
+            measured_dom0_cpu_pct=25.0,
+            measured_hyp_cpu_pct=8.0,
+        )
+        assert report.billed_fraction("a") + report.billed_fraction(
+            "b"
+        ) == pytest.approx(1.0)
+        # Symmetric guests pay symmetric shares.
+        assert report.billed_fraction("a") == pytest.approx(0.5, abs=0.01)
+
+    def test_idle_guests_split_jitter_evenly(self, single_model):
+        report = attribute_overhead(
+            single_model,
+            {
+                "a": ResourceVector(mem=80.0),
+                "b": ResourceVector(mem=80.0),
+            },
+            # Slightly above base from measurement jitter.
+            measured_dom0_cpu_pct=17.2,
+            measured_hyp_cpu_pct=3.1,
+        )
+        a, b = report.share("a"), report.share("b")
+        # Memory has (near) zero overhead coefficients, so attribution
+        # falls back to an even split of the small residual.
+        assert a.total_pct == pytest.approx(b.total_pct, abs=0.1)
+
+    def test_measurement_below_base_bills_nothing(self, single_model):
+        report = attribute_overhead(
+            single_model,
+            {"a": ResourceVector(cpu=10.0, mem=80.0)},
+            measured_dom0_cpu_pct=10.0,  # below the ~16.8 base
+            measured_hyp_cpu_pct=2.0,
+        )
+        assert report.share("a").total_pct == pytest.approx(0.0, abs=1e-9)
+        assert report.billed_fraction("a") == 0.0
+
+    def test_works_with_multi_vm_model(self, multi_model):
+        report = attribute_overhead(
+            multi_model,
+            {
+                "a": ResourceVector(cpu=50.0, mem=80.0),
+                "b": ResourceVector(cpu=10.0, mem=80.0, bw=800.0),
+            },
+            measured_dom0_cpu_pct=28.0,
+            measured_hyp_cpu_pct=9.0,
+        )
+        assert set(report.shares) == {"a", "b"}
+        assert (
+            report.share("b").dom0_cpu_pct > report.share("a").dom0_cpu_pct
+        )
+
+    def test_validation(self, single_model):
+        with pytest.raises(ValueError):
+            attribute_overhead(
+                single_model, {}, measured_dom0_cpu_pct=1, measured_hyp_cpu_pct=1
+            )
+        with pytest.raises(ValueError):
+            attribute_overhead(
+                single_model,
+                {"a": ResourceVector()},
+                measured_dom0_cpu_pct=-1,
+                measured_hyp_cpu_pct=1,
+            )
+        report = attribute_overhead(
+            single_model,
+            {"a": ResourceVector(cpu=10.0, mem=80.0)},
+            measured_dom0_cpu_pct=20.0,
+            measured_hyp_cpu_pct=5.0,
+        )
+        with pytest.raises(KeyError):
+            report.share("ghost")

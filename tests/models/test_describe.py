@@ -1,0 +1,53 @@
+"""Tests for model description rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    MultiVMOverheadModel,
+    SingleVMOverheadModel,
+    TrainingConfig,
+    describe_multi_vm,
+    describe_single_vm,
+    gather_training_samples,
+)
+from repro.models.samples import TARGETS
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return gather_training_samples(
+        TrainingConfig(
+            vm_counts=(1, 2), kinds=("cpu", "bw"), duration=10.0, warmup=2.0
+        )
+    )
+
+
+class TestDescribe:
+    def test_single_vm_table(self, samples):
+        model = SingleVMOverheadModel.fit(
+            [s for s in samples if s.n_vms == 1]
+        )
+        text = describe_single_vm(model)
+        assert "Eq. 2" in text
+        for target in TARGETS:
+            assert target in text
+        for label in ("a_o", "a_c", "a_m", "a_i", "a_n"):
+            assert label in text
+        # 1 title + 1 header + 5 targets.
+        assert len(text.splitlines()) == 7
+
+    def test_multi_vm_tables(self, samples):
+        model = MultiVMOverheadModel.fit(samples)
+        text = describe_multi_vm(model)
+        assert "Eq. 3" in text
+        assert "Colocation coefficients" in text
+        assert "o_const" in text
+        assert text.count("dom0.cpu") == 2  # once per table
+
+    def test_values_match_model(self, samples):
+        model = MultiVMOverheadModel.fit(samples)
+        text = describe_multi_vm(model)
+        a_o = model.base_coefficients("dom0.cpu")[0]
+        assert f"{a_o:.5g}" in text

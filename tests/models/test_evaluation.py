@@ -1,0 +1,100 @@
+"""Tests for prediction-error evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.evaluation import (
+    ErrorReport,
+    error_report,
+    relative_errors,
+    summarize,
+)
+
+
+class TestRelativeErrors:
+    def test_basic(self):
+        errs = relative_errors([11.0, 9.0], [10.0, 10.0])
+        np.testing.assert_allclose(errs, [10.0, 10.0])
+
+    def test_perfect_prediction(self):
+        errs = relative_errors([5.0], [5.0])
+        np.testing.assert_allclose(errs, [0.0])
+
+    def test_rejects_zero_measurement(self):
+        with pytest.raises(ValueError):
+            relative_errors([1.0], [0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_errors([1.0, 2.0], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            relative_errors([], [])
+
+
+class TestErrorReport:
+    def test_percentiles(self):
+        rep = ErrorReport(np.arange(1, 101, dtype=float))
+        assert rep.percentile(50) == pytest.approx(50.5)
+        assert rep.p90 == pytest.approx(90.1)
+        assert len(rep) == 100
+
+    def test_fraction_below(self):
+        rep = ErrorReport([1.0, 2.0, 3.0, 4.0])
+        assert rep.fraction_below(2.0) == pytest.approx(0.5)
+        assert rep.fraction_below(10.0) == 1.0
+
+    def test_cdf_shape(self):
+        rep = ErrorReport([3.0, 1.0, 2.0])
+        vals, frac = rep.cdf()
+        np.testing.assert_array_equal(vals, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(frac, [100 / 3, 200 / 3, 100.0])
+
+    def test_rejects_negative_errors(self):
+        with pytest.raises(ValueError):
+            ErrorReport([-1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ErrorReport([])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100), min_size=1, max_size=200
+        )
+    )
+    def test_cdf_monotone(self, errors):
+        vals, frac = ErrorReport(errors).cdf()
+        assert np.all(np.diff(vals) >= 0)
+        assert np.all(np.diff(frac) > 0)
+        assert frac[-1] == pytest.approx(100.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=50), min_size=2, max_size=100
+        )
+    )
+    def test_percentile_bounds(self, errors):
+        rep = ErrorReport(errors)
+        assert min(errors) - 1e-9 <= rep.p90 <= max(errors) + 1e-9
+
+
+class TestSummaries:
+    def test_error_report_builder(self):
+        rep = error_report([11.0], [10.0])
+        assert rep.errors[0] == pytest.approx(10.0)
+
+    def test_summarize(self):
+        reps = {
+            "pm1.cpu": ErrorReport([1.0, 2.0, 3.0]),
+            "pm2.cpu": ErrorReport([5.0]),
+        }
+        table = summarize(reps)
+        assert table["pm1.cpu"]["n"] == 3
+        assert table["pm2.cpu"]["p90"] == pytest.approx(5.0)
+        assert table["pm1.cpu"]["max"] == pytest.approx(3.0)

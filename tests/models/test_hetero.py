@@ -1,0 +1,277 @@
+"""Tests for the heterogeneous-VM overhead model (future-work feature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import HeterogeneousOverheadModel, TypedSample
+from repro.models.samples import TARGETS
+from repro.monitor.metrics import ResourceVector
+
+
+def make_sample(a_cpu=0.0, b_cpu=0.0, a_bw=0.0, b_bw=0.0, noise=0.0, rng=None):
+    """A synthetic PM observation with two VM types.
+
+    Ground truth: type 'web' costs Dom0 0.02 %/Kb/s, type 'batch' only
+    0.005 (e.g. large batched transfers); both cost 0.05 %/% CPU.
+    """
+    dom0 = 16.8 + 0.05 * (a_cpu + b_cpu) + 0.02 * a_bw + 0.005 * b_bw
+    hyp = 3.0 + 0.02 * (a_cpu + b_cpu)
+    if rng is not None and noise > 0:
+        dom0 += rng.normal(0, noise)
+        hyp += rng.normal(0, noise)
+    n_a = 1 if (a_cpu or a_bw) else 0
+    n_b = 1 if (b_cpu or b_bw) else 0
+    return TypedSample(
+        by_type={
+            "web": ResourceVector(cpu=a_cpu, bw=a_bw),
+            "batch": ResourceVector(cpu=b_cpu, bw=b_bw),
+        },
+        counts={"web": n_a, "batch": n_b},
+        targets={
+            "dom0.cpu": dom0,
+            "hyp.cpu": hyp,
+            "pm.mem": 350.0,
+            "pm.io": 18.8,
+            "pm.bw": a_bw + b_bw,
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def typed_dataset():
+    # Mix of web-only, batch-only and combined observations: the VM
+    # count (hence alpha) varies, keeping the per-type blocks
+    # identifiable alongside the colocation features.
+    rng = np.random.default_rng(8)
+    samples = []
+    for i in range(200):
+        a_cpu, b_cpu = rng.uniform(5, 80, 2)
+        a_bw, b_bw = rng.uniform(10, 2000, 2)
+        kind = i % 3
+        if kind == 0:
+            b_cpu = b_bw = 0.0
+        elif kind == 1:
+            a_cpu = a_bw = 0.0
+        samples.append(
+            make_sample(a_cpu, b_cpu, a_bw, b_bw, noise=0.05, rng=rng)
+        )
+    return samples
+
+
+class TestTypedSample:
+    def test_totals(self):
+        s = make_sample(a_cpu=10, b_cpu=20, a_bw=100, b_bw=200)
+        assert s.total().cpu == 30
+        assert s.total().bw == 300
+        assert s.n_vms == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="missing targets"):
+            TypedSample(by_type={}, counts={}, targets={})
+        with pytest.raises(ValueError, match="without counts"):
+            TypedSample(
+                by_type={"x": ResourceVector()},
+                counts={},
+                targets={t: 0.0 for t in TARGETS},
+            )
+        with pytest.raises(ValueError, match="counts"):
+            TypedSample(
+                by_type={},
+                counts={"x": -1},
+                targets={t: 0.0 for t in TARGETS},
+            )
+
+
+class TestHeterogeneousModel:
+    def test_recovers_per_type_coefficients(self, typed_dataset):
+        model = HeterogeneousOverheadModel.fit(
+            ("web", "batch"), typed_dataset
+        )
+        web = model.type_coefficients("web", "dom0.cpu")
+        batch = model.type_coefficients("batch", "dom0.cpu")
+        # [cpu, mem, io, bw] blocks: bw coefficients differ 4x by type.
+        assert web[3] == pytest.approx(0.02, abs=0.002)
+        assert batch[3] == pytest.approx(0.005, abs=0.002)
+        assert web[0] == pytest.approx(0.05, abs=0.01)
+
+    def test_beats_pooled_model_on_typed_workload(self, typed_dataset):
+        """The pooled Eq. (3) model sees only the type-blind sum and must
+        average the two bandwidth costs; the typed model separates them."""
+        from repro.models import MultiVMOverheadModel, TrainingSample
+
+        pooled_samples = [
+            TrainingSample(
+                n_vms=max(1, s.n_vms),
+                vm_sum=s.total(),
+                targets=s.targets,
+            )
+            for s in typed_dataset
+        ]
+        # Vary N artificially so the pooled fit is identifiable.
+        pooled = MultiVMOverheadModel.fit(
+            pooled_samples
+            + [
+                TrainingSample(
+                    n_vms=1,
+                    vm_sum=ResourceVector(),
+                    targets={
+                        "dom0.cpu": 16.8,
+                        "hyp.cpu": 3.0,
+                        "pm.mem": 350.0,
+                        "pm.io": 18.8,
+                        "pm.bw": 0.0,
+                    },
+                )
+            ]
+        )
+        typed = HeterogeneousOverheadModel.fit(("web", "batch"), typed_dataset)
+        # Held-out point: all bandwidth on the cheap type.
+        s = make_sample(a_cpu=20, b_cpu=20, a_bw=0, b_bw=3000)
+        truth = s.targets["dom0.cpu"]
+        typed_err = abs(typed.predict_samples([s])["dom0.cpu"][0] - truth)
+        pooled_err = abs(
+            pooled.predict([ResourceVector(cpu=20), ResourceVector(cpu=20, bw=3000)]).dom0_cpu
+            - truth
+        )
+        assert typed_err < 0.5
+        assert pooled_err > 4 * max(typed_err, 0.5)
+
+    def test_predict_interface(self, typed_dataset):
+        model = HeterogeneousOverheadModel.fit(("web", "batch"), typed_dataset)
+        pred = model.predict(
+            [("web", ResourceVector(cpu=30, bw=500)),
+             ("batch", ResourceVector(cpu=10, bw=500))]
+        )
+        assert pred.pm_cpu == pytest.approx(
+            pred.dom0_cpu + pred.hyp_cpu + 40.0
+        )
+        with pytest.raises(ValueError):
+            model.predict([])
+        with pytest.raises(ValueError):
+            model.predict([("gpu-node", ResourceVector())])
+
+    def test_fit_validation(self, typed_dataset):
+        with pytest.raises(ValueError, match="never appears"):
+            HeterogeneousOverheadModel.fit(
+                ("web", "batch", "ghost"), typed_dataset
+            )
+        with pytest.raises(ValueError, match="undeclared"):
+            HeterogeneousOverheadModel.fit(("web",), typed_dataset)
+        with pytest.raises(ValueError):
+            HeterogeneousOverheadModel.fit(("web", "batch"), [])
+        with pytest.raises(ValueError, match="duplicate"):
+            HeterogeneousOverheadModel(
+                ("a", "a"), {}
+            )
+
+    def test_unknown_lookups(self, typed_dataset):
+        model = HeterogeneousOverheadModel.fit(("web", "batch"), typed_dataset)
+        with pytest.raises(ValueError):
+            model.type_coefficients("ghost", "dom0.cpu")
+        with pytest.raises(ValueError):
+            model.type_coefficients("web", "gpu.cpu")
+        with pytest.raises(ValueError):
+            model.predict_samples([])
+
+    def test_single_type_degenerates_to_pooled(self):
+        """With one declared type the model is exactly Eq. (3)."""
+        rng = np.random.default_rng(9)
+        samples = []
+        for _ in range(80):
+            cpu = float(rng.uniform(0, 90))
+            bw = float(rng.uniform(0, 1500))
+            s = TypedSample(
+                by_type={"only": ResourceVector(cpu=cpu, bw=bw)},
+                counts={"only": 1},
+                targets={
+                    "dom0.cpu": 16.8 + 0.1 * cpu + 0.01 * bw,
+                    "hyp.cpu": 3.0 + 0.04 * cpu,
+                    "pm.mem": 350.0,
+                    "pm.io": 18.8,
+                    "pm.bw": bw,
+                },
+            )
+            samples.append(s)
+        model = HeterogeneousOverheadModel.fit(("only",), samples)
+        coefs = model.type_coefficients("only", "dom0.cpu")
+        assert coefs[0] == pytest.approx(0.1, abs=0.01)
+        assert coefs[3] == pytest.approx(0.01, abs=0.001)
+
+
+class TestTypedSamplesFromReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.monitor import MeasurementScript
+        from repro.sim import Simulator
+        from repro.workloads import CpuHog, PingLoad
+        from repro.xen import PhysicalMachine, VMSpec
+
+        sim = Simulator(seed=55)
+        pm = PhysicalMachine(sim, name="pm1")
+        web = pm.create_vm(VMSpec(name="web0"))
+        batch = pm.create_vm(VMSpec(name="batch0"))
+        PingLoad(900.0).attach(web)
+        CpuHog(40.0).attach(batch)
+        pm.start()
+        sim.run_until(2.0)
+        return MeasurementScript(pm, noiseless=True).run(duration=12.0)
+
+    def test_explodes_per_second(self, report):
+        from repro.models import typed_samples_from_report
+
+        samples = typed_samples_from_report(
+            report, {"web0": "web", "batch0": "batch"}
+        )
+        assert len(samples) == 12
+        s = samples[-1]
+        assert s.counts == {"web": 1, "batch": 1}
+        assert s.by_type["web"].bw == pytest.approx(900.0, rel=0.01)
+        assert s.by_type["batch"].cpu == pytest.approx(40.3, abs=0.5)
+        assert s.targets["dom0.cpu"] > 16.8
+
+    def test_same_type_vms_are_summed(self, report):
+        from repro.models import typed_samples_from_report
+
+        samples = typed_samples_from_report(
+            report, {"web0": "app", "batch0": "app"}
+        )
+        s = samples[-1]
+        assert s.counts == {"app": 2}
+        assert s.by_type["app"].cpu == pytest.approx(40.3 + 2.3, abs=1.0)
+
+    def test_unmapped_vm_rejected(self, report):
+        from repro.models import typed_samples_from_report
+
+        with pytest.raises(ValueError, match="without a declared type"):
+            typed_samples_from_report(report, {"web0": "web"})
+
+    def test_trains_hetero_model_end_to_end(self, report):
+        from repro.models import typed_samples_from_report
+
+        samples = typed_samples_from_report(
+            report, {"web0": "web", "batch0": "batch"}
+        )
+        # Single VM count -> alpha constant; augment with a synthetic
+        # single-type observation so fitting stays identified.
+        model = HeterogeneousOverheadModel.fit(
+            ("web", "batch"),
+            samples
+            + [
+                TypedSample(
+                    by_type={"web": ResourceVector()},
+                    counts={"web": 1},
+                    targets={
+                        "dom0.cpu": 16.8,
+                        "hyp.cpu": 3.0,
+                        "pm.mem": 430.0,
+                        "pm.io": 18.8,
+                        "pm.bw": 2.0,
+                    },
+                )
+            ],
+        )
+        pred = model.predict_samples(samples)
+        measured = np.array([s.targets["dom0.cpu"] for s in samples])
+        assert np.abs(pred["dom0.cpu"] - measured).max() < 2.0

@@ -1,0 +1,133 @@
+"""Tests for OLS prediction intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import TrainingConfig, gather_training_samples
+from repro.models.intervals import (
+    IntervalModel,
+    PredictionInterval,
+    fit_intervals,
+    pessimistic_pm_cpu,
+)
+
+
+def planted(n=200, noise=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 10, size=(n, 2))
+    y = 3.0 + X @ [2.0, -1.0] + noise * rng.normal(size=n)
+    return X, y
+
+
+class TestPredictionInterval:
+    def test_halfwidth(self):
+        pi = PredictionInterval(point=5.0, lo=3.0, hi=7.0, level=0.9)
+        assert pi.halfwidth == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictionInterval(point=5.0, lo=6.0, hi=7.0, level=0.9)
+        with pytest.raises(ValueError):
+            PredictionInterval(point=5.0, lo=4.0, hi=6.0, level=1.5)
+
+
+class TestIntervalModel:
+    def test_point_prediction_matches_ols(self):
+        X, y = planted(noise=0.0)
+        m = IntervalModel(X, y)
+        pi = m.predict([2.0, 3.0])
+        assert pi.point == pytest.approx(3.0 + 4.0 - 3.0, abs=1e-6)
+        # Noiseless fit: intervals collapse.
+        assert pi.halfwidth < 1e-5
+
+    def test_coverage_near_nominal(self):
+        # ~90 % of held-out points fall inside 90 % intervals.
+        X, y = planted(n=400, noise=2.0, seed=1)
+        m = IntervalModel(X[:200], y[:200])
+        inside = 0
+        for xi, yi in zip(X[200:], y[200:]):
+            pi = m.predict(xi, level=0.9)
+            inside += pi.lo <= yi <= pi.hi
+        assert 0.82 <= inside / 200 <= 0.97
+
+    def test_width_grows_with_noise(self):
+        Xq, yq = planted(noise=0.5, seed=2)
+        Xn, yn = planted(noise=5.0, seed=2)
+        quiet = IntervalModel(Xq, yq).predict([5.0, 5.0])
+        loud = IntervalModel(Xn, yn).predict([5.0, 5.0])
+        assert loud.halfwidth > 5 * quiet.halfwidth
+
+    def test_width_grows_away_from_data(self):
+        X, y = planted(noise=1.0, seed=3)
+        m = IntervalModel(X, y)
+        inside = m.predict([5.0, 5.0])
+        outside = m.predict([50.0, 50.0])
+        assert outside.halfwidth > inside.halfwidth
+
+    def test_higher_level_wider(self):
+        X, y = planted(noise=1.0, seed=4)
+        m = IntervalModel(X, y)
+        assert (
+            m.predict([5.0, 5.0], level=0.99).halfwidth
+            > m.predict([5.0, 5.0], level=0.8).halfwidth
+        )
+
+    def test_validation(self):
+        X, y = planted(n=20)
+        m = IntervalModel(X, y)
+        with pytest.raises(ValueError):
+            m.predict([1.0])
+        with pytest.raises(ValueError):
+            m.predict([1.0, 2.0], level=0.0)
+        with pytest.raises(ValueError):
+            IntervalModel(np.ones((3, 3)), np.ones(3))
+
+    def test_handles_rank_deficient_design(self):
+        # A constant column (like memory in single-resource sweeps).
+        rng = np.random.default_rng(5)
+        X = np.column_stack([rng.uniform(0, 10, 100), np.full(100, 7.0)])
+        y = 2.0 * X[:, 0] + 1.0 + rng.normal(0, 0.1, 100)
+        m = IntervalModel(X, y)
+        pi = m.predict([5.0, 7.0])
+        assert pi.lo <= pi.point <= pi.hi
+        assert pi.halfwidth < 1.0
+
+
+class TestOverheadIntervals:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return gather_training_samples(
+            TrainingConfig(
+                vm_counts=(1,), kinds=("cpu", "bw"), duration=12.0, warmup=2.0
+            )
+        )
+
+    def test_fit_intervals_all_targets(self, samples):
+        models = fit_intervals(samples)
+        assert set(models) == {
+            "dom0.cpu",
+            "hyp.cpu",
+            "pm.mem",
+            "pm.io",
+            "pm.bw",
+        }
+        x = samples[10].vm_sum.as_array()
+        pi = models["dom0.cpu"].predict(x)
+        assert pi.lo < samples[10].targets["dom0.cpu"] < pi.hi + 5.0
+
+    def test_pessimistic_pm_cpu_exceeds_point(self, samples):
+        models = fit_intervals(samples)
+        x = samples[10].vm_sum.as_array()
+        point = (
+            models["dom0.cpu"].predict(x).point
+            + models["hyp.cpu"].predict(x).point
+            + x[0]
+        )
+        pessimistic = pessimistic_pm_cpu(models, x, guest_cpu=float(x[0]))
+        assert pessimistic > point
+
+    def test_fit_intervals_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_intervals([])

@@ -1,0 +1,80 @@
+"""Property-based tests for the regression engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import RecursiveLeastSquares, fit_ols
+
+
+@st.composite
+def regression_problem(draw):
+    n = draw(st.integers(min_value=8, max_value=60))
+    p = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 3, size=(n, p))
+    coef = rng.normal(0, 2, size=p)
+    intercept = float(rng.normal(0, 5))
+    noise = draw(st.floats(min_value=0.0, max_value=0.5))
+    y = intercept + X @ coef + noise * rng.normal(size=n)
+    return X, y
+
+
+class TestOlsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(regression_problem())
+    def test_residuals_orthogonal_to_features(self, problem):
+        # The defining normal-equation property of least squares.
+        X, y = problem
+        m = fit_ols(X, y)
+        resid = m.residuals(X, y)
+        assert abs(float(np.sum(resid))) < 1e-6 * (1 + abs(y).sum())
+        for j in range(X.shape[1]):
+            dot = float(np.dot(resid, X[:, j]))
+            assert abs(dot) < 1e-5 * (1 + np.abs(X[:, j]).sum() * np.abs(y).max())
+
+    @settings(max_examples=30, deadline=None)
+    @given(regression_problem(), st.integers(min_value=0, max_value=2**31))
+    def test_fit_invariant_under_row_permutation(self, problem, seed):
+        X, y = problem
+        perm = np.random.default_rng(seed).permutation(len(y))
+        a = fit_ols(X, y)
+        b = fit_ols(X[perm], y[perm])
+        assert a.intercept == pytest.approx(b.intercept, abs=1e-6)
+        np.testing.assert_allclose(a.coef, b.coef, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        regression_problem(),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_output_scaling_equivariance(self, problem, scale):
+        # Scaling y scales the fit.
+        X, y = problem
+        a = fit_ols(X, y)
+        b = fit_ols(X, scale * y)
+        assert b.intercept == pytest.approx(scale * a.intercept, rel=1e-6, abs=1e-6)
+        np.testing.assert_allclose(b.coef, scale * a.coef, atol=1e-6)
+
+
+class TestRlsProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(regression_problem())
+    def test_rls_converges_to_ols(self, problem):
+        X, y = problem
+        rls = RecursiveLeastSquares(X.shape[1], delta=1e9)
+        for xi, yi in zip(X, y):
+            rls.update(xi, float(yi))
+        batch = fit_ols(X, y)
+        # With an uninformative prior the RLS estimate matches batch OLS
+        # on the observed design (predictions, not raw coefficients --
+        # rank-deficient designs admit many coefficient splits).
+        np.testing.assert_allclose(
+            rls.as_linear_model().predict(X),
+            batch.predict(X),
+            atol=1e-3 * (1 + np.abs(y).max()),
+        )

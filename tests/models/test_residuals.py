@@ -1,0 +1,98 @@
+"""Tests for residual diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    SingleVMOverheadModel,
+    TrainingConfig,
+    bias_by_bin,
+    gather_training_samples,
+    max_abs_bias,
+    render_bias,
+)
+
+
+@pytest.fixture(scope="module")
+def cpu_samples():
+    return gather_training_samples(
+        TrainingConfig(
+            vm_counts=(1,), kinds=("cpu",), duration=20.0, warmup=2.0
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def model(cpu_samples):
+    return SingleVMOverheadModel.fit(cpu_samples)
+
+
+class TestBiasByBin:
+    def test_detects_convexity_bow(self, model, cpu_samples):
+        """The documented fig7 deviation, made explicit: a linear fit of
+        the convex Dom0 curve over-predicts in the middle of the range
+        (negative residual) and under-predicts at the ends."""
+        bias = bias_by_bin(
+            model, cpu_samples, target="dom0.cpu", feature="cpu", bins=5
+        )
+        populated = [b for b in bias if b.n > 0]
+        assert len(populated) >= 3
+        mid = populated[len(populated) // 2]
+        ends = (populated[0], populated[-1])
+        assert mid.mean_residual < 0  # over-prediction mid-range
+        assert all(e.mean_residual > mid.mean_residual for e in ends)
+
+    def test_linear_target_has_no_bow(self, model, cpu_samples):
+        # pm.mem is linear in the inputs: well-populated bins ~unbiased
+        # (thin bins carry measurement noise and are filtered).
+        bias = bias_by_bin(
+            model, cpu_samples, target="pm.mem", feature="cpu", bins=5
+        )
+        assert max_abs_bias(bias, min_n=5) < 0.5
+
+    def test_bin_partition_covers_all_samples(self, model, cpu_samples):
+        bias = bias_by_bin(model, cpu_samples, bins=4)
+        assert sum(b.n for b in bias) == len(cpu_samples)
+
+    def test_constant_feature_single_bin(self, model):
+        # A truly constant feature collapses to one bin.  (The measured
+        # memory jitters by fractions of an MB, so build noiseless
+        # synthetic samples.)
+        from repro.models import TrainingSample
+        from repro.models.samples import TARGETS
+        from repro.monitor.metrics import ResourceVector
+
+        samples = [
+            TrainingSample(
+                n_vms=1,
+                vm_sum=ResourceVector(cpu=float(c), mem=80.0),
+                targets={t: 1.0 for t in TARGETS},
+            )
+            for c in range(10)
+        ]
+        bias = bias_by_bin(model, samples, feature="mem", bins=5)
+        assert len(bias) == 1
+        assert bias[0].n == len(samples)
+
+    def test_validation(self, model, cpu_samples):
+        with pytest.raises(ValueError):
+            bias_by_bin(model, [])
+        with pytest.raises(ValueError):
+            bias_by_bin(model, cpu_samples, target="nope")
+        with pytest.raises(ValueError):
+            bias_by_bin(model, cpu_samples, feature="gpu")
+        with pytest.raises(ValueError):
+            bias_by_bin(model, cpu_samples, bins=1)
+
+    def test_render(self, model, cpu_samples):
+        text = render_bias(bias_by_bin(model, cpu_samples, bins=3))
+        assert "mean residual" in text
+        assert len(text.splitlines()) == 4
+
+    def test_max_abs_bias_requires_population(self):
+        from repro.models.residuals import BinBias
+
+        with pytest.raises(ValueError):
+            max_abs_bias([BinBias(lo=0, hi=1, n=0, mean_residual=0.0)])

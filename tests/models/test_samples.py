@@ -1,0 +1,113 @@
+"""Tests for training-sample extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.samples import (
+    TARGETS,
+    TrainingSample,
+    design_matrix,
+    samples_from_report,
+    target_vector,
+    vm_counts,
+)
+from repro.monitor import MeasurementScript
+from repro.monitor.metrics import ResourceVector
+from repro.sim import Simulator
+from repro.workloads import CpuHog
+from repro.xen import PhysicalMachine, VMSpec
+
+
+def sample(n=1, cpu=10.0, **targets):
+    base = {t: 1.0 for t in TARGETS}
+    base.update(targets)
+    return TrainingSample(
+        n_vms=n, vm_sum=ResourceVector(cpu=cpu), targets=base
+    )
+
+
+class TestTrainingSample:
+    def test_valid_sample(self):
+        s = sample()
+        assert s.n_vms == 1
+        assert s.vm_sum.cpu == 10.0
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            TrainingSample(
+                n_vms=0,
+                vm_sum=ResourceVector(),
+                targets={t: 0.0 for t in TARGETS},
+            )
+
+    def test_rejects_missing_targets(self):
+        with pytest.raises(ValueError, match="missing targets"):
+            TrainingSample(
+                n_vms=1, vm_sum=ResourceVector(), targets={"dom0.cpu": 1.0}
+            )
+
+
+class TestMatrixHelpers:
+    def test_design_matrix(self):
+        mat = design_matrix([sample(cpu=1.0), sample(cpu=2.0)])
+        np.testing.assert_array_equal(mat[:, 0], [1.0, 2.0])
+        assert mat.shape == (2, 4)
+
+    def test_design_matrix_empty(self):
+        with pytest.raises(ValueError):
+            design_matrix([])
+
+    def test_target_vector(self):
+        s1 = sample(**{"dom0.cpu": 17.0})
+        s2 = sample(**{"dom0.cpu": 20.0})
+        np.testing.assert_array_equal(
+            target_vector([s1, s2], "dom0.cpu"), [17.0, 20.0]
+        )
+
+    def test_target_vector_unknown(self):
+        with pytest.raises(ValueError):
+            target_vector([sample()], "gpu.cpu")
+
+    def test_vm_counts(self):
+        np.testing.assert_array_equal(
+            vm_counts([sample(n=1), sample(n=4)]), [1.0, 4.0]
+        )
+
+
+class TestSamplesFromReport:
+    @pytest.fixture()
+    def report(self):
+        sim = Simulator(seed=11)
+        pm = PhysicalMachine(sim, name="pm1")
+        for k in range(2):
+            vm = pm.create_vm(VMSpec(name=f"vm{k}"))
+            CpuHog(30.0).attach(vm)
+        pm.start()
+        sim.run_until(2.0)
+        return MeasurementScript(pm, noiseless=True).run(duration=10.0)
+
+    def test_one_sample_per_second(self, report):
+        samples = samples_from_report(report)
+        assert len(samples) == 10
+        assert all(s.n_vms == 2 for s in samples)
+
+    def test_vm_sum_is_elementwise_sum(self, report):
+        samples = samples_from_report(report)
+        s = samples[-1]
+        expect_cpu = (
+            report.series("vm0", "cpu").values[-1]
+            + report.series("vm1", "cpu").values[-1]
+        )
+        assert s.vm_sum.cpu == pytest.approx(expect_cpu)
+
+    def test_targets_filled(self, report):
+        s = samples_from_report(report)[0]
+        assert s.targets["dom0.cpu"] > 16.0
+        assert s.targets["hyp.cpu"] > 2.0
+        assert s.targets["pm.io"] > 0.0
+
+    def test_n_vms_override(self, report):
+        samples = samples_from_report(report, n_vms=7)
+        assert samples[0].n_vms == 7

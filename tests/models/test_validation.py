@@ -1,0 +1,95 @@
+"""Tests for model validation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MultiVMOverheadModel,
+    SingleVMOverheadModel,
+    TrainingConfig,
+    cross_validate_multi,
+    fit_quality,
+    gather_training_samples,
+    kfold_indices,
+    render_quality_table,
+)
+from repro.models.samples import TARGETS
+
+
+@pytest.fixture(scope="module")
+def training_samples():
+    return gather_training_samples(
+        TrainingConfig(vm_counts=(1, 2), duration=10.0, warmup=2.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def multi_model(training_samples):
+    return MultiVMOverheadModel.fit(training_samples)
+
+
+class TestKfold:
+    def test_partition_covers_everything(self):
+        folds = kfold_indices(23, 5, np.random.default_rng(0))
+        assert len(folds) == 5
+        joined = np.concatenate(folds)
+        assert sorted(joined.tolist()) == list(range(23))
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1, rng)
+        with pytest.raises(ValueError):
+            kfold_indices(3, 5, rng)
+
+    def test_shuffled(self):
+        folds = kfold_indices(100, 2, np.random.default_rng(1))
+        assert folds[0].tolist() != list(range(50))
+
+
+class TestFitQuality:
+    def test_multi_model_fits_training_data_well(
+        self, multi_model, training_samples
+    ):
+        quality = fit_quality(multi_model, training_samples)
+        assert set(quality) == set(TARGETS)
+        # Bandwidth and memory are near-deterministic linear maps.
+        assert quality["pm.bw"].r_squared > 0.99
+        assert quality["pm.mem"].r_squared > 0.99
+        assert quality["pm.io"].r_squared > 0.99
+        # Dom0 is convex, fitted linearly: good but not perfect.
+        assert 0.9 < quality["dom0.cpu"].r_squared <= 1.0
+
+    def test_single_model_quality(self, training_samples):
+        singles = [s for s in training_samples if s.n_vms == 1]
+        model = SingleVMOverheadModel.fit(singles)
+        quality = fit_quality(model, singles)
+        assert quality["pm.bw"].rmse < 10.0
+        assert quality["hyp.cpu"].max_abs_residual < 5.0
+
+    def test_empty_samples_rejected(self, multi_model):
+        with pytest.raises(ValueError):
+            fit_quality(multi_model, [])
+
+    def test_render_table(self, multi_model, training_samples):
+        text = render_quality_table(fit_quality(multi_model, training_samples))
+        assert "dom0.cpu" in text
+        assert "R^2" in text
+        assert len(text.splitlines()) == 1 + len(TARGETS)
+
+
+class TestCrossValidation:
+    def test_cv_rmse_reasonable(self, training_samples):
+        rmse = cross_validate_multi(training_samples, k=4, seed=1)
+        assert set(rmse) == set(TARGETS)
+        # Held-out RMSE on Dom0 CPU stays within a couple of points.
+        assert rmse["dom0.cpu"] < 3.0
+        assert rmse["pm.bw"] < 30.0
+        assert all(v >= 0 for v in rmse.values())
+
+    def test_cv_deterministic(self, training_samples):
+        a = cross_validate_multi(training_samples, k=3, seed=7)
+        b = cross_validate_multi(training_samples, k=3, seed=7)
+        assert a == b

@@ -1,0 +1,68 @@
+"""Tests for the cluster-wide monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.monitor import ClusterMonitor
+from repro.sim import Simulator
+from repro.workloads import CpuHog
+from repro.xen import VMSpec
+
+
+@pytest.fixture()
+def cluster():
+    sim = Simulator(seed=71)
+    cl = Cluster(sim)
+    cl.create_pm("pm1")
+    cl.create_pm("pm2")
+    vm = cl.place_vm(VMSpec(name="busy"), "pm1")
+    CpuHog(60.0).attach(vm)
+    cl.place_vm(VMSpec(name="idle"), "pm2")
+    cl.start()
+    cl.run(2.0)
+    return cl
+
+
+class TestClusterMonitor:
+    def test_reports_every_pm(self, cluster):
+        reports = ClusterMonitor(cluster).run(20.0)
+        assert set(reports) == {"pm1", "pm2"}
+        assert reports["pm1"].mean("busy", "cpu") == pytest.approx(
+            60.3, abs=0.5
+        )
+        assert reports["pm2"].mean("idle", "cpu") < 1.0
+
+    def test_reports_are_synchronized(self, cluster):
+        reports = ClusterMonitor(cluster).run(10.0)
+        t1 = reports["pm1"].series("dom0", "cpu").times
+        t2 = reports["pm2"].series("dom0", "cpu").times
+        assert list(t1) == list(t2)
+
+    def test_lifecycle_errors(self, cluster):
+        mon = ClusterMonitor(cluster)
+        with pytest.raises(RuntimeError):
+            mon.stop()
+        mon.start()
+        with pytest.raises(RuntimeError):
+            mon.start()
+        cluster.run(3.0)
+        mon.stop()
+
+    def test_duration_validated(self, cluster):
+        with pytest.raises(ValueError):
+            ClusterMonitor(cluster).run(0.0)
+
+    def test_empty_cluster_rejected(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            ClusterMonitor(Cluster(sim))
+
+    def test_failure_injection_counted(self, cluster):
+        mon = ClusterMonitor(cluster, tool_failure_prob=0.3)
+        mon.run(20.0)
+        assert mon.missed_samples() > 0
+
+    def test_pm_names(self, cluster):
+        assert ClusterMonitor(cluster).pm_names == ["pm1", "pm2"]

@@ -1,0 +1,79 @@
+"""Failure-injection tests for the monitoring stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor import MeasurementScript, ToolFailure, XenTop
+from repro.monitor.tools import SCOPE_VM
+from repro.sim import Simulator
+from repro.workloads import CpuHog
+from repro.xen import DEFAULT_CALIBRATION, PhysicalMachine, VMSpec
+
+
+def make_pm(seed=23):
+    sim = Simulator(seed=seed)
+    pm = PhysicalMachine(sim, name="pm1")
+    vm = pm.create_vm(VMSpec(name="vm1"))
+    CpuHog(50.0).attach(vm)
+    pm.start()
+    sim.run_until(2.0)
+    return sim, pm
+
+
+class TestToolFailure:
+    def test_tool_raises_with_failure_prob_one_ish(self):
+        sim, pm = make_pm()
+        tool = XenTop(
+            DEFAULT_CALIBRATION, sim.rng("flaky"), failure_prob=0.999
+        )
+        with pytest.raises(ToolFailure):
+            for _ in range(50):
+                tool.read(pm.snapshot(), SCOPE_VM, "cpu", "vm1")
+
+    def test_zero_failure_prob_never_raises(self):
+        sim, pm = make_pm()
+        tool = XenTop(DEFAULT_CALIBRATION, sim.rng("solid"), failure_prob=0.0)
+        for _ in range(100):
+            tool.read(pm.snapshot(), SCOPE_VM, "cpu", "vm1")
+
+    def test_failure_prob_validated(self):
+        sim, _ = make_pm()
+        with pytest.raises(ValueError):
+            XenTop(DEFAULT_CALIBRATION, sim.rng("x"), failure_prob=1.0)
+        with pytest.raises(ValueError):
+            XenTop(DEFAULT_CALIBRATION, sim.rng("x"), failure_prob=-0.1)
+
+
+class TestScriptCarryForward:
+    def test_script_survives_flaky_tools(self):
+        sim, pm = make_pm()
+        script = MeasurementScript(pm, tool_failure_prob=0.2)
+        report = script.run(duration=60.0)
+        # Full-length series despite ~20 % lost readings.
+        assert len(report.series("vm1", "cpu")) == 60
+        assert script.missed_samples > 0
+
+    def test_carried_values_stay_near_truth(self):
+        sim, pm = make_pm()
+        script = MeasurementScript(pm, tool_failure_prob=0.3)
+        report = script.run(duration=60.0)
+        # Carry-forward of a near-steady signal barely moves the mean.
+        assert report.mean("vm1", "cpu") == pytest.approx(50.3, abs=1.0)
+        assert report.mean("dom0", "cpu") == pytest.approx(
+            pm.snapshot().dom0_cpu_pct, rel=0.03
+        )
+
+    def test_first_sample_failure_records_zero(self):
+        # With no previous reading the script records 0 (cold start),
+        # never crashes.
+        sim, pm = make_pm()
+        script = MeasurementScript(pm, tool_failure_prob=0.95)
+        report = script.run(duration=10.0)
+        assert len(report.series("pm", "cpu")) == 10
+
+    def test_no_failures_means_no_missed_samples(self):
+        sim, pm = make_pm()
+        script = MeasurementScript(pm)
+        script.run(duration=10.0)
+        assert script.missed_samples == 0

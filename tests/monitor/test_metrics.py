@@ -1,0 +1,83 @@
+"""Tests for the metric vocabulary and ResourceVector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.monitor.metrics import (
+    RESOURCES,
+    UNITS,
+    ResourceVector,
+    trace_name,
+    vm_utilization_vector,
+)
+from repro.xen.machine import VmUtilization
+
+finite = st.floats(min_value=-1e6, max_value=1e6)
+
+
+class TestVocabulary:
+    def test_resource_order_matches_paper(self):
+        # The paper's M = [Mc, Mm, Mi, Mn]^T.
+        assert RESOURCES == ("cpu", "mem", "io", "bw")
+
+    def test_units_cover_all_resources(self):
+        assert set(UNITS) == set(RESOURCES)
+
+    def test_trace_name(self):
+        assert trace_name("vm1", "cpu") == "vm1.cpu"
+        with pytest.raises(ValueError):
+            trace_name("vm1", "gpu")
+        with pytest.raises(ValueError):
+            trace_name("", "cpu")
+
+
+class TestResourceVector:
+    def test_iteration_order(self):
+        v = ResourceVector(1, 2, 3, 4)
+        assert list(v) == [1, 2, 3, 4]
+
+    def test_add_sub(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        assert list(a + b) == [11, 22, 33, 44]
+        assert list(b - a) == [9, 18, 27, 36]
+
+    def test_scale(self):
+        assert list(ResourceVector(1, 2, 3, 4).scale(2)) == [2, 4, 6, 8]
+
+    def test_array_roundtrip(self):
+        v = ResourceVector(1.5, 2.5, 3.5, 4.5)
+        np.testing.assert_array_equal(v.as_array(), [1.5, 2.5, 3.5, 4.5])
+        assert ResourceVector.from_array(v.as_array()) == v
+
+    def test_from_array_validates_shape(self):
+        with pytest.raises(ValueError):
+            ResourceVector.from_array([1, 2, 3])
+
+    def test_get_by_name(self):
+        v = ResourceVector(1, 2, 3, 4)
+        assert v.get("cpu") == 1
+        assert v.get("bw") == 4
+        with pytest.raises(ValueError):
+            v.get("gpu")
+
+    def test_immutable(self):
+        v = ResourceVector()
+        with pytest.raises(AttributeError):
+            v.cpu = 5.0  # type: ignore[misc]
+
+    @given(finite, finite, finite, finite, finite, finite, finite, finite)
+    def test_add_sub_inverse(self, a1, a2, a3, a4, b1, b2, b3, b4):
+        a = ResourceVector(a1, a2, a3, a4)
+        b = ResourceVector(b1, b2, b3, b4)
+        back = (a + b) - b
+        np.testing.assert_allclose(back.as_array(), a.as_array(), atol=1e-6)
+
+    def test_vm_utilization_conversion(self):
+        util = VmUtilization(cpu_pct=10, mem_mb=20, io_bps=30, bw_kbps=40)
+        v = vm_utilization_vector(util)
+        assert list(v) == [10, 20, 30, 40]

@@ -1,0 +1,84 @@
+"""Tests for the measurement-tool self-overhead model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor import (
+    MeasurementScript,
+    ProbeLoad,
+    apply_probe_load,
+    clear_probe_load,
+    naive_probe_load,
+    probe_load,
+    unified_probe_load,
+)
+from repro.sim import Simulator
+from repro.workloads import CpuHog
+from repro.xen import PhysicalMachine, VMSpec
+
+
+class TestProbeLoads:
+    def test_unified_is_cheaper_than_naive(self):
+        naive = naive_probe_load()
+        unified = unified_probe_load()
+        # The unified script's whole point: strictly less perturbation,
+        # especially inside the guests.
+        assert unified.dom0_cpu_pct < naive.dom0_cpu_pct
+        assert unified.per_guest_cpu_pct <= naive.per_guest_cpu_pct / 2
+
+    def test_probe_load_composition(self):
+        load = probe_load(["xentop"], ["top", "vmstat"])
+        assert load.dom0_cpu_pct == pytest.approx(1.10)
+        assert load.per_guest_cpu_pct == pytest.approx(0.35 + 0.12)
+
+    def test_unknown_tool_rejected(self):
+        with pytest.raises(ValueError):
+            probe_load(["htop"], [])
+        with pytest.raises(ValueError):
+            probe_load([], ["htop"])
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeLoad(-1.0, 0.0)
+
+
+class TestProbePerturbation:
+    @staticmethod
+    def run_with(load):
+        sim = Simulator(seed=17)
+        pm = PhysicalMachine(sim, name="pm1")
+        vm = pm.create_vm(VMSpec(name="vm1"))
+        CpuHog(60.0).attach(vm)
+        apply_probe_load(pm, load)
+        pm.start()
+        sim.run_until(3.0)
+        report = MeasurementScript(pm, noiseless=True).run(duration=20.0)
+        return report
+
+    def test_probes_inflate_measured_utilizations(self):
+        clean = self.run_with(ProbeLoad(0.0, 0.0))
+        naive = self.run_with(naive_probe_load())
+        dom0_delta = naive.mean("dom0", "cpu") - clean.mean("dom0", "cpu")
+        vm_delta = naive.mean("vm1", "cpu") - clean.mean("vm1", "cpu")
+        assert dom0_delta == pytest.approx(
+            naive_probe_load().dom0_cpu_pct, abs=0.4
+        )
+        assert vm_delta == pytest.approx(
+            naive_probe_load().per_guest_cpu_pct, abs=0.2
+        )
+
+    def test_unified_perturbs_less(self):
+        naive = self.run_with(naive_probe_load())
+        unified = self.run_with(unified_probe_load())
+        assert unified.mean("dom0", "cpu") < naive.mean("dom0", "cpu")
+        assert unified.mean("vm1", "cpu") < naive.mean("vm1", "cpu")
+
+    def test_clear_probe_load(self):
+        sim = Simulator(seed=18)
+        pm = PhysicalMachine(sim, name="pm1")
+        pm.create_vm(VMSpec(name="vm1"))
+        apply_probe_load(pm, naive_probe_load())
+        clear_probe_load(pm)
+        assert pm.dom0.probe_cpu_pct == 0.0
+        assert pm.vms["vm1"].demand.probe_cpu_pct == 0.0

@@ -1,0 +1,178 @@
+"""Tests for the Table I tool emulations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitor.tools import (
+    ALL_TOOLS,
+    SCOPE_DOM0,
+    SCOPE_PM,
+    SCOPE_VM,
+    TABLE_I,
+    CapabilityError,
+    IfConfig,
+    MpStat,
+    Top,
+    VmStat,
+    XenTop,
+    render_table_i,
+)
+from repro.sim import Simulator
+from repro.xen import DEFAULT_CALIBRATION, PhysicalMachine, VMSpec
+
+
+@pytest.fixture()
+def snapshot():
+    sim = Simulator(seed=3)
+    pm = PhysicalMachine(sim, name="pm1")
+    vm = pm.create_vm(VMSpec(name="vm1"))
+    vm.demand.cpu_pct = 60.0
+    vm.demand.io_bps = 46.0
+    pm.start()
+    sim.run_until(5.0)
+    return sim, pm.snapshot()
+
+
+def make_tool(cls, sim, noiseless=True):
+    return cls(DEFAULT_CALIBRATION, sim.rng("test-tool"), noiseless=noiseless)
+
+
+class TestCapabilityMatrix:
+    def test_all_tools_have_full_matrix(self):
+        scopes = (SCOPE_VM, SCOPE_DOM0, SCOPE_PM)
+        for tool, caps in TABLE_I.items():
+            assert len(caps) == 12, tool
+            for scope in scopes:
+                for res in ("cpu", "mem", "io", "bw"):
+                    assert (scope, res) in caps
+
+    def test_paper_cells_spotcheck(self):
+        # xentop sees VM cpu/io/bw but not memory.
+        assert TABLE_I["xentop"][(SCOPE_VM, "cpu")].cell == "Y+"
+        assert TABLE_I["xentop"][(SCOPE_VM, "mem")].cell == "-"
+        # top must run inside the VM for memory, and is in the script.
+        assert TABLE_I["top"][(SCOPE_VM, "mem")].cell == "Y*+"
+        # mpstat is the hypervisor CPU view.
+        assert TABLE_I["mpstat"][(SCOPE_PM, "cpu")].cell == "Y+"
+        # ifconfig gives PM bandwidth.
+        assert TABLE_I["ifconfig"][(SCOPE_PM, "bw")].cell == "Y+"
+        # vmstat gives PM I/O.
+        assert TABLE_I["vmstat"][(SCOPE_PM, "io")].cell == "Y+"
+
+    def test_no_single_tool_covers_everything(self):
+        # The motivation for the unified script (Section III-A).
+        for tool, caps in TABLE_I.items():
+            assert any(not c.supported for c in caps.values()), tool
+
+    def test_script_covers_all_needed_metrics(self):
+        # Union of '+' cells covers: VM cpu/mem/io/bw, Dom0 cpu/mem/io/bw,
+        # PM cpu(hyp)/io/bw.
+        plus = {
+            key
+            for caps in TABLE_I.values()
+            for key, c in caps.items()
+            if c.supported and c.in_script
+        }
+        needed = {
+            (SCOPE_VM, r) for r in ("cpu", "mem", "io", "bw")
+        } | {
+            (SCOPE_DOM0, r) for r in ("cpu", "mem", "io", "bw")
+        } | {(SCOPE_PM, "cpu"), (SCOPE_PM, "io"), (SCOPE_PM, "bw")}
+        assert needed <= plus
+
+    def test_render_table(self):
+        text = render_table_i()
+        assert "xentop" in text and "Y*+" in text and "-" in text
+        assert len(text.splitlines()) == 6  # header + 5 tools
+
+
+class TestToolReads:
+    def test_xentop_reads_vm_metrics(self, snapshot):
+        sim, snap = snapshot
+        tool = make_tool(XenTop, sim)
+        assert tool.read(snap, SCOPE_VM, "cpu", "vm1") == pytest.approx(
+            snap.vm("vm1").cpu_pct
+        )
+        assert tool.read(snap, SCOPE_VM, "io", "vm1") == pytest.approx(46.0)
+
+    def test_xentop_cannot_read_memory(self, snapshot):
+        sim, snap = snapshot
+        tool = make_tool(XenTop, sim)
+        with pytest.raises(CapabilityError):
+            tool.read(snap, SCOPE_VM, "mem", "vm1")
+
+    def test_top_reads_memory(self, snapshot):
+        sim, snap = snapshot
+        tool = make_tool(Top, sim)
+        assert tool.read(snap, SCOPE_VM, "mem", "vm1") == pytest.approx(
+            snap.vm("vm1").mem_mb
+        )
+        assert tool.read(snap, SCOPE_DOM0, "mem") == pytest.approx(
+            snap.dom0_mem_mb
+        )
+
+    def test_mpstat_reads_hypervisor_cpu(self, snapshot):
+        sim, snap = snapshot
+        tool = make_tool(MpStat, sim)
+        assert tool.read(snap, SCOPE_PM, "cpu") == pytest.approx(
+            snap.hypervisor_cpu_pct
+        )
+
+    def test_ifconfig_reads_pm_bw(self, snapshot):
+        sim, snap = snapshot
+        tool = make_tool(IfConfig, sim)
+        assert tool.read(snap, SCOPE_PM, "bw") == pytest.approx(
+            snap.pm_bw_kbps
+        )
+
+    def test_vmstat_reads_pm_io(self, snapshot):
+        sim, snap = snapshot
+        tool = make_tool(VmStat, sim)
+        assert tool.read(snap, SCOPE_PM, "io") == pytest.approx(snap.pm_io_bps)
+
+    def test_vm_scope_requires_name(self, snapshot):
+        sim, snap = snapshot
+        tool = make_tool(XenTop, sim)
+        with pytest.raises(ValueError):
+            tool.read(snap, SCOPE_VM, "cpu")
+
+    def test_unknown_resource_rejected(self, snapshot):
+        sim, snap = snapshot
+        tool = make_tool(XenTop, sim)
+        with pytest.raises(ValueError):
+            tool.read(snap, SCOPE_VM, "gpu", "vm1")
+
+    def test_every_tool_constructible(self, snapshot):
+        sim, _ = snapshot
+        for cls in ALL_TOOLS:
+            assert make_tool(cls, sim).name in TABLE_I
+
+
+class TestNoise:
+    def test_zero_reads_stay_zero(self, snapshot):
+        sim, snap = snapshot
+        tool = XenTop(DEFAULT_CALIBRATION, sim.rng("noisy"), noiseless=False)
+        assert tool.read(snap, SCOPE_DOM0, "io") == 0.0
+        assert tool.read(snap, SCOPE_DOM0, "bw") == 0.0
+
+    def test_noise_is_small_and_nonnegative(self, snapshot):
+        sim, snap = snapshot
+        tool = XenTop(DEFAULT_CALIBRATION, sim.rng("noisy2"), noiseless=False)
+        truth = snap.vm("vm1").cpu_pct
+        reads = np.array(
+            [tool.read(snap, SCOPE_VM, "cpu", "vm1") for _ in range(400)]
+        )
+        assert np.all(reads >= 0)
+        # ~2 % multiplicative noise plus a small floor.
+        assert abs(reads.mean() - truth) / truth < 0.02
+        assert 0.001 < reads.std() / truth < 0.05
+
+    def test_noise_is_reproducible(self, snapshot):
+        sim, snap = snapshot
+        a = XenTop(DEFAULT_CALIBRATION, Simulator(seed=9).rng("t"))
+        b = XenTop(DEFAULT_CALIBRATION, Simulator(seed=9).rng("t"))
+        ra = [a.read(snap, SCOPE_VM, "cpu", "vm1") for _ in range(10)]
+        rb = [b.read(snap, SCOPE_VM, "cpu", "vm1") for _ in range(10)]
+        assert ra == rb

@@ -1,0 +1,118 @@
+"""Tests for overhead-aware consolidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import TrainingConfig, train_multi_vm_model
+from repro.monitor.metrics import ResourceVector
+from repro.placement.consolidation import ConsolidationPlan, ConsolidationPlanner
+from repro.placement.migration import VmObservation
+
+
+@pytest.fixture(scope="module")
+def model():
+    return train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2, 4), duration=12.0, warmup=2.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def planner(model):
+    return ConsolidationPlanner(model, target_frac=0.8)
+
+
+def obs(name, cpu=0.0, mem=256):
+    return VmObservation(name=name, demand=ResourceVector(cpu=cpu), mem_mb=mem)
+
+
+class TestConsolidation:
+    def test_packs_two_light_pms_into_one(self, planner):
+        placement = {
+            "pm1": [obs("a", cpu=20.0)],
+            "pm2": [obs("b", cpu=25.0)],
+            "pm3": [obs("c", cpu=15.0)],
+        }
+        plan = planner.plan(placement)
+        assert plan.pms_saved >= 2
+        after = planner.apply(placement, plan)
+        non_empty = [pm for pm, vms in after.items() if vms]
+        assert len(non_empty) == 1
+        # The surviving PM stays under target.
+        assert planner._pm_cpu(after[non_empty[0]]) <= planner.target
+
+    def test_no_consolidation_when_loaded(self, planner):
+        placement = {
+            "pm1": [obs(f"a{i}", cpu=80.0) for i in range(2)],
+            "pm2": [obs(f"b{i}", cpu=80.0) for i in range(2)],
+        }
+        plan = planner.plan(placement)
+        assert plan.pms_saved == 0
+        assert plan.moves == []
+
+    def test_partial_consolidation(self, planner):
+        # Two busy PMs plus one nearly-idle PM: only the idle one drains.
+        placement = {
+            "pm1": [obs(f"a{i}", cpu=70.0) for i in range(2)],
+            "pm2": [obs("tiny", cpu=5.0)],
+            "pm3": [obs(f"c{i}", cpu=70.0) for i in range(2)],
+        }
+        plan = planner.plan(placement)
+        assert plan.released_pms == ["pm2"]
+        after = planner.apply(placement, plan)
+        assert after["pm2"] == []
+        for pm in ("pm1", "pm3"):
+            assert planner._pm_cpu(after[pm]) <= planner.target
+
+    def test_overhead_blocks_naive_packing(self, planner):
+        # Guest sums say 4 x 45 = 180 fits a 190-point guest share, but
+        # the model adds Dom0 + hypervisor and refuses the merge at the
+        # 0.8 target (180 + ~35 > 180).
+        placement = {
+            "pm1": [obs("a0", cpu=45.0), obs("a1", cpu=45.0)],
+            "pm2": [obs("b0", cpu=45.0), obs("b1", cpu=45.0)],
+        }
+        plan = planner.plan(placement)
+        assert plan.pms_saved == 0
+
+    def test_memory_respected(self, planner):
+        placement = {
+            "pm1": [obs("fat", cpu=5.0, mem=1500)],
+            "pm2": [obs("other", cpu=5.0, mem=1500)],
+        }
+        plan = planner.plan(placement)
+        # 1500 + 1500 + 350 > 2048: no merge possible.
+        assert plan.pms_saved == 0
+
+    def test_all_or_nothing_per_source(self, planner):
+        # pm1 has one movable and one unmovable (memory) guest; it must
+        # not be half-drained.
+        placement = {
+            "pm1": [obs("small", cpu=10.0), obs("fat", cpu=10.0, mem=1600)],
+            "pm2": [obs("x", cpu=10.0, mem=1000)],
+        }
+        plan = planner.plan(placement)
+        assert plan.pms_saved == 0
+        assert plan.moves == []
+
+    def test_never_reopens_empty_pm(self, planner):
+        placement = {
+            "pm1": [obs("a", cpu=10.0)],
+            "pm2": [],
+            "pm3": [obs("b", cpu=10.0)],
+        }
+        plan = planner.plan(placement)
+        after = planner.apply(placement, plan)
+        assert after["pm2"] == []
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            ConsolidationPlanner(model, target_frac=0.0)
+        planner = ConsolidationPlanner(model)
+        with pytest.raises(ValueError):
+            planner.plan({})
+
+    def test_empty_plan_properties(self):
+        plan = ConsolidationPlan()
+        assert plan.pms_saved == 0
+        assert plan.moves == []

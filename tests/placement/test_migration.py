@@ -1,0 +1,166 @@
+"""Tests for hotspot detection and migration planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import TrainingConfig, train_multi_vm_model
+from repro.monitor.metrics import ResourceVector
+from repro.placement import (
+    HotspotDetector,
+    MigrationPlanner,
+    Move,
+    VmObservation,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2, 4), duration=12.0, warmup=2.0)
+    )
+
+
+def obs(name, cpu=0.0, bw=0.0, io=0.0, mem=256):
+    return VmObservation(
+        name=name, demand=ResourceVector(cpu=cpu, io=io, bw=bw), mem_mb=mem
+    )
+
+
+class TestVmObservation:
+    def test_volume_grows_with_pressure(self):
+        light = obs("a", cpu=10.0)
+        heavy = obs("b", cpu=90.0, io=80.0, bw=50_000.0)
+        assert heavy.volume() > 10 * light.volume()
+
+    def test_volume_per_mem_prefers_small_vms(self):
+        small = obs("a", cpu=50.0, mem=128)
+        big = obs("b", cpu=50.0, mem=1024)
+        assert small.volume_per_mem() > big.volume_per_mem()
+
+    def test_volume_bounded_near_saturation(self):
+        v = obs("a", cpu=100.0, io=90.0, bw=100_000.0)
+        assert v.volume() <= (1 / 0.05) ** 3 + 1e-9
+
+
+class TestHotspotDetector:
+    def test_idle_pm_never_hot(self, model):
+        det = HotspotDetector(model, k=2)
+        for _ in range(5):
+            assert not det.observe("pm1", [])
+
+    def test_requires_k_consecutive(self, model):
+        det = HotspotDetector(model, k=3, threshold_frac=0.8)
+        hot_set = [obs(f"v{i}", cpu=90.0) for i in range(4)]
+        assert not det.observe("pm1", hot_set)
+        assert not det.observe("pm1", hot_set)
+        assert det.observe("pm1", hot_set)
+
+    def test_transient_spike_ignored(self, model):
+        det = HotspotDetector(model, k=3, threshold_frac=0.8)
+        hot = [obs(f"v{i}", cpu=90.0) for i in range(4)]
+        cool = [obs("v0", cpu=10.0)]
+        det.observe("pm1", hot)
+        det.observe("pm1", cool)  # breaks the streak
+        det.observe("pm1", hot)
+        assert not det.observe("pm1", hot)
+        assert det.observe("pm1", hot)
+
+    def test_reset_clears_history(self, model):
+        det = HotspotDetector(model, k=2, threshold_frac=0.8)
+        hot = [obs(f"v{i}", cpu=90.0) for i in range(4)]
+        det.observe("pm1", hot)
+        det.reset("pm1")
+        assert not det.observe("pm1", hot)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            HotspotDetector(model, k=0)
+        with pytest.raises(ValueError):
+            HotspotDetector(model, threshold_frac=0.0)
+        with pytest.raises(ValueError):
+            HotspotDetector(model, threshold_frac=1.5)
+
+
+class TestMigrationPlanner:
+    def test_relieves_simple_hotspot(self, model):
+        planner = MigrationPlanner(model)
+        placement = {
+            "pm1": [obs(f"v{i}", cpu=60.0) for i in range(4)],
+            "pm2": [obs("calm", cpu=10.0)],
+        }
+        moves = planner.plan("pm1", placement)
+        assert moves
+        assert all(m.src == "pm1" and m.dst == "pm2" for m in moves)
+        assert planner.relieved("pm1", placement, moves)
+
+    def test_does_not_create_new_hotspot(self, model):
+        planner = MigrationPlanner(model, target_frac=0.85)
+        placement = {
+            "pm1": [obs(f"v{i}", cpu=80.0) for i in range(4)],
+            "pm2": [obs(f"w{i}", cpu=75.0) for i in range(2)],
+        }
+        moves = planner.plan("pm1", placement)
+        # pm2 is near its own limit; any accepted move must keep pm2
+        # under target (the planner's admission rule).
+        state2 = [o for o in placement["pm2"]]
+        for mv in moves:
+            vm = next(v for v in placement["pm1"] if v.name == mv.vm)
+            state2.append(vm)
+        assert planner._pm_cpu(state2) <= planner.target + 1e-9
+
+    def test_no_destination_means_no_moves(self, model):
+        planner = MigrationPlanner(model)
+        placement = {
+            "pm1": [obs(f"v{i}", cpu=90.0) for i in range(4)],
+            "pm2": [obs(f"w{i}", cpu=90.0) for i in range(4)],
+        }
+        moves = planner.plan("pm1", placement)
+        assert moves == []
+
+    def test_memory_constraint_respected(self, model):
+        planner = MigrationPlanner(model)
+        placement = {
+            "pm1": [obs("huge", cpu=90.0, mem=1400), obs("v", cpu=90.0)],
+            "pm2": [obs("resident", cpu=5.0, mem=1500)],
+        }
+        moves = planner.plan("pm1", placement)
+        # 'huge' cannot fit pm2 (1500 + 1400 + dom0 > 2048); only 'v' can
+        # move.
+        assert all(m.vm != "huge" for m in moves)
+
+    def test_prefers_high_volume_per_mem(self, model):
+        planner = MigrationPlanner(model, target_frac=0.7)
+        placement = {
+            "pm1": [
+                obs("small-busy", cpu=85.0, mem=128),
+                obs("big-busy", cpu=85.0, mem=1024),
+                obs("calm", cpu=20.0),
+            ],
+            "pm2": [],
+        }
+        moves = planner.plan("pm1", placement, max_moves=1)
+        assert moves and moves[0].vm == "small-busy"
+
+    def test_max_moves_bound(self, model):
+        planner = MigrationPlanner(model, target_frac=0.3)
+        placement = {
+            "pm1": [obs(f"v{i}", cpu=60.0) for i in range(5)],
+            "pm2": [],
+            "pm3": [],
+        }
+        moves = planner.plan("pm1", placement, max_moves=2)
+        assert len(moves) <= 2
+
+    def test_validation(self, model):
+        planner = MigrationPlanner(model)
+        with pytest.raises(KeyError):
+            planner.plan("ghost", {"pm1": []})
+        with pytest.raises(ValueError):
+            planner.plan("pm1", {"pm1": []}, max_moves=0)
+        with pytest.raises(ValueError):
+            MigrationPlanner(model, target_frac=0.0)
+
+    def test_move_record(self):
+        m = Move(vm="v", src="a", dst="b")
+        assert (m.vm, m.src, m.dst) == ("v", "a", "b")

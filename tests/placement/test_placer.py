@@ -1,0 +1,108 @@
+"""Tests for VOA / VOU placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import MultiVMOverheadModel, TrainingConfig, train_multi_vm_model
+from repro.monitor.metrics import ResourceVector
+from repro.placement import VOA, VOU, Placer, PlacementRequest
+from repro.xen import VMSpec
+
+
+@pytest.fixture(scope="module")
+def model() -> MultiVMOverheadModel:
+    return train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2, 4), duration=12.0, warmup=2.0)
+    )
+
+
+def req(name, cpu=0.0, mem_mb=400, bw=0.0, io=0.0):
+    return PlacementRequest(
+        spec=VMSpec(name=name, mem_mb=mem_mb),
+        demand=ResourceVector(cpu=cpu, mem=mem_mb / 2, io=io, bw=bw),
+    )
+
+
+class TestConstruction:
+    def test_voa_requires_model(self):
+        with pytest.raises(ValueError, match="model"):
+            Placer(["pm1"], strategy=VOA)
+
+    def test_unknown_strategy(self, model):
+        with pytest.raises(ValueError):
+            Placer(["pm1"], strategy="magic", model=model)
+
+    def test_needs_pms(self, model):
+        with pytest.raises(ValueError):
+            Placer([], strategy=VOA, model=model)
+
+    def test_headroom_validated(self, model):
+        with pytest.raises(ValueError):
+            Placer(["pm1"], strategy=VOA, model=model, cpu_headroom=0.0)
+        with pytest.raises(ValueError):
+            Placer(["pm1"], strategy=VOA, model=model, cpu_headroom=1.5)
+
+
+class TestVou:
+    def test_first_fit_packs_one_pm(self):
+        placer = Placer(["pm1", "pm2"], strategy=VOU)
+        plan = placer.place([req(f"v{k}", cpu=50.0) for k in range(4)])
+        assert set(plan.assignment.values()) == {"pm1"}
+        assert plan.forced == []
+
+    def test_memory_overflows_to_second_pm(self):
+        # 4 x 400 MB + Dom0 350 fits 2048; the 5th does not.
+        placer = Placer(["pm1", "pm2"], strategy=VOU)
+        plan = placer.place([req(f"v{k}") for k in range(5)])
+        assert plan.vms_on("pm1") == [f"v{k}" for k in range(4)]
+        assert plan.vms_on("pm2") == ["v4"]
+
+    def test_ignores_cpu_overhead(self):
+        # Four 90 % guests sum to 360 <= 400 nominal: VOU accepts, even
+        # though the real effective capacity is ~225.
+        placer = Placer(["pm1", "pm2"], strategy=VOU)
+        plan = placer.place([req(f"v{k}", cpu=90.0) for k in range(4)])
+        assert set(plan.assignment.values()) == {"pm1"}
+
+    def test_duplicate_names_rejected(self):
+        placer = Placer(["pm1"], strategy=VOU)
+        with pytest.raises(ValueError):
+            placer.place([req("a"), req("a")])
+
+    def test_forced_placement_when_nothing_fits(self):
+        placer = Placer(["pm1"], strategy=VOU)
+        plan = placer.place([req(f"v{k}") for k in range(5)])
+        assert "v4" in plan.forced
+        assert plan.assignment["v4"] == "pm1"
+
+
+class TestVoa:
+    def test_accounts_for_dom0_and_hypervisor(self, model):
+        # Four 90 % guests: predicted PM CPU = 360 + Dom0 + hyp > 225,
+        # so VOA splits the set while VOU packs it.
+        reqs = [req(f"v{k}", cpu=90.0) for k in range(4)]
+        voa_plan = Placer(
+            ["pm1", "pm2"], strategy=VOA, model=model
+        ).place(reqs)
+        vou_plan = Placer(["pm1", "pm2"], strategy=VOU).place(reqs)
+        assert len(set(vou_plan.assignment.values())) == 1
+        assert len(set(voa_plan.assignment.values())) == 2
+
+    def test_light_vms_still_pack(self, model):
+        reqs = [req(f"v{k}", cpu=10.0) for k in range(4)]
+        plan = Placer(["pm1", "pm2"], strategy=VOA, model=model).place(reqs)
+        assert set(plan.assignment.values()) == {"pm1"}
+
+    def test_bandwidth_overhead_counted(self, model):
+        # Heavy network VMs drive Dom0 CPU (0.01 %/Kb/s); VOA must see
+        # the PM CPU exceeding capacity even at modest guest CPU.
+        reqs = [req(f"v{k}", cpu=20.0, bw=6000.0) for k in range(3)]
+        plan = Placer(["pm1", "pm2"], strategy=VOA, model=model).place(reqs)
+        assert len(set(plan.assignment.values())) == 2
+
+    def test_memory_check_includes_dom0(self, model):
+        plan = Placer(["pm1", "pm2"], strategy=VOA, model=model).place(
+            [req(f"v{k}") for k in range(5)]
+        )
+        assert plan.assignment["v4"] == "pm2"

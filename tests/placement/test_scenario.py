@@ -1,0 +1,114 @@
+"""Tests for the Figure 10 provisioning scenario (reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import TrainingConfig, train_multi_vm_model
+from repro.placement import (
+    VM_NAMES,
+    VOA,
+    VOU,
+    profile_demands,
+    run_scenario_experiment,
+    run_trial,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2, 4), duration=12.0, warmup=2.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def demands3():
+    return profile_demands(3, seed=5, profile_s=25.0)
+
+
+class TestProfiling:
+    def test_demand_vector_shapes(self, demands3):
+        assert set(demands3) == set(VM_NAMES)
+        web = demands3["vm1-web"]
+        # Web tier at 500 clients: ~60 % CPU (plus padding), BW-heavy.
+        assert 40.0 < web.cpu < 95.0
+        assert web.bw > 300.0
+
+    def test_aux_vms_profiled_at_50pct(self, demands3):
+        for name in ("vm3", "vm4", "vm5"):
+            assert demands3[name].cpu == pytest.approx(50.0, abs=8.0)
+
+    def test_scenario0_aux_idle(self):
+        demands = profile_demands(0, seed=5, profile_s=12.0)
+        for name in ("vm3", "vm4", "vm5"):
+            assert demands[name].cpu < 2.0
+
+    def test_invalid_scenario(self):
+        with pytest.raises(ValueError):
+            profile_demands(9)
+
+
+class TestTrials:
+    def test_trial_rejects_bad_order(self, model, demands3):
+        with pytest.raises(ValueError):
+            run_trial(
+                3, VOA, model, demands3, order=["vm1-web"], seed=1
+            )
+
+    def test_voa_beats_vou_in_worst_order(self, model, demands3):
+        # Worst case for VOU: web lands with all three hogs.
+        order = ["vm1-web", "vm3", "vm4", "vm5", "vm2-db"]
+        voa = run_trial(
+            3, VOA, model, demands3, order=order, seed=3, duration_s=40.0
+        )
+        vou = run_trial(
+            3, VOU, None, demands3, order=order, seed=3, duration_s=40.0
+        )
+        assert vou.throughput_rps < voa.throughput_rps
+        assert vou.total_time_s > voa.total_time_s
+        # VOU packed the first four onto pm1.
+        assert len(vou.plan.vms_on("pm1")) == 4
+
+    def test_voa_splits_load(self, model, demands3):
+        order = ["vm1-web", "vm3", "vm4", "vm5", "vm2-db"]
+        voa = run_trial(
+            3, VOA, model, demands3, order=order, seed=3, duration_s=30.0
+        )
+        assert len(voa.plan.vms_on("pm1")) < 4
+
+    def test_scenario0_strategies_equivalent(self, model):
+        demands = profile_demands(0, seed=5, profile_s=20.0)
+        order = list(VM_NAMES)
+        voa = run_trial(
+            0, VOA, model, demands, order=order, seed=9, duration_s=30.0
+        )
+        vou = run_trial(
+            0, VOU, None, demands, order=order, seed=9, duration_s=30.0
+        )
+        # Idle aux VMs: nothing to squeeze, both near offered load.
+        assert vou.throughput_rps == pytest.approx(
+            voa.throughput_rps, rel=0.05
+        )
+
+
+class TestExperimentGrid:
+    def test_small_grid_shape_holds(self, model):
+        results = run_scenario_experiment(
+            model,
+            scenarios=(0, 3),
+            trials=2,
+            duration_s=25.0,
+            profile_s=20.0,
+            seed=77,
+        )
+        by_key = {(r.scenario, r.strategy): r for r in results}
+        assert set(by_key) == {(0, VOA), (0, VOU), (3, VOA), (3, VOU)}
+        # VOA stable across scenarios; VOU degrades by scenario 3.
+        voa0 = by_key[(0, VOA)].mean_throughput()
+        voa3 = by_key[(3, VOA)].mean_throughput()
+        vou3 = by_key[(3, VOU)].mean_throughput()
+        assert voa3 == pytest.approx(voa0, rel=0.1)
+        assert vou3 <= voa3
+        lo, hi = by_key[(3, VOU)].throughput_percentiles()
+        assert lo <= hi

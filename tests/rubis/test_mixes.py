@@ -1,0 +1,75 @@
+"""Tests for the alternative RUBiS workload mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rubis import (
+    BIDDING_MIX,
+    BROWSING_MIX,
+    ClientPopulation,
+    MIXES,
+    RUBiSApplication,
+    get_mix,
+    mix_demand,
+)
+
+
+class TestBrowsingMix:
+    def test_mix_sums_to_one(self):
+        assert sum(rc.mix for rc in BROWSING_MIX) == pytest.approx(1.0)
+
+    def test_read_only(self):
+        names = {rc.name for rc in BROWSING_MIX}
+        assert "place_bid" not in names
+        assert "register_buy" not in names
+
+    def test_lighter_on_db_than_bidding(self):
+        rate = 80.0
+        browse = mix_demand(rate, BROWSING_MIX)
+        bid = mix_demand(rate, BIDDING_MIX)
+        assert browse.db_cpu_pct < bid.db_cpu_pct
+        assert browse.db_io_bps < bid.db_io_bps
+
+    def test_heavier_web_traffic_share(self):
+        rate = 80.0
+        browse = mix_demand(rate, BROWSING_MIX)
+        bid = mix_demand(rate, BIDDING_MIX)
+        browse_ratio = browse.web_to_client_kbps / browse.web_cpu_pct
+        bid_ratio = bid.web_to_client_kbps / bid.web_cpu_pct
+        assert browse_ratio > bid_ratio * 0.99  # at least as page-heavy
+
+    def test_lookup(self):
+        assert get_mix("browsing") is BROWSING_MIX
+        assert get_mix("bidding") is BIDDING_MIX
+        assert set(MIXES) == {"bidding", "browsing"}
+        with pytest.raises(ValueError):
+            get_mix("torture")
+
+
+class TestAppWithBrowsingMix:
+    def test_application_accepts_alternative_mix(self):
+        from repro.cluster import Cluster
+        from repro.sim import Simulator
+        from repro.xen import VMSpec
+
+        sim = Simulator(seed=44)
+        cl = Cluster(sim)
+        cl.create_pm("pm1")
+        cl.create_pm("pm2")
+        web = cl.place_vm(VMSpec(name="web"), "pm1")
+        db = cl.place_vm(VMSpec(name="db"), "pm2")
+        app = RUBiSApplication(
+            cl,
+            web,
+            db,
+            ClientPopulation(400, ramp_s=5.0, wave_amplitude=0.0),
+            mix=BROWSING_MIX,
+        )
+        cl.start()
+        app.start()
+        cl.run(15.0)
+        assert app.total_completed > 0
+        # Read-only mix: the DB tier does less I/O than CPU work.
+        snap = cl.pms["pm2"].snapshot()
+        assert snap.vm("db").io_bps < snap.vm("db").cpu_pct

@@ -1,0 +1,230 @@
+"""Tests for the RUBiS application model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.rubis import (
+    BIDDING_MIX,
+    ClientPopulation,
+    RUBiSApplication,
+    RequestClass,
+    mix_demand,
+    per_request_cost,
+)
+from repro.sim import Simulator
+from repro.xen import VMSpec
+
+
+class TestRequestMix:
+    def test_mix_sums_to_one(self):
+        assert sum(rc.mix for rc in BIDDING_MIX) == pytest.approx(1.0)
+
+    def test_demand_scales_linearly_with_rate(self):
+        d1 = mix_demand(10.0)
+        d2 = mix_demand(20.0)
+        assert d2.web_cpu_pct == pytest.approx(2 * d1.web_cpu_pct)
+        assert d2.db_io_bps == pytest.approx(2 * d1.db_io_bps)
+
+    def test_zero_rate_zero_demand(self):
+        d = mix_demand(0.0)
+        assert d.web_cpu_pct == 0.0
+        assert d.web_to_client_kbps == 0.0
+
+    def test_web_tier_is_bandwidth_heavy(self):
+        # The paper's stated asymmetry: the web server has higher
+        # bandwidth utilization than the database server.
+        d = mix_demand(80.0)
+        web_bw = d.web_to_client_kbps + d.client_to_web_kbps
+        db_bw = d.web_to_db_kbps + d.db_to_web_kbps
+        assert web_bw > 2 * db_bw
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            mix_demand(-1.0)
+
+    def test_bad_mix_rejected(self):
+        bad = (
+            RequestClass(
+                name="only",
+                mix=0.5,
+                web_cpu_pct_s=1,
+                db_cpu_pct_s=1,
+                req_kb=1,
+                resp_kb=1,
+                query_kb=1,
+                result_kb=1,
+                db_io_blocks=0,
+            ),
+        )
+        with pytest.raises(ValueError, match="sum"):
+            mix_demand(1.0, bad)
+
+    def test_request_class_validation(self):
+        with pytest.raises(ValueError):
+            RequestClass(
+                name="x",
+                mix=1.5,
+                web_cpu_pct_s=1,
+                db_cpu_pct_s=1,
+                req_kb=1,
+                resp_kb=1,
+                query_kb=1,
+                result_kb=1,
+                db_io_blocks=0,
+            )
+        with pytest.raises(ValueError):
+            RequestClass(
+                name="x",
+                mix=0.5,
+                web_cpu_pct_s=-1,
+                db_cpu_pct_s=1,
+                req_kb=1,
+                resp_kb=1,
+                query_kb=1,
+                result_kb=1,
+                db_io_blocks=0,
+            )
+
+    def test_per_request_cost(self):
+        cost = per_request_cost()
+        assert cost["web_cpu_pct_s"] == pytest.approx(0.75, abs=0.05)
+        assert cost["web_to_client_kb"] > cost["client_to_web_kb"]
+
+
+class TestClientPopulation:
+    def test_steady_rate(self):
+        pop = ClientPopulation(600, think_time_s=6.0)
+        assert pop.steady_rate == pytest.approx(100.0)
+
+    def test_ramp_reaches_nominal(self):
+        pop = ClientPopulation(500, ramp_s=100.0, wave_amplitude=0.0)
+        assert pop.active_clients(0.0) == pytest.approx(300.0)
+        assert pop.active_clients(100.0) == pytest.approx(500.0)
+        assert pop.active_clients(500.0) == pytest.approx(500.0)
+
+    def test_wave_oscillates(self):
+        pop = ClientPopulation(
+            500, ramp_s=0.0, wave_amplitude=0.1, wave_period_s=100.0
+        )
+        quarter = pop.active_clients(25.0)
+        three_q = pop.active_clients(75.0)
+        assert quarter == pytest.approx(550.0, rel=0.01)
+        assert three_q == pytest.approx(450.0, rel=0.01)
+
+    def test_noise_requires_rng(self):
+        pop = ClientPopulation(500, rng=np.random.default_rng(0))
+        rates = {pop.request_rate(10.0) for _ in range(5)}
+        assert len(rates) > 1  # noisy
+        quiet = ClientPopulation(500)
+        assert quiet.request_rate(10.0) == quiet.request_rate(10.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nominal_clients": 0},
+            {"nominal_clients": 10, "think_time_s": 0},
+            {"nominal_clients": 10, "ramp_s": -1},
+            {"nominal_clients": 10, "wave_amplitude": 1.0},
+            {"nominal_clients": 10, "noise_rel": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ClientPopulation(**kwargs)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ClientPopulation(10).active_clients(-1.0)
+
+
+class TestRUBiSApplication:
+    @pytest.fixture()
+    def deployment(self):
+        sim = Simulator(seed=31)
+        cl = Cluster(sim)
+        cl.create_pm("pm1")
+        cl.create_pm("pm2")
+        web = cl.place_vm(VMSpec(name="web"), "pm1")
+        db = cl.place_vm(VMSpec(name="db"), "pm2")
+        clients = ClientPopulation(500, ramp_s=5.0, wave_amplitude=0.0)
+        app = RUBiSApplication(cl, web, db, clients)
+        return cl, app
+
+    def test_drives_both_tiers(self, deployment):
+        cl, app = deployment
+        cl.start()
+        app.start()
+        cl.run(20.0)
+        pm1 = cl.pms["pm1"].snapshot()
+        pm2 = cl.pms["pm2"].snapshot()
+        assert pm1.vm("web").cpu_pct > 10.0
+        assert pm2.vm("db").cpu_pct > 5.0
+        assert pm2.vm("db").io_bps > 5.0
+        # Web tier bandwidth exceeds DB tier bandwidth (paper asymmetry).
+        assert pm1.vm("web").bw_kbps > pm2.vm("db").bw_kbps
+
+    def test_throughput_matches_offered_when_unloaded(self, deployment):
+        cl, app = deployment
+        cl.start()
+        app.start()
+        cl.run(30.0)
+        # Plenty of capacity: every offered request completes.
+        assert app.total_completed == pytest.approx(app.total_offered, rel=0.02)
+        assert app.mean_throughput() == pytest.approx(
+            500 / 6.0, rel=0.1
+        )
+
+    def test_throughput_degrades_under_contention(self):
+        sim = Simulator(seed=32)
+        cl = Cluster(sim)
+        cl.create_pm("pm1")
+        cl.create_pm("pm2")
+        web = cl.place_vm(VMSpec(name="web"), "pm1")
+        db = cl.place_vm(VMSpec(name="db"), "pm2")
+        # Three saturating CPU hogs co-located with the web tier.
+        from repro.workloads import CpuHog
+
+        for k in range(3):
+            hog_vm = cl.place_vm(VMSpec(name=f"hog{k}"), "pm1")
+            CpuHog(99.0).attach(hog_vm)
+        app = RUBiSApplication(
+            cl, web, db, ClientPopulation(700, ramp_s=5.0, wave_amplitude=0.0)
+        )
+        cl.start()
+        app.start()
+        cl.run(30.0)
+        assert app.total_completed < 0.9 * app.total_offered
+        assert app.total_time() > 30.0
+
+    def test_same_vm_for_both_tiers_rejected(self, deployment):
+        cl, app = deployment
+        with pytest.raises(ValueError):
+            RUBiSApplication(
+                cl, app.web_vm, app.web_vm, ClientPopulation(100)
+            )
+
+    def test_results_require_samples(self, deployment):
+        _, app = deployment
+        with pytest.raises(RuntimeError):
+            app.mean_throughput()
+
+    def test_double_start_rejected(self, deployment):
+        cl, app = deployment
+        app.start()
+        with pytest.raises(RuntimeError):
+            app.start()
+
+    def test_client_inbound_follows_web_migration(self, deployment):
+        cl, app = deployment
+        cl.start()
+        app.start()
+        cl.run(10.0)
+        key = "app-rubis:web"
+        assert key in cl.pms["pm1"].external_inbound_kbps
+        cl.migrate_vm("web", "pm2")
+        cl.run(5.0)
+        assert key not in cl.pms["pm1"].external_inbound_kbps
+        assert key in cl.pms["pm2"].external_inbound_kbps

@@ -1,0 +1,153 @@
+"""Tests for the Simulator clock and dispatch loop."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_initial_state(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+        assert sim.dispatched == 0
+
+    def test_after_schedules_relative(self):
+        sim = Simulator()
+        fired = []
+        sim.after(2.5, lambda ev: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [2.5]
+        assert sim.now == 10.0
+
+    def test_at_schedules_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.at(4.0, lambda ev: fired.append(sim.now))
+        sim.run_until(4.0)
+        assert fired == [4.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.after(1.0, lambda ev: None)
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.at(2.0, lambda ev: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-0.1, lambda ev: None)
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(4.0)
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.after(3.0, lambda ev: order.append("c"))
+        sim.after(1.0, lambda ev: order.append("a"))
+        sim.after(2.0, lambda ev: order.append("b"))
+        sim.run_until(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_event_sees_its_own_timestamp(self):
+        sim = Simulator()
+        seen = []
+        for t in (0.5, 1.5, 2.5):
+            sim.at(t, lambda ev, t=t: seen.append((t, sim.now)))
+        sim.run_until(3.0)
+        assert all(want == got for want, got in seen)
+
+    def test_callback_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(ev):
+            fired.append(sim.now)
+            if len(fired) < 5:
+                sim.after(1.0, chain)
+
+        sim.after(1.0, chain)
+        sim.run_until(100.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_events_beyond_horizon_stay_pending(self):
+        sim = Simulator()
+        sim.after(50.0, lambda ev: None)
+        sim.run_until(10.0)
+        assert sim.pending == 1
+        assert sim.now == 10.0
+
+    def test_cancelled_event_never_fires(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.after(1.0, lambda e: fired.append(1))
+        ev.cancel()
+        sim.run_until(5.0)
+        assert fired == []
+
+    def test_run_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 7.0):
+            sim.at(t, lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0, 2.0, 7.0]
+        assert sim.pending == 0
+        assert sim.now == 7.0
+
+    def test_step_returns_false_on_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_reset_rewinds_clock_and_clears(self):
+        sim = Simulator()
+        sim.after(1.0, lambda ev: None)
+        sim.run_until(5.0)
+        sim.after(1.0, lambda ev: None)
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+
+    def test_reentrant_run_until_rejected(self):
+        sim = Simulator()
+
+        def nested(ev):
+            with pytest.raises(SimulationError):
+                sim.run_until(100.0)
+
+        sim.after(1.0, nested)
+        sim.run_until(5.0)
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), max_size=80))
+    def test_dispatch_count_matches_events(self, times):
+        sim = Simulator()
+        for t in times:
+            sim.at(t, lambda ev: None)
+        sim.run_until(1000.0)
+        assert sim.dispatched == len(times)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_horizon_partitions_events(self, times, horizon):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.at(t, lambda ev, t=t: fired.append(t))
+        sim.run_until(horizon)
+        assert sorted(fired) == sorted(t for t in times if t <= horizon)
+        assert sim.pending == sum(1 for t in times if t > horizon)

@@ -1,0 +1,154 @@
+"""Unit and property tests for the event queue."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import Event, EventQueue
+
+
+def _collect(queue: EventQueue) -> list[Event]:
+    out = []
+    while True:
+        ev = queue.pop()
+        if ev is None:
+            return out
+        out.append(ev)
+
+
+class TestEventQueueBasics:
+    def test_empty_queue_pops_none(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert len(q) == 0
+        assert not q
+
+    def test_single_event_roundtrip(self):
+        q = EventQueue()
+        ev = q.push(1.5, lambda e: None, payload="x")
+        assert len(q) == 1
+        assert q.peek_time() == 1.5
+        popped = q.pop()
+        assert popped is ev
+        assert popped.payload == "x"
+        assert q.pop() is None
+
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, lambda e: None, payload="c")
+        q.push(1.0, lambda e: None, payload="a")
+        q.push(2.0, lambda e: None, payload="b")
+        assert [e.payload for e in _collect(q)] == ["a", "b", "c"]
+
+    def test_same_time_orders_by_priority(self):
+        q = EventQueue()
+        q.push(1.0, lambda e: None, priority=5, payload="low")
+        q.push(1.0, lambda e: None, priority=-1, payload="high")
+        assert [e.payload for e in _collect(q)] == ["high", "low"]
+
+    def test_same_time_same_priority_is_fifo(self):
+        q = EventQueue()
+        for i in range(10):
+            q.push(2.0, lambda e: None, payload=i)
+        assert [e.payload for e in _collect(q)] == list(range(10))
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        keep = q.push(1.0, lambda e: None, payload="keep")
+        drop = q.push(0.5, lambda e: None, payload="drop")
+        drop.cancel()
+        assert q.peek_time() == 1.0
+        assert q.pop() is keep
+        assert len(q) == 0
+
+    def test_cancelled_event_does_not_fire(self):
+        fired = []
+        q = EventQueue()
+        ev = q.push(1.0, lambda e: fired.append(e))
+        ev.cancel()
+        ev.fire()
+        assert fired == []
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        evs = [q.push(float(i), lambda e: None) for i in range(5)]
+        evs[2].cancel()
+        evs[4].cancel()
+        assert len(q) == 3
+
+    def test_clear_empties_queue(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(float(i), lambda e: None)
+        q.clear()
+        assert len(q) == 0
+        assert q.pop() is None
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_rejects_bad_times(self, bad):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(bad, lambda e: None)
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=200))
+    def test_pop_order_is_sorted_by_time(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda e: None)
+        popped = [e.time for e in _collect(q)]
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.integers(min_value=-3, max_value=3),
+            ),
+            max_size=100,
+        )
+    )
+    def test_pop_order_respects_priority_then_fifo(self, items):
+        q = EventQueue()
+        for idx, (t, prio) in enumerate(items):
+            q.push(t, lambda e: None, priority=prio, payload=idx)
+        popped = _collect(q)
+        keys = [(e.time, e.priority, e.payload) for e in popped]
+        # payload is the insertion index, so full key ordering must hold.
+        assert keys == sorted(keys)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=60),
+        st.data(),
+    )
+    def test_cancellation_never_leaks(self, times, data):
+        q = EventQueue()
+        evs = [q.push(t, lambda e: None) for t in times]
+        to_cancel = data.draw(
+            st.sets(st.integers(0, len(evs) - 1), max_size=len(evs))
+        )
+        for i in to_cancel:
+            evs[i].cancel()
+        popped = _collect(q)
+        assert len(popped) == len(evs) - len(to_cancel)
+        assert all(not e.cancelled for e in popped)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), max_size=100))
+    def test_peek_matches_pop(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda e: None)
+        while True:
+            pt = q.peek_time()
+            ev = q.pop()
+            if ev is None:
+                assert pt is None
+                break
+            assert math.isclose(pt, ev.time)

@@ -1,0 +1,77 @@
+"""Tests for PeriodicProcess."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+class TestPeriodicProcess:
+    def test_ticks_on_exact_lattice(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicProcess(sim, 1.0, lambda now: ticks.append(now))
+        sim.run_until(5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_start_at_override(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicProcess(sim, 2.0, lambda now: ticks.append(now), start_at=0.5)
+        sim.run_until(5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_no_drift_with_fractional_interval(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicProcess(sim, 0.3, lambda now: ticks.append(now))
+        sim.run_until(3.0)
+        # 0.3, 0.6, ..., 3.0 -> 10 ticks; lattice is exact (additive, not
+        # accumulated float error from repeated multiplication).
+        assert len(ticks) == 10
+        assert ticks[-1] == pytest.approx(3.0)
+
+    def test_stop_halts_ticking(self):
+        sim = Simulator()
+        ticks = []
+        proc = PeriodicProcess(sim, 1.0, lambda now: ticks.append(now))
+        sim.run_until(2.0)
+        proc.stop()
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+        assert proc.stopped
+
+    def test_stop_from_within_body(self):
+        sim = Simulator()
+        proc_holder = {}
+
+        def body(now):
+            if now >= 3.0:
+                proc_holder["p"].stop()
+
+        proc_holder["p"] = PeriodicProcess(sim, 1.0, body)
+        sim.run_until(10.0)
+        assert proc_holder["p"].ticks == 3
+
+    def test_tick_counter(self):
+        sim = Simulator()
+        proc = PeriodicProcess(sim, 0.5, lambda now: None)
+        sim.run_until(4.0)
+        assert proc.ticks == 8
+
+    def test_rejects_nonpositive_interval(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0.0, lambda now: None)
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, -1.0, lambda now: None)
+
+    def test_two_processes_interleave_deterministically(self):
+        sim = Simulator()
+        order = []
+        PeriodicProcess(sim, 1.0, lambda now: order.append(("a", now)), priority=0)
+        PeriodicProcess(sim, 1.0, lambda now: order.append(("b", now)), priority=1)
+        sim.run_until(2.0)
+        assert order == [("a", 1.0), ("b", 1.0), ("a", 2.0), ("b", 2.0)]

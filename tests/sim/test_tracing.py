@@ -1,0 +1,85 @@
+"""Tests for the simulator event tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.tracing import SimTracer, TraceEvent
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=1)
+
+
+class TestSimTracer:
+    def test_records_with_sim_timestamps(self, sim):
+        tracer = SimTracer(sim)
+        tracer.emit("dom0", "boot")
+        sim.after(5.0, lambda ev: tracer.emit("vm1", "spike"))
+        sim.run_until(10.0)
+        events = tracer.events()
+        assert [(e.time, e.source) for e in events] == [
+            (0.0, "dom0"),
+            (5.0, "vm1"),
+        ]
+
+    def test_capacity_bound_drops_oldest(self, sim):
+        tracer = SimTracer(sim, capacity=3)
+        for i in range(5):
+            tracer.emit("s", f"msg{i}")
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert tracer.emitted == 5
+        assert [e.message for e in tracer.events()] == ["msg2", "msg3", "msg4"]
+
+    def test_source_filter(self, sim):
+        tracer = SimTracer(sim, source_filter=lambda s: s.startswith("vm"))
+        tracer.emit("vm1", "kept")
+        tracer.emit("dom0", "filtered")
+        assert [e.source for e in tracer.events()] == ["vm1"]
+        assert tracer.emitted == 2
+
+    def test_query_by_source_and_time(self, sim):
+        tracer = SimTracer(sim)
+        tracer.emit("a", "x")
+        sim.after(2.0, lambda ev: tracer.emit("b", "y"))
+        sim.after(4.0, lambda ev: tracer.emit("a", "z"))
+        sim.run_until(5.0)
+        assert len(tracer.events(source="a")) == 2
+        assert len(tracer.events(since=1.0)) == 2
+        assert len(tracer.events(source="a", since=1.0)) == 1
+
+    def test_tail(self, sim):
+        tracer = SimTracer(sim)
+        for i in range(10):
+            tracer.emit("s", str(i))
+        assert [e.message for e in tracer.tail(3)] == ["7", "8", "9"]
+        with pytest.raises(ValueError):
+            tracer.tail(0)
+
+    def test_clear_keeps_counters(self, sim):
+        tracer = SimTracer(sim)
+        tracer.emit("s", "x")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emitted == 1
+
+    def test_render(self, sim):
+        tracer = SimTracer(sim)
+        tracer.emit("dom0", "hello")
+        text = tracer.render()
+        assert "dom0: hello" in text
+        assert "0.000s" in text
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            SimTracer(sim, capacity=0)
+        tracer = SimTracer(sim)
+        with pytest.raises(ValueError):
+            tracer.emit("", "msg")
+
+    def test_event_render(self):
+        ev = TraceEvent(time=1.5, source="x", message="m")
+        assert "x: m" in ev.render()

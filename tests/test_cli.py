@@ -1,0 +1,55 @@
+"""Tests for the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import ALL_IDS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ALL_IDS
+
+    def test_run_table(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Generated benchmarks" in out
+        assert "All shape checks passed" in out
+
+    def test_run_subfigure_fast(self, capsys):
+        assert main(["run", "fig5a", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out
+
+    def test_run_group_fast_with_out(self, tmp_path, capsys):
+        assert main(["run", "fig5", "--fast", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig5a.txt").exists()
+        assert (tmp_path / "fig5b.txt").exists()
+        csv_text = (tmp_path / "fig5a.csv").read_text()
+        assert csv_text.startswith("series,x,y")
+        assert "Dom0," in csv_text
+
+    def test_unknown_id(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliValidate:
+    def test_validate_fast(self, capsys):
+        assert main(["validate", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fit quality" in out
+        assert "cross-validated RMSE" in out
+        assert "dom0.cpu" in out
+
+    def test_run_extras(self, capsys):
+        assert main(["run", "purity"]) == 0
+        assert "purity" in capsys.readouterr().out

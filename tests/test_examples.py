@@ -1,0 +1,82 @@
+"""Smoke tests running the fast example scripts end to end.
+
+Only the examples that complete within a few seconds run here; the
+model-training examples are exercised indirectly through the unit
+suites of the modules they use.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 120.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "measurement_study.py",
+            "overhead_prediction.py",
+            "capacity_planning.py",
+            "placement_study.py",
+            "hotspot_mitigation.py",
+            "billing_attribution.py",
+            "elastic_scaling.py",
+        } <= names
+
+    def test_quickstart_runs(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "virtualization overhead" in result.stdout
+        assert "dom0" in result.stdout
+
+    def test_measurement_study_runs(self, tmp_path):
+        out = tmp_path / "study.csv"
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "measurement_study.py"),
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "increase rate" in result.stdout
+        assert out.exists()
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "measurement_study.py",
+            "overhead_prediction.py",
+            "capacity_planning.py",
+            "placement_study.py",
+            "hotspot_mitigation.py",
+            "billing_attribution.py",
+            "elastic_scaling.py",
+        ],
+    )
+    def test_examples_compile(self, name):
+        # Every example must at least be syntactically sound and
+        # importable machinery (no run).
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")

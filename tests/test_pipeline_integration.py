@@ -1,0 +1,126 @@
+"""End-to-end pipeline integration test.
+
+Exercises the whole reproduction stack in one flow at reduced scale:
+micro-benchmark training -> model fit -> live RUBiS prediction ->
+overhead-aware placement -> hotspot mitigation.  This is the "does the
+system hang together" test; per-module behaviour lives in the unit
+suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    DeploymentSpec,
+    RubisRef,
+    VmPlacement,
+    build_deployment,
+)
+from repro.models import (
+    MultiVMOverheadModel,
+    TrainingConfig,
+    error_report,
+    gather_training_samples,
+    samples_from_report,
+)
+from repro.monitor import MeasurementScript
+from repro.monitor.metrics import vm_utilization_vector
+from repro.placement import (
+    HotspotDetector,
+    MigrationPlanner,
+    PlacementRequest,
+    Placer,
+    VOA,
+    VmObservation,
+)
+from repro.monitor.metrics import ResourceVector
+from repro.xen import VMSpec
+
+
+@pytest.fixture(scope="module")
+def trained():
+    samples = gather_training_samples(
+        TrainingConfig(vm_counts=(1, 2, 4), duration=15.0, warmup=2.0)
+    )
+    return samples, MultiVMOverheadModel.fit(samples)
+
+
+class TestFullPipeline:
+    def test_train_predict_place_mitigate(self, trained):
+        _, model = trained
+
+        # 1. Deploy a RUBiS pair plus a hog via the declarative spec.
+        spec = DeploymentSpec(
+            pms=("pm1", "pm2"),
+            vms=(
+                VmPlacement("web", "pm1"),
+                VmPlacement("db", "pm2"),
+            ),
+            rubis=(RubisRef(web="web", db="db", clients=500),),
+        )
+        dep = build_deployment(spec, seed=99)
+        dep.start()
+        dep.sim.run_until(3.0)
+
+        # 2. Measure both PMs and score the model's live predictions.
+        script = MeasurementScript(dep.cluster.pms["pm1"])
+        script.start()
+        dep.run(40.0)
+        report = script.stop()
+        samples = samples_from_report(report)
+        pred = model.predict_samples(samples)
+        measured = np.array([s.targets["dom0.cpu"] for s in samples])
+        rep = error_report(pred["dom0.cpu"], measured)
+        assert rep.p90 < 10.0
+
+        # 3. Use the model for an overhead-aware placement decision.
+        placer = Placer(["pmA", "pmB"], strategy=VOA, model=model)
+        plan = placer.place(
+            [
+                PlacementRequest(
+                    spec=VMSpec(name=f"v{k}"),
+                    demand=ResourceVector(cpu=70.0, mem=128.0),
+                )
+                for k in range(4)
+            ]
+        )
+        assert len(set(plan.assignment.values())) == 2  # split, not packed
+
+        # 4. Detect and mitigate a hotspot on the live cluster.
+        cluster = dep.cluster
+        for k in range(3):
+            hog = cluster.place_vm(VMSpec(name=f"hog{k}"), "pm1")
+            hog.demand.cpu_pct = 70.0
+        dep.run(3.0)
+        detector = HotspotDetector(model, k=2, threshold_frac=0.85)
+        planner = MigrationPlanner(model, target_frac=0.8)
+
+        def observe(pm_name):
+            pm = cluster.pms[pm_name]
+            snap = pm.snapshot()
+            return [
+                VmObservation(
+                    name=n,
+                    demand=vm_utilization_vector(snap.vm(n)),
+                    mem_mb=pm.vms[n].spec.mem_mb,
+                )
+                for n in pm.vms
+            ]
+
+        hot = False
+        for _ in range(3):
+            dep.run(1.0)
+            hot = detector.observe("pm1", observe("pm1"))
+        assert hot
+        moves = planner.plan(
+            "pm1", {"pm1": observe("pm1"), "pm2": observe("pm2")}
+        )
+        assert moves
+        for mv in moves:
+            cluster.migrate_vm(mv.vm, mv.dst)
+        dep.run(3.0)
+        # Mitigation helped: predicted PM1 load dropped.
+        assert detector.predicted_pm_cpu(observe("pm1")) < detector.threshold * 1.2

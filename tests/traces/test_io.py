@@ -1,0 +1,75 @@
+"""Round-trip tests for trace CSV/JSON persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces import Trace, TraceSet, load_csv, load_json, save_csv, save_json
+
+
+@pytest.fixture()
+def sample_set():
+    times = np.arange(5, dtype=float)
+    return TraceSet(
+        [
+            Trace("vm1.cpu", times, [1.5, 2.5, 3.5, 4.5, 5.5], "%"),
+            Trace("pm.bw", times, [100.0, 200.0, 300.0, 400.0, 500.0], "Kb/s"),
+        ]
+    )
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_preserves_data(self, sample_set, tmp_path):
+        path = tmp_path / "run.csv"
+        save_csv(sample_set, path)
+        loaded = load_csv(path, units={"vm1.cpu": "%", "pm.bw": "Kb/s"})
+        assert loaded.names == sample_set.names
+        for name in sample_set.names:
+            np.testing.assert_allclose(
+                loaded[name].values, sample_set[name].values
+            )
+            np.testing.assert_allclose(
+                loaded[name].times, sample_set[name].times
+            )
+        assert loaded["vm1.cpu"].units == "%"
+
+    def test_empty_set_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv(TraceSet(), tmp_path / "x.csv")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="time"):
+            load_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time,a\n")
+        with pytest.raises(ValueError, match="no samples"):
+            load_csv(path)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_everything(self, sample_set, tmp_path):
+        path = tmp_path / "run.json"
+        save_json(sample_set, path)
+        loaded = load_json(path)
+        assert loaded.names == sample_set.names
+        for name in sample_set.names:
+            np.testing.assert_allclose(
+                loaded[name].values, sample_set[name].values
+            )
+            assert loaded[name].units == sample_set[name].units
+
+    def test_schema_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other", "traces": []}')
+        with pytest.raises(ValueError, match="repro.traceset.v1"):
+            load_json(path)
+
+    def test_empty_set_roundtrips(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_json(TraceSet(), path)
+        assert len(load_json(path)) == 0

@@ -1,0 +1,115 @@
+"""Tests for synthetic trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces import synth
+
+
+class TestConstant:
+    def test_values(self):
+        tr = synth.constant(10, 42.0)
+        assert len(tr) == 10
+        assert np.all(tr.values == 42.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth.constant(0, 1.0)
+        with pytest.raises(ValueError):
+            synth.constant(5, -1.0)
+        with pytest.raises(ValueError):
+            synth.constant(5, 1.0, period=0.0)
+
+
+class TestPeriodic:
+    def test_mean_and_amplitude(self):
+        tr = synth.periodic(1000, mean=50.0, amplitude=10.0, wave_period=50.0)
+        assert tr.mean() == pytest.approx(50.0, abs=0.5)
+        assert tr.values.max() == pytest.approx(60.0, abs=0.1)
+        assert tr.values.min() == pytest.approx(40.0, abs=0.1)
+
+    def test_noise_is_seeded(self):
+        a = synth.periodic(
+            50, mean=10, amplitude=2, wave_period=10,
+            rng=np.random.default_rng(3), noise=0.05,
+        )
+        b = synth.periodic(
+            50, mean=10, amplitude=2, wave_period=10,
+            rng=np.random.default_rng(3), noise=0.05,
+        )
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_never_negative(self):
+        tr = synth.periodic(200, mean=1.0, amplitude=5.0, wave_period=7.0)
+        assert np.all(tr.values >= 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth.periodic(10, mean=-1, amplitude=1, wave_period=5)
+        with pytest.raises(ValueError):
+            synth.periodic(10, mean=1, amplitude=1, wave_period=0)
+
+
+class TestOnOff:
+    def test_square_wave_shape(self):
+        tr = synth.onoff(20, low=1.0, high=9.0, on_len=3, off_len=2)
+        np.testing.assert_array_equal(tr.values[:5], [9, 9, 9, 1, 1])
+        np.testing.assert_array_equal(tr.values[5:10], [9, 9, 9, 1, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth.onoff(10, low=5.0, high=1.0, on_len=2, off_len=2)
+        with pytest.raises(ValueError):
+            synth.onoff(10, low=1.0, high=2.0, on_len=0, off_len=2)
+
+
+class TestRandomWalk:
+    def test_stays_in_bounds(self):
+        tr = synth.random_walk(
+            500, start=50.0, step_sigma=10.0,
+            rng=np.random.default_rng(0), lo=0.0, hi=100.0,
+        )
+        assert np.all(tr.values >= 0.0)
+        assert np.all(tr.values <= 100.0)
+
+    def test_deterministic_given_rng(self):
+        a = synth.random_walk(50, start=10, step_sigma=1, rng=np.random.default_rng(5))
+        b = synth.random_walk(50, start=10, step_sigma=1, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth.random_walk(10, start=-5, step_sigma=1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            synth.random_walk(10, start=5, step_sigma=-1, rng=np.random.default_rng(0))
+
+
+class TestRamp:
+    def test_endpoints(self):
+        tr = synth.ramp(11, start=0.0, end=100.0)
+        assert tr.values[0] == 0.0
+        assert tr.values[-1] == 100.0
+        assert np.all(np.diff(tr.values) > 0)
+
+    def test_descending(self):
+        tr = synth.ramp(5, start=10.0, end=0.0)
+        assert np.all(np.diff(tr.values) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth.ramp(5, start=-1.0, end=1.0)
+
+
+class TestPredictorIntegration:
+    def test_predictor_locks_onto_synthetic_signature(self):
+        from repro.placement import DemandPredictor
+
+        tr = synth.onoff(60, low=10.0, high=50.0, on_len=5, off_len=5)
+        p = DemandPredictor()
+        for v in tr.values:
+            p.update(float(v))
+        # Period 10: prediction follows the wave, i.e. equals the value
+        # one period back.
+        assert p.predict_raw() == pytest.approx(tr.values[-10], abs=1.0)

@@ -1,0 +1,161 @@
+"""Tests for Trace and TraceSet."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces import Trace, TraceSet
+
+
+def make_trace(n=10, name="x", start=0.0, step=1.0):
+    times = start + step * np.arange(n)
+    values = np.linspace(0, 1, n) if n else np.array([])
+    return Trace(name, times, values, "%")
+
+
+class TestTraceBasics:
+    def test_construction_and_len(self):
+        tr = make_trace(5)
+        assert len(tr) == 5
+        assert tr.units == "%"
+
+    def test_iteration_yields_pairs(self):
+        tr = Trace("t", [0.0, 1.0], [5.0, 7.0])
+        assert list(tr) == [(0.0, 5.0), (1.0, 7.0)]
+
+    def test_mean_std_percentile(self):
+        tr = Trace("t", [0, 1, 2, 3], [1.0, 2.0, 3.0, 4.0])
+        assert tr.mean() == pytest.approx(2.5)
+        assert tr.std() == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert tr.percentile(50) == pytest.approx(2.5)
+
+    def test_singleton_std_is_zero(self):
+        assert Trace("t", [0.0], [5.0]).std() == 0.0
+
+    def test_empty_trace_statistics_raise(self):
+        tr = Trace("t", [], [])
+        with pytest.raises(ValueError):
+            tr.mean()
+        with pytest.raises(ValueError):
+            tr.std()
+        with pytest.raises(ValueError):
+            tr.percentile(50)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Trace("t", [0, 1], [1.0])
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError):
+            Trace("t", [1.0, 0.5], [1, 2])
+        with pytest.raises(ValueError):
+            Trace("t", [1.0, 1.0], [1, 2])
+
+    def test_window(self):
+        tr = make_trace(10)
+        w = tr.window(2.0, 5.0)
+        assert len(w) == 4
+        assert w.times[0] == 2.0
+        assert w.times[-1] == 5.0
+        with pytest.raises(ValueError):
+            tr.window(5.0, 2.0)
+
+    def test_map(self):
+        tr = Trace("t", [0, 1], [1.0, 2.0])
+        doubled = tr.map(lambda v: 2 * v)
+        np.testing.assert_array_equal(doubled.values, [2.0, 4.0])
+        # Original untouched.
+        np.testing.assert_array_equal(tr.values, [1.0, 2.0])
+
+
+class TestResample:
+    def test_bucket_average(self):
+        tr = Trace("t", [0.5, 1.0, 1.5, 2.5], [2.0, 4.0, 6.0, 8.0])
+        r = tr.resample(2.0)
+        # Bucket [0,2): samples 0.5, 1.0, 1.5 -> mean 4; bucket [2,4): 8.
+        np.testing.assert_allclose(r.times, [2.0, 4.0])
+        np.testing.assert_allclose(r.values, [4.0, 8.0])
+
+    def test_empty_trace(self):
+        r = Trace("t", [], []).resample(1.0)
+        assert len(r) == 0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            make_trace().resample(0.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100),
+            min_size=1,
+            max_size=50,
+            unique=True,
+        ),
+        st.floats(min_value=0.1, max_value=20),
+    )
+    def test_resampled_mean_within_value_range(self, times, period):
+        times = sorted(times)
+        values = np.sin(np.asarray(times))
+        tr = Trace("t", times, values)
+        r = tr.resample(period)
+        assert len(r) <= len(tr)
+        assert r.values.min() >= values.min() - 1e-9
+        assert r.values.max() <= values.max() + 1e-9
+
+
+class TestTraceSet:
+    def test_add_get_contains(self):
+        ts = TraceSet([make_trace(name="a")])
+        ts.add(make_trace(name="b"))
+        assert "a" in ts and "b" in ts
+        assert ts["a"].name == "a"
+        assert len(ts) == 2
+        assert ts.names == ["a", "b"]
+
+    def test_duplicate_rejected(self):
+        ts = TraceSet([make_trace(name="a")])
+        with pytest.raises(ValueError):
+            ts.add(make_trace(name="a"))
+
+    def test_missing_key_message_lists_names(self):
+        ts = TraceSet([make_trace(name="a")])
+        with pytest.raises(KeyError, match="'a'"):
+            ts["zz"]
+
+    def test_means(self):
+        ts = TraceSet(
+            [
+                Trace("a", [0, 1], [1.0, 3.0]),
+                Trace("b", [0, 1], [10.0, 20.0]),
+            ]
+        )
+        assert ts.means() == {"a": 2.0, "b": 15.0}
+
+    def test_matrix_alignment(self):
+        ts = TraceSet(
+            [
+                Trace("a", [0, 1, 2], [1, 2, 3]),
+                Trace("b", [0, 1, 2], [4, 5, 6]),
+            ]
+        )
+        mat = ts.matrix(["b", "a"])
+        np.testing.assert_array_equal(mat, [[4, 1], [5, 2], [6, 3]])
+
+    def test_matrix_rejects_misaligned(self):
+        ts = TraceSet(
+            [
+                Trace("a", [0, 1, 2], [1, 2, 3]),
+                Trace("b", [0, 1], [4, 5]),
+            ]
+        )
+        with pytest.raises(ValueError):
+            ts.matrix(["a", "b"])
+        with pytest.raises(ValueError):
+            ts.matrix([])
+
+    def test_iteration(self):
+        ts = TraceSet([make_trace(name="a"), make_trace(name="b")])
+        assert {tr.name for tr in ts} == {"a", "b"}

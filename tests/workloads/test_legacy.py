@@ -1,0 +1,107 @@
+"""Tests for the httperf/Iperf-style legacy generators and purity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    CpuHog,
+    HttperfLoad,
+    IperfLoad,
+    MemHog,
+    PingLoad,
+    make_benchmark,
+    resource_purity,
+)
+from repro.workloads.legacy import TABLE_II_SCALES
+from repro.xen import GuestVM, VMSpec
+
+
+@pytest.fixture()
+def vm():
+    return GuestVM(VMSpec(name="probe"))
+
+
+class TestHttperfLoad:
+    def test_loads_three_resources(self, vm):
+        HttperfLoad(80.0).attach(vm)
+        assert vm.demand.cpu_pct > 10.0
+        assert vm.demand.io_bps > 5.0
+        assert vm.outbound_kbps() > 100.0
+
+    def test_intensity_scales_all_costs(self, vm):
+        load = HttperfLoad(40.0).attach(vm)
+        cpu1, io1, bw1 = vm.demand.cpu_pct, vm.demand.io_bps, vm.outbound_kbps()
+        load.intensity = 80.0
+        assert vm.demand.cpu_pct == pytest.approx(2 * cpu1)
+        assert vm.demand.io_bps == pytest.approx(2 * io1)
+        assert vm.outbound_kbps() == pytest.approx(2 * bw1)
+
+    def test_detach_clears_everything(self, vm):
+        HttperfLoad(80.0).attach(vm).detach()
+        assert vm.demand.cpu_pct == 0.0
+        assert vm.demand.io_bps == 0.0
+        assert vm.flows == []
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            HttperfLoad(10.0, cpu_pct_per_rps=-1.0)
+
+
+class TestIperfLoad:
+    def test_bandwidth_with_cpu_tax(self, vm):
+        IperfLoad(100.0).attach(vm)
+        assert vm.outbound_kbps() == pytest.approx(100_000.0)
+        assert vm.demand.cpu_pct == pytest.approx(10.0)
+
+    def test_detach(self, vm):
+        IperfLoad(100.0).attach(vm).detach()
+        assert vm.flows == [] and vm.demand.cpu_pct == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IperfLoad(10.0, cpu_pct_per_mbps=-0.1)
+
+
+class TestResourcePurity:
+    def test_table_ii_generators_are_pure(self, vm):
+        for kind, level in (("cpu", 60.0), ("mem", 20.0), ("io", 46.0), ("bw", 0.64)):
+            wl = make_benchmark(kind, level)
+            wl.attach(vm)
+            assert resource_purity(vm) > 0.85, kind
+            wl.detach()
+
+    def test_httperf_is_impure(self, vm):
+        HttperfLoad(80.0).attach(vm)
+        assert resource_purity(vm) < 0.7
+
+    def test_purity_is_scale_relative(self, vm):
+        # Iperf near line rate: BW-pure against the Table II envelope,
+        # but clearly impure against machine capacities.
+        IperfLoad(800.0).attach(vm)
+        envelope = resource_purity(vm)
+        capacity = resource_purity(vm, scales=(100.0, 256.0, 90.0, 1_000_000.0))
+        assert envelope > 0.95
+        assert capacity < 0.6
+
+    def test_idle_guest_rejected(self, vm):
+        with pytest.raises(ValueError, match="no demand"):
+            resource_purity(vm)
+
+    def test_bad_scales_rejected(self, vm):
+        CpuHog(10.0).attach(vm)
+        with pytest.raises(ValueError):
+            resource_purity(vm, scales=(1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            resource_purity(vm, scales=(0.0, 1.0, 1.0, 1.0))
+
+    def test_default_scales_are_table_ii_maxima(self):
+        assert TABLE_II_SCALES == (99.0, 50.0, 72.0, 1280.0)
+
+    def test_mem_hog_pure(self, vm):
+        MemHog(20.0).attach(vm)
+        assert resource_purity(vm) == pytest.approx(1.0)
+
+    def test_ping_pure_despite_base_cpu(self, vm):
+        PingLoad(640.0).attach(vm)
+        assert resource_purity(vm) > 0.95

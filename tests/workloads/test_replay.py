@@ -1,0 +1,119 @@
+"""Tests for trace-replay workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulator
+from repro.traces import Trace, synth
+from repro.workloads import CpuHog, TraceReplay, replay_onto_vm, value_at
+from repro.xen import GuestVM, PhysicalMachine, VMSpec
+
+
+def make_trace(values, step=1.0):
+    times = step * np.arange(1, len(values) + 1)
+    return Trace("t", times, values)
+
+
+class TestValueAt:
+    def test_zero_order_hold(self):
+        tr = make_trace([10.0, 20.0, 30.0])
+        assert value_at(tr, 1.0) == 10.0
+        assert value_at(tr, 1.5) == 10.0
+        assert value_at(tr, 2.0) == 20.0
+        assert value_at(tr, 99.0) == 30.0
+
+    def test_leading_flat(self):
+        tr = make_trace([5.0, 6.0])
+        assert value_at(tr, 0.0) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            value_at(Trace("e", [], []), 1.0)
+
+
+class TestTraceReplay:
+    def test_drives_workload_intensity(self):
+        sim = Simulator(seed=1)
+        vm = GuestVM(VMSpec(name="v"))
+        hog = CpuHog(0.0).attach(vm)
+        replay = TraceReplay(sim, hog, make_trace([10.0, 20.0, 30.0]))
+        sim.run_until(2.5)
+        assert vm.demand.cpu_pct == 20.0
+        assert not replay.finished
+
+    def test_non_looping_holds_last_value_and_stops(self):
+        sim = Simulator(seed=1)
+        vm = GuestVM(VMSpec(name="v"))
+        hog = CpuHog(0.0).attach(vm)
+        replay = TraceReplay(sim, hog, make_trace([10.0, 20.0]))
+        sim.run_until(10.0)
+        assert vm.demand.cpu_pct == 20.0
+        assert replay.finished
+
+    def test_looping_wraps(self):
+        sim = Simulator(seed=1)
+        vm = GuestVM(VMSpec(name="v"))
+        hog = CpuHog(0.0).attach(vm)
+        TraceReplay(sim, hog, make_trace([10.0, 20.0, 30.0]), loop=True)
+        sim.run_until(4.0)  # 4 % 3 = 1 -> value at t=1 is 10
+        assert vm.demand.cpu_pct == 10.0
+
+    def test_time_scale(self):
+        sim = Simulator(seed=1)
+        vm = GuestVM(VMSpec(name="v"))
+        hog = CpuHog(0.0).attach(vm)
+        TraceReplay(
+            sim, hog, make_trace([10.0, 20.0, 30.0, 40.0]), time_scale=2.0
+        )
+        sim.run_until(2.0)  # replay time 4 -> last value
+        assert vm.demand.cpu_pct == 40.0
+
+    def test_stop(self):
+        sim = Simulator(seed=1)
+        vm = GuestVM(VMSpec(name="v"))
+        hog = CpuHog(0.0).attach(vm)
+        replay = TraceReplay(sim, hog, make_trace([10.0, 20.0, 30.0]))
+        sim.run_until(1.0)
+        replay.stop()
+        sim.run_until(5.0)
+        assert vm.demand.cpu_pct == 10.0
+
+    def test_validation(self):
+        sim = Simulator(seed=1)
+        vm = GuestVM(VMSpec(name="v"))
+        hog = CpuHog(0.0).attach(vm)
+        with pytest.raises(ValueError):
+            TraceReplay(sim, hog, Trace("e", [], []))
+        with pytest.raises(ValueError):
+            TraceReplay(sim, hog, make_trace([1.0]), time_scale=0.0)
+
+    def test_negative_trace_values_clamped(self):
+        sim = Simulator(seed=1)
+        vm = GuestVM(VMSpec(name="v"))
+        hog = CpuHog(0.0).attach(vm)
+        TraceReplay(sim, hog, make_trace([-5.0, 10.0]))
+        sim.run_until(1.0)
+        assert vm.demand.cpu_pct == 0.0
+
+
+class TestEndToEndReplay:
+    def test_replay_through_machine(self):
+        # Replay a synthetic periodic CPU trace into a simulated guest
+        # and verify the machine tracks it.
+        sim = Simulator(seed=9)
+        pm = PhysicalMachine(sim, name="pm1")
+        vm = pm.create_vm(VMSpec(name="v"))
+        trace = synth.periodic(
+            60, mean=40.0, amplitude=20.0, wave_period=30.0
+        )
+        replay_onto_vm(sim, vm, trace, CpuHog(0.0))
+        pm.start()
+        sim.run_until(40.0)
+        snap = pm.snapshot()
+        # The machine's last quantum reflects the replay value within a
+        # one-second workload-tick lag; allow the per-second slew of the
+        # sine (~2*pi*20/30 ~ 4.2 points).
+        expected = value_at(trace, 40.0)
+        assert snap.vm("v").cpu_pct == pytest.approx(expected + 0.3, abs=5.0)

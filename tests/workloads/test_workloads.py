@@ -1,0 +1,178 @@
+"""Tests for the micro-benchmark workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads import (
+    TABLE_II,
+    CpuHog,
+    DynamicWorkload,
+    IoHog,
+    MemHog,
+    PingLoad,
+    intensity_levels,
+    intra_pm_ping,
+    make_benchmark,
+)
+from repro.xen import GuestVM, VMSpec
+
+
+@pytest.fixture()
+def vm():
+    return GuestVM(VMSpec(name="vm1"))
+
+
+class TestCpuHog:
+    def test_sets_only_cpu(self, vm):
+        CpuHog(60.0).attach(vm)
+        assert vm.demand.cpu_pct == 60.0
+        assert vm.demand.mem_mb == 0.0
+        assert vm.demand.io_bps == 0.0
+        assert vm.flows == []
+
+    def test_intensity_dial_updates_attached_vm(self, vm):
+        hog = CpuHog(10.0).attach(vm)
+        hog.intensity = 90.0
+        assert vm.demand.cpu_pct == 90.0
+
+    def test_detach_clears(self, vm):
+        hog = CpuHog(60.0).attach(vm)
+        hog.detach()
+        assert vm.demand.cpu_pct == 0.0
+        assert hog.vm is None
+
+    def test_double_attach_rejected(self, vm):
+        hog = CpuHog(10.0).attach(vm)
+        with pytest.raises(RuntimeError):
+            hog.attach(vm)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            CpuHog(-1.0)
+        hog = CpuHog(1.0)
+        with pytest.raises(ValueError):
+            hog.intensity = -5.0
+
+    def test_detach_without_attach_is_noop(self):
+        CpuHog(1.0).detach()
+
+
+class TestMemHog:
+    def test_sets_only_memory(self, vm):
+        MemHog(50.0).attach(vm)
+        assert vm.demand.mem_mb == 50.0
+        assert vm.demand.cpu_pct == 0.0
+
+
+class TestIoHog:
+    def test_sets_io_and_fixed_cpu_cost(self, vm):
+        IoHog(46.0).attach(vm)
+        assert vm.demand.io_bps == 46.0
+        # Paper: the I/O benchmark burns a flat 0.84 % guest CPU.
+        assert vm.demand.cpu_pct == pytest.approx(0.84)
+
+    def test_custom_cpu_cost(self, vm):
+        IoHog(46.0, cpu_cost_pct=0.0).attach(vm)
+        assert vm.demand.cpu_pct == 0.0
+
+    def test_detach_clears_both(self, vm):
+        hog = IoHog(46.0).attach(vm)
+        hog.detach()
+        assert vm.demand.io_bps == 0.0
+        assert vm.demand.cpu_pct == 0.0
+
+    def test_rejects_negative_cpu_cost(self):
+        with pytest.raises(ValueError):
+            IoHog(1.0, cpu_cost_pct=-1.0)
+
+
+class TestPingLoad:
+    def test_creates_external_flow(self, vm):
+        load = PingLoad(640.0, dst="peer").attach(vm)
+        assert load.flow is not None
+        assert load.flow.external
+        assert load.flow.kbps == 640.0
+        assert vm.demand.cpu_pct == pytest.approx(0.5)
+
+    def test_intensity_updates_flow_rate(self, vm):
+        load = PingLoad(100.0).attach(vm)
+        load.intensity = 1280.0
+        assert load.flow.kbps == 1280.0
+        assert len(vm.flows) == 1  # no duplicate flow
+
+    def test_detach_removes_flow(self, vm):
+        load = PingLoad(100.0).attach(vm)
+        load.detach()
+        assert vm.flows == []
+        assert load.flow is None
+
+    def test_intra_pm_helper(self, vm):
+        load = intra_pm_ping(1280.0, "vm2").attach(vm)
+        assert load.flow.intra_pm
+        assert not load.flow.external
+        assert load.flow.dst == "vm2"
+        assert load.flow.packet_kb == 64.0
+
+    def test_external_and_intra_conflict(self):
+        with pytest.raises(ValueError):
+            PingLoad(1.0, external=True, intra_pm=True)
+
+
+class TestTableII:
+    def test_grid_values_match_paper(self):
+        assert intensity_levels("cpu") == (1.0, 30.0, 60.0, 90.0, 99.0)
+        assert intensity_levels("mem") == (0.03, 5.0, 10.0, 20.0, 50.0)
+        assert intensity_levels("io") == (15.0, 19.0, 27.0, 46.0, 72.0)
+        assert intensity_levels("bw") == (0.001, 0.16, 0.32, 0.64, 1.28)
+
+    def test_each_kind_has_five_levels(self):
+        for spec in TABLE_II.values():
+            assert len(spec.levels) == 5
+
+    def test_factory_builds_right_types(self):
+        assert isinstance(make_benchmark("cpu", 30.0), CpuHog)
+        assert isinstance(make_benchmark("mem", 5.0), MemHog)
+        assert isinstance(make_benchmark("io", 27.0), IoHog)
+        assert isinstance(make_benchmark("bw", 0.64), PingLoad)
+
+    def test_bw_factory_converts_mbps_to_kbps(self, vm):
+        load = make_benchmark("bw", 1.28)
+        load.attach(vm)
+        assert load.flow.kbps == pytest.approx(1280.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark kind"):
+            make_benchmark("gpu", 1.0)
+        with pytest.raises(ValueError):
+            intensity_levels("gpu")
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            make_benchmark("cpu", -1.0)
+
+
+class TestDynamicWorkload:
+    def test_profile_drives_intensity(self, vm):
+        sim = Simulator(seed=1)
+        hog = CpuHog(0.0).attach(vm)
+        DynamicWorkload(sim, hog, lambda t: 10.0 * t)
+        sim.run_until(3.0)
+        assert vm.demand.cpu_pct == pytest.approx(30.0)
+
+    def test_negative_profile_values_clamped(self, vm):
+        sim = Simulator(seed=1)
+        hog = CpuHog(5.0).attach(vm)
+        DynamicWorkload(sim, hog, lambda t: -50.0)
+        sim.run_until(2.0)
+        assert vm.demand.cpu_pct == 0.0
+
+    def test_stop_freezes_intensity(self, vm):
+        sim = Simulator(seed=1)
+        hog = CpuHog(0.0).attach(vm)
+        dyn = DynamicWorkload(sim, hog, lambda t: t)
+        sim.run_until(2.0)
+        dyn.stop()
+        sim.run_until(10.0)
+        assert vm.demand.cpu_pct == pytest.approx(2.0)

@@ -1,0 +1,107 @@
+"""Tests for usage metering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads import CpuHog, IoHog, PingLoad
+from repro.xen import PhysicalMachine, UsageMeter, UsageRecord, VMSpec
+
+
+def make_metered_pm(seed=61, interval=1.0):
+    sim = Simulator(seed=seed)
+    pm = PhysicalMachine(sim, name="pm1")
+    vm = pm.create_vm(VMSpec(name="vm1"))
+    meter = UsageMeter(pm, interval=interval)
+    return sim, pm, vm, meter
+
+
+class TestUsageRecord:
+    def test_integration(self):
+        rec = UsageRecord()
+        rec.add_sample(50.0, 128.0, 10.0, 100.0, dt=2.0)
+        assert rec.cpu_pct_s == 100.0
+        assert rec.mem_mb_s == 256.0
+        assert rec.io_blocks == 20.0
+        assert rec.bw_kbits == 200.0
+
+    def test_core_hours(self):
+        rec = UsageRecord(cpu_pct_s=100.0 * 3600.0)
+        assert rec.cpu_core_hours == pytest.approx(1.0)
+
+    def test_dt_validated(self):
+        with pytest.raises(ValueError):
+            UsageRecord().add_sample(1, 1, 1, 1, dt=0.0)
+
+
+class TestUsageMeter:
+    def test_integrates_guest_cpu(self):
+        sim, pm, vm, meter = make_metered_pm()
+        CpuHog(60.0).attach(vm)
+        pm.start()
+        meter.start()
+        sim.run_until(100.0)
+        rec = meter.record("vm1")
+        # ~60.3 % for 100 s.
+        assert rec.cpu_pct_s == pytest.approx(60.3 * 100.0, rel=0.02)
+        assert meter.elapsed_s == pytest.approx(100.0)
+
+    def test_tracks_io_and_bw_volumes(self):
+        sim, pm, vm, meter = make_metered_pm()
+        IoHog(46.0).attach(vm)
+        pm.start()
+        meter.start()
+        sim.run_until(50.0)
+        assert meter.record("vm1").io_blocks == pytest.approx(
+            46.0 * 50.0, rel=0.02
+        )
+        meter.stop()
+        # Attach a network load on a fresh meter for volume accounting.
+        sim2, pm2, vm2, meter2 = make_metered_pm(seed=62)
+        PingLoad(640.0).attach(vm2)
+        pm2.start()
+        meter2.start()
+        sim2.run_until(50.0)
+        assert meter2.record("vm1").bw_kbits == pytest.approx(
+            640.0 * 50.0, rel=0.02
+        )
+
+    def test_platform_overhead_accumulates(self):
+        sim, pm, vm, meter = make_metered_pm()
+        CpuHog(90.0).attach(vm)
+        pm.start()
+        meter.start()
+        sim.run_until(60.0)
+        overhead = meter.platform_overhead_cpu_pct_s()
+        # Dom0 ~27.5 + hyp ~12.4 for 60 s.
+        assert overhead == pytest.approx((27.5 + 12.4) * 60.0, rel=0.05)
+
+    def test_stop_freezes_totals(self):
+        sim, pm, vm, meter = make_metered_pm()
+        CpuHog(50.0).attach(vm)
+        pm.start()
+        meter.start()
+        sim.run_until(10.0)
+        meter.stop()
+        frozen = meter.record("vm1").cpu_pct_s
+        sim.run_until(30.0)
+        assert meter.record("vm1").cpu_pct_s == frozen
+
+    def test_unknown_entity(self):
+        _, _, _, meter = make_metered_pm()
+        with pytest.raises(KeyError):
+            meter.record("ghost")
+
+    def test_double_start_rejected(self):
+        sim, pm, _, meter = make_metered_pm()
+        pm.start()
+        meter.start()
+        with pytest.raises(RuntimeError):
+            meter.start()
+
+    def test_interval_validated(self):
+        sim = Simulator(seed=1)
+        pm = PhysicalMachine(sim, name="p")
+        with pytest.raises(ValueError):
+            UsageMeter(pm, interval=0.0)

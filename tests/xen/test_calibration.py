@@ -1,0 +1,139 @@
+"""Tests for the calibration constants and derived response curves.
+
+These encode the paper's anchor values directly -- if a refactor drifts
+the model away from the measured numbers, these fail first.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xen.calibration import DEFAULT_CALIBRATION, XenCalibration
+
+
+class TestAnchors:
+    def test_baselines(self):
+        cal = DEFAULT_CALIBRATION
+        assert cal.dom0_cpu_base == pytest.approx(16.8)
+        assert cal.hyp_cpu_base == pytest.approx(3.0)
+
+    def test_dom0_single_vm_endpoint(self):
+        # Paper Fig. 2(a): one VM at 99 % drives Dom0 to 29.5 %.
+        cal = DEFAULT_CALIBRATION
+        assert cal.dom0_ctl_demand([99.0]) == pytest.approx(29.5, abs=0.1)
+
+    def test_hyp_single_vm_endpoint(self):
+        # Paper Fig. 2(a): hypervisor reaches 14 % at 99 % VM CPU.
+        cal = DEFAULT_CALIBRATION
+        assert cal.hyp_ctl_demand([99.0]) == pytest.approx(14.0, abs=0.1)
+
+    def test_dom0_initial_increase_rate(self):
+        # Paper: increase rate starts at 0.01.
+        cal = DEFAULT_CALIBRATION
+        d1 = cal.dom0_ctl_demand([1.0])
+        d0 = cal.dom0_ctl_demand([0.0])
+        assert (d1 - d0) == pytest.approx(0.01, abs=0.002)
+
+    def test_hyp_initial_increase_rate(self):
+        # Paper: increase rate starts at 0.04.
+        cal = DEFAULT_CALIBRATION
+        d1 = cal.hyp_ctl_demand([1.0])
+        d0 = cal.hyp_ctl_demand([0.0])
+        assert (d1 - d0) == pytest.approx(0.04, abs=0.002)
+
+    def test_dom0_terminal_increase_rate_grows(self):
+        # Paper: rate grows toward ~0.3 near saturation; we require the
+        # terminal slope to be much larger than the initial slope.
+        cal = DEFAULT_CALIBRATION
+        lo = cal.dom0_ctl_demand([10.0]) - cal.dom0_ctl_demand([9.0])
+        hi = cal.dom0_ctl_demand([99.0]) - cal.dom0_ctl_demand([98.0])
+        assert hi > 5 * lo
+        assert 0.2 < hi < 0.35
+
+    def test_multi_vm_saturation_plateaus(self):
+        # Paper Figs. 3(a)/4(a): Dom0 ~23.4 %, hypervisor ~12.0 % at
+        # saturation for both 2 VMs (95 % each) and 4 VMs (47 % each).
+        cal = DEFAULT_CALIBRATION
+        assert cal.dom0_ctl_demand([95.0, 95.0]) == pytest.approx(23.4, abs=0.4)
+        assert cal.dom0_ctl_demand([47.0] * 4) == pytest.approx(23.4, abs=0.4)
+        assert cal.hyp_ctl_demand([95.0, 95.0]) == pytest.approx(12.0, abs=0.4)
+        assert cal.hyp_ctl_demand([47.0] * 4) == pytest.approx(12.0, abs=0.4)
+
+    def test_network_rates(self):
+        cal = DEFAULT_CALIBRATION
+        assert cal.dom0_net_pct_per_kbps == pytest.approx(0.01)
+        # Intra-PM is "5X less" (Fig. 5b).
+        ratio = cal.dom0_net_pct_per_kbps / cal.dom0_net_intra_pct_per_kbps
+        assert ratio == pytest.approx(5.0)
+
+    def test_io_amplification_near_two(self):
+        # Paper: PM I/O "slightly more than twice" VM I/O.
+        assert 2.0 < DEFAULT_CALIBRATION.io_amplification < 2.2
+
+    def test_effective_capacity(self):
+        # Guests + Dom0 + hypervisor at saturation sum to the paper's
+        # delivered capacity: 190 + 23.4 + 12 ~ 225.
+        assert DEFAULT_CALIBRATION.effective_capacity_pct == pytest.approx(225.0)
+
+    def test_idle_floors(self):
+        cal = DEFAULT_CALIBRATION
+        assert cal.pm_io_floor_bps == pytest.approx(18.8)
+        # 254 bytes/s = 2.03 Kb/s.
+        assert cal.pm_bw_floor_kbps == pytest.approx(254 * 8 / 1000, abs=0.01)
+
+
+class TestCtlDemandBehaviour:
+    def test_empty_guest_list_gives_baseline(self):
+        cal = DEFAULT_CALIBRATION
+        assert cal.dom0_ctl_demand([]) == pytest.approx(cal.dom0_cpu_base)
+        assert cal.hyp_ctl_demand([]) == pytest.approx(cal.hyp_cpu_base)
+
+    def test_idle_guests_cost_almost_nothing(self):
+        # Three idle co-located VMs barely move Dom0 (activity-scaled
+        # colocation term).
+        cal = DEFAULT_CALIBRATION
+        d = cal.dom0_ctl_demand([0.3, 0.3, 0.3])
+        assert d == pytest.approx(cal.dom0_cpu_base, abs=0.2)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100), min_size=1, max_size=8
+        )
+    )
+    def test_demand_at_least_baseline(self, granted):
+        cal = DEFAULT_CALIBRATION
+        assert cal.dom0_ctl_demand(granted) >= cal.dom0_cpu_base - 1e-9
+        assert cal.hyp_ctl_demand(granted) >= cal.hyp_cpu_base - 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=4),
+        st.floats(min_value=0, max_value=10),
+    )
+    def test_monotone_in_load_for_fixed_n(self, granted, bump):
+        # More granted CPU (same VM count) never lowers control demand.
+        cal = DEFAULT_CALIBRATION
+        bumped = [min(100.0, g + bump) for g in granted]
+        assert cal.dom0_ctl_demand(bumped) >= cal.dom0_ctl_demand(granted) - 1e-9
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_instance(self):
+        cal = DEFAULT_CALIBRATION
+        hot = cal.with_overrides(dom0_cpu_base=20.0)
+        assert hot.dom0_cpu_base == 20.0
+        assert cal.dom0_cpu_base == pytest.approx(16.8)
+        assert hot is not cal
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ValueError):
+            XenCalibration(dom0_cpu_base=0.0)
+        with pytest.raises(ValueError):
+            XenCalibration(io_amplification=-1.0)
+        with pytest.raises(ValueError):
+            XenCalibration(noise_sigma=-0.1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CALIBRATION.dom0_cpu_base = 1.0  # type: ignore[misc]

@@ -1,0 +1,122 @@
+"""Tests for the virtual disk array and physical NIC models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xen.calibration import DEFAULT_CALIBRATION
+from repro.xen.devices import PhysicalNic, VirtualDiskArray
+from repro.xen.specs import MachineSpec
+
+
+@pytest.fixture()
+def disk():
+    return VirtualDiskArray(MachineSpec(), DEFAULT_CALIBRATION)
+
+
+@pytest.fixture()
+def nic():
+    return PhysicalNic(MachineSpec(), DEFAULT_CALIBRATION)
+
+
+class TestVirtualDiskArray:
+    def test_idle_pm_io_is_floor(self, disk):
+        out = disk.arbitrate([])
+        assert out.pm_io_bps == pytest.approx(
+            DEFAULT_CALIBRATION.pm_io_floor_bps
+        )
+
+    def test_amplification_roughly_two(self, disk):
+        # Paper Fig. 2(b): PM I/O is slightly more than twice VM I/O.
+        out = disk.arbitrate([46.0])
+        assert out.granted_bps == pytest.approx([46.0])
+        vm_io = 46.0
+        overhead = out.pm_io_bps - DEFAULT_CALIBRATION.pm_io_floor_bps
+        assert overhead / vm_io == pytest.approx(2.05, abs=0.01)
+
+    def test_multiple_vms_sum(self, disk):
+        out = disk.arbitrate([46.0, 46.0, 46.0, 46.0])
+        expect = 2.05 * 4 * 46.0 + DEFAULT_CALIBRATION.pm_io_floor_bps
+        assert out.pm_io_bps == pytest.approx(expect)
+
+    def test_aggregate_ceiling_enforced_fairly(self):
+        spec = MachineSpec(disk_iops_cap=200.0)
+        disk = VirtualDiskArray(spec, DEFAULT_CALIBRATION)
+        out = disk.arbitrate([90.0, 90.0])
+        budget = (200.0 - DEFAULT_CALIBRATION.pm_io_floor_bps) / 2.05
+        assert sum(out.granted_bps) == pytest.approx(budget)
+        assert out.granted_bps[0] == pytest.approx(out.granted_bps[1])
+        assert out.pm_io_bps <= 200.0 + 1e-9
+
+    def test_rejects_negative_demand(self, disk):
+        with pytest.raises(ValueError):
+            disk.arbitrate([-1.0])
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=90), max_size=6)
+    )
+    def test_granted_never_exceeds_demand(self, demands):
+        disk = VirtualDiskArray(MachineSpec(), DEFAULT_CALIBRATION)
+        out = disk.arbitrate(demands)
+        for g, d in zip(out.granted_bps, demands):
+            assert g <= d + 1e-9
+        assert out.pm_io_bps >= DEFAULT_CALIBRATION.pm_io_floor_bps - 1e-9
+
+
+class TestPhysicalNic:
+    def test_idle_pm_bw_is_floor(self, nic):
+        out = nic.arbitrate([], 0)
+        assert out.pm_bw_kbps == pytest.approx(
+            DEFAULT_CALIBRATION.pm_bw_floor_kbps
+        )
+
+    def test_single_sender_overhead_is_constant_chatter(self, nic):
+        # Paper Fig. 2(d): single-VM overhead ~400 bytes/s (3.2 Kb/s),
+        # "negligible" relative to the workload.
+        out = nic.arbitrate([1280.0], 1)
+        overhead = out.pm_bw_kbps - 1280.0
+        expect = (
+            DEFAULT_CALIBRATION.pm_bw_chatter_kbps
+            + DEFAULT_CALIBRATION.pm_bw_floor_kbps
+        )
+        assert overhead == pytest.approx(expect, abs=0.01)
+        assert overhead / out.pm_bw_kbps < 0.01
+
+    def test_multi_sender_overhead_approaches_three_percent(self, nic):
+        # Paper Section IV-B: |PM - sum(VM)| / PM = 3 % for co-located
+        # senders.
+        total = 4 * 1280.0
+        out = nic.arbitrate([1280.0] * 4, 4)
+        rel = (out.pm_bw_kbps - total) / out.pm_bw_kbps
+        assert 0.015 < rel < 0.035
+
+    def test_overhead_grows_with_sharing(self, nic):
+        one = nic.arbitrate([2560.0], 1).pm_bw_kbps
+        two = nic.arbitrate([1280.0, 1280.0], 2).pm_bw_kbps
+        assert two > one
+
+    def test_line_rate_caps_grants(self):
+        spec = MachineSpec(nic_mbps=1.0)  # 1000 Kb/s line rate
+        nic = PhysicalNic(spec, DEFAULT_CALIBRATION)
+        out = nic.arbitrate([800.0, 800.0], 2)
+        assert sum(out.granted_kbps) == pytest.approx(1000.0)
+        assert out.granted_kbps[0] == pytest.approx(500.0)
+        assert out.pm_bw_kbps <= 1000.0 + 1e-9
+
+    def test_rejects_bad_inputs(self, nic):
+        with pytest.raises(ValueError):
+            nic.arbitrate([-1.0], 1)
+        with pytest.raises(ValueError):
+            nic.arbitrate([1.0], -1)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=5000), max_size=6),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_pm_bw_at_least_sum_of_grants(self, kbps, senders):
+        nic = PhysicalNic(MachineSpec(), DEFAULT_CALIBRATION)
+        out = nic.arbitrate(kbps, senders)
+        if sum(out.granted_kbps) > 0:
+            assert out.pm_bw_kbps >= sum(out.granted_kbps) - 1e-9

@@ -1,0 +1,83 @@
+"""Direct unit tests for the Dom0 and Hypervisor demand models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xen import DEFAULT_CALIBRATION, Dom0, Hypervisor
+
+
+@pytest.fixture()
+def dom0():
+    return Dom0(DEFAULT_CALIBRATION)
+
+
+@pytest.fixture()
+def hyp():
+    return Hypervisor(DEFAULT_CALIBRATION)
+
+
+class TestDom0:
+    def test_idle_demand_is_baseline(self, dom0):
+        assert dom0.cpu_demand([], 0.0, 0.0, 0.0) == pytest.approx(16.8)
+
+    def test_network_terms(self, dom0):
+        base = dom0.cpu_demand([], 0.0, 0.0, 0.0)
+        inter = dom0.cpu_demand([], 1000.0, 0.0, 0.0)
+        intra = dom0.cpu_demand([], 0.0, 1000.0, 0.0)
+        assert inter - base == pytest.approx(10.0)  # 0.01/Kb/s
+        assert intra - base == pytest.approx(2.0)  # 0.002/Kb/s
+
+    def test_io_term(self, dom0):
+        base = dom0.cpu_demand([], 0.0, 0.0, 0.0)
+        with_io = dom0.cpu_demand([], 0.0, 0.0, 100.0)
+        assert with_io - base == pytest.approx(
+            100 * DEFAULT_CALIBRATION.dom0_io_pct_per_bps
+        )
+
+    def test_terms_are_additive(self, dom0):
+        base = dom0.cpu_demand([], 0.0, 0.0, 0.0)
+        net = dom0.cpu_demand([], 500.0, 0.0, 0.0) - base
+        io = dom0.cpu_demand([], 0.0, 0.0, 50.0) - base
+        combined = dom0.cpu_demand([], 500.0, 0.0, 50.0) - base
+        assert combined == pytest.approx(net + io)
+
+    def test_probe_cpu_adds_to_demand(self, dom0):
+        base = dom0.cpu_demand([], 0.0, 0.0, 0.0)
+        dom0.probe_cpu_pct = 1.5
+        assert dom0.cpu_demand([], 0.0, 0.0, 0.0) == pytest.approx(base + 1.5)
+
+    def test_record_updates_state(self, dom0):
+        dom0.record(23.4)
+        assert dom0.state.cpu_pct == 23.4
+
+    def test_memory_constant(self, dom0):
+        assert dom0.mem_mb == pytest.approx(350.0)
+
+    def test_boost_weight_is_large(self):
+        assert Dom0.BOOST_WEIGHT > 256  # above any guest weight
+
+
+class TestHypervisor:
+    def test_idle_demand_is_baseline(self, hyp):
+        assert hyp.cpu_demand([], 0.0, 0.0, 0.0) == pytest.approx(3.0)
+
+    def test_event_channel_term(self, hyp):
+        base = hyp.cpu_demand([], 0.0, 0.0, 0.0)
+        loaded = hyp.cpu_demand([], 1000.0, 0.0, 0.0)
+        assert loaded - base == pytest.approx(0.55)  # 0.00055/Kb/s
+
+    def test_intra_pm_cheaper_than_inter(self, hyp):
+        base = hyp.cpu_demand([], 0.0, 0.0, 0.0)
+        inter = hyp.cpu_demand([], 1000.0, 0.0, 0.0) - base
+        intra = hyp.cpu_demand([], 0.0, 1000.0, 0.0) - base
+        assert intra < inter
+
+    def test_guest_activity_term_convex(self, hyp):
+        lo = hyp.cpu_demand([10.0], 0, 0, 0) - hyp.cpu_demand([0.0], 0, 0, 0)
+        hi = hyp.cpu_demand([99.0], 0, 0, 0) - hyp.cpu_demand([89.0], 0, 0, 0)
+        assert hi > 2 * lo
+
+    def test_record_updates_state(self, hyp):
+        hyp.record(12.0)
+        assert hyp.state.cpu_pct == 12.0

@@ -1,0 +1,308 @@
+"""Integration tests for PhysicalMachine: the paper's anchor scenarios.
+
+Each test reproduces one of Section IV's measured operating points from
+mechanism (scheduler + cost accounting), not from lookup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.xen import (
+    DEFAULT_CALIBRATION,
+    Flow,
+    MachineSpec,
+    PhysicalMachine,
+    VMSpec,
+    external_host,
+)
+
+
+def make_pm(n_vms: int, seed: int = 1, **pm_kwargs):
+    sim = Simulator(seed=seed)
+    pm = PhysicalMachine(sim, name="pm1", **pm_kwargs)
+    vms = [pm.create_vm(VMSpec(name=f"vm{k}")) for k in range(n_vms)]
+    return sim, pm, vms
+
+
+def run_settled(sim, pm, seconds=10.0):
+    pm.start()
+    sim.run_until(sim.now + seconds)
+    return pm.snapshot()
+
+
+class TestIdleBaselines:
+    def test_idle_machine_matches_paper_constants(self):
+        sim, pm, _ = make_pm(1)
+        snap = run_settled(sim, pm)
+        assert snap.dom0_cpu_pct == pytest.approx(16.8, abs=0.1)
+        assert snap.hypervisor_cpu_pct == pytest.approx(3.0, abs=0.1)
+        assert snap.pm_io_bps == pytest.approx(18.8, abs=0.1)
+        assert snap.pm_bw_kbps == pytest.approx(2.03, abs=0.1)
+        assert snap.dom0_io_bps == 0.0
+        assert snap.dom0_bw_kbps == 0.0
+
+    def test_pm_memory_is_dom0_plus_guests(self):
+        sim, pm, vms = make_pm(2)
+        vms[0].demand.mem_mb = 50.0
+        snap = run_settled(sim, pm)
+        expect = (
+            DEFAULT_CALIBRATION.dom0_mem_mb
+            + vms[0].spec.os_mem_mb
+            + 50.0
+            + vms[1].spec.os_mem_mb
+        )
+        assert snap.pm_mem_mb == pytest.approx(expect)
+
+
+class TestSingleVmCpu:
+    def test_high_cpu_anchor(self):
+        # Paper Fig. 2(a): VM at 99 % -> Dom0 29.5 %, hypervisor 14 %.
+        sim, pm, vms = make_pm(1)
+        vms[0].demand.cpu_pct = 99.0
+        snap = run_settled(sim, pm)
+        assert snap.vm("vm0").cpu_pct == pytest.approx(99.0, abs=0.5)
+        assert snap.dom0_cpu_pct == pytest.approx(29.5, abs=0.5)
+        assert snap.hypervisor_cpu_pct == pytest.approx(14.0, abs=0.5)
+
+    def test_overheads_convex_in_load(self):
+        points = []
+        for load in (1.0, 30.0, 60.0, 90.0, 99.0):
+            sim, pm, vms = make_pm(1)
+            vms[0].demand.cpu_pct = load
+            snap = run_settled(sim, pm)
+            points.append((load, snap.dom0_cpu_pct, snap.hypervisor_cpu_pct))
+        dom0 = [p[1] for p in points]
+        hyp = [p[2] for p in points]
+        assert dom0 == sorted(dom0)
+        assert hyp == sorted(hyp)
+        # Increase rate grows (convexity; paper 0.01 -> 0.31).
+        early = (dom0[1] - dom0[0]) / (30.0 - 1.0)
+        late = (dom0[4] - dom0[3]) / (99.0 - 90.0)
+        assert late > 3 * early
+
+    def test_pm_cpu_is_component_sum(self):
+        sim, pm, vms = make_pm(1)
+        vms[0].demand.cpu_pct = 60.0
+        snap = run_settled(sim, pm)
+        expect = (
+            snap.dom0_cpu_pct
+            + snap.hypervisor_cpu_pct
+            + sum(v.cpu_pct for v in snap.vms.values())
+        )
+        assert snap.pm_cpu_pct == pytest.approx(expect)
+
+
+class TestMultiVmCpuSaturation:
+    def test_two_vm_saturation(self):
+        # Paper Fig. 3(a): guests ~95 % each, Dom0 23.4 %, hyp 12.0 %.
+        sim, pm, vms = make_pm(2)
+        for vm in vms:
+            vm.demand.cpu_pct = 100.0
+        snap = run_settled(sim, pm)
+        assert snap.vm("vm0").cpu_pct == pytest.approx(95.0, abs=1.0)
+        assert snap.vm("vm1").cpu_pct == pytest.approx(95.0, abs=1.0)
+        assert snap.dom0_cpu_pct == pytest.approx(23.4, abs=0.5)
+        assert snap.hypervisor_cpu_pct == pytest.approx(12.0, abs=0.5)
+
+    def test_four_vm_saturation(self):
+        # Paper Fig. 4(a): guests ~47 % each.
+        sim, pm, vms = make_pm(4)
+        for vm in vms:
+            vm.demand.cpu_pct = 100.0
+        snap = run_settled(sim, pm)
+        for k in range(4):
+            assert snap.vm(f"vm{k}").cpu_pct == pytest.approx(47.0, abs=1.0)
+        assert snap.dom0_cpu_pct == pytest.approx(23.4, abs=0.6)
+        assert snap.hypervisor_cpu_pct == pytest.approx(12.0, abs=0.6)
+
+    def test_light_multi_vm_load_uncontended(self):
+        sim, pm, vms = make_pm(2)
+        for vm in vms:
+            vm.demand.cpu_pct = 30.0
+        snap = run_settled(sim, pm)
+        # No contention: each guest gets what it asked for.
+        assert snap.vm("vm0").cpu_pct == pytest.approx(30.3, abs=0.2)
+        # Dom0 is between idle and plateau.
+        assert 16.8 < snap.dom0_cpu_pct < 23.4
+
+
+class TestDiskPath:
+    def test_pm_io_twice_vm_io(self):
+        # Paper Fig. 2(b).
+        sim, pm, vms = make_pm(1)
+        vms[0].demand.io_bps = 46.0
+        snap = run_settled(sim, pm)
+        assert snap.vm("vm0").io_bps == pytest.approx(46.0)
+        ratio = (snap.pm_io_bps - 18.8) / snap.vm("vm0").io_bps
+        assert ratio == pytest.approx(2.05, abs=0.05)
+        assert snap.dom0_io_bps == 0.0
+
+    def test_io_cap_at_90_blocks(self):
+        # Paper Section IV-A: default VM I/O ceiling ~90 blocks/s.
+        sim, pm, vms = make_pm(1)
+        vms[0].demand.io_bps = 500.0
+        snap = run_settled(sim, pm)
+        assert snap.vm("vm0").io_bps == pytest.approx(90.0)
+
+    def test_cpu_stays_flat_under_io(self):
+        # Paper Fig. 2(c): CPU utilizations stable under varying I/O.
+        values = []
+        for io in (15.0, 46.0, 72.0):
+            sim, pm, vms = make_pm(1)
+            vms[0].demand.io_bps = io
+            snap = run_settled(sim, pm)
+            values.append((snap.dom0_cpu_pct, snap.hypervisor_cpu_pct))
+        dom0_spread = max(v[0] for v in values) - min(v[0] for v in values)
+        hyp_spread = max(v[1] for v in values) - min(v[1] for v in values)
+        assert dom0_spread < 0.5
+        assert hyp_spread < 0.3
+
+    def test_multi_vm_io_lifts_dom0_slightly(self):
+        # Paper Figs. 3(c)/4(c): ~17.4 % Dom0 under multi-VM I/O load.
+        sim, pm, vms = make_pm(4)
+        for vm in vms:
+            vm.demand.io_bps = 46.0
+            vm.demand.cpu_pct = 0.84  # the benchmark's own CPU cost
+        snap = run_settled(sim, pm)
+        assert snap.dom0_cpu_pct == pytest.approx(17.4, abs=0.5)
+
+
+class TestNetworkPath:
+    def test_inter_pm_bw_anchor(self):
+        # Paper Fig. 2(d)/(e): Dom0 CPU rises at 0.01 per Kb/s; VM CPU
+        # reaches ~3 %; PM BW ~ VM BW.
+        sim, pm, vms = make_pm(1)
+        vms[0].demand.cpu_pct = 0.5  # ping's own CPU use
+        vms[0].add_flow(
+            Flow(src="vm0", dst=external_host("peer"), kbps=1280.0)
+        )
+        snap = run_settled(sim, pm)
+        assert snap.vm("vm0").bw_kbps == pytest.approx(1280.0)
+        assert snap.pm_bw_kbps == pytest.approx(1280.0, rel=0.01)
+        assert snap.dom0_cpu_pct == pytest.approx(16.8 + 12.8, abs=1.0)
+        assert snap.vm("vm0").cpu_pct == pytest.approx(3.0, abs=0.7)
+        assert snap.dom0_bw_kbps == 0.0
+
+    def test_dom0_slope_is_constant_001(self):
+        utils = []
+        for kbps in (160.0, 640.0, 1280.0):
+            sim, pm, vms = make_pm(1)
+            vms[0].add_flow(
+                Flow(src="vm0", dst=external_host("peer"), kbps=kbps)
+            )
+            snap = run_settled(sim, pm)
+            utils.append((kbps, snap.dom0_cpu_pct))
+        slope1 = (utils[1][1] - utils[0][1]) / (utils[1][0] - utils[0][0])
+        slope2 = (utils[2][1] - utils[1][1]) / (utils[2][0] - utils[1][0])
+        assert slope1 == pytest.approx(0.01, abs=0.002)
+        assert slope2 == pytest.approx(0.01, abs=0.002)
+
+    def test_four_vm_bw_anchor(self):
+        # Paper Fig. 4(e): Dom0 reaches ~67 %, hypervisor ~6.3 %.
+        sim, pm, vms = make_pm(4)
+        for vm in vms:
+            vm.demand.cpu_pct = 0.5
+            vm.add_flow(
+                Flow(src=vm.name, dst=external_host("peer"), kbps=1280.0)
+            )
+        snap = run_settled(sim, pm)
+        assert snap.dom0_cpu_pct == pytest.approx(67.1, abs=2.0)
+        assert snap.hypervisor_cpu_pct == pytest.approx(6.3, abs=0.5)
+        # Paper Section IV-B: ~3 % PM bandwidth overhead.
+        total_vm = 4 * 1280.0
+        rel = (snap.pm_bw_kbps - total_vm) / snap.pm_bw_kbps
+        assert 0.01 < rel < 0.04
+
+    def test_intra_pm_traffic_consumes_no_pm_bandwidth(self):
+        # Paper Fig. 5(a): PM and Dom0 bandwidth are zero for VM-to-VM
+        # traffic within the PM.
+        sim, pm, vms = make_pm(2)
+        vms[0].add_flow(Flow(src="vm0", dst="vm1", kbps=1280.0))
+        snap = run_settled(sim, pm)
+        assert snap.pm_bw_kbps == pytest.approx(
+            DEFAULT_CALIBRATION.pm_bw_floor_kbps, abs=0.1
+        )
+        assert snap.vm("vm0").bw_kbps == pytest.approx(1280.0)
+        assert snap.vm("vm1").bw_kbps == pytest.approx(1280.0)
+
+    def test_intra_pm_dom0_slope_5x_cheaper(self):
+        # Paper Fig. 5(b): increase rate 0.002 = 5x less than inter-PM.
+        sim, pm, vms = make_pm(2)
+        vms[0].add_flow(Flow(src="vm0", dst="vm1", kbps=1280.0))
+        snap = run_settled(sim, pm)
+        rise = snap.dom0_cpu_pct - 16.8
+        assert rise == pytest.approx(0.002 * 1280.0, abs=0.5)
+
+    def test_external_inbound_counts_on_pm_and_vm(self):
+        sim, pm, vms = make_pm(1)
+        pm.external_inbound_kbps["vm0"] = 500.0
+        snap = run_settled(sim, pm)
+        assert snap.vm("vm0").bw_kbps == pytest.approx(500.0)
+        assert snap.pm_bw_kbps >= 500.0
+
+
+class TestLifecycle:
+    def test_memory_admission_control(self):
+        sim = Simulator(seed=1)
+        pm = PhysicalMachine(sim, name="pm1")
+        # Dom0 350 MB + 6 * 256 MB = 1886 < 2048; the 7th breaks it.
+        for k in range(6):
+            pm.create_vm(VMSpec(name=f"vm{k}"))
+        with pytest.raises(MemoryError):
+            pm.create_vm(VMSpec(name="vm6"))
+
+    def test_free_mem_accounting(self):
+        sim = Simulator(seed=1)
+        pm = PhysicalMachine(sim, name="pm1")
+        before = pm.free_mem_mb()
+        pm.create_vm(VMSpec(name="a"))
+        assert pm.free_mem_mb() == pytest.approx(before - 256)
+
+    def test_duplicate_vm_rejected(self):
+        sim, pm, _ = make_pm(1)
+        with pytest.raises(ValueError):
+            pm.create_vm(VMSpec(name="vm0"))
+
+    def test_remove_vm(self):
+        sim, pm, _ = make_pm(2)
+        vm = pm.remove_vm("vm0")
+        assert vm.name == "vm0"
+        assert "vm0" not in pm.vms
+        with pytest.raises(KeyError):
+            pm.remove_vm("vm0")
+
+    def test_double_start_rejected(self):
+        sim, pm, _ = make_pm(1)
+        pm.start()
+        with pytest.raises(RuntimeError):
+            pm.start()
+
+    def test_stop_freezes_state(self):
+        sim, pm, vms = make_pm(1)
+        vms[0].demand.cpu_pct = 50.0
+        pm.start()
+        sim.run_until(5.0)
+        pm.stop()
+        frozen = pm.snapshot().vm("vm0").cpu_pct
+        vms[0].demand.cpu_pct = 99.0
+        sim.run_until(10.0)
+        assert pm.snapshot().vm("vm0").cpu_pct == frozen
+
+    def test_invalid_quantum(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PhysicalMachine(sim, quantum=0.0)
+
+    def test_fixed_point_converges_quickly(self):
+        # The one-quantum feedback delay settles within ~10 quanta.
+        sim, pm, vms = make_pm(2)
+        for vm in vms:
+            vm.demand.cpu_pct = 100.0
+        pm.start()
+        sim.run_until(0.5)
+        early = pm.snapshot().dom0_cpu_pct
+        sim.run_until(20.0)
+        late = pm.snapshot().dom0_cpu_pct
+        assert early == pytest.approx(late, abs=0.1)

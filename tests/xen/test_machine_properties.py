@@ -1,0 +1,113 @@
+"""Property-based invariant tests for the machine model.
+
+Whatever demands the guests present, the machine must uphold:
+
+* grants never exceed demands (per resource, per guest);
+* the CPU arbitration never hands out more than the effective capacity;
+* PM CPU is exactly the component sum; PM memory is Dom0 + guests;
+* Dom0/hypervisor never drop below their idle baselines;
+* the disk and NIC never report less than the floors, and Dom0 I/O and
+  bandwidth stay identically zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.xen import (
+    DEFAULT_CALIBRATION,
+    Flow,
+    PhysicalMachine,
+    VMSpec,
+    external_host,
+)
+
+vm_demand = st.tuples(
+    st.floats(min_value=0, max_value=120),  # cpu (may exceed vcpu)
+    st.floats(min_value=0, max_value=400),  # mem
+    st.floats(min_value=0, max_value=200),  # io (may exceed cap)
+    st.floats(min_value=0, max_value=3000),  # bw kbps
+)
+
+
+def build_machine(demands, seed=5):
+    sim = Simulator(seed=seed)
+    pm = PhysicalMachine(sim, name="pm1")
+    for k, (cpu, mem, io, bw) in enumerate(demands):
+        vm = pm.create_vm(VMSpec(name=f"vm{k}"))
+        vm.demand.cpu_pct = cpu
+        vm.demand.mem_mb = mem
+        vm.demand.io_bps = io
+        if bw > 0:
+            vm.add_flow(Flow(src=vm.name, dst=external_host("x"), kbps=bw))
+    pm.start()
+    sim.run_until(6.0)
+    return pm, pm.snapshot()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(vm_demand, min_size=1, max_size=5))
+def test_machine_invariants(demands):
+    pm, snap = build_machine(demands)
+    cal = DEFAULT_CALIBRATION
+
+    guest_cpu = 0.0
+    for k, (cpu, mem, io, bw) in enumerate(demands):
+        util = snap.vm(f"vm{k}")
+        # Grants bounded by demands / caps.
+        spec = pm.vms[f"vm{k}"].spec
+        assert util.cpu_pct <= min(cpu + spec.os_cpu_pct + 0.002 * 2 * bw,
+                                   spec.cpu_capacity_pct) + 1e-6
+        assert util.io_bps <= min(io, spec.io_cap_bps) + 1e-6
+        assert util.mem_mb <= spec.mem_mb + 1e-9
+        assert util.bw_kbps <= bw + 1e-6
+        assert util.cpu_pct >= 0 and util.io_bps >= 0 and util.bw_kbps >= 0
+        guest_cpu += util.cpu_pct
+
+    # Capacity conservation.
+    total = snap.dom0_cpu_pct + snap.hypervisor_cpu_pct + guest_cpu
+    assert total <= cal.effective_capacity_pct + 1e-6
+    # PM CPU is the component sum.
+    assert snap.pm_cpu_pct == pytest.approx(total)
+    # Baselines.
+    assert snap.dom0_cpu_pct >= cal.dom0_cpu_base - 1e-6
+    assert snap.hypervisor_cpu_pct >= cal.hyp_cpu_base - 1e-6
+    # Memory accounting.
+    expect_mem = cal.dom0_mem_mb + sum(
+        snap.vm(f"vm{k}").mem_mb for k in range(len(demands))
+    )
+    assert snap.pm_mem_mb == pytest.approx(expect_mem)
+    # Floors and Dom0 zeros.
+    assert snap.pm_io_bps >= cal.pm_io_floor_bps - 1e-6
+    assert snap.pm_bw_kbps >= cal.pm_bw_floor_kbps - 1e-6
+    assert snap.dom0_io_bps == 0.0
+    assert snap.dom0_bw_kbps == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=100), min_size=2, max_size=5
+    )
+)
+def test_equal_demands_get_equal_grants(cpus):
+    # Symmetric guests (equal weights, equal demands) must be granted
+    # equally -- the fairness property of the credit water-fill.
+    demands = [(c, 0.0, 0.0, 0.0) for c in [cpus[0]] * len(cpus)]
+    _, snap = build_machine(demands)
+    grants = [snap.vm(f"vm{k}").cpu_pct for k in range(len(cpus))]
+    assert max(grants) - min(grants) < 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0, max_value=100), st.integers(min_value=1, max_value=4))
+def test_determinism_across_replays(cpu, n):
+    demands = [(cpu, 0.0, 10.0, 100.0)] * n
+    _, a = build_machine(demands, seed=11)
+    _, b = build_machine(demands, seed=11)
+    assert a.pm_cpu_pct == b.pm_cpu_pct
+    assert a.pm_bw_kbps == b.pm_bw_kbps
+    assert a.pm_io_bps == b.pm_io_bps

@@ -1,0 +1,71 @@
+"""Tests for machine and VM specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xen.specs import MachineSpec, VMSpec, paper_machine_spec, paper_vm_spec
+
+
+class TestMachineSpec:
+    def test_paper_defaults(self):
+        spec = paper_machine_spec()
+        assert spec.cores == 4
+        assert spec.cpu_ghz == pytest.approx(2.66)
+        assert spec.mem_mb == 2048
+        assert spec.disk_gb == 60
+        assert spec.nic_mbps == pytest.approx(1000.0)
+
+    def test_cpu_capacity(self):
+        assert MachineSpec(cores=4).cpu_capacity_pct == 400.0
+        assert MachineSpec(cores=1).cpu_capacity_pct == 100.0
+
+    def test_nic_kbps(self):
+        assert MachineSpec(nic_mbps=1000).nic_kbps == pytest.approx(1_000_000)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"cores": 0}, {"cores": -1}, {"mem_mb": 0}, {"nic_mbps": 0}],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            MachineSpec(**kwargs)
+
+    def test_frozen(self):
+        spec = MachineSpec()
+        with pytest.raises(AttributeError):
+            spec.cores = 8  # type: ignore[misc]
+
+
+class TestVMSpec:
+    def test_paper_defaults(self):
+        spec = paper_vm_spec("vm1")
+        assert spec.name == "vm1"
+        assert spec.vcpus == 1
+        assert spec.mem_mb == 256
+        assert spec.weight == 256  # Xen default weight
+        assert spec.io_cap_bps == pytest.approx(90.0)
+
+    def test_cpu_capacity_uncapped(self):
+        assert VMSpec(name="v").cpu_capacity_pct == 100.0
+        assert VMSpec(name="v", vcpus=2).cpu_capacity_pct == 200.0
+
+    def test_cpu_capacity_with_cap(self):
+        assert VMSpec(name="v", cap_pct=40.0).cpu_capacity_pct == 40.0
+        # A cap above the VCPU limit does not raise capacity.
+        assert VMSpec(name="v", cap_pct=150.0).cpu_capacity_pct == 100.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "v", "vcpus": 0},
+            {"name": "v", "mem_mb": 0},
+            {"name": "v", "weight": 0},
+            {"name": "v", "cap_pct": -1},
+            {"name": "v", "mem_mb": 64, "os_mem_mb": 128.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            VMSpec(**kwargs)

@@ -1,0 +1,109 @@
+"""Tests for GuestVM state and the Flow model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xen.network import EXTERNAL_PREFIX, Flow, external_host
+from repro.xen.specs import VMSpec
+from repro.xen.vm import GuestVM, ResourceDemand, total_granted_cpu
+
+
+class TestFlow:
+    def test_defaults_and_name(self):
+        f = Flow(src="a", dst="b", kbps=100.0)
+        assert f.name == "a->b"
+        assert not f.external
+        assert not f.intra_pm
+
+    def test_external_destination(self):
+        f = Flow(src="a", dst=external_host("client1"))
+        assert f.external
+        assert f.dst == EXTERNAL_PREFIX + "client1"
+
+    def test_packets_per_s(self):
+        f = Flow(src="a", dst="b", kbps=640.0, packet_kb=64.0)
+        assert f.packets_per_s == pytest.approx(10.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"src": "", "dst": "b"},
+            {"src": "a", "dst": ""},
+            {"src": "a", "dst": "b", "kbps": -1},
+            {"src": "a", "dst": "b", "packet_kb": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Flow(**kwargs)
+
+    def test_external_host_requires_name(self):
+        with pytest.raises(ValueError):
+            external_host("")
+
+
+class TestGuestVM:
+    def test_initial_state_is_idle(self):
+        vm = GuestVM(VMSpec(name="v"))
+        assert vm.demand.cpu_pct == 0.0
+        assert vm.granted.cpu_pct == 0.0
+        assert vm.flows == []
+
+    def test_cpu_demand_includes_os_baseline(self):
+        vm = GuestVM(VMSpec(name="v", os_cpu_pct=0.3))
+        vm.demand.cpu_pct = 60.0
+        assert vm.cpu_demand_total == pytest.approx(60.3)
+
+    def test_cpu_demand_clamped_to_vcpu(self):
+        vm = GuestVM(VMSpec(name="v"))
+        vm.demand.cpu_pct = 150.0
+        assert vm.cpu_demand_total == 100.0
+
+    def test_mem_clamped_to_configured(self):
+        vm = GuestVM(VMSpec(name="v", mem_mb=256, os_mem_mb=80))
+        vm.demand.mem_mb = 1000.0
+        assert vm.mem_total_mb == 256.0
+        vm.demand.mem_mb = 50.0
+        assert vm.mem_total_mb == pytest.approx(130.0)
+
+    def test_io_demand_capped(self):
+        vm = GuestVM(VMSpec(name="v", io_cap_bps=90))
+        vm.demand.io_bps = 500.0
+        assert vm.io_demand_capped == 90.0
+        vm.demand.io_bps = 46.0
+        assert vm.io_demand_capped == 46.0
+
+    def test_flow_lifecycle(self):
+        vm = GuestVM(VMSpec(name="v"))
+        f = vm.add_flow(Flow(src="v", dst="other", kbps=100))
+        assert vm.outbound_kbps() == 100.0
+        vm.remove_flow(f)
+        assert vm.outbound_kbps() == 0.0
+        vm.add_flow(Flow(src="v", dst="x", kbps=1))
+        vm.clear_flows()
+        assert vm.flows == []
+
+    def test_add_flow_rejects_foreign_source(self):
+        vm = GuestVM(VMSpec(name="v"))
+        with pytest.raises(ValueError):
+            vm.add_flow(Flow(src="someone-else", dst="x"))
+
+    def test_demand_reset(self):
+        d = ResourceDemand(cpu_pct=5, mem_mb=10, io_bps=20)
+        d.reset()
+        assert (d.cpu_pct, d.mem_mb, d.io_bps) == (0.0, 0.0, 0.0)
+
+    def test_granted_tuple_order_matches_paper(self):
+        vm = GuestVM(VMSpec(name="v"))
+        vm.granted.cpu_pct = 1.0
+        vm.granted.mem_mb = 2.0
+        vm.granted.io_bps = 3.0
+        vm.granted.bw_kbps = 4.0
+        assert vm.granted.as_tuple() == (1.0, 2.0, 3.0, 4.0)
+
+    def test_total_granted_cpu(self):
+        vms = [GuestVM(VMSpec(name=f"v{i}")) for i in range(3)]
+        for i, vm in enumerate(vms):
+            vm.granted.cpu_pct = 10.0 * (i + 1)
+        assert total_granted_cpu(vms) == pytest.approx(60.0)
