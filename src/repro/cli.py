@@ -9,6 +9,9 @@ Subcommands
     the series and shape-check verdicts; non-zero exit if a check fails.
 ``repro all [--fast]``
     The full reproduction sweep.
+``repro chaos [--fast] [--dropout F] [--outliers F]``
+    Fault-injection sweep: model degradation under monitor faults plus
+    a placement-resilience run with flaky migrations.
 """
 
 from __future__ import annotations
@@ -95,6 +98,24 @@ def build_parser() -> argparse.ArgumentParser:
         "cross-validated RMSE",
     )
     validate_p.add_argument("--fast", action="store_true")
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: model degradation + placement "
+        "resilience under chaos",
+    )
+    chaos_p.add_argument("--fast", action="store_true")
+    chaos_p.add_argument(
+        "--dropout", type=float, default=None,
+        help="probe a single monitor-dropout probability instead of the "
+        "default sweep",
+    )
+    chaos_p.add_argument(
+        "--outliers", type=float, default=None,
+        help="outlier-corruption probability for the single probed level "
+        "(default 0)",
+    )
+    chaos_p.add_argument("--out", type=Path, default=None)
     return parser
 
 
@@ -137,8 +158,30 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "validate":
         return _validate(fast=args.fast)
+    if args.command == "chaos":
+        return _chaos(args)
     assert args.command == "all"
     return _report(runner.run_all(fast=args.fast), args.out)
+
+
+def _chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import chaos
+
+    kwargs = runner._fast_kwargs("chaos", args.fast)
+    if args.dropout is not None or args.outliers is not None:
+        level = (args.dropout or 0.0, args.outliers or 0.0)
+        for name, prob in zip(("--dropout", "--outliers"), level):
+            if not 0.0 <= prob < 1.0:
+                print(
+                    f"error: {name} must be a probability in [0, 1), "
+                    f"got {prob}",
+                    file=sys.stderr,
+                )
+                return 2
+        # Keep the clean level so degradation is always measured
+        # against the fault-free baseline.
+        kwargs["levels"] = ((0.0, 0.0), level)
+    return _report(chaos.run_chaos(**kwargs), args.out)
 
 
 def _validate(*, fast: bool) -> int:

@@ -119,6 +119,18 @@ PAPER_CLAIMS: Dict[str, List[str]] = {
         "a workload that has high utilization on a sole resource and "
         "low overhead on other resources'; the Table II generators can.",
     ],
+    "chaosa": [
+        "(beyond the paper) The Section V model is trained from a "
+        "healthy monitor; this artifact measures how prediction error "
+        "grows when the monitor drops and silently corrupts samples, "
+        "with the OLS -> LMS auto engine absorbing the corruption.",
+    ],
+    "chaosb": [
+        "(beyond the paper) The Section VI placement loop assumes "
+        "migrations succeed; this artifact injects PM crashes, VM "
+        "stalls, NIC degradation and mid-flight migration failures and "
+        "asserts the resilient loop's bookkeeping stays closed.",
+    ],
 }
 
 #: Known, documented deviations of the reproduction.

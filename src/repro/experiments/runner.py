@@ -10,7 +10,17 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Sequence
 
-from repro.experiments import extras, fig2, fig5, fig6, fig10, fig34, fig789, tables
+from repro.experiments import (
+    chaos,
+    extras,
+    fig2,
+    fig5,
+    fig6,
+    fig10,
+    fig34,
+    fig789,
+    tables,
+)
 from repro.experiments.base import ExperimentResult
 from repro.experiments.prediction import trained_models
 
@@ -46,6 +56,15 @@ def _fast_kwargs(group_id: str, fast: bool) -> dict:
             "duration_s": 40.0,
             "profile_s": 25.0,
         }
+    if group_id == "chaos":
+        _, multi = trained_models(duration=20.0)
+        return {
+            "duration": 15.0,
+            "kinds": ("cpu", "bw"),
+            "levels": ((0.0, 0.0), (0.05, 0.02), (0.10, 0.05)),
+            "model": multi,
+            "duration_s": 60.0,
+        }
     return {}
 
 
@@ -65,6 +84,7 @@ _register("memconst", lambda **kw: [extras.run_memconst(**kw)])
 _register("toolover", lambda **kw: [extras.run_toolover(**kw)])
 _register("pmconsist", lambda **kw: [extras.run_pmconsist(**kw)])
 _register("purity", lambda **kw: [extras.run_purity(**kw)])
+_register("chaos", chaos.run_chaos)
 
 #: Every group id, in paper order.
 GROUP_IDS: List[str] = list(_GROUPS)
@@ -82,6 +102,7 @@ ALL_IDS: List[str] = (
     + [f"fig9{s}" for s in "abcd"]
     + [f"fig10{s}" for s in "ab"]
     + ["memconst", "toolover", "pmconsist", "purity"]
+    + ["chaosa", "chaosb"]
 )
 
 

@@ -1,0 +1,38 @@
+"""Fault injection: deterministic failure schedules for the whole stack.
+
+The paper's pipeline assumes every sample arrives and every migration
+succeeds; this package makes the opposite assumption injectable so the
+monitoring, modeling and placement layers can be exercised -- and
+regression-tested -- under PM crashes, guest stalls, NIC degradation
+and monitor-sample faults.  Every fault stream is named and independent
+(:mod:`repro.sim.rng`), and a null :class:`FaultConfig` draws nothing:
+zero-fault runs are byte-identical to the pre-fault-subsystem code.
+"""
+
+from repro.faults.config import (
+    FAULT_KINDS,
+    KIND_NIC_DEGRADE,
+    KIND_PM_CRASH,
+    KIND_VM_CRASH,
+    KIND_VM_STALL,
+    FaultConfig,
+)
+from repro.faults.injector import FAULT_PRIORITY, FaultInjector
+from repro.faults.sampling import SAMPLE_DROP, SAMPLE_OUTLIER, SampleFaults
+from repro.faults.schedule import FaultEvent, build_schedule
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PRIORITY",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "KIND_NIC_DEGRADE",
+    "KIND_PM_CRASH",
+    "KIND_VM_CRASH",
+    "KIND_VM_STALL",
+    "SAMPLE_DROP",
+    "SAMPLE_OUTLIER",
+    "SampleFaults",
+    "build_schedule",
+]

@@ -1,0 +1,161 @@
+"""Fault-model configuration: every failure class the stack can inject.
+
+The paper's pipeline assumes every 1 Hz sample arrives and every
+migration succeeds; production multi-tenant measurement is noisy, gappy
+and failure-prone (uPredict, arXiv:1908.04491).  :class:`FaultConfig`
+is the single knob bundle for the whole fault-injection subsystem:
+
+* **PM crash / reboot** -- the host drops off the fabric for a while;
+  its guests freeze and its monitor samples become gaps.
+* **VM stall / crash-restart** -- one guest stops consuming resources
+  (hung kernel or restart loop) while staying resident in memory.
+* **NIC degradation** -- the physical link trains down (bandwidth
+  clamp) and drops frames (loss fraction).
+* **Monitor sample faults** -- dropout bursts (the measurement script
+  misses whole ticks) and silent outlier corruption (clock skew or a
+  wedged tool reporting garbage values).
+
+Every rate is a per-second hazard; every probability is per sampling
+tick.  A default-constructed config is *null*: no fault path draws a
+single random number, so zero-fault runs stay byte-identical to a build
+without the subsystem (strictly pay-for-use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fault kinds produced by the schedule builder, in canonical order.
+KIND_PM_CRASH = "pm_crash"
+KIND_VM_STALL = "vm_stall"
+KIND_VM_CRASH = "vm_crash"
+KIND_NIC_DEGRADE = "nic_degrade"
+
+FAULT_KINDS: tuple[str, ...] = (
+    KIND_PM_CRASH,
+    KIND_VM_STALL,
+    KIND_VM_CRASH,
+    KIND_NIC_DEGRADE,
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and shapes of every injectable fault class.
+
+    Rates are events per target per second (exponential inter-arrival);
+    probabilities are per monitor tick.  All defaults are zero, so a
+    bare ``FaultConfig()`` injects nothing.
+    """
+
+    # -- PM crash / reboot ------------------------------------------------
+    #: Crash hazard per PM per second.
+    pm_crash_rate: float = 0.0
+    #: Outage length before the PM comes back.
+    pm_reboot_s: float = 30.0
+
+    # -- VM stall / crash-restart ----------------------------------------
+    #: Stall hazard per VM per second (guest hangs, then recovers).
+    vm_stall_rate: float = 0.0
+    #: Stall duration.
+    vm_stall_s: float = 5.0
+    #: Crash-restart hazard per VM per second (longer outage).
+    vm_crash_rate: float = 0.0
+    #: Restart duration.
+    vm_restart_s: float = 20.0
+
+    # -- NIC degradation --------------------------------------------------
+    #: Degradation hazard per PM per second (link trains down).
+    nic_degrade_rate: float = 0.0
+    #: Degradation episode length.
+    nic_degrade_s: float = 10.0
+    #: Line-rate multiplier while degraded (0.5 = link at half speed).
+    nic_bw_factor: float = 0.5
+    #: Fraction of granted traffic lost while degraded.
+    nic_loss_frac: float = 0.1
+
+    # -- monitor sample faults -------------------------------------------
+    #: Probability a sampling tick starts a dropout burst.
+    sample_dropout_prob: float = 0.0
+    #: Mean dropout burst length in ticks (geometric; >= 1).
+    dropout_burst_mean: float = 3.0
+    #: Probability a sampling tick is silently corrupted.
+    outlier_prob: float = 0.0
+    #: Multiplicative corruption magnitude (value x scale or / scale).
+    outlier_scale: float = 5.0
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "pm_crash_rate",
+            "vm_stall_rate",
+            "vm_crash_rate",
+            "nic_degrade_rate",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+        for attr in ("pm_reboot_s", "vm_stall_s", "vm_restart_s",
+                     "nic_degrade_s"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+        for attr in ("sample_dropout_prob", "outlier_prob"):
+            if not 0.0 <= getattr(self, attr) < 1.0:
+                raise ValueError(f"{attr} must be in [0, 1)")
+        if self.dropout_burst_mean < 1.0:
+            raise ValueError("dropout_burst_mean must be >= 1")
+        if not 0.0 < self.nic_bw_factor <= 1.0:
+            raise ValueError("nic_bw_factor must be in (0, 1]")
+        if not 0.0 <= self.nic_loss_frac < 1.0:
+            raise ValueError("nic_loss_frac must be in [0, 1)")
+        if self.outlier_scale <= 1.0:
+            raise ValueError("outlier_scale must be > 1")
+
+    # -- queries ----------------------------------------------------------
+
+    def is_null(self) -> bool:
+        """True when no fault class can ever fire."""
+        return (
+            self.pm_crash_rate == 0.0
+            and self.vm_stall_rate == 0.0
+            and self.vm_crash_rate == 0.0
+            and self.nic_degrade_rate == 0.0
+            and not self.samples_faulty()
+        )
+
+    def samples_faulty(self) -> bool:
+        """True when monitor samples can drop or corrupt."""
+        return self.sample_dropout_prob > 0.0 or self.outlier_prob > 0.0
+
+    def rate_for(self, kind: str) -> float:
+        """The hazard of one machine-level fault kind."""
+        return {
+            KIND_PM_CRASH: self.pm_crash_rate,
+            KIND_VM_STALL: self.vm_stall_rate,
+            KIND_VM_CRASH: self.vm_crash_rate,
+            KIND_NIC_DEGRADE: self.nic_degrade_rate,
+        }[kind]
+
+    def duration_for(self, kind: str) -> float:
+        """The outage/episode length of one machine-level fault kind."""
+        return {
+            KIND_PM_CRASH: self.pm_reboot_s,
+            KIND_VM_STALL: self.vm_stall_s,
+            KIND_VM_CRASH: self.vm_restart_s,
+            KIND_NIC_DEGRADE: self.nic_degrade_s,
+        }[kind]
+
+    @classmethod
+    def sampling_only(
+        cls,
+        *,
+        dropout: float = 0.0,
+        outliers: float = 0.0,
+        outlier_scale: float = 5.0,
+        burst_mean: float = 3.0,
+    ) -> "FaultConfig":
+        """A config that only perturbs monitor samples (chaos sweeps)."""
+        return cls(
+            sample_dropout_prob=dropout,
+            outlier_prob=outliers,
+            outlier_scale=outlier_scale,
+            dropout_burst_mean=burst_mean,
+        )

@@ -1,0 +1,147 @@
+"""Applies a fault schedule to a live cluster through simulator events.
+
+The :class:`FaultInjector` is the bridge between the declarative
+schedule (:mod:`repro.faults.schedule`) and the machine-level hooks
+(:meth:`~repro.xen.machine.PhysicalMachine.fail`,
+:attr:`~repro.xen.vm.GuestVM.stalled`,
+:meth:`~repro.xen.devices.PhysicalNic.degrade`).  Apply and revert are
+scheduled as simulator events ahead of workloads and quanta, so a fault
+landing at second *t* is visible to everything that runs at *t*.
+
+Targets are resolved *at fire time*: a VM that migrated keeps stalling
+wherever it lives now, and a fault aimed at a target that vanished is
+dropped (and counted) rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.faults.config import (
+    KIND_NIC_DEGRADE,
+    KIND_PM_CRASH,
+    KIND_VM_CRASH,
+    KIND_VM_STALL,
+    FaultConfig,
+)
+from repro.faults.schedule import FaultEvent, build_schedule
+
+#: Faults land before workload updates (-10) and machine quanta (0).
+FAULT_PRIORITY = -20
+
+
+class FaultInjector:
+    """Arms a deterministic fault schedule against one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: FaultConfig,
+        *,
+        horizon: float,
+        schedule: Optional[Sequence[FaultEvent]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.horizon = horizon
+        if schedule is None:
+            schedule = build_schedule(
+                config,
+                cluster.sim.rng,
+                horizon=horizon,
+                pm_names=list(cluster.pms),
+                vm_names=[vm.name for vm in cluster.all_vms()],
+            )
+        self.schedule: List[FaultEvent] = list(schedule)
+        #: Faults actually applied (redundant/unresolvable ones excluded).
+        self.applied: List[FaultEvent] = []
+        #: Scheduled faults whose target could not be resolved when due.
+        self.skipped: List[FaultEvent] = []
+        self._armed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def arm(self) -> int:
+        """Schedule every fault of the schedule; returns the count."""
+        if self._armed:
+            raise RuntimeError("fault injector already armed")
+        now = self.cluster.sim.now
+        for ev in self.schedule:
+            self.cluster.sim.at(
+                now + ev.time,
+                lambda _e, ev=ev: self._apply(ev),
+                priority=FAULT_PRIORITY,
+            )
+        self._armed = True
+        return len(self.schedule)
+
+    # -- statistics --------------------------------------------------------
+
+    def applied_by_kind(self) -> Dict[str, int]:
+        """Count of applied faults per kind."""
+        out: Dict[str, int] = {}
+        for ev in self.applied:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    # -- application -------------------------------------------------------
+
+    def _apply(self, ev: FaultEvent) -> None:
+        handler = {
+            KIND_PM_CRASH: self._pm_crash,
+            KIND_VM_STALL: self._vm_stall,
+            KIND_VM_CRASH: self._vm_stall,
+            KIND_NIC_DEGRADE: self._nic_degrade,
+        }[ev.kind]
+        if handler(ev):
+            self.applied.append(ev)
+        else:
+            self.skipped.append(ev)
+
+    def _pm_crash(self, ev: FaultEvent) -> bool:
+        pm = self.cluster.pms.get(ev.target)
+        if pm is None or pm.failed:
+            return False
+        pm.fail()
+        self.cluster.sim.after(
+            ev.duration, lambda _e: pm.restore(), priority=FAULT_PRIORITY
+        )
+        return True
+
+    def _vm_stall(self, ev: FaultEvent) -> bool:
+        try:
+            vm = self.cluster.find_vm(ev.target)
+        except KeyError:
+            return False
+        if vm.stalled:
+            return False
+        vm.stalled = True
+        if ev.kind == KIND_VM_CRASH:
+            # A crash-restart loses in-flight demand; a plain stall
+            # resumes where it hung.
+            vm.demand.reset()
+        self.cluster.sim.after(
+            ev.duration, lambda _e: self._vm_unstall(ev.target),
+            priority=FAULT_PRIORITY,
+        )
+        return True
+
+    def _vm_unstall(self, name: str) -> None:
+        try:
+            self.cluster.find_vm(name).stalled = False
+        except KeyError:
+            pass  # the VM disappeared during the outage
+
+    def _nic_degrade(self, ev: FaultEvent) -> bool:
+        pm = self.cluster.pms.get(ev.target)
+        if pm is None or pm.nic.degraded:
+            return False
+        pm.nic.degrade(
+            bw_factor=self.config.nic_bw_factor,
+            loss_frac=self.config.nic_loss_frac,
+        )
+        self.cluster.sim.after(
+            ev.duration, lambda _e: pm.nic.restore(), priority=FAULT_PRIORITY
+        )
+        return True

@@ -1,0 +1,86 @@
+"""Monitor-sample fault model: dropout bursts and outlier corruption.
+
+The measurement script consults one :class:`SampleFaults` instance per
+PM, once per sampling tick.  Two observable regimes:
+
+* **Dropout** -- the whole tick is lost (tool wedged past its slot, SSH
+  hiccup).  Dropouts arrive in bursts: a start probability per tick and
+  a geometric burst length.  The script records the tick as an explicit
+  *gap* with its validity flag cleared -- the failure is observable.
+* **Outlier corruption** -- the tick is recorded but its values are
+  garbage (clock skew, a stale counter, a tool racing the snapshot).
+  The script cannot tell, so the validity flag stays set -- this is the
+  failure mode the robust (LMS) regression path exists for.
+
+The model draws from its own named stream, so enabling it never shifts
+measurement noise, and a null config draws nothing per tick.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.config import FaultConfig
+
+#: Tick verdicts.
+SAMPLE_DROP = "drop"
+SAMPLE_OUTLIER = "outlier"
+
+
+class SampleFaults:
+    """Per-PM sampling-fault process (deterministic given its stream)."""
+
+    def __init__(self, config: FaultConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        self._burst_left = 0
+        #: Ticks lost to dropout so far.
+        self.dropped = 0
+        #: Ticks silently corrupted so far.
+        self.corrupted = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether any sampling fault can ever fire."""
+        return self.config.samples_faulty()
+
+    def next_sample(self) -> Optional[str]:
+        """Classify the next tick: drop, outlier, or ``None`` (clean).
+
+        Consumes randomness only for fault classes with nonzero
+        probability, preserving stream alignment across configs.
+        """
+        cfg = self.config
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            self.dropped += 1
+            return SAMPLE_DROP
+        if cfg.sample_dropout_prob > 0.0 and (
+            self._rng.random() < cfg.sample_dropout_prob
+        ):
+            # Geometric burst: this tick plus (mean - 1) expected more.
+            self._burst_left = (
+                int(self._rng.geometric(1.0 / cfg.dropout_burst_mean)) - 1
+            )
+            self.dropped += 1
+            return SAMPLE_DROP
+        if cfg.outlier_prob > 0.0 and self._rng.random() < cfg.outlier_prob:
+            self.corrupted += 1
+            return SAMPLE_OUTLIER
+        return None
+
+    def corrupt(self, value: float) -> float:
+        """Perturb one reading of a corrupted tick.
+
+        Over- or under-reads by the configured scale with equal
+        probability -- a skewed clock makes rate counters read both
+        ways.  Exact zeros stay zero (dead counters read dead).
+        """
+        if value == 0.0:
+            return 0.0
+        scale = self.config.outlier_scale
+        if self._rng.random() < 0.5:
+            return value * scale
+        return value / scale

@@ -1,0 +1,99 @@
+"""Deterministic fault schedules from the simulator's RNG registry.
+
+Machine-level faults (PM crash, VM stall/crash, NIC degradation) are
+drawn *up front* as a schedule: per (kind, target) an exponential
+inter-arrival process from its own named stream
+(``faults.<kind>.<target>``).  Because every stream is independent,
+adding a fault class -- or raising one rate -- never shifts the random
+numbers any other component sees, and a zero rate draws nothing at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.faults.config import (
+    FAULT_KINDS,
+    KIND_NIC_DEGRADE,
+    KIND_PM_CRASH,
+    KIND_VM_CRASH,
+    KIND_VM_STALL,
+    FaultConfig,
+)
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: what happens to whom, when, for how long."""
+
+    time: float
+    kind: str
+    target: str
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("fault duration must be positive")
+
+    @property
+    def end(self) -> float:
+        """When the fault's effect is reverted."""
+        return self.time + self.duration
+
+
+def _arrivals(
+    rng: RngRegistry, kind: str, target: str, rate: float, horizon: float
+) -> Iterable[float]:
+    """Exponential arrival times in ``(0, horizon]`` for one process."""
+    if rate <= 0.0:
+        return
+    stream = rng(f"faults.{kind}.{target}")
+    t = 0.0
+    while True:
+        t += float(stream.exponential(1.0 / rate))
+        if t > horizon:
+            return
+        yield t
+
+
+def build_schedule(
+    config: FaultConfig,
+    rng: RngRegistry,
+    *,
+    horizon: float,
+    pm_names: Sequence[str],
+    vm_names: Sequence[str] = (),
+) -> List[FaultEvent]:
+    """Draw the full machine-level fault schedule for one run.
+
+    Targets are iterated in sorted order and each (kind, target) pair
+    owns its stream, so the schedule is a pure function of the master
+    seed, the config and the name sets.  Overlapping episodes on the
+    same target are allowed here; the injector ignores redundant
+    applications.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    events: List[FaultEvent] = []
+    per_pm = (KIND_PM_CRASH, KIND_NIC_DEGRADE)
+    per_vm = (KIND_VM_STALL, KIND_VM_CRASH)
+    for kind in per_pm:
+        for name in sorted(pm_names):
+            for t in _arrivals(rng, kind, name, config.rate_for(kind), horizon):
+                events.append(
+                    FaultEvent(t, kind, name, config.duration_for(kind))
+                )
+    for kind in per_vm:
+        for name in sorted(vm_names):
+            for t in _arrivals(rng, kind, name, config.rate_for(kind), horizon):
+                events.append(
+                    FaultEvent(t, kind, name, config.duration_for(kind))
+                )
+    events.sort(key=lambda ev: (ev.time, ev.kind, ev.target))
+    return events

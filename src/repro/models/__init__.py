@@ -40,7 +40,14 @@ from repro.models.intervals import (
     pessimistic_pm_cpu,
 )
 from repro.models.online import OnlineOverheadModel, RecursiveLeastSquares
-from repro.models.regression import LinearModel, fit, fit_lms, fit_ols
+from repro.models.regression import (
+    LinearModel,
+    fit,
+    fit_auto,
+    fit_lms,
+    fit_ols,
+    outlier_fraction,
+)
 from repro.models.residuals import BinBias, bias_by_bin, max_abs_bias, render_bias
 from repro.models.validation import (
     FitQuality,
@@ -104,8 +111,10 @@ __all__ = [
     "design_matrix",
     "error_report",
     "fit",
+    "fit_auto",
     "fit_lms",
     "fit_ols",
+    "outlier_fraction",
     "gather_training_samples",
     "relative_errors",
     "run_benchmark_measurement",

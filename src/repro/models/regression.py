@@ -151,12 +151,68 @@ def fit_lms(
     return LinearModel(intercept=float(best_theta[0]), coef=best_theta[1:])
 
 
+#: Residuals beyond this many robust sigmas count as outliers.
+OUTLIER_N_SIGMAS = 2.5
+#: :func:`fit_auto` falls back to LMS above this outlier fraction.
+DEFAULT_OUTLIER_THRESHOLD = 0.05
+
+
+def outlier_fraction(
+    model: LinearModel, X, y, *, n_sigmas: float = OUTLIER_N_SIGMAS
+) -> float:
+    """Fraction of samples whose residual exceeds ``n_sigmas`` robust sigmas.
+
+    The scale estimate is the MAD of the residuals (1.4826 x median
+    absolute deviation), so a minority of arbitrarily bad samples
+    cannot inflate it and hide themselves.  A zero MAD (majority of
+    samples fit exactly) counts every non-zero residual as an outlier.
+    """
+    resid = model.residuals(X, y)
+    center = float(np.median(resid))
+    dev = np.abs(resid - center)
+    scale = 1.4826 * float(np.median(dev))
+    if scale == 0.0:
+        return float(np.mean(dev > 1e-9))
+    return float(np.mean(dev > n_sigmas * scale))
+
+
+def fit_auto(
+    X,
+    y,
+    *,
+    outlier_threshold: float = DEFAULT_OUTLIER_THRESHOLD,
+    rng: Optional[np.random.Generator] = None,
+    n_subsets: int = 300,
+    refine: bool = True,
+) -> LinearModel:
+    """OLS normally; robust LMS when the data looks corrupted.
+
+    Fits OLS first and measures its own outlier fraction; if more than
+    ``outlier_threshold`` of the samples sit beyond
+    :data:`OUTLIER_N_SIGMAS` robust sigmas, the sample set is presumed
+    corrupted (silent monitor faults, clock skew) and the fit is redone
+    with :func:`fit_lms`.  On clean data this is exactly OLS -- the
+    robust path is strictly pay-for-use.
+    """
+    if not 0.0 <= outlier_threshold < 1.0:
+        raise ValueError("outlier_threshold must be in [0, 1)")
+    X, y = _validate_xy(X, y)
+    ols = fit_ols(X, y)
+    if outlier_fraction(ols, X, y) <= outlier_threshold:
+        return ols
+    if X.shape[0] < X.shape[1] + 1:
+        return ols  # too few samples for an elemental LMS subset
+    return fit_lms(X, y, rng=rng, n_subsets=n_subsets, refine=refine)
+
+
 def fit(X, y, *, method: str = "ols", **kwargs) -> LinearModel:
-    """Dispatch to :func:`fit_ols` or :func:`fit_lms` by name."""
+    """Dispatch to :func:`fit_ols`, :func:`fit_lms` or :func:`fit_auto`."""
     if method == "ols":
         if kwargs:
             raise TypeError(f"ols takes no extra options, got {sorted(kwargs)}")
         return fit_ols(X, y)
     if method == "lms":
         return fit_lms(X, y, **kwargs)
+    if method == "auto":
+        return fit_auto(X, y, **kwargs)
     raise ValueError(f"unknown regression method {method!r}")

@@ -45,13 +45,19 @@ class TrainingSample:
 
 
 def samples_from_report(
-    report: MeasurementReport, *, n_vms: int | None = None
+    report: MeasurementReport, *, n_vms: int | None = None,
+    valid_only: bool = False,
 ) -> List[TrainingSample]:
     """Explode a measurement report into per-second training samples.
 
     VM names are discovered from the report (everything that is not
     ``dom0`` / ``hyp`` / ``pm``); ``n_vms`` overrides the count when a
     report intentionally exposes only a subset of guests.
+
+    With ``valid_only`` the ticks flagged invalid by the monitor (gap
+    samples from dropout bursts or PM outages) are excluded, so the
+    regression never trains on held or NaN filler values.  Reports
+    without a validity mask are returned whole either way.
     """
     vm_names = [
         e for e in report.entities() if e not in ("dom0", "hyp", "pm")
@@ -69,6 +75,11 @@ def samples_from_report(
     io = np.sum([report.series(v, "io").values for v in vm_names], axis=0)
     bw = np.sum([report.series(v, "bw").values for v in vm_names], axis=0)
     target_series = {t: report.traces[t].values for t in TARGETS}
+
+    if valid_only and report.validity is not None:
+        mask = np.asarray(report.validity, dtype=bool)
+        cpu, mem, io, bw = cpu[mask], mem[mask], io[mask], bw[mask]
+        target_series = {t: s[mask] for t, s in target_series.items()}
 
     out: List[TrainingSample] = []
     for i in range(len(cpu)):

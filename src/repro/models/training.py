@@ -11,10 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.faults.config import FaultConfig
+from repro.faults.sampling import SampleFaults
 from repro.models.multi_vm import MultiVMOverheadModel, alpha_linear
 from repro.models.samples import TrainingSample, samples_from_report
 from repro.models.single_vm import SingleVMOverheadModel
-from repro.monitor.script import MeasurementScript
+from repro.monitor.script import GAP_HOLD, MeasurementScript
 from repro.sim.engine import Simulator
 from repro.workloads.suite import KINDS, intensity_levels, make_benchmark
 from repro.xen.calibration import XenCalibration
@@ -38,6 +40,12 @@ class TrainingConfig:
     calibration: Optional[XenCalibration] = None
     #: Skip this many leading seconds (scheduler fixed-point warm-up).
     warmup: float = 3.0
+    #: Optional monitor-sample fault injection (chaos training runs).
+    faults: Optional[FaultConfig] = None
+    #: Exclude gap ticks (flagged invalid) from the training samples.
+    drop_invalid: bool = True
+    #: How the monitor records lost ticks (``"hold"`` or ``"nan"``).
+    gap_policy: str = GAP_HOLD
 
     def __post_init__(self) -> None:
         if self.duration <= self.warmup:
@@ -58,13 +66,17 @@ def run_benchmark_measurement(
     warmup: float = 3.0,
     calibration: Optional[XenCalibration] = None,
     noiseless: bool = False,
+    faults: Optional[FaultConfig] = None,
+    gap_policy: str = GAP_HOLD,
 ):
     """One measurement run: ``n_vms`` guests all running one benchmark.
 
     Returns the :class:`~repro.monitor.script.MeasurementReport`; the
     warm-up seconds are simulated before sampling starts so the
     scheduler fixed point has settled (as the paper's steady-state
-    measurements had).
+    measurements had).  An optional fault config perturbs the monitor
+    samples (dropout bursts, outlier corruption) from its own named
+    stream; ``None`` or a null config leaves the run byte-identical.
     """
     sim = Simulator(seed=seed)
     pm = PhysicalMachine(sim, name="pm1", calibration=calibration)
@@ -73,7 +85,15 @@ def run_benchmark_measurement(
         make_benchmark(kind, intensity).attach(vm)
     pm.start()
     sim.run_until(warmup)
-    return MeasurementScript(pm, noiseless=noiseless).run(duration=duration)
+    sample_faults = None
+    if faults is not None and faults.samples_faulty():
+        sample_faults = SampleFaults(
+            faults, sim.rng(f"faults.monitor.{pm.name}")
+        )
+    script = MeasurementScript(
+        pm, noiseless=noiseless, faults=sample_faults, gap_policy=gap_policy
+    )
+    return script.run(duration=duration)
 
 
 def gather_training_samples(
@@ -99,8 +119,12 @@ def gather_training_samples(
                     seed=cfg.seed + run_id,
                     warmup=cfg.warmup,
                     calibration=cfg.calibration,
+                    faults=cfg.faults,
+                    gap_policy=cfg.gap_policy,
                 )
-                samples.extend(samples_from_report(report))
+                samples.extend(
+                    samples_from_report(report, valid_only=cfg.drop_invalid)
+                )
     return samples
 
 
@@ -119,6 +143,9 @@ def train_single_vm_model(
         seed=cfg.seed,
         calibration=cfg.calibration,
         warmup=cfg.warmup,
+        faults=cfg.faults,
+        drop_invalid=cfg.drop_invalid,
+        gap_policy=cfg.gap_policy,
     )
     samples = gather_training_samples(single_cfg)
     return SingleVMOverheadModel.fit(samples, method=method, **fit_kwargs)

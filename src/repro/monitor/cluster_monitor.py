@@ -5,6 +5,13 @@ coordinator owns one
 :class:`~repro.monitor.script.MeasurementScript` per machine, starts and
 stops them on the shared clock, and returns the reports keyed by PM
 name -- the multi-PM analogue of the paper's per-host script.
+
+Under fault injection every PM gets its *own*
+:class:`~repro.faults.sampling.SampleFaults` stream
+(``faults.monitor.<pm>``), so one PM's dropout bursts never shift
+another PM's randomness, and the per-PM reports stay tick-aligned on
+the shared clock: lost ticks are recorded as explicit gaps, never
+silently shortened series.
 """
 
 from __future__ import annotations
@@ -12,7 +19,9 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.cluster.cluster import Cluster
-from repro.monitor.script import MeasurementReport, MeasurementScript
+from repro.faults.config import FaultConfig
+from repro.faults.sampling import SampleFaults
+from repro.monitor.script import GAP_HOLD, MeasurementReport, MeasurementScript
 
 
 class ClusterMonitor:
@@ -25,16 +34,28 @@ class ClusterMonitor:
         interval: float = 1.0,
         noiseless: bool = False,
         tool_failure_prob: float = 0.0,
+        faults: Optional[FaultConfig] = None,
+        gap_policy: str = GAP_HOLD,
     ) -> None:
         if not cluster.pms:
             raise ValueError("cluster has no PMs to monitor")
         self.cluster = cluster
+        self._fault_models: Dict[str, SampleFaults] = {}
+        if faults is not None and faults.samples_faulty():
+            self._fault_models = {
+                name: SampleFaults(
+                    faults, cluster.sim.rng(f"faults.monitor.{name}")
+                )
+                for name in cluster.pms
+            }
         self._scripts: Dict[str, MeasurementScript] = {
             name: MeasurementScript(
                 pm,
                 interval=interval,
                 noiseless=noiseless,
                 tool_failure_prob=tool_failure_prob,
+                faults=self._fault_models.get(name),
+                gap_policy=gap_policy,
             )
             for name, pm in cluster.pms.items()
         }
@@ -71,3 +92,11 @@ class ClusterMonitor:
     def missed_samples(self) -> int:
         """Total carry-forward samples across all PMs (failure injection)."""
         return sum(s.missed_samples for s in self._scripts.values())
+
+    def gap_counts(self) -> Dict[str, int]:
+        """Whole ticks lost per PM (dropout bursts + PM outages)."""
+        return {name: s.gap_samples for name, s in self._scripts.items()}
+
+    def total_gaps(self) -> int:
+        """Total lost ticks across the cluster."""
+        return sum(self.gap_counts().values())

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.faults.sampling import SAMPLE_DROP, SAMPLE_OUTLIER, SampleFaults
 from repro.monitor.metrics import (
     ENTITY_DOM0,
     ENTITY_HYPERVISOR,
@@ -51,17 +52,44 @@ DEFAULT_INTERVAL = 1.0
 #: ... for two minutes per configuration.
 DEFAULT_DURATION = 120.0
 
+#: Gap policies: fill lost ticks with the last-known-good reading, or
+#: leave an explicit NaN (consumers must then honor the validity mask).
+GAP_HOLD = "hold"
+GAP_NAN = "nan"
+GAP_POLICIES = (GAP_HOLD, GAP_NAN)
+
 
 @dataclass
 class MeasurementReport:
-    """The outcome of one measurement run."""
+    """The outcome of one measurement run.
+
+    ``validity`` is ``None`` for a clean run (every tick sampled); under
+    fault injection it is a boolean mask aligned with every trace, False
+    where the tick was an explicit gap (dropout burst or crashed PM).
+    """
 
     pm_name: str
     traces: TraceSet
+    validity: Optional[np.ndarray] = None
 
-    def mean(self, entity: str, resource: str) -> float:
-        """Mean utilization over the run (the paper's reported value)."""
-        return self.traces[trace_name(entity, resource)].mean()
+    def mean(
+        self, entity: str, resource: str, *, valid_only: bool = False
+    ) -> float:
+        """Mean utilization over the run (the paper's reported value).
+
+        With ``valid_only`` the mean skips gap ticks -- the right call
+        under the NaN gap policy, where gaps would poison the mean.
+        """
+        trace = self.traces[trace_name(entity, resource)]
+        if valid_only and self.validity is not None:
+            values = trace.values[self.validity]
+            if len(values) == 0:
+                raise ValueError(
+                    f"no valid samples for {entity}.{resource} on "
+                    f"{self.pm_name}"
+                )
+            return float(values.mean())
+        return trace.mean()
 
     def series(self, entity: str, resource: str) -> Trace:
         """The full 1 Hz series for one metric."""
@@ -70,6 +98,20 @@ class MeasurementReport:
     def entities(self) -> List[str]:
         """All measured entities (VM names plus dom0 / hyp / pm)."""
         return sorted({name.split(".", 1)[0] for name in self.traces.names})
+
+    def n_gaps(self) -> int:
+        """Number of ticks lost to dropouts / PM outages."""
+        if self.validity is None:
+            return 0
+        return int((~self.validity).sum())
+
+    def valid_fraction(self) -> float:
+        """Fraction of ticks that were actually sampled."""
+        if self.validity is None:
+            return 1.0
+        if len(self.validity) == 0:
+            return 1.0
+        return float(self.validity.mean())
 
 
 class MeasurementScript:
@@ -84,6 +126,17 @@ class MeasurementScript:
         Sampling period in seconds.
     noiseless:
         Disable measurement noise (useful for calibration tests).
+    faults:
+        Optional :class:`~repro.faults.sampling.SampleFaults` model for
+        dropout bursts and outlier corruption.  ``None`` (the default)
+        adds no per-tick work and no RNG draws -- clean runs are
+        byte-identical to a build without fault support.
+    gap_policy:
+        How lost ticks are recorded: ``"hold"`` carries the last-known
+        good reading forward (the shell script's behaviour), ``"nan"``
+        leaves an explicit NaN.  Either way the tick's validity flag is
+        cleared, so reports stay aligned across PMs with no silent data
+        loss.
     """
 
     def __init__(
@@ -93,11 +146,20 @@ class MeasurementScript:
         interval: float = DEFAULT_INTERVAL,
         noiseless: bool = False,
         tool_failure_prob: float = 0.0,
+        faults: Optional[SampleFaults] = None,
+        gap_policy: str = GAP_HOLD,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
+        if gap_policy not in GAP_POLICIES:
+            raise ValueError(
+                f"gap_policy must be one of {GAP_POLICIES}, got {gap_policy!r}"
+            )
         self.pm = pm
         self.interval = interval
+        self._faults = faults
+        self._gap_policy = gap_policy
+        self._corrupt_tick = False
         rng = pm.sim.rng
         key = f"monitor.{pm.name}"
         kw = dict(noiseless=noiseless, failure_prob=tool_failure_prob)
@@ -108,10 +170,13 @@ class MeasurementScript:
         self._ifconfig = IfConfig(pm.cal, rng(f"{key}.ifconfig"), **kw)
         self._times: List[float] = []
         self._samples: Dict[str, List[float]] = {}
+        self._valid: List[bool] = []
         self._proc: Optional[PeriodicProcess] = None
         #: Readings lost to transient tool failures (each one is filled
         #: with the previous reading, as the shell script does).
         self.missed_samples = 0
+        #: Whole ticks lost to dropout bursts or PM outages.
+        self.gap_samples = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -121,6 +186,7 @@ class MeasurementScript:
             raise RuntimeError("measurement script already running")
         self._times.clear()
         self._samples.clear()
+        self._valid.clear()
         self._proc = PeriodicProcess(
             self.pm.sim, self.interval, self._sample, priority=MONITOR_PRIORITY
         )
@@ -152,15 +218,65 @@ class MeasurementScript:
         """One reading; a transient tool failure repeats the previous
         sample (the shell script's carry-forward behaviour)."""
         try:
-            return tool.read(snap, scope, resource, vm_name)
+            value = tool.read(snap, scope, resource, vm_name)
         except ToolFailure:
             self.missed_samples += 1
             prev = self._samples.get(trace_name(entity, resource))
             return prev[-1] if prev else 0.0
+        if self._corrupt_tick:
+            value = self._faults.corrupt(value)
+        return value
+
+    def _expected_traces(self, snap) -> List[str]:
+        """Every trace name a full tick of this snapshot would record."""
+        names: List[str] = []
+        for vm_name in snap.vms:
+            for res in RESOURCES:
+                names.append(trace_name(vm_name, res))
+        for res in RESOURCES:
+            names.append(trace_name(ENTITY_DOM0, res))
+        names.append(trace_name(ENTITY_HYPERVISOR, "cpu"))
+        for res in RESOURCES:
+            names.append(trace_name(ENTITY_PM, res))
+        return names
+
+    def _record_gap(self, snap) -> None:
+        """Record one lost tick: held or NaN values, validity False.
+
+        The tick still occupies its slot in every series, so multi-PM
+        reports stay aligned on the shared clock no matter which PM
+        dropped which ticks.
+        """
+        self.gap_samples += 1
+        for name in self._expected_traces(snap):
+            prev = self._samples.get(name)
+            if self._gap_policy == GAP_HOLD:
+                value = prev[-1] if prev else 0.0
+            else:
+                value = float("nan")
+            self._samples.setdefault(name, []).append(value)
 
     def _sample(self, now: float) -> None:
         snap = self.pm.snapshot()
         self._times.append(now)
+        if self.pm.failed:
+            # A crashed PM cannot run any tool: the whole tick is a gap
+            # (no RNG is consumed, so recovery re-syncs deterministically).
+            self._valid.append(False)
+            self._record_gap(snap)
+            return
+        self._corrupt_tick = False
+        if self._faults is not None:
+            verdict = self._faults.next_sample()
+            if verdict == SAMPLE_DROP:
+                self._valid.append(False)
+                self._record_gap(snap)
+                return
+            # Outlier corruption is *silent*: the tick records garbage
+            # but stays flagged valid -- detecting it is the robust
+            # regression path's job, not the monitor's.
+            self._corrupt_tick = verdict == SAMPLE_OUTLIER
+        self._valid.append(True)
 
         guest_cpu = guest_mem = 0.0
         for name in snap.vms:
@@ -218,4 +334,9 @@ class MeasurementScript:
         for name, values in sorted(self._samples.items()):
             resource = name.rsplit(".", 1)[1]
             traces.add(Trace(name, times, np.asarray(values), UNITS[resource]))
-        return MeasurementReport(pm_name=self.pm.name, traces=traces)
+        validity = None
+        if self._faults is not None or self.gap_samples > 0:
+            validity = np.asarray(self._valid, dtype=bool)
+        return MeasurementReport(
+            pm_name=self.pm.name, traces=traces, validity=validity
+        )

@@ -9,6 +9,14 @@ from repro.placement.migration import (
     Move,
     VmObservation,
 )
+from repro.placement.resilient import (
+    ExecutorStats,
+    MigrationAttempt,
+    MigrationExecutor,
+    PmCircuitBreaker,
+    ResilientControlLoop,
+    RetryPolicy,
+)
 from repro.placement.placer import (
     VOA,
     VOU,
@@ -36,9 +44,15 @@ __all__ = [
     "ConsolidationPlanner",
     "ScalerConfig",
     "VerticalScaler",
+    "ExecutorStats",
     "HotspotDetector",
+    "MigrationAttempt",
+    "MigrationExecutor",
     "MigrationPlanner",
     "Move",
+    "PmCircuitBreaker",
+    "ResilientControlLoop",
+    "RetryPolicy",
     "VmObservation",
     "DEFAULT_TRIALS",
     "DemandPredictor",

@@ -68,11 +68,15 @@ class Move:
 
 
 class HotspotDetector:
-    """k-out-of-k sustained-overload detector per PM.
+    """k-out-of-n sustained-overload detector per PM.
 
     A PM is *hot* when the model-predicted PM CPU utilization exceeds
-    ``threshold_frac`` of effective capacity in each of the last ``k``
-    observations -- transient spikes do not trigger migrations.
+    the threshold in at least ``k`` of the last ``n`` observations --
+    transient spikes do not trigger migrations.  The default ``n = k``
+    reproduces the strict k-consecutive rule; a wider window tolerates
+    *missing* observations (monitor dropouts, a PM mid-reboot), which
+    are recorded via :meth:`observe_missing` and count as neither hot
+    nor cold.
     """
 
     def __init__(
@@ -80,18 +84,23 @@ class HotspotDetector:
         model: MultiVMOverheadModel,
         *,
         k: int = 3,
+        n: Optional[int] = None,
         threshold_frac: float = 0.9,
         calibration: Optional[XenCalibration] = None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
+        n = k if n is None else n
+        if n < k:
+            raise ValueError("n must be >= k")
         if not 0.0 < threshold_frac <= 1.0:
             raise ValueError("threshold_frac must be in (0, 1]")
         self.model = model
         self.k = k
+        self.n = n
         self.cal = calibration or DEFAULT_CALIBRATION
         self.threshold = threshold_frac * self.cal.effective_capacity_pct
-        self._history: Dict[str, Deque[bool]] = {}
+        self._history: Dict[str, Deque[Optional[bool]]] = {}
 
     def predicted_pm_cpu(self, vms: Sequence[VmObservation]) -> float:
         """Model-predicted PM CPU for a guest set (idle PM: baselines)."""
@@ -99,11 +108,29 @@ class HotspotDetector:
             return self.cal.dom0_cpu_base + self.cal.hyp_cpu_base
         return self.model.predict([v.demand for v in vms]).pm_cpu
 
+    def _window(self, pm_name: str) -> Deque[Optional[bool]]:
+        return self._history.setdefault(pm_name, deque(maxlen=self.n))
+
+    def _is_hot(self, hist: Deque[Optional[bool]]) -> bool:
+        return sum(1 for h in hist if h is True) >= self.k
+
     def observe(self, pm_name: str, vms: Sequence[VmObservation]) -> bool:
         """Record one observation; return True when the PM is hot."""
-        hist = self._history.setdefault(pm_name, deque(maxlen=self.k))
+        hist = self._window(pm_name)
         hist.append(self.predicted_pm_cpu(vms) > self.threshold)
-        return len(hist) == self.k and all(hist)
+        return self._is_hot(hist)
+
+    def observe_missing(self, pm_name: str) -> bool:
+        """Record a gap (no valid sample this round); return hot state.
+
+        A gap ages the window without voting, so a PM that was hot
+        before a monitoring dropout stays hot until ``n - k`` gaps have
+        displaced its hot votes -- missing data never *clears* an
+        alarm on its own.
+        """
+        hist = self._window(pm_name)
+        hist.append(None)
+        return self._is_hot(hist)
 
     def reset(self, pm_name: str) -> None:
         """Forget a PM's history (after a mitigation)."""

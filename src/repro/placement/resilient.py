@@ -1,0 +1,366 @@
+"""Failure-tolerant migration execution and the resilient control loop.
+
+:mod:`repro.placement.migration` *plans* moves; this module *executes*
+them against a live, faulty cluster the way a production controller
+must:
+
+* a migration attempt can fail mid-flight (pre-copy aborted, network
+  partition, destination down) and **rolls back** -- the guest keeps
+  running on its source PM;
+* failed attempts are **retried with exponential backoff**, up to a cap;
+* a destination PM that keeps eating failures trips a per-PM
+  **circuit breaker** so the controller stops throwing guests at a
+  flapping host until a cooldown passes;
+* the periodic :class:`ResilientControlLoop` feeds the hotspot detector
+  with whatever observations exist -- a crashed PM contributes an
+  explicit *missing* observation instead of wedging the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.models.multi_vm import MultiVMOverheadModel
+from repro.monitor.metrics import ResourceVector
+from repro.placement.migration import (
+    HotspotDetector,
+    MigrationPlanner,
+    Move,
+    VmObservation,
+)
+from repro.sim.process import PeriodicProcess
+
+#: Attempt outcome reason codes.
+REASON_OK = "ok"
+REASON_MIDFLIGHT = "mid-flight"
+REASON_DST_DOWN = "dst-down"
+REASON_DST_GONE = "dst-gone"
+REASON_NO_MEMORY = "no-memory"
+REASON_CIRCUIT_OPEN = "circuit-open"
+REASON_VM_GONE = "vm-gone"
+
+#: Reasons that never become retryable (the move itself is void).
+_PERMANENT = (REASON_VM_GONE, REASON_DST_GONE)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for failed migration attempts."""
+
+    max_attempts: int = 3
+    backoff_s: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s <= 0:
+            raise ValueError("backoff_s must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, failures: int) -> float:
+        """Backoff before the next attempt after ``failures`` failures."""
+        if failures < 1:
+            raise ValueError("delay is defined after >= 1 failure")
+        return self.backoff_s * self.multiplier ** (failures - 1)
+
+
+class PmCircuitBreaker:
+    """Per-destination circuit breaker over migration failures.
+
+    ``failure_threshold`` consecutive failures against one destination
+    open its circuit for ``cooldown_s`` of simulated time; while open,
+    :meth:`allow` vetoes new attempts at that PM.  Any success closes
+    the circuit and clears the count.
+    """
+
+    def __init__(
+        self, *, failure_threshold: int = 3, cooldown_s: float = 60.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._failures: Dict[str, int] = {}
+        self._open_until: Dict[str, float] = {}
+        #: Times a circuit opened (diagnostics).
+        self.opened = 0
+
+    def allow(self, pm_name: str, now: float) -> bool:
+        """Whether migrations to ``pm_name`` are currently permitted."""
+        return now >= self._open_until.get(pm_name, -float("inf"))
+
+    def record_success(self, pm_name: str) -> None:
+        """A migration to ``pm_name`` landed; close its circuit."""
+        self._failures.pop(pm_name, None)
+        self._open_until.pop(pm_name, None)
+
+    def record_failure(self, pm_name: str, now: float) -> None:
+        """A migration to ``pm_name`` failed; maybe open its circuit."""
+        count = self._failures.get(pm_name, 0) + 1
+        if count >= self.failure_threshold:
+            self._open_until[pm_name] = now + self.cooldown_s
+            self._failures[pm_name] = 0
+            self.opened += 1
+        else:
+            self._failures[pm_name] = count
+
+    def state(self, pm_name: str, now: float) -> str:
+        """``"open"`` or ``"closed"`` for diagnostics."""
+        return "closed" if self.allow(pm_name, now) else "open"
+
+
+@dataclass(frozen=True)
+class MigrationAttempt:
+    """One attempt of one planned move, with its outcome."""
+
+    time: float
+    vm: str
+    src: str
+    dst: str
+    attempt: int
+    ok: bool
+    reason: str = REASON_OK
+
+
+@dataclass
+class _PendingMove:
+    move: Move
+    failures: int = 0
+    next_time: float = 0.0
+
+
+@dataclass
+class ExecutorStats:
+    """Aggregate outcome counters of one executor's lifetime."""
+
+    submitted: int = 0
+    succeeded: int = 0
+    rollbacks: int = 0
+    retries: int = 0
+    abandoned: int = 0
+    vetoed: int = 0
+
+
+class MigrationExecutor:
+    """Executes planned moves with failure, rollback, retry and breaker.
+
+    Mid-flight failures are drawn from the dedicated
+    ``faults.migration`` stream of the cluster's RNG registry; with
+    ``failure_prob == 0`` no randomness is consumed and every submitted
+    move lands exactly as :meth:`Cluster.migrate_vm` would.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[PmCircuitBreaker] = None,
+        failure_prob: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= failure_prob < 1.0:
+            raise ValueError("failure_prob must be in [0, 1)")
+        self.cluster = cluster
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or PmCircuitBreaker()
+        self.failure_prob = failure_prob
+        self._rng = rng if rng is not None else cluster.sim.rng(
+            "faults.migration"
+        )
+        self.log: List[MigrationAttempt] = []
+        self.stats = ExecutorStats()
+        self._pending: List[_PendingMove] = []
+
+    @property
+    def pending(self) -> int:
+        """Moves still awaiting a retry."""
+        return len(self._pending)
+
+    def submit(self, move: Move) -> bool:
+        """Attempt a move now; queue a retry on transient failure.
+
+        Returns True when the guest landed on its destination.
+        """
+        self.stats.submitted += 1
+        return self._attempt(_PendingMove(move=move))
+
+    def tick(self, now: float) -> int:
+        """Run every retry whose backoff has elapsed; return successes."""
+        due = [p for p in self._pending if p.next_time <= now]
+        self._pending = [p for p in self._pending if p.next_time > now]
+        done = 0
+        for pend in due:
+            self.stats.retries += 1
+            if self._attempt(pend):
+                done += 1
+        return done
+
+    # -- internals ---------------------------------------------------------
+
+    def _attempt(self, pend: _PendingMove) -> bool:
+        now = self.cluster.sim.now
+        move = pend.move
+        ok, reason = self._try_move(move, now)
+        self.log.append(
+            MigrationAttempt(
+                time=now,
+                vm=move.vm,
+                src=move.src,
+                dst=move.dst,
+                attempt=pend.failures + 1,
+                ok=ok,
+                reason=reason,
+            )
+        )
+        if ok:
+            self.stats.succeeded += 1
+            self.breaker.record_success(move.dst)
+            return True
+        if reason == REASON_MIDFLIGHT:
+            self.stats.rollbacks += 1
+        if reason in (REASON_MIDFLIGHT, REASON_DST_DOWN, REASON_NO_MEMORY):
+            self.breaker.record_failure(move.dst, now)
+        if reason == REASON_CIRCUIT_OPEN:
+            self.stats.vetoed += 1
+        pend.failures += 1
+        if reason in _PERMANENT or pend.failures >= self.policy.max_attempts:
+            self.stats.abandoned += 1
+            return False
+        pend.next_time = now + self.policy.delay(pend.failures)
+        self._pending.append(pend)
+        return False
+
+    def _try_move(self, move: Move, now: float) -> Tuple[bool, str]:
+        try:
+            src = self.cluster.pm_of(move.vm)
+        except KeyError:
+            return False, REASON_VM_GONE
+        dst = self.cluster.pms.get(move.dst)
+        if dst is None:
+            return False, REASON_DST_GONE
+        if src.name == move.dst:
+            return True, REASON_OK  # already there
+        if dst.failed:
+            return False, REASON_DST_DOWN
+        if not self.breaker.allow(move.dst, now):
+            return False, REASON_CIRCUIT_OPEN
+        vm = src.remove_vm(move.vm)
+        if self.failure_prob > 0.0 and self._rng.random() < self.failure_prob:
+            src.add_vm(vm)  # pre-copy aborted: roll back to the source
+            return False, REASON_MIDFLIGHT
+        try:
+            dst.add_vm(vm)
+        except MemoryError:
+            src.add_vm(vm)
+            return False, REASON_NO_MEMORY
+        return True, REASON_OK
+
+
+class ResilientControlLoop:
+    """Monitor -> detect -> plan -> execute, tolerant of faults.
+
+    Every ``interval`` seconds the loop snapshots each PM, feeds the
+    hotspot detector (a crashed PM contributes a *missing* observation),
+    plans relief moves for hot PMs among the live ones, and pushes the
+    moves through the failure-aware executor.  Due retries are processed
+    first each round, so backed-off moves drain even when nothing is
+    hot.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: MultiVMOverheadModel,
+        *,
+        interval: float = 5.0,
+        detector: Optional[HotspotDetector] = None,
+        planner: Optional[MigrationPlanner] = None,
+        executor: Optional[MigrationExecutor] = None,
+        max_moves_per_round: int = 3,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.cluster = cluster
+        self.detector = detector or HotspotDetector(model, k=3, n=5)
+        self.planner = planner or MigrationPlanner(model)
+        self.executor = executor or MigrationExecutor(cluster)
+        self.interval = interval
+        self.max_moves = max_moves_per_round
+        self.rounds = 0
+        self.hot_rounds = 0
+        self.missing_observations = 0
+        self._proc: Optional[PeriodicProcess] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin control rounds on the shared clock."""
+        if self._proc is not None and not self._proc.stopped:
+            raise RuntimeError("control loop already running")
+        self._proc = PeriodicProcess(
+            self.cluster.sim, self.interval, self._round
+        )
+
+    def stop(self) -> None:
+        """Stop issuing control rounds."""
+        if self._proc is not None:
+            self._proc.stop()
+            self._proc = None
+
+    # -- one round ---------------------------------------------------------
+
+    def observe_cluster(self) -> Dict[str, List[VmObservation]]:
+        """Current per-PM guest observations; crashed PMs excluded."""
+        placement: Dict[str, List[VmObservation]] = {}
+        for name, pm in self.cluster.pms.items():
+            if pm.failed:
+                continue
+            snap = pm.snapshot()
+            placement[name] = [
+                VmObservation(
+                    name=vm_name,
+                    demand=ResourceVector(
+                        cpu=util.cpu_pct,
+                        mem=util.mem_mb,
+                        io=util.io_bps,
+                        bw=util.bw_kbps,
+                    ),
+                    mem_mb=pm.vms[vm_name].spec.mem_mb,
+                )
+                for vm_name, util in snap.vms.items()
+            ]
+        return placement
+
+    def _round(self, now: float) -> None:
+        self.rounds += 1
+        self.executor.tick(now)
+        placement = self.observe_cluster()
+        hot: List[str] = []
+        for name in self.cluster.pms:
+            if name not in placement:
+                self.missing_observations += 1
+                # A crashed PM ages the detector window without voting;
+                # even if still "hot", its guests are down with it, so
+                # no migration relief is planned until it reports again.
+                self.detector.observe_missing(name)
+                continue
+            if self.detector.observe(name, placement[name]):
+                hot.append(name)
+        for pm_name in hot:
+            self.hot_rounds += 1
+            moves = self.planner.plan(
+                pm_name, placement, max_moves=self.max_moves
+            )
+            for mv in moves:
+                self.executor.submit(mv)
+            if moves:
+                self.detector.reset(pm_name)

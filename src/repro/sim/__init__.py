@@ -17,7 +17,7 @@ the same seed produce bit-identical traces, which the test-suite relies
 on heavily.
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimulationError, Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.process import PeriodicProcess
 from repro.sim.rng import RngRegistry
@@ -29,6 +29,7 @@ __all__ = [
     "PeriodicProcess",
     "RngRegistry",
     "SimTracer",
+    "SimulationError",
     "Simulator",
     "TraceEvent",
 ]

@@ -149,7 +149,18 @@ class Simulator:
 
         Random streams are *not* reseeded; create a fresh simulator for a
         statistically independent replication.
+
+        Raises
+        ------
+        SimulationError
+            If called from inside a running :meth:`run` /
+            :meth:`run_until` (e.g. from an event handler): resetting
+            mid-dispatch would leave the driver loop iterating a cleared
+            queue at a rewound clock.
         """
+        if self._running:
+            raise SimulationError("cannot reset while a run is in progress")
         self._queue.clear()
         self._now = 0.0
         self.dispatched = 0
+        self._running = False

@@ -84,6 +84,31 @@ class PhysicalNic:
     def __init__(self, spec: MachineSpec, cal: XenCalibration) -> None:
         self._spec = spec
         self._cal = cal
+        self._bw_factor = 1.0
+        self._loss_frac = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a fault-injected degradation episode is active."""
+        return self._bw_factor != 1.0 or self._loss_frac != 0.0
+
+    def degrade(self, *, bw_factor: float = 1.0, loss_frac: float = 0.0) -> None:
+        """Clamp the line rate and/or start dropping granted traffic.
+
+        Models a NIC training down (``bw_factor``) and frame loss
+        (``loss_frac``); reverted with :meth:`restore`.
+        """
+        if not 0.0 < bw_factor <= 1.0:
+            raise ValueError("bw_factor must be in (0, 1]")
+        if not 0.0 <= loss_frac < 1.0:
+            raise ValueError("loss_frac must be in [0, 1)")
+        self._bw_factor = bw_factor
+        self._loss_frac = loss_frac
+
+    def restore(self) -> None:
+        """End the degradation episode (full line rate, no loss)."""
+        self._bw_factor = 1.0
+        self._loss_frac = 0.0
 
     def arbitrate(
         self, flow_kbps: Sequence[float], n_senders: int
@@ -105,12 +130,16 @@ class PhysicalNic:
         if n_senders < 0:
             raise ValueError("n_senders must be >= 0")
         line = self._spec.nic_kbps
+        if self._bw_factor != 1.0:
+            line *= self._bw_factor
         if sum(flow_kbps) <= line:
             granted = [float(k) for k in flow_kbps]
         else:
             granted = weighted_water_fill(
                 list(flow_kbps), [1.0] * len(flow_kbps), line
             )
+        if self._loss_frac > 0.0:
+            granted = [g * (1.0 - self._loss_frac) for g in granted]
         total = sum(granted)
         pm = self._cal.pm_bw_floor_kbps
         if total > 0:

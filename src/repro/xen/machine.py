@@ -110,6 +110,9 @@ class PhysicalMachine:
         self._pm_io_bps = self.cal.pm_io_floor_bps
         self._pm_bw_kbps = self.cal.pm_bw_floor_kbps
         self._quanta = 0
+        #: Fault-injection state: a failed PM grants nothing and reads
+        #: as all-zero until :meth:`restore` (crash + reboot window).
+        self.failed = False
 
     # -- VM lifecycle ----------------------------------------------------
 
@@ -182,6 +185,8 @@ class PhysicalMachine:
         inter: list[Flow] = []
         intra: list[Flow] = []
         for vm in self._vms.values():
+            if vm.stalled:
+                continue  # a stalled guest sends nothing
             for flow in vm.flows:
                 if flow.intra_pm or flow.dst in self._vms:
                     intra.append(flow)
@@ -189,7 +194,35 @@ class PhysicalMachine:
                     inter.append(flow)
         return inter, intra
 
+    def fail(self) -> None:
+        """Crash the PM: freeze scheduling and zero every grant.
+
+        The quantum process keeps ticking but does nothing until
+        :meth:`restore`, so the tick lattice (and therefore every other
+        component's event ordering) is unchanged by the outage.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        for vm in self._vms.values():
+            vm.granted.cpu_pct = 0.0
+            vm.granted.mem_mb = 0.0
+            vm.granted.io_bps = 0.0
+            vm.granted.bw_kbps = 0.0
+        self.dom0.record(0.0)
+        self.hypervisor.record(0.0)
+        self._pm_io_bps = 0.0
+        self._pm_bw_kbps = 0.0
+
+    def restore(self) -> None:
+        """Reboot after a crash; grants repopulate from the next quantum."""
+        self.failed = False
+        self._pm_io_bps = self.cal.pm_io_floor_bps
+        self._pm_bw_kbps = self.cal.pm_bw_floor_kbps
+
     def _tick(self, _now: float) -> None:
+        if self.failed:
+            return
         self._quanta += 1
         cal = self.cal
         vms = list(self._vms.values())
@@ -267,8 +300,27 @@ class PhysicalMachine:
         """Instantaneous, noise-free utilization of every component.
 
         Measurement noise belongs to the monitoring tools
-        (:mod:`repro.monitor`), not to the machine itself.
+        (:mod:`repro.monitor`), not to the machine itself.  A failed
+        (crashed) PM reads as all-zero: nothing on it is executing and
+        no counter on it can be read.
         """
+        if self.failed:
+            return MachineSnapshot(
+                time=self.sim.now,
+                vms={
+                    name: VmUtilization(0.0, 0.0, 0.0, 0.0)
+                    for name in self._vms
+                },
+                dom0_cpu_pct=0.0,
+                dom0_mem_mb=0.0,
+                dom0_io_bps=0.0,
+                dom0_bw_kbps=0.0,
+                hypervisor_cpu_pct=0.0,
+                pm_cpu_pct=0.0,
+                pm_mem_mb=0.0,
+                pm_io_bps=0.0,
+                pm_bw_kbps=0.0,
+            )
         vms = {
             vm.name: VmUtilization(*vm.granted.as_tuple())
             for vm in self._vms.values()

@@ -78,6 +78,11 @@ class GuestVM:
         #: (``None`` = use the spec's cap).  Written by vertical scalers
         #: (`xl sched-credit -c` at runtime on real Xen).
         self.cap_override_pct: float | None = None
+        #: Fault-injection state: a stalled guest stops consuming CPU,
+        #: disk and network (hung kernel / crash-restart window) while
+        #: staying resident in memory.  Written by
+        #: :class:`~repro.faults.injector.FaultInjector`.
+        self.stalled = False
 
     @property
     def effective_cap_pct(self) -> float:
@@ -117,6 +122,8 @@ class GuestVM:
     @property
     def cpu_demand_total(self) -> float:
         """Workload + OS baseline + probe CPU, clamped to VCPU capacity."""
+        if self.stalled:
+            return 0.0
         raw = (
             self.demand.cpu_pct
             + self.demand.probe_cpu_pct
@@ -134,6 +141,8 @@ class GuestVM:
     @property
     def io_demand_capped(self) -> float:
         """Disk demand after the virtual-disk throughput cap."""
+        if self.stalled:
+            return 0.0
         return min(self.demand.io_bps, self.spec.io_cap_bps)
 
     def outbound_kbps(self) -> float:

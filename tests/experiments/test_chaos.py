@@ -1,0 +1,97 @@
+"""Tests for the chaos experiments (graceful degradation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.chaos import run_chaosa, run_chaosb
+from repro.faults import FaultConfig
+from repro.models import TrainingConfig, train_multi_vm_model
+from repro.models.training import run_benchmark_measurement
+
+TINY = dict(duration=8.0, kinds=("cpu",), vm_counts=(1, 2))
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2), duration=10.0, warmup=2.0)
+    )
+
+
+class TestZeroFaultPurity:
+    """All fault rates zero => bit-identical measurement pipeline."""
+
+    def test_null_config_measurement_identical(self):
+        base = run_benchmark_measurement(
+            "cpu", 50.0, 2, duration=10.0, seed=77, faults=None
+        )
+        nulled = run_benchmark_measurement(
+            "cpu", 50.0, 2, duration=10.0, seed=77, faults=FaultConfig()
+        )
+        for name in base.traces.names:
+            np.testing.assert_array_equal(
+                base.traces[name].values,
+                nulled.traces[name].values,
+                err_msg=name,
+            )
+        assert base.validity is None
+        assert nulled.validity is None
+
+    def test_faulty_config_changes_only_its_own_run(self):
+        # A faulty run must not perturb a later clean run on a fresh
+        # simulator (no shared global state).
+        run_benchmark_measurement(
+            "cpu", 50.0, 1, duration=8.0, seed=78,
+            faults=FaultConfig.sampling_only(dropout=0.3),
+        )
+        a = run_benchmark_measurement("cpu", 50.0, 1, duration=8.0, seed=78)
+        b = run_benchmark_measurement("cpu", 50.0, 1, duration=8.0, seed=78)
+        for name in a.traces.names:
+            np.testing.assert_array_equal(
+                a.traces[name].values, b.traces[name].values
+            )
+
+
+class TestChaosA:
+    def test_sweep_structure_and_checks(self):
+        res = run_chaosa(
+            levels=((0.0, 0.0), (0.05, 0.02)), **TINY
+        )
+        assert res.experiment_id == "chaosa"
+        labels = [s.label for s in res.series]
+        assert any("dom0.cpu" in lbl for lbl in labels)
+        assert any("retention" in lbl for lbl in labels)
+        assert res.check("bounded error at 5% dropout + 2% outliers")
+        assert res.passed, [c.render() for c in res.failed_checks()]
+
+    def test_retention_drops_with_dropout(self):
+        res = run_chaosa(levels=((0.0, 0.0), (0.2, 0.0)), **TINY)
+        retention = next(
+            s for s in res.series if "retention" in s.label
+        )
+        assert retention.y[0] == 1.0
+        assert retention.y[1] < 1.0
+
+    def test_levels_validated(self):
+        with pytest.raises(ValueError):
+            run_chaosa(levels=(), **TINY)
+
+
+class TestChaosB:
+    def test_resilience_run_passes(self, tiny_model):
+        res = run_chaosb(model=tiny_model, duration_s=60.0)
+        assert res.experiment_id == "chaosb"
+        assert res.passed, [c.render() for c in res.failed_checks()]
+
+    def test_deterministic(self, tiny_model):
+        a = run_chaosb(model=tiny_model, duration_s=40.0)
+        b = run_chaosb(model=tiny_model, duration_s=40.0)
+        outcomes_a = next(
+            s for s in a.series if s.label == "attempt outcomes"
+        )
+        outcomes_b = next(
+            s for s in b.series if s.label == "attempt outcomes"
+        )
+        assert outcomes_a.y == outcomes_b.y

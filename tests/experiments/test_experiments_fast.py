@@ -17,8 +17,9 @@ from repro.experiments.sweeps import microbench_sweep
 class TestRegistry:
     def test_all_ids_enumerated(self):
         # 3 tables + figs 2/3/4 (5 each) + fig5 (2) + figs 7/8/9
-        # (4 each) + fig6 + fig10 (2) + the four extension artifacts.
-        assert len(runner.ALL_IDS) == 3 + 5 * 3 + 2 + 1 + 4 * 3 + 2 + 4
+        # (4 each) + fig6 + fig10 (2) + the four extension artifacts
+        # + the two chaos artifacts.
+        assert len(runner.ALL_IDS) == 3 + 5 * 3 + 2 + 1 + 4 * 3 + 2 + 4 + 2
 
     def test_unknown_ids_rejected(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,78 @@
+"""Tests for the fault configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    KIND_NIC_DEGRADE,
+    KIND_PM_CRASH,
+    KIND_VM_CRASH,
+    KIND_VM_STALL,
+    FaultConfig,
+)
+
+
+class TestFaultConfig:
+    def test_default_is_null(self):
+        cfg = FaultConfig()
+        assert cfg.is_null()
+        assert not cfg.samples_faulty()
+
+    def test_any_rate_makes_it_non_null(self):
+        assert not FaultConfig(pm_crash_rate=0.01).is_null()
+        assert not FaultConfig(sample_dropout_prob=0.1).is_null()
+
+    def test_sampling_only_touches_monitor_knobs(self):
+        cfg = FaultConfig.sampling_only(dropout=0.05, outliers=0.02)
+        assert cfg.samples_faulty()
+        assert cfg.sample_dropout_prob == 0.05
+        assert cfg.outlier_prob == 0.02
+        for kind in FAULT_KINDS:
+            assert cfg.rate_for(kind) == 0.0
+
+    def test_rate_and_duration_lookup(self):
+        cfg = FaultConfig(
+            pm_crash_rate=0.1,
+            pm_reboot_s=7.0,
+            vm_stall_rate=0.2,
+            vm_stall_s=3.0,
+            vm_crash_rate=0.3,
+            vm_restart_s=11.0,
+            nic_degrade_rate=0.4,
+            nic_degrade_s=5.0,
+        )
+        assert cfg.rate_for(KIND_PM_CRASH) == 0.1
+        assert cfg.duration_for(KIND_PM_CRASH) == 7.0
+        assert cfg.rate_for(KIND_VM_STALL) == 0.2
+        assert cfg.duration_for(KIND_VM_STALL) == 3.0
+        assert cfg.rate_for(KIND_VM_CRASH) == 0.3
+        assert cfg.duration_for(KIND_VM_CRASH) == 11.0
+        assert cfg.rate_for(KIND_NIC_DEGRADE) == 0.4
+        assert cfg.duration_for(KIND_NIC_DEGRADE) == 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pm_crash_rate": -0.1},
+            {"sample_dropout_prob": 1.5},
+            {"outlier_prob": -0.01},
+            {"nic_bw_factor": 0.0},
+            {"nic_bw_factor": 1.5},
+            {"nic_loss_frac": 1.0},
+            {"pm_reboot_s": 0.0},
+            {"dropout_burst_mean": 0.5},
+            {"outlier_scale": 1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+    def test_unknown_kind_rejected(self):
+        cfg = FaultConfig()
+        with pytest.raises(KeyError):
+            cfg.rate_for("meteor_strike")
+        with pytest.raises(KeyError):
+            cfg.duration_for("meteor_strike")

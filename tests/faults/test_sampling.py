@@ -1,0 +1,57 @@
+"""Tests for the monitor-sample fault model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults import (
+    SAMPLE_DROP,
+    SAMPLE_OUTLIER,
+    FaultConfig,
+    SampleFaults,
+)
+
+
+def _model(seed=3, **kw):
+    cfg = FaultConfig.sampling_only(**kw)
+    return SampleFaults(cfg, np.random.default_rng(seed))
+
+
+class TestSampleFaults:
+    def test_null_config_is_inert_and_drawless(self):
+        sf = SampleFaults(FaultConfig(), np.random.default_rng(4))
+        assert not sf.active
+        assert all(sf.next_sample() is None for _ in range(100))
+        # No randomness consumed: the stream is still at its origin.
+        assert sf._rng.random() == np.random.default_rng(4).random()
+
+    def test_dropout_comes_in_bursts(self):
+        sf = _model(dropout=0.05, burst_mean=4.0)
+        verdicts = [sf.next_sample() for _ in range(2000)]
+        drops = verdicts.count(SAMPLE_DROP)
+        assert drops == sf.dropped > 0
+        # Burst lengths should push the drop fraction well above the
+        # per-tick start probability.
+        assert drops / len(verdicts) > 0.05
+
+    def test_outliers_flagged(self):
+        sf = _model(outliers=0.2)
+        verdicts = [sf.next_sample() for _ in range(500)]
+        assert verdicts.count(SAMPLE_OUTLIER) == sf.corrupted > 0
+        assert SAMPLE_DROP not in verdicts
+
+    def test_deterministic_under_seed(self):
+        a = _model(seed=17, dropout=0.1, outliers=0.05)
+        b = _model(seed=17, dropout=0.1, outliers=0.05)
+        va = [a.next_sample() for _ in range(300)]
+        vb = [b.next_sample() for _ in range(300)]
+        assert va == vb
+
+    def test_corrupt_scales_both_ways(self):
+        sf = _model(outliers=0.5, outlier_scale=5.0)
+        out = {sf.corrupt(10.0) for _ in range(200)}
+        assert out == {50.0, 2.0}
+
+    def test_corrupt_keeps_zero_dead(self):
+        sf = _model(outliers=0.5)
+        assert sf.corrupt(0.0) == 0.0

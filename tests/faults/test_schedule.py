@@ -1,0 +1,101 @@
+"""Tests for deterministic fault-schedule construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    KIND_NIC_DEGRADE,
+    KIND_PM_CRASH,
+    KIND_VM_STALL,
+    FaultConfig,
+    FaultEvent,
+    build_schedule,
+)
+from repro.sim import Simulator
+
+
+def _schedule(config, seed=5, **kw):
+    sim = Simulator(seed=seed)
+    kw.setdefault("horizon", 200.0)
+    kw.setdefault("pm_names", ["pm1", "pm2"])
+    kw.setdefault("vm_names", ["vm1", "vm2"])
+    return build_schedule(config, sim.rng, **kw)
+
+
+class TestFaultEvent:
+    def test_end_time(self):
+        ev = FaultEvent(3.0, KIND_PM_CRASH, "pm1", 7.0)
+        assert ev.end == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "nonsense", "pm1", 1.0)
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, KIND_PM_CRASH, "pm1", 1.0)
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, KIND_PM_CRASH, "pm1", 0.0)
+
+
+class TestBuildSchedule:
+    def test_null_config_yields_empty_schedule(self):
+        assert _schedule(FaultConfig()) == []
+
+    def test_zero_rate_draws_nothing_from_registry(self):
+        sim = Simulator(seed=11)
+        build_schedule(
+            FaultConfig(), sim.rng, horizon=100.0,
+            pm_names=["pm1"], vm_names=["vm1"],
+        )
+        probe = sim.rng("faults.pm_crash.pm1")
+        sim2 = Simulator(seed=11)
+        probe2 = sim2.rng("faults.pm_crash.pm1")
+        assert probe.random() == probe2.random()
+
+    def test_deterministic_under_seed(self):
+        cfg = FaultConfig(
+            pm_crash_rate=0.02, vm_stall_rate=0.03, nic_degrade_rate=0.01
+        )
+        assert _schedule(cfg, seed=9) == _schedule(cfg, seed=9)
+        assert _schedule(cfg, seed=9) != _schedule(cfg, seed=10)
+
+    def test_events_sorted_and_within_horizon(self):
+        cfg = FaultConfig(pm_crash_rate=0.05, nic_degrade_rate=0.05)
+        events = _schedule(cfg, horizon=150.0)
+        assert events
+        times = [ev.time for ev in events]
+        assert times == sorted(times)
+        assert all(0.0 < t <= 150.0 for t in times)
+
+    def test_streams_are_per_kind_and_target(self):
+        # Raising one kind's rate must not move the other kind's events.
+        base = FaultConfig(pm_crash_rate=0.02)
+        more = FaultConfig(pm_crash_rate=0.02, nic_degrade_rate=0.05)
+        crashes_base = [
+            ev for ev in _schedule(base) if ev.kind == KIND_PM_CRASH
+        ]
+        crashes_more = [
+            ev for ev in _schedule(more) if ev.kind == KIND_PM_CRASH
+        ]
+        assert crashes_base == crashes_more
+
+    def test_vm_kinds_target_vms(self):
+        cfg = FaultConfig(vm_stall_rate=0.05)
+        events = _schedule(cfg)
+        assert events
+        assert {ev.kind for ev in events} == {KIND_VM_STALL}
+        assert {ev.target for ev in events} <= {"vm1", "vm2"}
+
+    def test_horizon_validated(self):
+        with pytest.raises(ValueError):
+            _schedule(FaultConfig(), horizon=0.0)
+
+    def test_nic_events_use_configured_duration(self):
+        cfg = FaultConfig(nic_degrade_rate=0.05, nic_degrade_s=4.5)
+        events = _schedule(cfg)
+        assert events
+        assert all(
+            ev.duration == 4.5
+            for ev in events
+            if ev.kind == KIND_NIC_DEGRADE
+        )

@@ -7,7 +7,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.models.regression import LinearModel, fit, fit_lms, fit_ols
+from repro.models.regression import (
+    LinearModel,
+    fit,
+    fit_auto,
+    fit_lms,
+    fit_ols,
+    outlier_fraction,
+)
 
 
 def planted_problem(rng, n=200, coef=(2.0, -1.5, 0.5), intercept=3.0, noise=0.0):
@@ -132,6 +139,67 @@ class TestLms:
         assert rms(polished) <= rms(raw) + 1e-9
 
 
+class TestOutlierFraction:
+    def test_clean_noise_has_small_fraction(self):
+        rng = np.random.default_rng(8)
+        X, y = planted_problem(rng, n=500, noise=0.5)
+        m = fit_ols(X, y)
+        assert outlier_fraction(m, X, y) < 0.05
+
+    def test_gross_corruption_detected(self):
+        rng = np.random.default_rng(9)
+        X, y = planted_problem(rng, n=400, noise=0.2)
+        y = y.copy()
+        y[:60] *= 5.0  # 15 % corrupted
+        m = fit_ols(X, y)
+        assert outlier_fraction(m, X, y) > 0.05
+
+    def test_zero_mad_counts_nonzero_residuals(self):
+        X = np.arange(20, dtype=float)[:, None]
+        y = 2 * X.ravel() + 1
+        y[-1] += 100.0  # one wild point on otherwise exact data
+        m = LinearModel(intercept=1.0, coef=[2.0])
+        frac = outlier_fraction(m, X, y)
+        assert frac == pytest.approx(1 / 20)
+
+
+class TestFitAuto:
+    def test_clean_data_is_exactly_ols(self):
+        rng = np.random.default_rng(10)
+        X, y = planted_problem(rng, n=300, noise=0.5)
+        auto = fit_auto(X, y)
+        ols = fit_ols(X, y)
+        assert auto.intercept == ols.intercept
+        np.testing.assert_array_equal(auto.coef, ols.coef)
+
+    def test_corrupted_data_falls_back_to_lms(self):
+        rng = np.random.default_rng(11)
+        X, y = planted_problem(rng, n=300, noise=0.2)
+        y = y.copy()
+        y[:60] += rng.uniform(80, 200, size=60)
+        auto = fit_auto(X, y, rng=np.random.default_rng(0), n_subsets=500)
+        ols = fit_ols(X, y)
+        true = np.array([2.0, -1.5, 0.5])
+        auto_err = np.abs(np.asarray(auto.coef) - true).max()
+        ols_err = np.abs(np.asarray(ols.coef) - true).max()
+        assert auto_err < 0.1
+        assert ols_err > 5 * auto_err
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            fit_auto(np.ones((10, 1)), np.ones(10), outlier_threshold=1.0)
+
+    def test_deterministic_with_seeded_rng(self):
+        rng = np.random.default_rng(12)
+        X, y = planted_problem(rng, n=200, noise=0.2)
+        y = y.copy()
+        y[:50] += 300.0
+        a = fit_auto(X, y, rng=np.random.default_rng(3))
+        b = fit_auto(X, y, rng=np.random.default_rng(3))
+        assert a.intercept == b.intercept
+        np.testing.assert_array_equal(a.coef, b.coef)
+
+
 class TestDispatch:
     def test_fit_dispatches(self):
         X = np.arange(10, dtype=float)[:, None]
@@ -140,6 +208,11 @@ class TestDispatch:
         assert fit(
             X, y, method="lms", rng=np.random.default_rng(0)
         ).predict([5.0]) == pytest.approx(11.0, abs=1e-6)
+
+    def test_auto_dispatch(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = 2 * X.ravel() + 1
+        assert fit(X, y, method="auto").predict([5.0]) == pytest.approx(11.0)
 
     def test_unknown_method(self):
         with pytest.raises(ValueError):

@@ -2,18 +2,19 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.cluster import Cluster
+from repro.faults import FaultConfig
 from repro.monitor import ClusterMonitor
 from repro.sim import Simulator
 from repro.workloads import CpuHog
 from repro.xen import VMSpec
 
 
-@pytest.fixture()
-def cluster():
-    sim = Simulator(seed=71)
+def make_cluster(seed: int = 71) -> Cluster:
+    sim = Simulator(seed=seed)
     cl = Cluster(sim)
     cl.create_pm("pm1")
     cl.create_pm("pm2")
@@ -23,6 +24,11 @@ def cluster():
     cl.start()
     cl.run(2.0)
     return cl
+
+
+@pytest.fixture()
+def cluster():
+    return make_cluster()
 
 
 class TestClusterMonitor:
@@ -66,3 +72,54 @@ class TestClusterMonitor:
 
     def test_pm_names(self, cluster):
         assert ClusterMonitor(cluster).pm_names == ["pm1", "pm2"]
+
+
+class TestClusterMonitorUnderFailures:
+    def test_tool_failures_keep_reports_aligned(self, cluster):
+        mon = ClusterMonitor(cluster, tool_failure_prob=0.3)
+        reports = mon.run(25.0)
+        assert mon.missed_samples() > 0
+        t1 = reports["pm1"].series("dom0", "cpu").times
+        t2 = reports["pm2"].series("dom0", "cpu").times
+        assert list(t1) == list(t2)
+        n = len(t1)
+        for rep in reports.values():
+            for trace in rep.traces:
+                assert len(trace.values) == n, trace.name
+
+    def test_tool_failures_deterministic_under_seed(self):
+        def one_run():
+            cl = make_cluster(seed=207)
+            mon = ClusterMonitor(cl, tool_failure_prob=0.25)
+            reports = mon.run(20.0)
+            return (
+                mon.missed_samples(),
+                {
+                    pm: rep.series("dom0", "cpu").values.tolist()
+                    for pm, rep in reports.items()
+                },
+            )
+
+        missed_a, traces_a = one_run()
+        missed_b, traces_b = one_run()
+        assert missed_a == missed_b
+        assert traces_a == traces_b
+
+    def test_dropout_faults_record_aligned_gaps(self, cluster):
+        mon = ClusterMonitor(
+            cluster,
+            faults=FaultConfig.sampling_only(dropout=0.2, outliers=0.0),
+        )
+        reports = mon.run(40.0)
+        gaps = mon.gap_counts()
+        assert mon.total_gaps() > 0
+        n = len(reports["pm1"].series("dom0", "cpu").times)
+        for pm, rep in reports.items():
+            assert rep.validity is not None
+            assert len(rep.validity) == n
+            assert rep.n_gaps() == gaps[pm]
+        # Per-PM streams are independent: identical burst patterns on
+        # both PMs would mean they share one RNG stream.
+        v1 = np.asarray(reports["pm1"].validity)
+        v2 = np.asarray(reports["pm2"].validity)
+        assert not np.array_equal(v1, v2)

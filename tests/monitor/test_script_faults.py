@@ -1,0 +1,125 @@
+"""Tests for measurement-script behaviour under sample faults."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, SampleFaults
+from repro.monitor import GAP_HOLD, GAP_NAN
+from repro.monitor.script import MeasurementScript
+from repro.sim import Simulator
+from repro.workloads import CpuHog
+from repro.xen import PhysicalMachine, VMSpec
+
+
+def make_pm(seed=37):
+    sim = Simulator(seed=seed)
+    pm = PhysicalMachine(sim, name="pm1")
+    vm = pm.create_vm(VMSpec(name="vm1"))
+    CpuHog(50.0).attach(vm)
+    pm.start()
+    sim.run_until(2.0)
+    return pm
+
+
+def faulty_script(pm, *, dropout=0.0, outliers=0.0, **kw):
+    faults = SampleFaults(
+        FaultConfig.sampling_only(dropout=dropout, outliers=outliers),
+        pm.sim.rng(f"faults.monitor.{pm.name}"),
+    )
+    return MeasurementScript(pm, faults=faults, **kw)
+
+
+class TestGapRecording:
+    def test_clean_run_has_no_validity_mask(self):
+        pm = make_pm()
+        report = MeasurementScript(pm).run(10.0)
+        assert report.validity is None
+        assert report.n_gaps() == 0
+        assert report.valid_fraction() == 1.0
+
+    def test_dropouts_recorded_as_gaps_hold(self):
+        pm = make_pm()
+        script = faulty_script(pm, dropout=0.3)
+        report = script.run(40.0)
+        assert report.validity is not None
+        assert 0 < report.n_gaps() == script.gap_samples
+        # Hold policy: every value is finite, gap ticks repeat the
+        # previous reading, and the series length is unbroken.
+        trace = report.series("vm1", "cpu")
+        assert len(trace.values) == len(report.validity)
+        assert np.isfinite(trace.values).all()
+
+    def test_dropouts_recorded_as_nan(self):
+        pm = make_pm()
+        script = faulty_script(pm, dropout=0.3, gap_policy=GAP_NAN)
+        report = script.run(40.0)
+        values = report.series("vm1", "cpu").values
+        gaps = ~report.validity
+        assert gaps.any()
+        assert np.isnan(values[gaps]).all()
+        assert np.isfinite(values[report.validity]).all()
+
+    def test_valid_only_mean_skips_gaps(self):
+        pm = make_pm()
+        script = faulty_script(pm, dropout=0.3, gap_policy=GAP_NAN)
+        report = script.run(40.0)
+        clean_mean = report.mean("vm1", "cpu", valid_only=True)
+        assert np.isfinite(clean_mean)
+        assert np.isnan(report.mean("vm1", "cpu"))
+
+    def test_gap_policy_validated(self):
+        pm = make_pm()
+        with pytest.raises(ValueError):
+            MeasurementScript(pm, gap_policy="interpolate")
+
+
+class TestOutlierCorruption:
+    def test_outliers_stay_flagged_valid(self):
+        pm = make_pm()
+        script = faulty_script(pm, outliers=0.3)
+        report = script.run(40.0)
+        # Silent corruption: validity all True, but values perturbed.
+        assert report.validity is not None
+        assert report.validity.all()
+        assert script._faults.corrupted > 0
+
+    def test_corruption_moves_values(self):
+        pm = make_pm(seed=91)
+        clean = MeasurementScript(pm).run(30.0)
+        pm2 = make_pm(seed=91)
+        corrupted = faulty_script(pm2, outliers=0.4).run(30.0)
+        a = clean.series("vm1", "cpu").values
+        b = corrupted.series("vm1", "cpu").values
+        assert not np.allclose(a, b)
+
+
+class TestDeterminismAndPurity:
+    def test_faulty_run_deterministic(self):
+        def one():
+            pm = make_pm(seed=53)
+            rep = faulty_script(pm, dropout=0.2, outliers=0.1).run(30.0)
+            return rep.validity.tolist(), rep.series("pm", "cpu").values.tolist()
+
+        assert one() == one()
+
+    def test_null_faults_do_not_shift_measurements(self):
+        # A SampleFaults with a null config must leave the measured
+        # values byte-identical to a script with no fault model at all.
+        pm = make_pm(seed=67)
+        plain = MeasurementScript(pm).run(20.0)
+        pm2 = make_pm(seed=67)
+        nulled = MeasurementScript(
+            pm2,
+            faults=SampleFaults(
+                FaultConfig(), pm2.sim.rng("faults.monitor.pm1")
+            ),
+        ).run(20.0)
+        np.testing.assert_array_equal(
+            plain.series("pm", "cpu").values,
+            nulled.series("pm", "cpu").values,
+        )
+        # The fault-aware run reports a (all-True) validity mask.
+        assert nulled.validity is not None and nulled.validity.all()
+        assert plain.validity is None

@@ -1,0 +1,294 @@
+"""Tests for failure-tolerant migration execution and the control loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.models import TrainingConfig, train_multi_vm_model
+from repro.placement import (
+    HotspotDetector,
+    MigrationExecutor,
+    MigrationPlanner,
+    Move,
+    PmCircuitBreaker,
+    ResilientControlLoop,
+    RetryPolicy,
+)
+from repro.sim import Simulator
+from repro.workloads import CpuHog
+from repro.xen import VMSpec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return train_multi_vm_model(
+        TrainingConfig(vm_counts=(1, 2), duration=10.0, warmup=2.0)
+    )
+
+
+class ScriptedRng:
+    """Deterministic stand-in for the mid-flight failure stream."""
+
+    def __init__(self, draws):
+        self._draws = list(draws)
+
+    def random(self):
+        return self._draws.pop(0) if self._draws else 1.0
+
+
+def make_cluster(seed=13, vms_on_pm1=2, hog=50.0):
+    sim = Simulator(seed=seed)
+    cl = Cluster(sim)
+    cl.create_pm("pm1")
+    cl.create_pm("pm2")
+    for i in range(vms_on_pm1):
+        vm = cl.place_vm(VMSpec(name=f"vm{i}", mem_mb=256), "pm1")
+        CpuHog(hog).attach(vm)
+    cl.start()
+    return cl
+
+
+def executor(cl, draws=(), **kw):
+    kw.setdefault("failure_prob", 0.5 if draws else 0.0)
+    return MigrationExecutor(cl, rng=ScriptedRng(draws), **kw)
+
+
+class TestRetryPolicy:
+    def test_exponential_delays(self):
+        pol = RetryPolicy(max_attempts=4, backoff_s=2.0, multiplier=3.0)
+        assert pol.delay(1) == 2.0
+        assert pol.delay(2) == 6.0
+        assert pol.delay(3) == 18.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestPmCircuitBreaker:
+    def test_opens_after_threshold_and_cools_down(self):
+        br = PmCircuitBreaker(failure_threshold=2, cooldown_s=10.0)
+        assert br.allow("pm2", 0.0)
+        br.record_failure("pm2", 0.0)
+        assert br.allow("pm2", 0.0)
+        br.record_failure("pm2", 0.0)
+        assert not br.allow("pm2", 5.0)
+        assert br.state("pm2", 5.0) == "open"
+        assert br.allow("pm2", 10.0)
+        assert br.opened == 1
+
+    def test_success_closes_and_clears(self):
+        br = PmCircuitBreaker(failure_threshold=2, cooldown_s=10.0)
+        br.record_failure("pm2", 0.0)
+        br.record_success("pm2")
+        br.record_failure("pm2", 1.0)
+        assert br.allow("pm2", 1.0)  # count restarted after the success
+
+    def test_breakers_are_per_pm(self):
+        br = PmCircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+        br.record_failure("pm2", 0.0)
+        assert not br.allow("pm2", 0.0)
+        assert br.allow("pm3", 0.0)
+
+
+class TestMigrationExecutor:
+    def test_clean_move_lands_without_rng(self):
+        cl = make_cluster()
+        ex = MigrationExecutor(cl)  # failure_prob = 0
+        assert ex.submit(Move(vm="vm0", src="pm1", dst="pm2"))
+        assert cl.pm_of("vm0").name == "pm2"
+        assert ex.stats.succeeded == 1
+        assert ex.log[0].ok and ex.log[0].reason == "ok"
+
+    def test_midflight_failure_rolls_back(self):
+        cl = make_cluster()
+        ex = executor(cl, draws=[0.0])  # first draw < 0.5 -> abort
+        assert not ex.submit(Move(vm="vm0", src="pm1", dst="pm2"))
+        # The guest is back on its source, still running.
+        assert cl.pm_of("vm0").name == "pm1"
+        assert ex.stats.rollbacks == 1
+        assert ex.pending == 1
+
+    def test_retry_with_backoff_eventually_lands(self):
+        cl = make_cluster()
+        ex = executor(
+            cl,
+            draws=[0.0, 0.0, 1.0],  # fail, fail, succeed
+            policy=RetryPolicy(max_attempts=3, backoff_s=2.0),
+        )
+        assert not ex.submit(Move(vm="vm0", src="pm1", dst="pm2"))
+        # First retry due at now+2, second at +2+4.
+        assert ex.tick(1.0) == 0  # too early: nothing due
+        assert ex.pending == 1
+        assert ex.tick(2.0) == 0  # due, fails again
+        assert ex.tick(6.0) == 1  # due, lands
+        assert cl.pm_of("vm0").name == "pm2"
+        assert ex.stats.retries == 2
+        assert ex.stats.rollbacks == 2
+        assert ex.stats.succeeded == 1
+        assert ex.pending == 0
+        assert [a.attempt for a in ex.log] == [1, 2, 3]
+
+    def test_abandons_after_max_attempts(self):
+        cl = make_cluster()
+        ex = executor(
+            cl,
+            draws=[0.0, 0.0],
+            policy=RetryPolicy(max_attempts=2, backoff_s=1.0),
+        )
+        ex.submit(Move(vm="vm0", src="pm1", dst="pm2"))
+        ex.tick(1.0)
+        assert ex.stats.abandoned == 1
+        assert ex.pending == 0
+        assert cl.pm_of("vm0").name == "pm1"
+
+    def test_breaker_vetoes_flapping_destination(self):
+        cl = make_cluster()
+        ex = executor(
+            cl,
+            draws=[0.0, 0.0, 0.0, 0.0],
+            policy=RetryPolicy(max_attempts=4, backoff_s=1.0),
+            breaker=PmCircuitBreaker(failure_threshold=2, cooldown_s=50.0),
+        )
+        ex.submit(Move(vm="vm0", src="pm1", dst="pm2"))
+        ex.submit(Move(vm="vm1", src="pm1", dst="pm2"))  # 2nd failure opens
+        vetoed = ex.tick(1.0)
+        assert vetoed == 0
+        assert ex.stats.vetoed >= 1
+        assert all(
+            a.reason == "circuit-open" for a in ex.log if a.attempt == 2
+        )
+
+    def test_dst_down_fails_without_consuming_rng(self):
+        cl = make_cluster()
+        cl.pms["pm2"].fail()
+        draws = [0.9]
+        ex = executor(cl, draws=draws)
+        assert not ex.submit(Move(vm="vm0", src="pm1", dst="pm2"))
+        assert ex.log[0].reason == "dst-down"
+        assert len(draws) == 1  # untouched: vetoed before the draw
+        assert cl.pm_of("vm0").name == "pm1"
+
+    def test_vanished_vm_dropped_permanently(self):
+        cl = make_cluster()
+        ex = MigrationExecutor(cl)
+        assert not ex.submit(Move(vm="ghost", src="pm1", dst="pm2"))
+        assert ex.stats.abandoned == 1
+        assert ex.pending == 0
+        assert ex.log[0].reason == "vm-gone"
+
+    def test_no_memory_rolls_back(self):
+        sim = Simulator(seed=7)
+        cl = Cluster(sim)
+        cl.create_pm("pm1")
+        cl.create_pm("pm2")
+        cl.place_vm(VMSpec(name="vm0", mem_mb=512), "pm1")
+        # Fill pm2 so vm0 cannot fit.
+        cl.place_vm(VMSpec(name="big", mem_mb=1400), "pm2")
+        cl.start()
+        ex = MigrationExecutor(cl)
+        assert not ex.submit(Move(vm="vm0", src="pm1", dst="pm2"))
+        assert ex.log[0].reason == "no-memory"
+        assert cl.pm_of("vm0").name == "pm1"
+
+    def test_validation(self):
+        cl = make_cluster()
+        with pytest.raises(ValueError):
+            MigrationExecutor(cl, failure_prob=1.0)
+
+
+class TestHotspotDetectorMissing:
+    def test_missing_does_not_clear_alarm(self, model):
+        from repro.monitor.metrics import ResourceVector
+        from repro.placement import VmObservation
+
+        hot = [
+            VmObservation(
+                name=f"v{i}", demand=ResourceVector(cpu=90.0), mem_mb=256
+            )
+            for i in range(4)
+        ]
+        det = HotspotDetector(model, k=2, n=4, threshold_frac=0.6)
+        det.observe("pm1", hot)
+        assert det.observe("pm1", hot)
+        # Gaps age the window but k hot votes remain within n.
+        assert det.observe_missing("pm1")
+        assert det.observe_missing("pm1")
+        # Now both hot votes have left the window.
+        assert not det.observe_missing("pm1")
+
+    def test_window_wider_than_k_tolerates_gaps(self, model):
+        from repro.monitor.metrics import ResourceVector
+        from repro.placement import VmObservation
+
+        hot = [
+            VmObservation(
+                name=f"v{i}", demand=ResourceVector(cpu=90.0), mem_mb=256
+            )
+            for i in range(4)
+        ]
+        det = HotspotDetector(model, k=2, n=4, threshold_frac=0.6)
+        det.observe("pm1", hot)
+        det.observe_missing("pm1")
+        assert det.observe("pm1", hot)  # 2 hot votes in a 4-wide window
+
+    def test_n_defaults_to_k(self, model):
+        det = HotspotDetector(model, k=3)
+        assert det.n == 3
+        with pytest.raises(ValueError):
+            HotspotDetector(model, k=3, n=2)
+
+
+class TestResilientControlLoop:
+    def test_relieves_hotspot_deterministically(self, model):
+        def run_once():
+            cl = make_cluster(seed=29, vms_on_pm1=4, hog=95.0)
+            ex = MigrationExecutor(cl)
+            loop = ResilientControlLoop(
+                cl,
+                model,
+                interval=2.0,
+                detector=HotspotDetector(
+                    model, k=2, n=3, threshold_frac=0.6
+                ),
+                planner=MigrationPlanner(model, target_frac=0.6),
+                executor=ex,
+            )
+            loop.start()
+            cl.run(30.0)
+            return (
+                ex.stats.succeeded,
+                sorted(cl.pms["pm2"].vms),
+                loop.rounds,
+            )
+
+        first = run_once()
+        assert first[0] >= 1  # some guest actually moved
+        assert first == run_once()
+
+    def test_loop_counts_missing_observations(self, model):
+        cl = make_cluster(seed=43)
+        cl.pms["pm1"].fail()
+        loop = ResilientControlLoop(cl, model, interval=2.0)
+        loop.start()
+        cl.run(10.0)
+        assert loop.missing_observations > 0
+        assert loop.rounds >= 4
+
+    def test_lifecycle(self, model):
+        cl = make_cluster()
+        loop = ResilientControlLoop(cl, model, interval=2.0)
+        loop.start()
+        with pytest.raises(RuntimeError):
+            loop.start()
+        loop.stop()
+        loop.start()
+        with pytest.raises(ValueError):
+            ResilientControlLoop(cl, model, interval=0.0)

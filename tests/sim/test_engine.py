@@ -117,6 +117,32 @@ class TestScheduling:
         assert sim.now == 0.0
         assert sim.pending == 0
 
+    def test_reset_rejected_while_running(self):
+        sim = Simulator()
+        seen = []
+
+        def mid_run(ev):
+            with pytest.raises(SimulationError):
+                sim.reset()
+            seen.append(sim.now)
+
+        sim.after(1.0, mid_run)
+        sim.after(2.0, lambda ev: seen.append(sim.now))
+        sim.run_until(5.0)
+        # The rejected reset must not have disturbed the run.
+        assert seen == [1.0, 2.0]
+        assert sim.now == 5.0
+
+    def test_reset_allows_fresh_run(self):
+        sim = Simulator()
+        sim.after(1.0, lambda ev: None)
+        sim.run_until(5.0)
+        sim.reset()
+        fired = []
+        sim.after(1.0, lambda ev: fired.append(sim.now))
+        sim.run_until(2.0)
+        assert fired == [1.0]
+
     def test_reentrant_run_until_rejected(self):
         sim = Simulator()
 
