@@ -13,6 +13,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.sim.rng import generator_from_seed
+
 
 @dataclass(frozen=True)
 class ConfidenceInterval:
@@ -54,7 +56,7 @@ def bootstrap_mean_ci(
         raise ValueError("level must be in (0, 1)")
     if n_resamples < 10:
         raise ValueError("n_resamples must be >= 10")
-    rng = rng or np.random.default_rng(0)
+    rng = rng or generator_from_seed(0)
     idx = rng.integers(0, len(v), size=(n_resamples, len(v)))
     means = v[idx].mean(axis=1)
     alpha = (1.0 - level) / 2.0
@@ -96,7 +98,7 @@ def means_differ(
     b = np.asarray(b, dtype=float)
     if a.size == 0 or b.size == 0:
         raise ValueError("both samples must be non-empty")
-    rng = rng or np.random.default_rng(0)
+    rng = rng or generator_from_seed(0)
     idx_a = rng.integers(0, len(a), size=(n_resamples, len(a)))
     idx_b = rng.integers(0, len(b), size=(n_resamples, len(b)))
     diffs = a[idx_a].mean(axis=1) - b[idx_b].mean(axis=1)

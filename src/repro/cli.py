@@ -12,6 +12,13 @@ Subcommands
 ``repro chaos [--fast] [--dropout F] [--outliers F]``
     Fault-injection sweep: model degradation under monitor faults plus
     a placement-resilience run with flaky migrations.
+``repro lint [paths ...]``
+    Determinism/correctness static analysis (REPxxx rules) over the
+    source tree; nonzero exit on any violation.
+
+``repro run`` and ``repro chaos`` accept ``--sanitize`` to attach the
+runtime determinism sanitizer (event tie-break assertions, per-stream
+RNG draw accounting, NaN guards on training inputs).
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ from typing import List, Optional
 
 from repro.experiments import runner
 from repro.experiments.base import ExperimentResult
+from repro.lint import cli as lint_cli
+from repro.sim import sanitize
 
 
 def _write_out(results: List[ExperimentResult], out_dir: Path) -> None:
@@ -63,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction harness for 'Profiling and Understanding "
             "Virtualization Overhead in Cloud' (ICPP 2015)"
         ),
+        epilog=(
+            "common workflows: 'repro run fig2 --fast' (one artifact), "
+            "'repro all' (full sweep), 'repro validate' (model fit "
+            "quality), 'repro chaos' (fault injection), 'repro lint src' "
+            "(determinism static analysis; see 'repro lint --list-rules'). "
+            "Add --sanitize to run/chaos for runtime determinism checks."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -77,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument(
         "--out", type=Path, default=None, help="directory to write reports"
+    )
+    run_p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the runtime determinism sanitizer (tie-break "
+        "assertions, RNG draw accounting, NaN guards)",
     )
 
     all_p = sub.add_parser("all", help="reproduce every table and figure")
@@ -116,6 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0)",
     )
     chaos_p.add_argument("--out", type=Path, default=None)
+    chaos_p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the runtime determinism sanitizer",
+    )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="determinism/correctness static analysis (REPxxx rules)",
+    )
+    lint_cli.configure_parser(lint_p)
     return parser
 
 
@@ -127,12 +160,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
 
+def _sanitizer_summary() -> None:
+    counts = sanitize.aggregate_draw_counts()
+    print(
+        f"sanitizer: {sanitize.total_pops()} event pops vetted, "
+        f"{sum(counts.values())} RNG draws over {len(counts)} stream(s)"
+    )
+
+
 def _main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "sanitize", False):
+        sanitize.set_default(True)
+        sanitize.reset_collector()
+    try:
+        return _dispatch(args)
+    finally:
+        if getattr(args, "sanitize", False):
+            sanitize.set_default(False)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         for artifact in runner.ALL_IDS:
             print(artifact)
         return 0
+    if args.command == "lint":
+        return lint_cli.run_from_args(args)
     if args.command == "run":
         try:
             if args.id in runner.GROUP_IDS:
@@ -142,6 +196,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+        if args.sanitize:
+            _sanitizer_summary()
         return _report(results, args.out)
     if args.command == "report":
         from repro.experiments.report import generate_experiments_md
@@ -181,7 +237,10 @@ def _chaos(args: argparse.Namespace) -> int:
         # Keep the clean level so degradation is always measured
         # against the fault-free baseline.
         kwargs["levels"] = ((0.0, 0.0), level)
-    return _report(chaos.run_chaos(**kwargs), args.out)
+    results = chaos.run_chaos(**kwargs)
+    if args.sanitize:
+        _sanitizer_summary()
+    return _report(results, args.out)
 
 
 def _validate(*, fast: bool) -> int:

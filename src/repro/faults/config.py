@@ -113,13 +113,13 @@ class FaultConfig:
 
     def is_null(self) -> bool:
         """True when no fault class can ever fire."""
-        return (
-            self.pm_crash_rate == 0.0
-            and self.vm_stall_rate == 0.0
-            and self.vm_crash_rate == 0.0
-            and self.nic_degrade_rate == 0.0
-            and not self.samples_faulty()
+        rates = (
+            self.pm_crash_rate,
+            self.vm_stall_rate,
+            self.vm_crash_rate,
+            self.nic_degrade_rate,
         )
+        return not any(rates) and not self.samples_faulty()
 
     def samples_faulty(self) -> bool:
         """True when monitor samples can drop or corrupt."""

@@ -78,7 +78,7 @@ class SampleFaults:
         probability -- a skewed clock makes rate counters read both
         ways.  Exact zeros stay zero (dead counters read dead).
         """
-        if value == 0.0:
+        if value == 0.0:  # repro: noqa[REP004] exact zero is the dead-counter sentinel
             return 0.0
         scale = self.config.outlier_scale
         if self._rng.random() < 0.5:

@@ -1,0 +1,31 @@
+"""``repro lint``: determinism & correctness static analysis.
+
+An AST-based rule engine that machine-enforces this reproduction's
+determinism contract -- named RNG streams only, no wall-clock in the
+simulated core, no unordered iteration feeding decisions, no silently
+swallowed errors.  See :mod:`repro.lint.rules` for the rule catalogue
+(``REP001``..``REP010``) and :mod:`repro.lint.cli` for the CLI.
+
+Typical library use::
+
+    from repro.lint import LintEngine, load_config
+
+    engine = LintEngine(load_config())
+    violations = engine.lint_paths([Path("src")])
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintEngine, lint_paths, lint_source
+from repro.lint.rules import REGISTRY, Rule, Violation, all_rules
+
+__all__ = [
+    "LintConfig",
+    "LintEngine",
+    "REGISTRY",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,80 @@
+"""Lint configuration: defaults plus ``[tool.repro.lint]`` overrides.
+
+The in-code defaults below are the canonical policy for this tree; the
+``pyproject.toml`` table exists so the policy is visible next to the
+rest of the project metadata and tweakable without editing the linter.
+Keys may be written with dashes or underscores (``rng-allowed`` /
+``rng_allowed``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Rule selection and path scoping for one lint run."""
+
+    #: Only these codes run when non-empty (e.g. ``("REP004",)``).
+    select: Tuple[str, ...] = ()
+    #: Codes never run (applied after ``select``).
+    ignore: Tuple[str, ...] = ()
+    #: Path fragments skipped entirely while walking directories.
+    exclude: Tuple[str, ...] = ("__pycache__", ".git", "build", ".egg-info")
+    #: Files allowed to construct raw generators (REP001/REP007 exempt).
+    rng_allowed: Tuple[str, ...] = ("repro/sim/rng.py",)
+    #: Deterministic-core paths where REP002/REP009 apply.
+    wallclock_paths: Tuple[str, ...] = (
+        "repro/sim", "repro/xen", "repro/models", "repro/monitor",
+        "repro/placement", "repro/faults", "repro/workloads", "repro/rubis",
+        "repro/cluster",
+    )
+    #: Paths allowed to print() (CLI and report/analysis front-ends).
+    print_allowed: Tuple[str, ...] = (
+        "repro/cli.py", "repro/__main__.py", "repro/lint",
+        "repro/experiments",
+    )
+
+
+_TUPLE_KEYS = {f.name for f in fields(LintConfig)}
+
+
+def _normalise(key: str) -> str:
+    return key.replace("-", "_")
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Build a :class:`LintConfig`, overlaying ``[tool.repro.lint]``.
+
+    ``pyproject`` defaults to ``./pyproject.toml``; a missing file or a
+    missing table simply yields the defaults.  Unknown keys raise so
+    config typos fail loudly rather than silently linting with the
+    wrong policy.
+    """
+    cfg = LintConfig()
+    path = pyproject if pyproject is not None else Path("pyproject.toml")
+    if tomllib is None or not path.is_file():
+        return cfg
+    with path.open("rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("repro", {}).get("lint", {})
+    overrides = {}
+    for raw_key, value in table.items():
+        key = _normalise(raw_key)
+        if key not in _TUPLE_KEYS:
+            raise ValueError(
+                f"unknown [tool.repro.lint] key {raw_key!r}; "
+                f"expected one of {sorted(_TUPLE_KEYS)}"
+            )
+        if isinstance(value, str):
+            value = [value]
+        overrides[key] = tuple(str(v) for v in value)
+    return replace(cfg, **overrides)

@@ -1,0 +1,154 @@
+"""The lint engine: parse, run rules, apply suppressions.
+
+:class:`LintEngine` binds a :class:`~repro.lint.config.LintConfig` to
+the rule registry and walks files/directories.  Suppression is by
+inline comment on the offending line::
+
+    x = rng or np.random.default_rng(0)  # repro: noqa[REP007]
+
+``# repro: noqa`` without a bracket suppresses every code on that line.
+Files that fail to parse report the pseudo-code ``REP000`` so syntax
+errors cannot hide real violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.rules import (
+    PARSE_ERROR_CODE,
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    collect_aliases,
+    path_matches,
+)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+#: ``None`` means "all codes suppressed on this line".
+_Suppressions = Dict[int, Optional[FrozenSet[str]]]
+
+
+def _suppressions(source: str) -> _Suppressions:
+    out: _Suppressions = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip()
+            )
+    return out
+
+
+class LintEngine:
+    """Run the registered rules over sources, files, or trees."""
+
+    def __init__(self, config: Optional[LintConfig] = None) -> None:
+        self.config = config or LintConfig()
+
+    def rules(self) -> List[Rule]:
+        """The rules enabled by this engine's select/ignore config."""
+        selected = []
+        for rule in all_rules():
+            if self.config.select and rule.code not in self.config.select:
+                continue
+            if rule.code in self.config.ignore:
+                continue
+            selected.append(rule)
+        return selected
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Violation]:
+        """Lint one in-memory module; ``path`` scopes path-gated rules."""
+        posix = Path(path).as_posix()
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    code=PARSE_ERROR_CODE,
+                    message=f"syntax error: {exc.msg}",
+                    path=posix,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                )
+            ]
+        ctx = FileContext(posix, self.config)
+        ctx.aliases = collect_aliases(tree)
+        found: List[Violation] = []
+        for rule in self.rules():
+            if not rule.applies_to(ctx):
+                continue
+            found.extend(rule.check(tree, ctx))
+        suppressed = _suppressions(source)
+        kept = []
+        for v in found:
+            codes = suppressed.get(v.line, frozenset())
+            if codes is None or v.code in codes:
+                continue
+            kept.append(v)
+        kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return kept
+
+    def lint_file(self, path: Path) -> List[Violation]:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [
+                Violation(
+                    code=PARSE_ERROR_CODE,
+                    message=f"cannot read file: {exc}",
+                    path=path.as_posix(),
+                    line=1,
+                    col=0,
+                )
+            ]
+        return self.lint_source(source, path=path.as_posix())
+
+    def walk(self, paths: Iterable[Path]) -> List[Path]:
+        """Expand directories into sorted ``.py`` files, minus excludes."""
+        out: List[Path] = []
+        for path in paths:
+            if path.is_dir():
+                candidates = sorted(path.rglob("*.py"))
+            else:
+                candidates = [path]
+            for c in candidates:
+                if path_matches(c.as_posix(), self.config.exclude):
+                    continue
+                out.append(c)
+        return out
+
+    def lint_paths(self, paths: Sequence[Path]) -> List[Violation]:
+        """Lint files and/or directory trees; results are sorted."""
+        out: List[Violation] = []
+        for path in self.walk(paths):
+            out.extend(self.lint_file(path))
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return out
+
+
+def lint_source(
+    source: str, path: str = "<string>", config: Optional[LintConfig] = None
+) -> List[Violation]:
+    """Module-level convenience wrapper over :class:`LintEngine`."""
+    return LintEngine(config).lint_source(source, path=path)
+
+
+def lint_paths(
+    paths: Sequence[Path], config: Optional[LintConfig] = None
+) -> List[Violation]:
+    """Lint files/trees with the given (or default) config."""
+    return LintEngine(config).lint_paths(paths)

@@ -22,6 +22,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.sim.rng import generator_from_seed
+
 
 @dataclass(frozen=True)
 class LinearModel:
@@ -123,7 +125,7 @@ def fit_lms(
         raise ValueError(f"need at least {k} samples for LMS, got {n}")
     if n_subsets <= 0:
         raise ValueError("n_subsets must be positive")
-    rng = rng or np.random.default_rng(0)
+    rng = rng or generator_from_seed(0)
 
     A = np.column_stack([np.ones(n), X])
     best_theta: Optional[np.ndarray] = None
@@ -171,7 +173,7 @@ def outlier_fraction(
     center = float(np.median(resid))
     dev = np.abs(resid - center)
     scale = 1.4826 * float(np.median(dev))
-    if scale == 0.0:
+    if scale == 0.0:  # repro: noqa[REP004] exact degenerate-MAD guard (div by zero)
         return float(np.mean(dev > 1e-9))
     return float(np.mean(dev > n_sigmas * scale))
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.monitor.metrics import ResourceVector
 from repro.monitor.script import MeasurementReport
+from repro.sim import sanitize
 
 #: Overhead targets every model fits, in canonical order.
 TARGETS: tuple[str, ...] = ("dom0.cpu", "hyp.cpu", "pm.mem", "pm.io", "pm.bw")
@@ -80,6 +81,14 @@ def samples_from_report(
         mask = np.asarray(report.validity, dtype=bool)
         cpu, mem, io, bw = cpu[mask], mem[mask], io[mask], bw[mask]
         target_series = {t: s[mask] for t, s in target_series.items()}
+
+    # Under --sanitize, a NaN surviving to this point means a monitor
+    # gap leaked past its validity mask into the regression inputs.
+    sanitize.guard_finite_matrix(
+        {"vm.cpu": cpu, "vm.mem": mem, "vm.io": io, "vm.bw": bw,
+         **target_series},
+        context="samples_from_report (model training input)",
+    )
 
     out: List[TrainingSample] = []
     for i in range(len(cpu)):

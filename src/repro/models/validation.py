@@ -17,6 +17,7 @@ import numpy as np
 from repro.models.multi_vm import MultiVMOverheadModel, alpha_linear
 from repro.models.samples import TARGETS, TrainingSample
 from repro.models.single_vm import SingleVMOverheadModel
+from repro.sim.rng import generator_from_seed
 
 
 @dataclass(frozen=True)
@@ -93,7 +94,7 @@ def cross_validate_multi(
     model is unidentifiable there.
     """
     samples = list(samples)
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     folds = kfold_indices(len(samples), k, rng)
     sq_errors: Dict[str, List[float]] = {t: [] for t in TARGETS}
     for fold in folds:

@@ -210,7 +210,7 @@ class MeasurementTool:
         return self._perturb(value, resource)
 
     def _perturb(self, value: float, resource: str) -> float:
-        if self._noiseless or value == 0.0:
+        if self._noiseless or value == 0.0:  # repro: noqa[REP004] idle counters read exactly zero
             return value
         sigma = self._cal.noise_sigma_for(resource)
         noisy = value * float(np.exp(self._rng.normal(0.0, sigma)))

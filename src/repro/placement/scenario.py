@@ -31,6 +31,7 @@ from repro.placement.placer import (
 from repro.rubis.app import RUBiSApplication
 from repro.rubis.client import ClientPopulation
 from repro.sim.engine import Simulator
+from repro.sim.rng import generator_from_seed
 from repro.workloads.lookbusy import CpuHog
 from repro.xen.specs import VMSpec
 
@@ -224,7 +225,7 @@ def run_scenario_experiment(
     profile_s: float = 60.0,
 ) -> List[ScenarioResult]:
     """The full Figure 10 grid: scenarios x {VOA, VOU} x trials."""
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     results: List[ScenarioResult] = []
     for scenario in scenarios:
         demands = profile_demands(

@@ -20,7 +20,8 @@ on heavily.
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.process import PeriodicProcess
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, generator_from_seed
+from repro.sim.sanitize import SanitizerError, SanitizerHooks, sanitized
 from repro.sim.tracing import SimTracer, TraceEvent
 
 __all__ = [
@@ -28,8 +29,12 @@ __all__ = [
     "EventQueue",
     "PeriodicProcess",
     "RngRegistry",
+    "SanitizerError",
+    "SanitizerHooks",
     "SimTracer",
     "SimulationError",
     "Simulator",
     "TraceEvent",
+    "generator_from_seed",
+    "sanitized",
 ]

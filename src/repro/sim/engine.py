@@ -28,6 +28,12 @@ class Simulator:
     ----------
     seed:
         Master seed for all random streams drawn via :attr:`rng`.
+    sanitize:
+        Attach :class:`~repro.sim.sanitize.SanitizerHooks`: assert the
+        stable event tie-break invariant on every pop and count RNG
+        draws per stream.  ``None`` (the default) follows the
+        process-wide default toggled by ``repro run --sanitize``.
+        Sanitizing never changes the numbers drawn or the events fired.
 
     Examples
     --------
@@ -41,11 +47,25 @@ class Simulator:
     5.0
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self, seed: int = 0, *, sanitize: Optional[bool] = None
+    ) -> None:
+        from repro.sim import sanitize as _san
+
         self._now = 0.0
         self._queue = EventQueue()
         self._running = False
-        self.rng = RngRegistry(seed)
+        if sanitize is None:
+            sanitize = _san.default_enabled()
+        #: Attached :class:`~repro.sim.sanitize.SanitizerHooks`, or ``None``.
+        self.sanitizer = _san.SanitizerHooks() if sanitize else None
+        if self.sanitizer is not None:
+            self.rng: RngRegistry = _san.SanitizedRngRegistry(
+                seed, self.sanitizer
+            )
+            _san.register_hooks(self.sanitizer)
+        else:
+            self.rng = RngRegistry(seed)
         #: Number of events dispatched so far (diagnostics only).
         self.dispatched = 0
 
@@ -104,6 +124,8 @@ class Simulator:
         ev = self._queue.pop()
         if ev is None:
             return False
+        if self.sanitizer is not None:
+            self.sanitizer.check_pop(ev, next_seq=self._queue.next_seq)
         assert ev.time >= self._now
         self._now = ev.time
         self.dispatched += 1

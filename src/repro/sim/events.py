@@ -68,6 +68,18 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._next_seq = 0
+
+    @property
+    def next_seq(self) -> int:
+        """The insertion counter the *next* pushed event will receive.
+
+        A watermark over scheduling history: every event with
+        ``seq < next_seq`` was pushed before this point.  The runtime
+        sanitizer uses it to tell "scheduled after the previous pop"
+        (legal same-time, lower-priority pops) from heap corruption.
+        """
+        return self._next_seq
 
     def __len__(self) -> int:
         return sum(1 for ev in self._heap if not ev.cancelled)
@@ -100,6 +112,7 @@ class EventQueue:
             callback=callback,
             payload=payload,
         )
+        self._next_seq = ev.seq + 1
         heapq.heappush(self._heap, ev)
         return ev
 

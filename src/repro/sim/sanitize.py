@@ -1,0 +1,238 @@
+"""Opt-in runtime sanitizer: determinism invariants checked while running.
+
+The static pass (:mod:`repro.lint`) catches hazards visible in source;
+this layer catches the dynamic ones.  With ``Simulator(sanitize=True)``
+(or the global default flipped by ``repro run --sanitize``) the
+simulator attaches a :class:`SanitizerHooks` that
+
+* asserts the **stable tie-break invariant** on every event pop: the
+  heap must yield ``(time, priority, seq)`` keys that only go out of
+  sort order for events scheduled *after* the previous pop (higher
+  ``seq``).  Any other inversion means an event was mutated in place or
+  the queue was corrupted -- exactly the bug class that silently
+  reorders same-timestamp work between runs;
+* counts **per-stream RNG draws** so two runs of the same artifact can
+  be compared stream by stream: identical outputs with different draw
+  counts means a component is stealing entropy from another's stream;
+* guards **NaN/Inf propagation** from monitor samples into model
+  training (see :func:`guard_finite_matrix`).
+
+The module-level default exists so the CLI can switch sanitizing on for
+simulators it never constructs itself; aggregated draw counts from all
+simulators built while the default is on are available through
+:func:`aggregate_draw_counts`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import SimulationError
+from repro.sim.events import Event
+from repro.sim.rng import RngRegistry
+
+
+class SanitizerError(SimulationError):
+    """A determinism invariant was violated at runtime."""
+
+
+class CountingGenerator:
+    """Transparent proxy over ``numpy.random.Generator`` counting calls.
+
+    Every bound-method call (``normal``, ``random``, ``integers``, ...)
+    increments the stream's draw counter by one *call* -- the unit two
+    runs are compared in.  Non-callable attributes pass straight
+    through.
+    """
+
+    __slots__ = ("_gen", "_name", "_counts")
+
+    def __init__(
+        self, gen: np.random.Generator, name: str, counts: "Counter[str]"
+    ) -> None:
+        self._gen = gen
+        self._name = name
+        self._counts = counts
+
+    def __getattr__(self, attr: str) -> Any:
+        value = getattr(self._gen, attr)
+        if not callable(value):
+            return value
+        counts, name = self._counts, self._name
+
+        def counted(*args: Any, **kwargs: Any) -> Any:
+            counts[name] += 1
+            return value(*args, **kwargs)
+
+        counted.__name__ = attr
+        return counted
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CountingGenerator({self._name!r}, {self._counts[self._name]} draws)"
+
+
+class SanitizedRngRegistry(RngRegistry):
+    """Registry whose streams are wrapped in :class:`CountingGenerator`.
+
+    Stream derivation is identical to :class:`RngRegistry` -- the
+    wrapper only observes, so a sanitized run draws byte-identical
+    numbers to an unsanitized one.
+    """
+
+    def __init__(self, seed: int, hooks: "SanitizerHooks") -> None:
+        super().__init__(seed)
+        self._hooks = hooks
+        self._proxies: Dict[str, CountingGenerator] = {}
+
+    def __call__(self, name: str) -> np.random.Generator:
+        proxy = self._proxies.get(name)
+        if proxy is None:
+            gen = super().__call__(name)
+            self._hooks.draw_counts.setdefault(name, 0)
+            proxy = CountingGenerator(gen, name, self._hooks.draw_counts)
+            self._proxies[name] = proxy
+        return proxy  # type: ignore[return-value]
+
+    def fresh(self, name: str) -> np.random.Generator:
+        self._proxies.pop(name, None)
+        return super().fresh(name)
+
+
+class SanitizerHooks:
+    """Mutable state of one sanitized simulator."""
+
+    def __init__(self) -> None:
+        #: Stream name -> number of generator method calls so far.
+        self.draw_counts: Counter[str] = Counter()
+        self._last_key: Optional[Tuple[float, int, int]] = None
+        self._watermark = 0
+        #: Events vetted by :meth:`check_pop`.
+        self.pops = 0
+        #: Values vetted by :func:`guard_finite_matrix` via this hook set.
+        self.finite_checks = 0
+
+    def check_pop(self, event: Event, *, next_seq: int) -> None:
+        """Assert the stable tie-break invariant for one popped event.
+
+        Pops may only leave ``(time, priority, seq)`` sort order for an
+        event scheduled *after* the previous pop (its ``seq`` is at or
+        beyond the watermark recorded then) -- the legal case of an
+        event callback scheduling same-time, lower-priority work.  An
+        inversion by an event that already sat in the queue means it
+        was mutated in place after scheduling, or the heap was
+        corrupted: exactly the bug class that silently reorders
+        same-timestamp work between runs.
+
+        ``next_seq`` is the queue's insertion watermark *after* this
+        pop (see :attr:`repro.sim.events.EventQueue.next_seq`).
+        """
+        if not math.isfinite(event.time):
+            raise SanitizerError(
+                f"popped event with non-finite time {event.time!r}"
+            )
+        key = (event.time, event.priority, event.seq)
+        last = self._last_key
+        if last is not None:
+            if event.time < last[0]:
+                raise SanitizerError(
+                    f"event time regressed at pop: {key} after {last}"
+                )
+            if key < last and event.seq < self._watermark:
+                raise SanitizerError(
+                    "deterministic tie-break violated: event "
+                    f"{key} popped after {last} despite being scheduled "
+                    "before that pop -- was the event mutated after "
+                    "scheduling?"
+                )
+        self._last_key = key
+        self._watermark = next_seq
+        self.pops += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current per-stream draw counts (stable, name-sorted)."""
+        return {name: self.draw_counts[name] for name in sorted(self.draw_counts)}
+
+
+# --------------------------------------------------------------------------
+# Process-wide default + draw-count aggregation (used by the CLI flag).
+# --------------------------------------------------------------------------
+
+_default_enabled = False
+_collected: List[SanitizerHooks] = []
+
+
+def default_enabled() -> bool:
+    """Whether newly built simulators sanitize by default."""
+    return _default_enabled
+
+
+def set_default(enabled: bool) -> None:
+    """Flip the process-wide default (the ``--sanitize`` switch)."""
+    global _default_enabled
+    _default_enabled = bool(enabled)
+
+
+def register_hooks(hooks: SanitizerHooks) -> None:
+    """Track a simulator's hooks for :func:`aggregate_draw_counts`."""
+    _collected.append(hooks)
+
+
+def reset_collector() -> None:
+    """Forget every tracked hook set (start of a measured run)."""
+    _collected.clear()
+
+
+def aggregate_draw_counts() -> Dict[str, int]:
+    """Merge per-stream draw counts across every tracked simulator."""
+    total: Counter[str] = Counter()
+    for hooks in _collected:
+        total.update(hooks.draw_counts)
+    return {name: total[name] for name in sorted(total)}
+
+
+def total_pops() -> int:
+    """Events vetted across every tracked simulator."""
+    return sum(hooks.pops for hooks in _collected)
+
+
+@contextmanager
+def sanitized() -> Iterator[None]:
+    """Enable the default and reset collection for the block's duration."""
+    previous = _default_enabled
+    set_default(True)
+    reset_collector()
+    try:
+        yield
+    finally:
+        set_default(previous)
+
+
+def guard_finite_matrix(
+    series: Mapping[str, np.ndarray], *, context: str
+) -> None:
+    """Raise if any named series carries NaN/Inf into model training.
+
+    Called on the post-validity-mask training inputs: a non-finite
+    value here means a monitor gap leaked past its validity mask (or a
+    fault filler escaped), which would silently poison the regression.
+    No-op unless sanitizing is enabled.
+    """
+    if not _default_enabled:
+        return
+    for name in sorted(series):
+        values = np.asarray(series[name], dtype=float)
+        bad = ~np.isfinite(values)
+        if bad.any():
+            idx = int(np.argmax(bad))
+            raise SanitizerError(
+                f"non-finite value {values[idx]!r} in series {name!r} at "
+                f"tick {idx} reached {context}; a monitor gap leaked past "
+                "its validity mask"
+            )
+    for hooks in _collected:
+        hooks.finite_checks += 1

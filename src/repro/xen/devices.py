@@ -90,7 +90,8 @@ class PhysicalNic:
     @property
     def degraded(self) -> bool:
         """Whether a fault-injected degradation episode is active."""
-        return self._bw_factor != 1.0 or self._loss_frac != 0.0
+        # Both are exact sentinels assigned, never computed.
+        return self._bw_factor != 1.0 or self._loss_frac != 0.0  # repro: noqa[REP004]
 
     def degrade(self, *, bw_factor: float = 1.0, loss_frac: float = 0.0) -> None:
         """Clamp the line rate and/or start dropping granted traffic.
@@ -130,7 +131,7 @@ class PhysicalNic:
         if n_senders < 0:
             raise ValueError("n_senders must be >= 0")
         line = self._spec.nic_kbps
-        if self._bw_factor != 1.0:
+        if self._bw_factor != 1.0:  # repro: noqa[REP004] exact no-degradation sentinel
             line *= self._bw_factor
         if sum(flow_kbps) <= line:
             granted = [float(k) for k in flow_kbps]

@@ -1,0 +1,328 @@
+"""Per-rule fixtures: positive, negative, and noqa-suppressed cases."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+from repro.lint.rules import REGISTRY, all_rules
+
+
+def codes_in(source: str, path: str = "src/repro/sim/engine.py") -> list:
+    src = textwrap.dedent(source)
+    return [v.code for v in lint_source(src, path=path)]
+
+
+class TestRegistry:
+    def test_rule_codes_are_unique_and_sorted_catalogue(self):
+        rules = all_rules()
+        codes = [r.code for r in rules]
+        assert codes == sorted(codes)
+        assert len(set(codes)) == len(codes)
+
+    def test_expected_rules_present(self):
+        for code in (
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP006", "REP007", "REP008", "REP009", "REP010",
+        ):
+            assert code in REGISTRY
+
+    def test_every_rule_has_name_and_summary(self):
+        for rule in all_rules():
+            assert rule.name and rule.summary
+
+
+class TestRep001ModuleLevelRandom:
+    def test_import_random_flagged(self):
+        assert "REP001" in codes_in("import random\n")
+
+    def test_from_random_flagged(self):
+        assert "REP001" in codes_in("from random import choice\n")
+
+    def test_legacy_numpy_draw_flagged(self):
+        src = """
+            import numpy as np
+            x = np.random.rand(3)
+        """
+        assert "REP001" in codes_in(src)
+
+    def test_registry_draws_clean(self):
+        src = """
+            def draw(sim):
+                return sim.rng("noise").normal()
+        """
+        assert codes_in(src) == []
+
+    def test_allowed_inside_rng_module(self):
+        assert codes_in(
+            "import random\n", path="src/repro/sim/rng.py"
+        ) == []
+
+    def test_noqa_suppresses(self):
+        assert codes_in("import random  # repro: noqa[REP001]\n") == []
+
+
+class TestRep002WallClock:
+    def test_time_time_flagged_in_core(self):
+        src = """
+            import time
+            def stamp():
+                return time.time()
+        """
+        assert "REP002" in codes_in(src)
+
+    def test_perf_counter_from_import_flagged(self):
+        src = """
+            from time import perf_counter
+            def stamp():
+                return perf_counter()
+        """
+        assert "REP002" in codes_in(src)
+
+    def test_datetime_now_flagged(self):
+        src = """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+        """
+        assert "REP002" in codes_in(src)
+
+    def test_outside_core_paths_clean(self):
+        src = """
+            import time
+            def stamp():
+                return time.time()
+        """
+        assert codes_in(src, path="src/repro/lint/cli.py") == []
+
+    def test_sim_now_clean(self):
+        assert codes_in("def f(sim):\n    return sim.now\n") == []
+
+
+class TestRep003UnorderedIteration:
+    def test_set_literal_flagged(self):
+        assert "REP003" in codes_in(
+            "for x in {1, 2, 3}:\n    pass\n"
+        )
+
+    def test_set_call_flagged(self):
+        assert "REP003" in codes_in(
+            "for x in set(names):\n    pass\n"
+        )
+
+    def test_keys_call_flagged(self):
+        assert "REP003" in codes_in(
+            "for k in d.keys():\n    pass\n"
+        )
+
+    def test_comprehension_flagged(self):
+        assert "REP003" in codes_in(
+            "out = [x for x in set(names)]\n"
+        )
+
+    def test_sorted_wrap_clean(self):
+        assert codes_in("for x in sorted(set(names)):\n    pass\n") == []
+
+    def test_dict_iteration_clean(self):
+        assert codes_in("for k in d:\n    pass\n") == []
+
+
+class TestRep004FloatEquality:
+    def test_eq_flagged(self):
+        assert "REP004" in codes_in("ok = x == 1.5\n")
+
+    def test_noteq_flagged(self):
+        assert "REP004" in codes_in("ok = x != 0.0\n")
+
+    def test_int_comparison_clean(self):
+        assert codes_in("ok = x == 1\n") == []
+
+    def test_float_inequality_clean(self):
+        assert codes_in("ok = x >= 1.5\n") == []
+
+    def test_noqa_sentinel(self):
+        assert codes_in("ok = x == 0.0  # repro: noqa[REP004]\n") == []
+
+
+class TestRep005MutableDefault:
+    def test_list_default_flagged(self):
+        assert "REP005" in codes_in("def f(xs=[]):\n    pass\n")
+
+    def test_dict_call_default_flagged(self):
+        assert "REP005" in codes_in("def f(m=dict()):\n    pass\n")
+
+    def test_kwonly_set_default_flagged(self):
+        assert "REP005" in codes_in("def f(*, s=set()):\n    pass\n")
+
+    def test_none_default_clean(self):
+        assert codes_in("def f(xs=None):\n    pass\n") == []
+
+    def test_tuple_default_clean(self):
+        assert codes_in("def f(xs=()):\n    pass\n") == []
+
+
+class TestRep006SilentExcept:
+    def test_bare_except_flagged(self):
+        src = """
+            try:
+                work()
+            except:
+                pass
+        """
+        assert "REP006" in codes_in(src)
+
+    def test_except_exception_pass_flagged(self):
+        src = """
+            try:
+                work()
+            except Exception:
+                pass
+        """
+        assert "REP006" in codes_in(src)
+
+    def test_except_exception_handled_clean(self):
+        src = """
+            try:
+                work()
+            except Exception as exc:
+                log(exc)
+        """
+        assert codes_in(src) == []
+
+    def test_narrow_except_pass_clean(self):
+        src = """
+            try:
+                work()
+            except KeyError:
+                pass
+        """
+        assert codes_in(src) == []
+
+
+class TestRep007RngBypass:
+    def test_default_rng_flagged(self):
+        src = """
+            import numpy as np
+            rng = np.random.default_rng(0)
+        """
+        assert "REP007" in codes_in(src)
+
+    def test_from_import_default_rng_flagged(self):
+        src = """
+            from numpy.random import default_rng
+            rng = default_rng(7)
+        """
+        assert "REP007" in codes_in(src)
+
+    def test_reseed_flagged(self):
+        assert "REP007" in codes_in("gen.seed(42)\n")
+
+    def test_allowed_in_rng_module(self):
+        src = """
+            import numpy as np
+            rng = np.random.default_rng(0)
+        """
+        assert codes_in(src, path="src/repro/sim/rng.py") == []
+
+    def test_generator_from_seed_clean(self):
+        src = """
+            from repro.sim.rng import generator_from_seed
+            rng = generator_from_seed(0)
+        """
+        assert codes_in(src) == []
+
+
+class TestRep008PrintInLibrary:
+    def test_print_flagged_in_library(self):
+        assert "REP008" in codes_in("print('hi')\n")
+
+    def test_print_allowed_in_cli(self):
+        assert codes_in("print('hi')\n", path="src/repro/cli.py") == []
+
+    def test_print_allowed_in_experiments(self):
+        assert codes_in(
+            "print('hi')\n", path="src/repro/experiments/report.py"
+        ) == []
+
+
+class TestRep009EnvRead:
+    def test_environ_flagged_in_core(self):
+        src = """
+            import os
+            seed = os.environ["SEED"]
+        """
+        assert "REP009" in codes_in(src)
+
+    def test_getenv_flagged_in_core(self):
+        src = """
+            import os
+            seed = os.getenv("SEED")
+        """
+        assert "REP009" in codes_in(src)
+
+    def test_outside_core_clean(self):
+        src = """
+            import os
+            seed = os.getenv("SEED")
+        """
+        assert codes_in(src, path="src/repro/lint/cli.py") == []
+
+
+class TestRep010UnstableSortKey:
+    def test_sorted_by_hash_flagged(self):
+        assert "REP010" in codes_in(
+            "out = sorted(xs, key=lambda v: hash(v.name))\n"
+        )
+
+    def test_sort_by_id_builtin_flagged(self):
+        assert "REP010" in codes_in("xs.sort(key=id)\n")
+
+    def test_stable_key_clean(self):
+        assert codes_in(
+            "out = sorted(xs, key=lambda v: v.name)\n"
+        ) == []
+
+
+class TestSuppression:
+    def test_blanket_noqa_suppresses_all_codes(self):
+        line = "rng = np.random.default_rng(0); print(rng)  # repro: noqa\n"
+        assert codes_in("import numpy as np\n" + line) == []
+
+    def test_listed_codes_only(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)  # repro: noqa[REP008]\n"
+        )
+        assert codes_in(src) == ["REP007"]
+
+    def test_noqa_on_other_line_does_not_leak(self):
+        src = (
+            "ok = x == 1.5  # repro: noqa[REP004]\n"
+            "bad = y == 2.5\n"
+        )
+        assert codes_in(src) == ["REP004"]
+
+    def test_case_insensitive_marker(self):
+        assert codes_in("ok = x == 1.5  # REPRO: NOQA[rep004]\n") == []
+
+
+class TestSelectIgnore:
+    SRC = "import random\nok = x == 1.5\n"
+
+    def test_select_restricts(self):
+        cfg = LintConfig(select=("REP004",))
+        assert [
+            v.code for v in lint_source(
+                self.SRC, path="src/repro/sim/engine.py", config=cfg
+            )
+        ] == ["REP004"]
+
+    def test_ignore_drops(self):
+        cfg = LintConfig(ignore=("REP004",))
+        assert [
+            v.code for v in lint_source(
+                self.SRC, path="src/repro/sim/engine.py", config=cfg
+            )
+        ] == ["REP001"]

@@ -1,0 +1,171 @@
+"""Runtime sanitizer: draw accounting, tie-break invariant, NaN guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.samples import samples_from_report
+from repro.monitor.script import MeasurementReport
+from repro.sim import (
+    SanitizerError,
+    Simulator,
+    generator_from_seed,
+    sanitized,
+)
+from repro.sim import sanitize
+from repro.traces import Trace, TraceSet
+
+
+class TestDrawAccounting:
+    def test_draws_counted_per_stream(self):
+        sim = Simulator(seed=7, sanitize=True)
+        sim.rng("noise").normal()
+        sim.rng("noise").normal()
+        sim.rng("jitter").random()
+        assert sim.sanitizer.snapshot() == {"jitter": 1, "noise": 2}
+
+    def test_stream_registered_even_with_zero_draws(self):
+        sim = Simulator(seed=7, sanitize=True)
+        sim.rng("idle")
+        assert sim.sanitizer.snapshot() == {"idle": 0}
+
+    def test_sanitizing_never_changes_the_numbers(self):
+        plain = Simulator(seed=11)
+        checked = Simulator(seed=11, sanitize=True)
+        a = [plain.rng("s").normal() for _ in range(20)]
+        b = [checked.rng("s").normal() for _ in range(20)]
+        assert a == b
+
+    def test_fresh_rewinds_and_keeps_counting(self):
+        sim = Simulator(seed=3, sanitize=True)
+        first = sim.rng("s").normal()
+        again = sim.rng.fresh("s").normal()
+        assert first == again
+        assert sim.sanitizer.snapshot() == {"s": 2}
+
+    def test_non_callable_attributes_pass_through(self):
+        sim = Simulator(seed=3, sanitize=True)
+        assert isinstance(
+            sim.rng("s").bit_generator, np.random.PCG64
+        )
+
+
+class TestTieBreakInvariant:
+    def test_normal_run_passes(self):
+        sim = Simulator(sanitize=True)
+        fired = []
+        for t in (2.0, 1.0, 1.0):
+            sim.after(t, lambda ev: fired.append(ev.time))
+        sim.run()
+        assert fired == [1.0, 1.0, 2.0]
+        assert sim.sanitizer.pops == 3
+
+    def test_same_time_reschedule_is_legal(self):
+        sim = Simulator(sanitize=True)
+        order = []
+
+        def first(ev):
+            order.append("first")
+            # same instant, lower priority, scheduled mid-dispatch:
+            # fires after the queued priority-1 event by seq exemption.
+            sim.at(sim.now, lambda e: order.append("late"), priority=-1)
+
+        sim.at(5.0, first)
+        sim.at(5.0, lambda e: order.append("second"), priority=1)
+        sim.run()
+        assert order == ["first", "late", "second"]
+
+    def test_mutated_event_is_caught(self):
+        sim = Simulator(sanitize=True)
+        sim.at(5.0, lambda ev: None)
+        ev = sim.at(5.0, lambda ev: None, priority=1)
+        ev.priority = -10  # corrupt the queued event in place
+        with pytest.raises(SanitizerError, match="tie-break"):
+            sim.run()
+
+    def test_non_finite_time_is_caught(self):
+        sim = Simulator(sanitize=True)
+        ev = sim.at(1.0, lambda ev: None)
+        ev.time = float("nan")
+        with pytest.raises(SanitizerError, match="non-finite"):
+            sim.run()
+
+    def test_unsanitized_simulator_has_no_hooks(self):
+        assert Simulator().sanitizer is None
+
+
+class TestGlobalDefault:
+    def test_sanitized_context_flips_default(self):
+        assert not sanitize.default_enabled()
+        with sanitized():
+            assert sanitize.default_enabled()
+            sim = Simulator(seed=1)
+            assert sim.sanitizer is not None
+            sim.rng("noise").normal()
+            assert sanitize.aggregate_draw_counts() == {"noise": 1}
+        assert not sanitize.default_enabled()
+
+    def test_explicit_false_overrides_default(self):
+        with sanitized():
+            assert Simulator(sanitize=False).sanitizer is None
+
+    def test_aggregation_merges_simulators(self):
+        with sanitized():
+            Simulator(seed=1).rng("a").normal()
+            Simulator(seed=2).rng("a").normal()
+            Simulator(seed=3).rng("b").normal()
+            assert sanitize.aggregate_draw_counts() == {"a": 2, "b": 1}
+
+
+def _report_with_gap() -> MeasurementReport:
+    times = np.array([0.0, 1.0, 2.0, 3.0])
+    validity = np.array([True, True, False, True])
+
+    def trace(name, bad=False):
+        values = np.array([1.0, 2.0, np.nan if bad else 3.0, 4.0])
+        return Trace(name, times, values, units="%")
+
+    names = ["vm1.cpu", "vm1.mem", "vm1.io", "vm1.bw"]
+    targets = ["dom0.cpu", "hyp.cpu", "pm.mem", "pm.io", "pm.bw"]
+    traces = TraceSet(
+        [trace(n) for n in names]
+        + [trace(t, bad=(t == "hyp.cpu")) for t in targets]
+    )
+    return MeasurementReport(pm_name="pm1", traces=traces, validity=validity)
+
+
+class TestNaNGuard:
+    def test_guard_is_noop_when_disabled(self):
+        report = _report_with_gap()
+        samples = samples_from_report(report)  # NaN passes through silently
+        assert len(samples) == 4
+
+    def test_nan_leak_caught_under_sanitize(self):
+        report = _report_with_gap()
+        with sanitized():
+            with pytest.raises(SanitizerError, match="hyp.cpu"):
+                samples_from_report(report)
+
+    def test_masked_training_input_passes(self):
+        report = _report_with_gap()
+        with sanitized():
+            samples = samples_from_report(report, valid_only=True)
+        assert len(samples) == 3
+
+    def test_guard_finite_matrix_direct(self):
+        with sanitized():
+            sanitize.guard_finite_matrix(
+                {"ok": np.array([1.0, 2.0])}, context="test"
+            )
+            with pytest.raises(SanitizerError, match="tick 1"):
+                sanitize.guard_finite_matrix(
+                    {"bad": np.array([1.0, np.inf])}, context="test"
+                )
+
+
+class TestGeneratorFromSeed:
+    def test_matches_default_rng(self):
+        a = generator_from_seed(123).normal(size=4)
+        b = np.random.default_rng(123).normal(size=4)
+        assert np.array_equal(a, b)
