@@ -15,10 +15,18 @@ Subcommands
 ``repro lint [paths ...]``
     Determinism/correctness static analysis (REPxxx rules) over the
     source tree; nonzero exit on any violation.
+``repro cache stats|clear [--cache-dir DIR]``
+    Inspect or empty the content-addressed result cache.
+``repro bench [--fast] [--jobs N] [--out FILE]``
+    Perf harness: run the fixed bench matrix serial / parallel / cold /
+    warm-cache and write a ``BENCH_<rev>.json`` record.
 
 ``repro run`` and ``repro chaos`` accept ``--sanitize`` to attach the
 runtime determinism sanitizer (event tie-break assertions, per-stream
-RNG draw accounting, NaN guards on training inputs).
+RNG draw accounting, NaN guards on training inputs).  ``repro run``,
+``repro all`` and ``repro report`` accept ``--jobs N`` (parallel cell
+execution; 0 = all CPUs) and ``--cache-dir DIR`` (content-addressed
+result cache) -- both preserve byte-identical output.
 """
 
 from __future__ import annotations
@@ -32,6 +40,10 @@ from repro.experiments import runner
 from repro.experiments.base import ExperimentResult
 from repro.lint import cli as lint_cli
 from repro.sim import sanitize
+
+#: Default cache location of ``repro cache`` when ``--cache-dir`` is
+#: not given (matches what most runs pass to ``--cache-dir``).
+DEFAULT_CACHE_DIR = Path(".repro-cache")
 
 
 def _write_out(results: List[ExperimentResult], out_dir: Path) -> None:
@@ -100,10 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the runtime determinism sanitizer (tie-break "
         "assertions, RNG draw accounting, NaN guards)",
     )
+    _add_perf_options(run_p)
 
     all_p = sub.add_parser("all", help="reproduce every table and figure")
     all_p.add_argument("--fast", action="store_true")
     all_p.add_argument("--out", type=Path, default=None)
+    _add_perf_options(all_p)
 
     report_p = sub.add_parser(
         "report", help="run everything and write EXPERIMENTS.md"
@@ -112,6 +126,37 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument(
         "--out", type=Path, default=Path("EXPERIMENTS.md"),
         help="output markdown file (default: EXPERIMENTS.md)",
+    )
+    _add_perf_options(report_p)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache"
+    )
+    cache_p.add_argument(
+        "action", choices=("stats", "clear"),
+        help="stats: entry/hit counts; clear: delete every entry",
+    )
+    cache_p.add_argument(
+        "--cache-dir", type=Path, default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="perf harness: serial/parallel/cold/warm bench matrix, "
+        "writes BENCH_<rev>.json",
+    )
+    bench_p.add_argument(
+        "--fast", action="store_true",
+        help="reduced matrix for CI smoke runs",
+    )
+    bench_p.add_argument(
+        "--jobs", type=int, default=0,
+        help="workers for the parallel phase (0 = all CPUs, default)",
+    )
+    bench_p.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default: BENCH_<rev>.json in the cwd)",
     )
 
     validate_p = sub.add_parser(
@@ -152,6 +197,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_perf_options(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run experiment cells over N worker processes (0 = all "
+        "CPUs); output is byte-identical to serial",
+    )
+    sub_parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="serve previously computed cells from this "
+        "content-addressed cache (and populate it)",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _main(argv)
@@ -174,10 +232,31 @@ def _main(argv: Optional[List[str]] = None) -> int:
         sanitize.set_default(True)
         sanitize.reset_collector()
     try:
-        return _dispatch(args)
+        return _with_perf_defaults(args)
     finally:
         if getattr(args, "sanitize", False):
             sanitize.set_default(False)
+
+
+def _with_perf_defaults(args: argparse.Namespace) -> int:
+    """Install ``--jobs`` / ``--cache-dir`` for the dispatch, then reset."""
+    jobs = getattr(args, "jobs", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if args.command not in ("run", "all", "report") or (
+        jobs is None and cache_dir is None
+    ):
+        # Only the experiment commands fan out through the executor;
+        # bench manages its own phases and cache has its own dispatch.
+        return _dispatch(args)
+    from repro.perf.cache import ResultCache
+    from repro.perf.executor import execution_defaults
+
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    with execution_defaults(jobs=jobs, cache=cache):
+        code = _dispatch(args)
+    if cache is not None:
+        print(cache.stats().render(), file=sys.stderr)
+    return code
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -216,8 +295,44 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _validate(fast=args.fast)
     if args.command == "chaos":
         return _chaos(args)
+    if args.command == "cache":
+        return _cache(args)
+    if args.command == "bench":
+        return _bench(args)
     assert args.command == "all"
     return _report(runner.run_all(fast=args.fast), args.out)
+
+
+def _cache(args: argparse.Namespace) -> int:
+    from repro.perf.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached cell(s) from {args.cache_dir}")
+        return 0
+    assert args.action == "stats"
+    print(cache.stats().render())
+    return 0
+
+
+def _bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import default_output_path, run_bench, write_bench
+
+    record = run_bench(fast=args.fast, jobs=args.jobs)
+    out = args.out if args.out is not None else default_output_path()
+    write_bench(record, out)
+    metrics = record["metrics"]
+    print(f"wrote {out}")
+    for key in (
+        "events_per_sec",
+        "cells_per_sec",
+        "parallel_speedup",
+        "cache_warm_speedup",
+        "cache_hit_rate",
+    ):
+        print(f"  {key:<20} {metrics[key]:.3f}")
+    return 0
 
 
 def _chaos(args: argparse.Namespace) -> int:

@@ -5,13 +5,21 @@ PM1, all database back-ends on PM2 -- loads each with 300..700 emulated
 clients, records per-second VM utilizations, and compares the model's
 PM-level predictions against the measured PM utilizations via the
 relative-error CDF.
+
+Each client count is an independent deployment seeded with
+``seed + clients``, so the experiment decomposes into
+:class:`~repro.perf.cells.PredictionCell` descriptors: ``repro run
+fig7 --jobs N`` fans the client counts out over worker processes (the
+trained models ride along pickled; workers never retrain), and
+``--cache-dir`` serves previously computed deployments from disk.
+Results merge in client-count order -- parallel output is
+byte-identical to serial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +34,8 @@ from repro.models.training import (
     train_single_vm_model,
 )
 from repro.monitor.script import MeasurementScript
+from repro.perf.cells import PredictionCell
+from repro.perf.executor import run_cells
 from repro.rubis.app import RUBiSApplication
 from repro.rubis.client import PAPER_CLIENT_COUNTS, ClientPopulation
 from repro.sim.engine import Simulator
@@ -37,25 +47,49 @@ PAPER_RUN_S = 600.0
 #: phase is still present; we only skip the scheduler fixed-point).
 WARMUP_S = 3.0
 
+#: Session-level model memo: one training per distinct configuration.
+#: Keyed on the *normalized* (duration, warmup, seed) triple, so
+#: positional and keyword call spellings share one entry -- every fast
+#: experiment group (fig7/8/9/10, chaos) reuses a single instance
+#: instead of retraining per group.
+_MODEL_MEMO: Dict[
+    Tuple[float, float, int],
+    Tuple[SingleVMOverheadModel, MultiVMOverheadModel],
+] = {}
 
-@lru_cache(maxsize=4)
+
 def trained_models(
     duration: float = 120.0, warmup: float = 3.0, seed: int = 2015
 ) -> Tuple[SingleVMOverheadModel, MultiVMOverheadModel]:
-    """Train (and cache) the Eq. (2) and Eq. (3) models.
+    """Train (and memoize) the Eq. (2) and Eq. (3) models.
 
     The default arguments reproduce the paper's full training sweep;
-    tests pass a shorter duration.
+    tests pass a shorter duration.  Training runs at most once per
+    (duration, warmup, seed) per process and the instances are shared
+    -- ``run_all(fast=True)`` trains once for fig7/8/9/10 and chaos
+    combined.
     """
-    single = train_single_vm_model(
-        TrainingConfig(vm_counts=(1,), duration=duration, warmup=warmup, seed=seed)
-    )
-    multi = train_multi_vm_model(
-        TrainingConfig(
-            vm_counts=(1, 2, 4), duration=duration, warmup=warmup, seed=seed
+    key = (float(duration), float(warmup), int(seed))
+    models = _MODEL_MEMO.get(key)
+    if models is None:
+        single = train_single_vm_model(
+            TrainingConfig(
+                vm_counts=(1,), duration=duration, warmup=warmup, seed=seed
+            )
         )
-    )
-    return single, multi
+        multi = train_multi_vm_model(
+            TrainingConfig(
+                vm_counts=(1, 2, 4), duration=duration, warmup=warmup,
+                seed=seed,
+            )
+        )
+        models = _MODEL_MEMO[key] = (single, multi)
+    return models
+
+
+def clear_model_memo() -> None:
+    """Drop every memoized model (tests that count training runs)."""
+    _MODEL_MEMO.clear()
 
 
 @dataclass
@@ -88,6 +122,68 @@ class PredictionRun:
         )
 
 
+def run_client_cell(
+    cell: PredictionCell,
+) -> Tuple[Dict[Tuple[str, str], ErrorReport], int]:
+    """One client count's deployment (the body of the old serial loop).
+
+    Returns ``(reports, events)``: the per-(pm, target) error reports
+    and the simulator event count for throughput accounting.
+    """
+    n_apps, clients = cell.n_apps, cell.clients
+    sim = Simulator(seed=cell.seed + clients)
+    cluster = Cluster(sim)
+    pm1 = cluster.create_pm("pm1")
+    pm2 = cluster.create_pm("pm2")
+    apps: List[RUBiSApplication] = []
+    for k in range(n_apps):
+        web = cluster.place_vm(VMSpec(name=f"web{k}"), "pm1")
+        db = cluster.place_vm(VMSpec(name=f"db{k}"), "pm2")
+        apps.append(
+            RUBiSApplication(
+                cluster,
+                web,
+                db,
+                ClientPopulation(
+                    clients, rng=sim.rng(f"clients-{k}")
+                ),
+                name=f"rubis{k}",
+            )
+        )
+    cluster.start()
+    for app in apps:
+        app.start()
+    sim.run_until(WARMUP_S)
+    script1 = MeasurementScript(pm1)
+    script2 = MeasurementScript(pm2)
+    script1.start()
+    script2.start()
+    sim.run_until(sim.now + cell.duration)
+    reports: Dict[Tuple[str, str], ErrorReport] = {}
+    for pm_name, script in (("pm1", script1), ("pm2", script2)):
+        report = script.stop()
+        samples = samples_from_report(report)
+        if n_apps == 1:
+            X = np.vstack([s.vm_sum.as_array() for s in samples])
+            pred = cell.single_model.predict_many(X)
+        else:
+            pred = cell.multi_model.predict_samples(samples)
+        measured_cpu = np.array(
+            [
+                s.targets["dom0.cpu"] + s.targets["hyp.cpu"] + s.vm_sum.cpu
+                for s in samples
+            ]
+        )
+        measured_bw = np.array([s.targets["pm.bw"] for s in samples])
+        reports[(pm_name, "pm.cpu")] = error_report(
+            pred["pm.cpu"], measured_cpu
+        )
+        reports[(pm_name, "pm.bw")] = error_report(
+            pred["pm.bw"], measured_bw
+        )
+    return reports, sim.dispatched
+
+
 def run_prediction_experiment(
     n_apps: int,
     single_model: SingleVMOverheadModel,
@@ -100,55 +196,20 @@ def run_prediction_experiment(
     """Deploy ``n_apps`` RUBiS pairs and score the model's predictions."""
     if n_apps <= 0:
         raise ValueError("n_apps must be positive")
+    cells = [
+        PredictionCell(
+            n_apps=n_apps,
+            clients=clients,
+            duration=duration,
+            seed=seed,
+            single_model=single_model,
+            multi_model=multi_model,
+        )
+        for clients in client_counts
+    ]
+    per_client = run_cells(cells)
     reports: Dict[Tuple[str, str, int], ErrorReport] = {}
-    for clients in client_counts:
-        sim = Simulator(seed=seed + clients)
-        cluster = Cluster(sim)
-        pm1 = cluster.create_pm("pm1")
-        pm2 = cluster.create_pm("pm2")
-        apps: List[RUBiSApplication] = []
-        for k in range(n_apps):
-            web = cluster.place_vm(VMSpec(name=f"web{k}"), "pm1")
-            db = cluster.place_vm(VMSpec(name=f"db{k}"), "pm2")
-            apps.append(
-                RUBiSApplication(
-                    cluster,
-                    web,
-                    db,
-                    ClientPopulation(
-                        clients, rng=sim.rng(f"clients-{k}")
-                    ),
-                    name=f"rubis{k}",
-                )
-            )
-        cluster.start()
-        for app in apps:
-            app.start()
-        sim.run_until(WARMUP_S)
-        script1 = MeasurementScript(pm1)
-        script2 = MeasurementScript(pm2)
-        script1.start()
-        script2.start()
-        sim.run_until(sim.now + duration)
-        for pm_name, script in (("pm1", script1), ("pm2", script2)):
-            report = script.stop()
-            samples = samples_from_report(report)
-            if n_apps == 1:
-                X = np.vstack([s.vm_sum.as_array() for s in samples])
-                pred = single_model.predict_many(X)
-            else:
-                pred = multi_model.predict_samples(samples)
-            measured_cpu = np.array(
-                [
-                    s.targets["dom0.cpu"] + s.targets["hyp.cpu"] + s.vm_sum.cpu
-                    for s in samples
-                ]
-            )
-            measured_bw = np.array([s.targets["pm.bw"] for s in samples])
-            reports[(pm_name, "pm.cpu", clients)] = error_report(
-                pred["pm.cpu"], measured_cpu
-            )
-            reports[(pm_name, "pm.bw", clients)] = error_report(
-                pred["pm.bw"], measured_bw
-            )
+    for clients, cell_reports in zip(client_counts, per_client):
+        for (pm_name, target), rep in cell_reports.items():
+            reports[(pm_name, target, clients)] = rep
     return PredictionRun(n_apps=n_apps, reports=reports)

@@ -203,6 +203,16 @@ def generate_experiments_md(
         "double-run regression test proves byte-identical reports with "
         "identical draw counts per stream.",
         "",
+        "Determinism also makes the reproduction parallel and "
+        "cacheable: `repro report --jobs N` fans experiment cells over "
+        "worker processes and `--cache-dir` serves repeated cells from "
+        "a content-addressed cache — both byte-identical to a serial "
+        "run (README § Parallel execution & caching). `repro bench` "
+        "records the perf trajectory (`BENCH_<rev>.json`: events/sec, "
+        "parallel speedup, cache hit rate); wall-clock numbers are "
+        "machine-dependent, so only ratios are comparable across "
+        "hosts.",
+        "",
     ]
     body = [_artifact_section(r) for r in results]
     return "\n".join(header) + "\n" + "\n".join(body)

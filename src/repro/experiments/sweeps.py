@@ -5,6 +5,14 @@ One *sweep* runs a Table II benchmark at every intensity level on
 entity/resource per level -- exactly the points the paper's Figures 2-4
 plot.  Figure 5 (intra-PM traffic) gets its own driver because the
 workload targets a co-located VM instead of an external host.
+
+Every intensity level is an independent simulation seeded with
+``seed + index``, so a sweep decomposes into
+:class:`~repro.perf.cells.MicrobenchCell` descriptors executed by the
+parallel cell executor: with ``repro run --jobs N`` the levels fan out
+over worker processes, and with ``--cache-dir`` previously computed
+levels are served from the content-addressed result cache.  Results are
+merged in level order, so parallel output is byte-identical to serial.
 """
 
 from __future__ import annotations
@@ -12,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.monitor.metrics import trace_name
 from repro.monitor.script import MeasurementScript
+from repro.perf.cells import MicrobenchCell
+from repro.perf.executor import run_cells
 from repro.sim.engine import Simulator
 from repro.workloads.netload import intra_pm_ping
 from repro.workloads.suite import BW, intensity_levels, make_benchmark
@@ -26,6 +39,16 @@ PAPER_DURATION_S = 120.0
 FAST_DURATION_S = 12.0
 #: Warm-up simulated before sampling starts.
 WARMUP_S = 3.0
+
+#: The pseudo-kind of the Figure 5 intra-PM sweep cells.
+INTRA_PM_KIND = "bw-intra"
+
+#: (entity, resource) pairs every sweep level records, in report order.
+LEVEL_SERIES: Tuple[Tuple[str, str], ...] = tuple(
+    (entity, resource)
+    for entity in ("vm0", "dom0", "pm")
+    for resource in ("cpu", "mem", "io", "bw")
+) + (("hyp", "cpu"),)
 
 
 @dataclass
@@ -50,6 +73,87 @@ class SweepResult:
             ) from None
 
 
+def _level_means(report) -> Dict[Tuple[str, str], float]:
+    """All per-(entity, resource) means of one level in a single pass.
+
+    The sample matrix is reduced with one vectorized ``mean(axis=1)``
+    over the stacked traces instead of 13 scalar ``np.mean`` calls;
+    row-wise reduction of a C-contiguous matrix is bit-identical to the
+    per-trace means it replaces.
+    """
+    matrix = np.stack(
+        [
+            report.series(entity, resource).values
+            for entity, resource in LEVEL_SERIES
+        ]
+    )
+    means = matrix.mean(axis=1)
+    return {
+        pair: float(means[i]) for i, pair in enumerate(LEVEL_SERIES)
+    }
+
+
+def run_level_cell(cell: MicrobenchCell):
+    """Execute one sweep level (the body of the old serial loops).
+
+    Returns ``(means, events)`` where ``means`` maps ``(entity,
+    resource)`` to the level's mean utilization and ``events`` is the
+    number of simulator events dispatched -- the executor's throughput
+    accounting.
+    """
+    sim = Simulator(seed=cell.seed + cell.index)
+    pm = PhysicalMachine(sim, name="pm1", calibration=cell.calibration)
+    if cell.kind == INTRA_PM_KIND:
+        vm1 = pm.create_vm(VMSpec(name="vm0"))
+        pm.create_vm(VMSpec(name="vm1"))
+        intra_pm_ping(cell.level * 1000.0, "vm1").attach(vm1)
+    else:
+        vms = [
+            pm.create_vm(VMSpec(name=f"vm{k}")) for k in range(cell.n_vms)
+        ]
+        for vm in vms:
+            make_benchmark(cell.kind, cell.level).attach(vm)
+    pm.start()
+    sim.run_until(WARMUP_S)
+    report = MeasurementScript(pm).run(duration=cell.duration)
+    return _level_means(report), sim.dispatched
+
+
+def _sweep_cells(
+    kind: str,
+    n_vms: int,
+    levels: List[float],
+    *,
+    duration: float,
+    seed: int,
+    calibration: Optional[XenCalibration],
+) -> List[MicrobenchCell]:
+    return [
+        MicrobenchCell(
+            kind=kind,
+            n_vms=n_vms,
+            level=level,
+            index=index,
+            duration=duration,
+            seed=seed,
+            calibration=calibration,
+        )
+        for index, level in enumerate(levels)
+    ]
+
+
+def _assemble(
+    kind: str, n_vms: int, levels: List[float], cells: List[MicrobenchCell]
+) -> SweepResult:
+    """Run the cells and merge per-level means in level-key order."""
+    level_means = run_cells(cells)
+    means: Dict[Tuple[str, str], List[float]] = {}
+    for per_level in level_means:
+        for pair in LEVEL_SERIES:
+            means.setdefault(pair, []).append(per_level[pair])
+    return SweepResult(kind=kind, n_vms=n_vms, levels=levels, means=means)
+
+
 def microbench_sweep(
     kind: str,
     n_vms: int,
@@ -61,23 +165,11 @@ def microbench_sweep(
 ) -> SweepResult:
     """Sweep one Table II benchmark over its intensity grid."""
     levels = list(levels) if levels is not None else list(intensity_levels(kind))
-    means: Dict[Tuple[str, str], List[float]] = {}
-    for idx, level in enumerate(levels):
-        sim = Simulator(seed=seed + idx)
-        pm = PhysicalMachine(sim, name="pm1", calibration=calibration)
-        vms = [pm.create_vm(VMSpec(name=f"vm{k}")) for k in range(n_vms)]
-        for vm in vms:
-            make_benchmark(kind, level).attach(vm)
-        pm.start()
-        sim.run_until(WARMUP_S)
-        report = MeasurementScript(pm).run(duration=duration)
-        for entity in ("vm0", "dom0", "pm"):
-            for resource in ("cpu", "mem", "io", "bw"):
-                means.setdefault((entity, resource), []).append(
-                    report.mean(entity, resource)
-                )
-        means.setdefault(("hyp", "cpu"), []).append(report.mean("hyp", "cpu"))
-    return SweepResult(kind=kind, n_vms=n_vms, levels=levels, means=means)
+    cells = _sweep_cells(
+        kind, n_vms, levels,
+        duration=duration, seed=seed, calibration=calibration,
+    )
+    return _assemble(kind, n_vms, levels, cells)
 
 
 def intra_pm_sweep(
@@ -92,20 +184,8 @@ def intra_pm_sweep(
     Levels are the Table II BW grid in Mb/s; VM1 is the measured guest.
     """
     levels = list(levels) if levels is not None else list(intensity_levels(BW))
-    means: Dict[Tuple[str, str], List[float]] = {}
-    for idx, level in enumerate(levels):
-        sim = Simulator(seed=seed + idx)
-        pm = PhysicalMachine(sim, name="pm1", calibration=calibration)
-        vm1 = pm.create_vm(VMSpec(name="vm0"))
-        pm.create_vm(VMSpec(name="vm1"))
-        intra_pm_ping(level * 1000.0, "vm1").attach(vm1)
-        pm.start()
-        sim.run_until(WARMUP_S)
-        report = MeasurementScript(pm).run(duration=duration)
-        for entity in ("vm0", "dom0", "pm"):
-            for resource in ("cpu", "mem", "io", "bw"):
-                means.setdefault((entity, resource), []).append(
-                    report.mean(entity, resource)
-                )
-        means.setdefault(("hyp", "cpu"), []).append(report.mean("hyp", "cpu"))
-    return SweepResult(kind="bw-intra", n_vms=2, levels=levels, means=means)
+    cells = _sweep_cells(
+        INTRA_PM_KIND, 2, levels,
+        duration=duration, seed=seed, calibration=calibration,
+    )
+    return _assemble(INTRA_PM_KIND, 2, levels, cells)

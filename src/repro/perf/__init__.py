@@ -1,0 +1,79 @@
+"""Performance layer: parallel cell execution, result caching, profiling.
+
+Three cooperating parts, all resting on the determinism contract the
+lint and sanitizer layers enforce (a cell's output is a pure function
+of code, configuration and seed):
+
+* :mod:`repro.perf.cells` / :mod:`repro.perf.executor` -- experiment
+  sweeps factored into independent :class:`~repro.perf.cells.Cell`
+  descriptors, fanned out over a process pool with results merged in
+  cell order so parallel output is byte-identical to serial
+  (``repro run --jobs N``);
+* :mod:`repro.perf.cache` -- a content-addressed on-disk cache keyed by
+  (cell config, code fingerprint); warm re-runs are I/O-bound
+  (``repro run --cache-dir D``, ``repro cache stats|clear``);
+* :mod:`repro.perf.profiler` / :mod:`repro.perf.bench` -- per-phase
+  wall-time and event-rate instrumentation plus the ``repro bench``
+  harness emitting ``BENCH_<rev>.json`` perf-trajectory records.
+"""
+
+from repro.perf.bench import BENCH_SCHEMA, bench_cells, run_bench, write_bench
+from repro.perf.cache import (
+    CacheStats,
+    ResultCache,
+    canonical_json,
+    code_fingerprint,
+)
+from repro.perf.cells import (
+    Cell,
+    MicrobenchCell,
+    PredictionCell,
+    ScenarioTrialCell,
+    content_digest,
+)
+from repro.perf.executor import (
+    CellOutcome,
+    default_cache,
+    default_jobs,
+    execution_defaults,
+    resolve_jobs,
+    run_cells,
+    set_default_cache,
+    set_default_jobs,
+)
+from repro.perf.profiler import (
+    PhaseStats,
+    Profiler,
+    default_profiler,
+    profiled,
+    set_default_profiler,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CacheStats",
+    "Cell",
+    "CellOutcome",
+    "MicrobenchCell",
+    "PhaseStats",
+    "PredictionCell",
+    "Profiler",
+    "ResultCache",
+    "ScenarioTrialCell",
+    "bench_cells",
+    "canonical_json",
+    "code_fingerprint",
+    "content_digest",
+    "default_cache",
+    "default_jobs",
+    "default_profiler",
+    "execution_defaults",
+    "profiled",
+    "resolve_jobs",
+    "run_bench",
+    "run_cells",
+    "set_default_cache",
+    "set_default_jobs",
+    "set_default_profiler",
+    "write_bench",
+]

@@ -1,0 +1,177 @@
+"""``repro bench``: a fixed workload matrix with a recorded perf schema.
+
+Runs the same micro-benchmark cell set four ways -- serial, parallel,
+cold-cache, warm-cache -- and emits a ``BENCH_<rev>.json`` whose
+numbers future PRs regress against.  ``<rev>`` is the leading 12 hex
+characters of the :func:`~repro.perf.cache.code_fingerprint`, so every
+source change starts a fresh trajectory point.
+
+JSON schema (``repro-bench/1``)
+-------------------------------
+``schema``
+    Literal ``"repro-bench/1"``.
+``revision``
+    12-char code fingerprint prefix of ``src/repro``.
+``fast``
+    Whether the reduced workload matrix was used.
+``jobs``
+    Worker processes used for the parallel phase.
+``workload``
+    The cell matrix: benchmark kinds, VM counts, per-cell simulated
+    duration, number of cells.
+``phases``
+    Per-phase profiler dumps (``serial``, ``parallel``, ``cache_cold``,
+    ``cache_warm``), each with ``wall_s``, ``cells``, ``events``,
+    ``cache_hits``/``cache_misses`` and derived rates.
+``metrics``
+    The headline numbers:
+
+    * ``events_per_sec`` -- simulator event throughput of the serial
+      phase (the engine's hot-path speed);
+    * ``cells_per_sec`` -- serial cell throughput;
+    * ``parallel_speedup`` -- serial wall / parallel wall at ``jobs``;
+    * ``cache_warm_speedup`` -- cold wall / warm wall;
+    * ``cache_hit_rate`` -- hit rate of the warm phase (1.0 when every
+      cell was served from disk).
+
+All numbers are wall-clock measurements and therefore machine-dependent;
+only *ratios* (speedups, hit rate) are comparable across hosts.  The
+events/cells rates are comparable across revisions on the same runner,
+which is what the CI perf-smoke job records.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.perf.cache import ResultCache, code_fingerprint
+from repro.perf.cells import MicrobenchCell
+from repro.perf.executor import resolve_jobs, run_cells
+from repro.perf.profiler import Profiler, profiled
+from repro.workloads.suite import intensity_levels
+
+#: Schema identifier embedded in every bench file.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Paper-scale bench matrix: all four kinds, 1 and 2 VMs.
+FULL_KINDS = ("cpu", "mem", "io", "bw")
+FULL_VM_COUNTS = (1, 2)
+FULL_DURATION_S = 30.0
+
+#: Fast matrix for CI smoke runs.
+FAST_KINDS = ("cpu", "bw")
+FAST_VM_COUNTS = (1,)
+FAST_DURATION_S = 6.0
+
+
+def bench_cells(*, fast: bool = False, seed: int = 42) -> List[MicrobenchCell]:
+    """The fixed cell matrix the bench always measures."""
+    kinds = FAST_KINDS if fast else FULL_KINDS
+    vm_counts = FAST_VM_COUNTS if fast else FULL_VM_COUNTS
+    duration = FAST_DURATION_S if fast else FULL_DURATION_S
+    cells: List[MicrobenchCell] = []
+    for n_vms in vm_counts:
+        for kind in kinds:
+            for index, level in enumerate(intensity_levels(kind)):
+                cells.append(
+                    MicrobenchCell(
+                        kind=kind,
+                        n_vms=n_vms,
+                        level=level,
+                        index=index,
+                        duration=duration,
+                        seed=seed,
+                    )
+                )
+    return cells
+
+
+def default_output_path(directory: Path | str = ".") -> Path:
+    """``BENCH_<rev>.json`` in ``directory``."""
+    return Path(directory) / f"BENCH_{code_fingerprint()[:12]}.json"
+
+
+def _phase_wall(profiler: Profiler, phase: str) -> float:
+    return profiler.stats(phase).wall_s
+
+
+def run_bench(
+    *,
+    fast: bool = False,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Execute the bench matrix and return the ``repro-bench/1`` record.
+
+    ``cache_dir`` defaults to a throwaway temp directory so the cold /
+    warm phases always start from an empty cache; pass a path to bench
+    a persistent cache instead.
+    """
+    jobs = resolve_jobs(jobs if jobs is not None else 0)
+    cells = bench_cells(fast=fast, seed=seed)
+
+    with profiled() as profiler:
+        serial = run_cells(cells, jobs=1, cache=None, phase="serial")
+        parallel = run_cells(cells, jobs=jobs, cache=None, phase="parallel")
+        if cache_dir is not None:
+            cache = ResultCache(cache_dir)
+            run_cells(cells, jobs=1, cache=cache, phase="cache_cold")
+            run_cells(cells, jobs=1, cache=cache, phase="cache_warm")
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+                cache = ResultCache(tmp)
+                run_cells(cells, jobs=1, cache=cache, phase="cache_cold")
+                run_cells(cells, jobs=1, cache=cache, phase="cache_warm")
+
+    if any(s != p for s, p in zip(serial, parallel)):
+        raise AssertionError(
+            "parallel bench results diverged from serial -- determinism "
+            "contract violated"
+        )
+
+    summary = profiler.summary()
+    serial_stats = profiler.stats("serial")
+    parallel_wall = _phase_wall(profiler, "parallel")
+    cold_wall = _phase_wall(profiler, "cache_cold")
+    warm_wall = _phase_wall(profiler, "cache_warm")
+    warm_stats = profiler.stats("cache_warm")
+    warm_total = warm_stats.cache_hits + warm_stats.cache_misses
+    metrics = {
+        "events_per_sec": serial_stats.events_per_sec,
+        "cells_per_sec": serial_stats.cells_per_sec,
+        "serial_wall_s": serial_stats.wall_s,
+        "parallel_wall_s": parallel_wall,
+        "parallel_speedup": (
+            serial_stats.wall_s / parallel_wall if parallel_wall > 0 else 0.0
+        ),
+        "cache_cold_wall_s": cold_wall,
+        "cache_warm_wall_s": warm_wall,
+        "cache_warm_speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+        "cache_hit_rate": (
+            warm_stats.cache_hits / warm_total if warm_total else 0.0
+        ),
+    }
+    return {
+        "schema": BENCH_SCHEMA,
+        "revision": code_fingerprint()[:12],
+        "fast": fast,
+        "jobs": jobs,
+        "workload": {
+            "kinds": list(FAST_KINDS if fast else FULL_KINDS),
+            "vm_counts": list(FAST_VM_COUNTS if fast else FULL_VM_COUNTS),
+            "duration_s": FAST_DURATION_S if fast else FULL_DURATION_S,
+            "cells": len(cells),
+            "seed": seed,
+        },
+        "phases": summary["phases"],
+        "metrics": metrics,
+    }
+
+
+def write_bench(record: Dict[str, object], path: Path) -> None:
+    """Write one bench record as stable, human-diffable JSON."""
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,215 @@
+"""Content-addressed on-disk cache of cell results.
+
+A cell's output is a pure function of (code, configuration, seed) --
+PR 2's determinism guarantees make that a hard invariant, not a hope.
+The cache exploits it: the key is a SHA-256 over the cell's canonical
+JSON configuration plus a *code fingerprint* of the whole ``repro``
+package, so
+
+* a re-run of an already-computed experiment group becomes I/O-bound
+  (unpickle instead of simulate), and
+* any source change anywhere in ``src/repro`` invalidates every entry
+  -- there is no way to read a stale result through a fresh key.
+
+Layout: ``<root>/<fingerprint[:16]>/<key>.pkl``.  Grouping by
+fingerprint makes stale eviction trivial: on open, every sibling
+generation directory belongs to old code and is deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.perf.cells import Cell
+
+#: Characters of the fingerprint used for the generation directory.
+_GENERATION_CHARS = 16
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro`` package.
+
+    Computed once per process.  The hash covers relative paths and file
+    bytes in sorted order, so it is independent of filesystem layout
+    and stable across machines for identical sources.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time view of one cache directory."""
+
+    root: str
+    fingerprint: str
+    entries: int
+    stale_generations: int
+    bytes: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"cache root:        {self.root}",
+            f"code fingerprint:  {self.fingerprint[:_GENERATION_CHARS]}",
+            f"entries:           {self.entries}",
+            f"size:              {self.bytes} bytes",
+            f"stale generations: {self.stale_generations}",
+        ]
+        if self.hits or self.misses:
+            lines.append(
+                f"session hits/misses: {self.hits}/{self.misses} "
+                f"(hit rate {self.hit_rate:.0%})"
+            )
+        return "\n".join(lines)
+
+
+class ResultCache:
+    """Pickle store of cell outcomes keyed by content address.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on demand.  One subdirectory per code
+        fingerprint generation.
+    fingerprint:
+        Override the code fingerprint (tests use this to simulate a
+        code change without editing sources).
+    evict_stale:
+        Delete generation directories from older fingerprints on open.
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        *,
+        fingerprint: Optional[str] = None,
+        evict_stale: bool = True,
+    ) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.generation = self.fingerprint[:_GENERATION_CHARS]
+        self._dir = self.root / self.generation
+        #: Cells served from disk this session.
+        self.hits = 0
+        #: Cells that had to be simulated this session.
+        self.misses = 0
+        if evict_stale:
+            self.evict_stale()
+
+    # -- keying ----------------------------------------------------------
+
+    def key(self, cell: Cell) -> str:
+        """Content address of one cell under the current code."""
+        material = canonical_json(
+            {"config": cell.config(), "code": self.fingerprint}
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, cell: Cell) -> Path:
+        return self._dir / f"{self.key(cell)}.pkl"
+
+    # -- storage ---------------------------------------------------------
+
+    def get(self, cell: Cell) -> Optional[Any]:
+        """The stored outcome for ``cell``, or ``None`` on a miss.
+
+        A corrupt or truncated entry counts as a miss and is removed --
+        the caller will recompute and overwrite it.
+        """
+        path = self._path(cell)
+        try:
+            with open(path, "rb") as fh:
+                outcome = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (pickle.UnpicklingError, EOFError, OSError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, cell: Cell, outcome: Any) -> None:
+        """Store one outcome atomically (write temp + rename)."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(cell)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    # -- maintenance -----------------------------------------------------
+
+    def _stale_generations(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.root.iterdir()
+            if p.is_dir() and p.name != self.generation
+        )
+
+    def evict_stale(self) -> int:
+        """Delete entries written by older code; return directories removed."""
+        stale = self._stale_generations()
+        for path in stale:
+            shutil.rmtree(path, ignore_errors=True)
+        return len(stale)
+
+    def clear(self) -> int:
+        """Delete every entry of every generation; return entries removed."""
+        removed = 0
+        if self.root.is_dir():
+            removed = sum(1 for _ in self.root.rglob("*.pkl"))
+            shutil.rmtree(self.root, ignore_errors=True)
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Entry/size counts for the current generation."""
+        entries = 0
+        size = 0
+        if self._dir.is_dir():
+            for path in sorted(self._dir.glob("*.pkl")):
+                entries += 1
+                size += path.stat().st_size
+        return CacheStats(
+            root=str(self.root),
+            fingerprint=self.fingerprint,
+            entries=entries,
+            stale_generations=len(self._stale_generations()),
+            bytes=size,
+            hits=self.hits,
+            misses=self.misses,
+        )

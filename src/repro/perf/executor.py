@@ -1,0 +1,258 @@
+"""Parallel cell executor: deterministic fan-out over processes.
+
+``run_cells`` executes a list of :class:`~repro.perf.cells.Cell`
+descriptors and returns their values **in cell order, never completion
+order** -- with every cell seeded independently (a property the serial
+loops already had), parallel output is byte-identical to serial by
+construction.  ``jobs=1`` runs inline in the calling process (the
+serial path, zero overhead); ``jobs>1`` fans out over a
+``ProcessPoolExecutor``.
+
+Sanitizer accounting survives the fan-out: each worker runs its cell
+under the parent's sanitize default, harvests that cell's per-stream
+RNG draw counts and event-pop tally, and ships them home, where they
+are merged into the parent's collector -- so ``repro run --sanitize
+--jobs 4`` reports exactly the counts of a serial sanitized run.
+
+The module also owns the process-wide execution defaults (``--jobs``,
+``--cache-dir``) so the CLI can configure fan-out without threading
+parameters through every experiment signature -- the same pattern
+:mod:`repro.sim.sanitize` uses for its ``--sanitize`` default.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.perf.cache import ResultCache
+from repro.perf.cells import Cell
+from repro.perf.profiler import default_profiler
+from repro.sim import sanitize
+
+
+@dataclass
+class CellOutcome:
+    """Everything one executed cell produced.
+
+    ``draw_counts`` / ``pops`` carry the sanitizer accounting of the
+    cell's own simulators (empty when the cell ran unsanitized); they
+    let the parent process report aggregate counts identical to a
+    serial run, and let a cache hit replay the accounting of the run
+    that produced it.
+    """
+
+    value: Any
+    events: int = 0
+    draw_counts: Dict[str, int] = field(default_factory=dict)
+    pops: int = 0
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None`` -> default, ``<=0`` -> CPUs."""
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+# --------------------------------------------------------------------------
+# Process-wide execution defaults (wired up by the CLI and bench harness).
+# --------------------------------------------------------------------------
+
+_default_jobs = 1
+_default_cache: Optional[ResultCache] = None
+
+
+def default_jobs() -> int:
+    """Worker count used when callers do not pass ``jobs`` explicitly."""
+    return _default_jobs
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-wide worker count (``repro ... --jobs N``)."""
+    global _default_jobs
+    _default_jobs = int(jobs)
+
+
+def default_cache() -> Optional[ResultCache]:
+    """Cache used when callers do not pass one explicitly."""
+    return _default_cache
+
+
+def set_default_cache(cache: Optional[ResultCache]) -> None:
+    """Install (or clear) the process-wide result cache."""
+    global _default_cache
+    _default_cache = cache
+
+
+@contextmanager
+def execution_defaults(
+    *, jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+) -> Iterator[None]:
+    """Temporarily install execution defaults (CLI / test scoping)."""
+    prev_jobs, prev_cache = _default_jobs, _default_cache
+    if jobs is not None:
+        set_default_jobs(jobs)
+    if cache is not None:
+        set_default_cache(cache)
+    try:
+        yield
+    finally:
+        set_default_jobs(prev_jobs)
+        set_default_cache(prev_cache)
+
+
+# --------------------------------------------------------------------------
+# Execution.
+# --------------------------------------------------------------------------
+
+
+def _sanitized_execute(cell: Cell) -> CellOutcome:
+    """Run one cell, harvesting its sanitizer accounting as a delta.
+
+    Works in both the inline path and inside a pool worker: the delta
+    of the process-wide collector across the run is exactly this cell's
+    accounting, because cells execute one at a time per process.
+    """
+    before_counts = sanitize.aggregate_draw_counts()
+    before_pops = sanitize.total_pops()
+    value, events = cell.run()
+    after_counts = sanitize.aggregate_draw_counts()
+    draw_counts = {
+        name: count - before_counts.get(name, 0)
+        for name, count in after_counts.items()
+        if count - before_counts.get(name, 0)
+    }
+    return CellOutcome(
+        value=value,
+        events=events,
+        draw_counts=draw_counts,
+        pops=sanitize.total_pops() - before_pops,
+    )
+
+
+def _execute_cell(cell: Cell) -> CellOutcome:
+    """Run one cell in the current process."""
+    if sanitize.default_enabled():
+        return _sanitized_execute(cell)
+    value, events = cell.run()
+    return CellOutcome(value=value, events=events)
+
+
+def _pool_worker(cell: Cell, sanitize_enabled: bool) -> CellOutcome:
+    """Top-level worker entry point (must be picklable by name)."""
+    previous = sanitize.default_enabled()
+    sanitize.set_default(sanitize_enabled)
+    try:
+        return _execute_cell(cell)
+    finally:
+        sanitize.set_default(previous)
+
+
+def _merge_accounting(outcome: CellOutcome) -> None:
+    """Fold a remote/cached cell's sanitizer accounting into this process.
+
+    Registers a synthetic hook set carrying the cell's draw counts and
+    pop tally, so ``aggregate_draw_counts`` / ``total_pops`` report the
+    same totals a serial in-process run would have.
+    """
+    if not sanitize.default_enabled():
+        return
+    if not outcome.draw_counts and not outcome.pops:
+        return
+    hooks = sanitize.SanitizerHooks()
+    hooks.draw_counts.update(outcome.draw_counts)
+    hooks.pops = outcome.pops
+    sanitize.register_hooks(hooks)
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    phase: Optional[str] = None,
+) -> List[Any]:
+    """Execute ``cells`` and return their values in input order.
+
+    Parameters
+    ----------
+    cells:
+        The work items.  Each must be independently executable -- no
+        cell may observe another's side effects.
+    jobs:
+        Worker processes; ``None`` uses :func:`default_jobs`, ``<= 0``
+        uses the machine's CPU count, ``1`` runs inline.
+    cache:
+        Optional :class:`ResultCache`; ``None`` uses the process-wide
+        default (``--cache-dir``), which may itself be absent.
+    phase:
+        Profiler phase name; defaults to the first cell's ``group``.
+    """
+    if not cells:
+        return []
+    jobs = resolve_jobs(jobs)
+    if cache is None:
+        cache = default_cache()
+    profiler = default_profiler()
+    phase_name = phase or cells[0].group
+
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    hits = 0
+    if cache is not None:
+        for i, cell in enumerate(cells):
+            cached = cache.get(cell)
+            if cached is not None:
+                outcomes[i] = cached
+                _merge_accounting(cached)
+                hits += 1
+    missing = [i for i, out in enumerate(outcomes) if out is None]
+
+    def complete(i: int, outcome: CellOutcome) -> None:
+        outcomes[i] = outcome
+        if cache is not None:
+            cache.put(cells[i], outcome)
+
+    timer = (
+        profiler.phase(phase_name) if profiler is not None
+        else _null_context()
+    )
+    with timer:
+        if jobs == 1 or len(missing) <= 1:
+            for i in missing:
+                complete(i, _execute_cell(cells[i]))
+        else:
+            enabled = sanitize.default_enabled()
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(missing))
+            ) as pool:
+                futures = [
+                    (i, pool.submit(_pool_worker, cells[i], enabled))
+                    for i in missing
+                ]
+                # Collect in submission order: merged results and
+                # sanitizer accounting never depend on completion order.
+                for i, future in futures:
+                    outcome = future.result()
+                    _merge_accounting(outcome)
+                    complete(i, outcome)
+
+    if profiler is not None:
+        profiler.record(
+            phase_name,
+            cells=len(cells),
+            events=sum(o.events for o in outcomes if o is not None),
+            cache_hits=hits,
+            cache_misses=len(missing) if cache is not None else 0,
+        )
+    return [o.value for o in outcomes]  # type: ignore[union-attr]
+
+
+@contextmanager
+def _null_context() -> Iterator[None]:
+    yield

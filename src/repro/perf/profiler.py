@@ -1,0 +1,170 @@
+"""Perf instrumentation: per-phase wall time and event-rate counters.
+
+The simulation core is wall-clock-free by construction (``repro lint``'s
+REP002 bans real-time reads in deterministic code); *measuring* that
+core is this module's job, so the ``perf_counter`` reads below carry
+justified suppressions -- timing lives here and nowhere else.
+
+A :class:`Profiler` collects named phases.  Each phase accumulates wall
+seconds plus whatever counters the caller reports (cells executed,
+simulator events dispatched, cache hits/misses), and the summary derives
+the throughput figures the ``repro bench`` trajectory tracks:
+events/sec, cells/sec, cache hit rate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+def wall_now() -> float:
+    """The profiler's single wall-clock source (monotonic seconds)."""
+    return time.perf_counter()  # repro: noqa[REP002] profiling is the one sanctioned wall-clock consumer
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated counters of one named profiling phase."""
+
+    name: str
+    wall_s: float = 0.0
+    #: Number of timed intervals folded into ``wall_s``.
+    intervals: int = 0
+    cells: int = 0
+    #: Simulator events dispatched inside the phase.
+    events: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def cells_per_sec(self) -> float:
+        return self.cells / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "wall_s": self.wall_s,
+            "intervals": self.intervals,
+            "cells": self.cells,
+            "events": self.events,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "events_per_sec": self.events_per_sec,
+            "cells_per_sec": self.cells_per_sec,
+        }
+
+
+@dataclass
+class Profiler:
+    """Named-phase wall-time and throughput accounting.
+
+    Phases accumulate: entering the same name twice folds into one
+    :class:`PhaseStats`, which is what sweep-per-subfigure reuse wants
+    (five Figure 2 sweeps all report into ``microbench``).
+    """
+
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+
+    def stats(self, name: str) -> PhaseStats:
+        """The (created-on-demand) accumulator for ``name``."""
+        phase = self.phases.get(name)
+        if phase is None:
+            phase = self.phases[name] = PhaseStats(name=name)
+        return phase
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Time a block into phase ``name`` and yield its accumulator."""
+        stats = self.stats(name)
+        start = wall_now()
+        try:
+            yield stats
+        finally:
+            stats.wall_s += wall_now() - start
+            stats.intervals += 1
+
+    def record(
+        self,
+        name: str,
+        *,
+        cells: int = 0,
+        events: int = 0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> None:
+        """Fold counters into phase ``name`` without timing anything."""
+        stats = self.stats(name)
+        stats.cells += cells
+        stats.events += events
+        stats.cache_hits += cache_hits
+        stats.cache_misses += cache_misses
+
+    # -- aggregates ------------------------------------------------------
+
+    def total(self, attr: str) -> float:
+        """Sum one counter over every phase."""
+        return sum(getattr(p, attr) for p in self.phases.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = self.total("cache_hits")
+        total = hits + self.total("cache_misses")
+        return hits / total if total else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready dump: per-phase stats plus whole-run aggregates."""
+        wall = self.total("wall_s")
+        events = self.total("events")
+        cells = self.total("cells")
+        return {
+            "phases": {
+                name: self.phases[name].as_dict()
+                for name in sorted(self.phases)
+            },
+            "totals": {
+                "wall_s": wall,
+                "events": events,
+                "cells": cells,
+                "events_per_sec": events / wall if wall > 0 else 0.0,
+                "cells_per_sec": cells / wall if wall > 0 else 0.0,
+                "cache_hits": self.total("cache_hits"),
+                "cache_misses": self.total("cache_misses"),
+                "cache_hit_rate": self.cache_hit_rate,
+            },
+        }
+
+
+# --------------------------------------------------------------------------
+# Process-wide default profiler (wired up by the CLI / bench harness).
+# --------------------------------------------------------------------------
+
+_default_profiler: Optional[Profiler] = None
+
+
+def default_profiler() -> Optional[Profiler]:
+    """The profiler executors report into, or ``None``."""
+    return _default_profiler
+
+
+def set_default_profiler(profiler: Optional[Profiler]) -> None:
+    """Install (or clear) the process-wide profiler."""
+    global _default_profiler
+    _default_profiler = profiler
+
+
+@contextmanager
+def profiled() -> Iterator[Profiler]:
+    """Install a fresh default profiler for the block and yield it."""
+    previous = _default_profiler
+    profiler = Profiler()
+    set_default_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        set_default_profiler(previous)

@@ -21,6 +21,8 @@ from repro.cluster.cluster import Cluster
 from repro.models.multi_vm import MultiVMOverheadModel
 from repro.monitor.metrics import ResourceVector
 from repro.placement.cloudscale import DemandPredictor
+from repro.perf.cells import ScenarioTrialCell
+from repro.perf.executor import run_cells
 from repro.placement.placer import (
     VOA,
     VOU,
@@ -173,6 +175,44 @@ def run_trial(
     clients: int = SCENARIO_CLIENTS,
 ) -> TrialResult:
     """Place the five VMs in ``order`` and run RUBiS for ``duration_s``."""
+    result, _events = _run_trial(
+        scenario,
+        strategy,
+        model,
+        demands,
+        order=order,
+        seed=seed,
+        duration_s=duration_s,
+        clients=clients,
+    )
+    return result
+
+
+def run_trial_cell(cell: ScenarioTrialCell) -> Tuple[TrialResult, int]:
+    """Execute one fan-out cell: ``(trial result, events dispatched)``."""
+    return _run_trial(
+        cell.scenario,
+        cell.strategy,
+        cell.model,
+        cell.demands,
+        order=list(cell.order),
+        seed=cell.seed,
+        duration_s=cell.duration_s,
+        clients=cell.clients,
+    )
+
+
+def _run_trial(
+    scenario: int,
+    strategy: str,
+    model: Optional[MultiVMOverheadModel],
+    demands: Dict[str, ResourceVector],
+    *,
+    order: Sequence[str],
+    seed: int,
+    duration_s: float,
+    clients: int,
+) -> Tuple[TrialResult, int]:
     if scenario not in SCENARIOS:
         raise ValueError(f"scenario must be one of {SCENARIOS}")
     if sorted(order) != sorted(VM_NAMES):
@@ -206,13 +246,14 @@ def run_trial(
     cluster.start()
     app.start()
     cluster.run(duration_s)
-    return TrialResult(
+    result = TrialResult(
         scenario=scenario,
         strategy=strategy,
         plan=plan,
         throughput_rps=app.mean_throughput(),
         total_time_s=app.total_time(),
     )
+    return result, sim.dispatched
 
 
 def run_scenario_experiment(
@@ -224,31 +265,43 @@ def run_scenario_experiment(
     seed: int = 2015,
     profile_s: float = 60.0,
 ) -> List[ScenarioResult]:
-    """The full Figure 10 grid: scenarios x {VOA, VOU} x trials."""
+    """The full Figure 10 grid: scenarios x {VOA, VOU} x trials.
+
+    Profiling and the trial-order shuffles stay serial (the shuffle
+    stream must be consumed in exactly the order the serial loops drew
+    it); the trials themselves -- the expensive part -- are independent
+    :class:`~repro.perf.cells.ScenarioTrialCell` descriptors fanned out
+    by :func:`~repro.perf.executor.run_cells` and merged back in trial
+    order, so parallel output is byte-identical to serial.
+    """
     rng = generator_from_seed(seed)
     results: List[ScenarioResult] = []
+    by_key: Dict[Tuple[int, str], ScenarioResult] = {}
+    work: List[ScenarioTrialCell] = []
     for scenario in scenarios:
         demands = profile_demands(
             scenario, seed=seed + scenario, profile_s=profile_s
         )
-        cells = {
-            VOA: ScenarioResult(scenario=scenario, strategy=VOA),
-            VOU: ScenarioResult(scenario=scenario, strategy=VOU),
-        }
+        for strategy in (VOA, VOU):
+            cell_result = ScenarioResult(scenario=scenario, strategy=strategy)
+            by_key[(scenario, strategy)] = cell_result
+            results.append(cell_result)
         for trial in range(trials):
             order = list(VM_NAMES)
             rng.shuffle(order)
             for strategy in (VOA, VOU):
-                cells[strategy].trials.append(
-                    run_trial(
-                        scenario,
-                        strategy,
-                        model if strategy == VOA else None,
-                        demands,
-                        order=order,
+                work.append(
+                    ScenarioTrialCell(
+                        scenario=scenario,
+                        strategy=strategy,
+                        order=tuple(order),
                         seed=seed * 1000 + scenario * 100 + trial,
                         duration_s=duration_s,
+                        clients=SCENARIO_CLIENTS,
+                        model=model if strategy == VOA else None,
+                        demands=demands,
                     )
                 )
-        results.extend(cells.values())
+    for cell, trial_result in zip(work, run_cells(work)):
+        by_key[(cell.scenario, cell.strategy)].trials.append(trial_result)
     return results

@@ -19,9 +19,14 @@ from typing import Any, Callable, Optional
 DEFAULT_PRIORITY = 0
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
+
+    Slotted: the simulator allocates one ``Event`` per dispatch on the
+    hot path, and ``__slots__`` drops the per-instance ``__dict__``
+    (smaller, faster attribute access).  No code may attach ad-hoc
+    attributes to events -- carry data in ``payload``.
 
     Attributes
     ----------

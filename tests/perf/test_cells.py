@@ -1,0 +1,138 @@
+"""Cell descriptors and the refactors they were factored out of."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments import prediction
+from repro.experiments.sweeps import (
+    LEVEL_SERIES,
+    microbench_sweep,
+)
+from repro.perf.cells import (
+    CELL_SCHEMA_VERSION,
+    MicrobenchCell,
+    PredictionCell,
+    ScenarioTrialCell,
+)
+
+
+class TestCellDescriptors:
+    def test_microbench_cell_is_picklable_and_runs(self):
+        cell = MicrobenchCell(
+            kind="cpu", n_vms=1, level=25.0, index=0, duration=2.0, seed=42
+        )
+        clone = pickle.loads(pickle.dumps(cell))
+        means, events = clone.run()
+        assert events > 0
+        assert set(means) == set(LEVEL_SERIES)
+
+    def test_config_is_json_serializable_and_versioned(self):
+        import json
+
+        cell = MicrobenchCell(
+            kind="bw", n_vms=2, level=64.0, index=1, duration=2.0, seed=7
+        )
+        config = cell.config()
+        assert config["version"] == CELL_SCHEMA_VERSION
+        json.dumps(config)
+
+    def test_prediction_cell_config_digests_models(self):
+        single, multi = prediction.trained_models(duration=20.0)
+        cell = PredictionCell(
+            n_apps=1, clients=300, duration=10.0, seed=99,
+            single_model=single, multi_model=multi,
+        )
+        config = cell.config()
+        assert len(config["single_model"]) == 64
+        assert config["single_model"] != config["multi_model"]
+
+    def test_scenario_cell_rejects_nothing_until_run(self):
+        cell = ScenarioTrialCell(
+            scenario=0, strategy="VOA", order=("a",), seed=1,
+            duration_s=1.0, clients=10,
+        )
+        assert cell.config()["order"] == ["a"]
+
+    def test_labels_are_short_and_distinct(self):
+        a = MicrobenchCell(
+            kind="cpu", n_vms=1, level=25.0, index=0, duration=2.0, seed=42
+        )
+        b = MicrobenchCell(
+            kind="mem", n_vms=2, level=25.0, index=0, duration=2.0, seed=42
+        )
+        assert a.label() != b.label()
+
+
+class TestSweepRefactor:
+    def test_sweep_levels_and_series_shape(self):
+        sweep = microbench_sweep("cpu", 1, duration=4.0, seed=42)
+        assert len(sweep.levels) == 5
+        for pair in LEVEL_SERIES:
+            assert len(sweep.means[pair]) == len(sweep.levels)
+
+    def test_vectorized_means_bit_identical_to_scalar(self):
+        # The refactor replaced 13 scalar np.mean calls by one
+        # mean(axis=1) over the stacked trace matrix; row-wise reduction
+        # must match the per-trace means bit for bit.
+        rng = np.random.default_rng(0)
+        rows = [rng.random(97) for _ in range(len(LEVEL_SERIES))]
+        stacked = np.stack(rows).mean(axis=1)
+        for row, vectorized in zip(rows, stacked):
+            assert float(np.mean(row)) == float(vectorized)
+
+
+class TestTrainedModelsMemo:
+    def test_one_training_shared_across_call_spellings(self, monkeypatch):
+        calls = {"single": 0, "multi": 0}
+        real_single = prediction.train_single_vm_model
+        real_multi = prediction.train_multi_vm_model
+
+        def counting_single(cfg):
+            calls["single"] += 1
+            return real_single(cfg)
+
+        def counting_multi(cfg):
+            calls["multi"] += 1
+            return real_multi(cfg)
+
+        monkeypatch.setattr(
+            prediction, "train_single_vm_model", counting_single
+        )
+        monkeypatch.setattr(prediction, "train_multi_vm_model", counting_multi)
+        prediction.clear_model_memo()
+        try:
+            first = prediction.trained_models(duration=20.0)
+            # Positional, keyword and repeated calls all share one entry.
+            assert prediction.trained_models(20.0) is not None
+            again = prediction.trained_models(duration=20.0)
+            assert calls == {"single": 1, "multi": 1}
+            assert again[0] is first[0] and again[1] is first[1]
+        finally:
+            prediction.clear_model_memo()
+
+    def test_fast_kwargs_groups_share_one_instance(self, monkeypatch):
+        from repro.experiments import runner
+
+        calls = {"n": 0}
+        real_single = prediction.train_single_vm_model
+
+        def counting_single(cfg):
+            calls["n"] += 1
+            return real_single(cfg)
+
+        monkeypatch.setattr(
+            prediction, "train_single_vm_model", counting_single
+        )
+        prediction.clear_model_memo()
+        try:
+            kw7 = runner._fast_kwargs("fig7", True)
+            kw10 = runner._fast_kwargs("fig10", True)
+            kwc = runner._fast_kwargs("chaos", True)
+            assert calls["n"] == 1
+            assert kw7["multi_model"] is kw10["model"] is kwc["model"]
+        finally:
+            prediction.clear_model_memo()

@@ -1,0 +1,99 @@
+"""Profiler phase accounting and the ``repro bench`` JSON record."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    bench_cells,
+    default_output_path,
+    run_bench,
+    write_bench,
+)
+from repro.perf.cells import MicrobenchCell
+from repro.perf.executor import run_cells
+from repro.perf.profiler import Profiler, default_profiler, profiled
+
+
+class TestProfiler:
+    def test_phase_accumulates_wall_time(self):
+        prof = Profiler()
+        with prof.phase("work"):
+            pass
+        with prof.phase("work"):
+            pass
+        stats = prof.stats("work")
+        assert stats.intervals == 2
+        assert stats.wall_s >= 0.0
+
+    def test_record_and_rates(self):
+        prof = Profiler()
+        with prof.phase("p"):
+            pass
+        prof.record("p", cells=4, events=1000, cache_hits=1, cache_misses=3)
+        stats = prof.stats("p")
+        assert stats.cells == 4
+        assert stats.events == 1000
+        assert stats.cache_hits == 1
+        d = stats.as_dict()
+        assert {"wall_s", "cells", "events", "events_per_sec"} <= set(d)
+
+    def test_profiled_installs_default(self):
+        assert default_profiler() is None
+        with profiled() as prof:
+            assert default_profiler() is prof
+        assert default_profiler() is None
+
+    def test_run_cells_records_phase(self):
+        cell = MicrobenchCell(
+            kind="cpu", n_vms=1, level=25.0, index=0, duration=2.0, seed=42
+        )
+        with profiled() as prof:
+            run_cells([cell])
+        stats = prof.stats("microbench")
+        assert stats.cells == 1
+        assert stats.events > 0
+        assert stats.wall_s > 0.0
+
+
+class TestBench:
+    def test_bench_cells_matrix(self):
+        fast = bench_cells(fast=True)
+        full = bench_cells(fast=False)
+        assert 0 < len(fast) < len(full)
+        assert all(isinstance(c, MicrobenchCell) for c in fast)
+
+    def test_default_output_path_embeds_revision(self, tmp_path):
+        path = default_output_path(tmp_path)
+        assert path.name.startswith("BENCH_")
+        assert path.suffix == ".json"
+
+    def test_run_bench_record_schema(self, tmp_path):
+        record = run_bench(fast=True, jobs=2)
+        assert record["schema"] == BENCH_SCHEMA
+        assert record["jobs"] == 2
+        workload = record["workload"]
+        assert workload["cells"] == len(bench_cells(fast=True))
+        metrics = record["metrics"]
+        for key in (
+            "events_per_sec",
+            "cells_per_sec",
+            "serial_wall_s",
+            "parallel_wall_s",
+            "parallel_speedup",
+            "cache_cold_wall_s",
+            "cache_warm_wall_s",
+            "cache_warm_speedup",
+            "cache_hit_rate",
+        ):
+            assert metrics[key] >= 0.0, key
+        # Warm phase must be pure hits.
+        assert metrics["cache_hit_rate"] == pytest.approx(1.0)
+        assert record["phases"]["cache_warm"]["cache_misses"] == 0
+        # The record is valid, stable JSON.
+        out = tmp_path / "bench.json"
+        write_bench(record, out)
+        assert json.loads(out.read_text()) == json.loads(out.read_text())
