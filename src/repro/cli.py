@@ -17,6 +17,8 @@ Subcommands
     source tree; nonzero exit on any violation.
 ``repro cache stats|clear [--cache-dir DIR]``
     Inspect or empty the content-addressed result cache.
+``repro runs status|resume|gc DIR``
+    Inspect, continue, or clean a crash-safe run directory.
 ``repro bench [--fast] [--jobs N] [--out FILE]``
     Perf harness: run the fixed bench matrix serial / parallel / cold /
     warm-cache and write a ``BENCH_<rev>.json`` record.
@@ -26,7 +28,16 @@ runtime determinism sanitizer (event tie-break assertions, per-stream
 RNG draw accounting, NaN guards on training inputs).  ``repro run``,
 ``repro all`` and ``repro report`` accept ``--jobs N`` (parallel cell
 execution; 0 = all CPUs) and ``--cache-dir DIR`` (content-addressed
-result cache) -- both preserve byte-identical output.
+result cache) -- both preserve byte-identical output -- plus the
+crash-safety options: ``--run-dir DIR`` records a checkpointed run
+manifest, ``--resume DIR`` restores completed cells from one, and
+``--cell-deadline`` / ``--cell-attempts`` tune the supervisor.
+
+Exit codes for the experiment commands: 0 when everything succeeded
+(including cells that needed retries -- those print a warning
+summary), 1 on shape-check failures, 2 on usage errors, 3 when cells
+failed permanently despite supervision (re-run with ``--resume`` after
+fixing the cause).
 """
 
 from __future__ import annotations
@@ -141,6 +152,21 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
     )
 
+    runs_p = sub.add_parser(
+        "runs",
+        help="inspect, continue, or clean a crash-safe run directory "
+        "(--run-dir)",
+    )
+    runs_p.add_argument(
+        "action", choices=("status", "resume", "gc"),
+        help="status: cell ledger summary; resume: re-issue the "
+        "recorded command with --resume; gc: drop orphaned/stale "
+        "checkpoints",
+    )
+    runs_p.add_argument(
+        "dir", type=Path, help="run directory written by --run-dir"
+    )
+
     bench_p = sub.add_parser(
         "bench",
         help="perf harness: serial/parallel/cold/warm bench matrix, "
@@ -208,6 +234,27 @@ def _add_perf_options(sub_parser: argparse.ArgumentParser) -> None:
         help="serve previously computed cells from this "
         "content-addressed cache (and populate it)",
     )
+    sub_parser.add_argument(
+        "--run-dir", type=Path, default=None, metavar="DIR",
+        help="record a crash-safe run manifest here: every planned "
+        "cell is ledgered and every completed cell checkpointed",
+    )
+    sub_parser.add_argument(
+        "--resume", type=Path, default=None, metavar="DIR",
+        help="resume an interrupted run: restore verified checkpoints "
+        "from DIR and execute only pending/failed cells (implies "
+        "--run-dir DIR)",
+    )
+    sub_parser.add_argument(
+        "--cell-deadline", type=float, default=None, metavar="S",
+        help="seconds before a cell's worker counts as hung and is "
+        "retried (default 600; 0 disables the watchdog)",
+    )
+    sub_parser.add_argument(
+        "--cell-attempts", type=int, default=None, metavar="N",
+        help="total attempts per cell before it fails permanently "
+        "(default 3)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -227,35 +274,105 @@ def _sanitizer_summary() -> None:
 
 
 def _main(argv: Optional[List[str]] = None) -> int:
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
     if getattr(args, "sanitize", False):
         sanitize.set_default(True)
         sanitize.reset_collector()
     try:
-        return _with_perf_defaults(args)
+        return _with_perf_defaults(args, raw_argv)
     finally:
         if getattr(args, "sanitize", False):
             sanitize.set_default(False)
 
 
-def _with_perf_defaults(args: argparse.Namespace) -> int:
-    """Install ``--jobs`` / ``--cache-dir`` for the dispatch, then reset."""
+#: Exit code of the experiment commands when cells failed permanently.
+EXIT_CELLS_FAILED = 3
+
+
+def _supervisor_config(args: argparse.Namespace):
+    """Build the supervisor config from CLI knobs (None = defaults)."""
+    from repro.perf.supervisor import SupervisorConfig
+
+    overrides = {}
+    deadline = getattr(args, "cell_deadline", None)
+    if deadline is not None:
+        overrides["deadline_s"] = None if deadline <= 0 else deadline
+    attempts = getattr(args, "cell_attempts", None)
+    if attempts is not None:
+        if attempts < 1:
+            raise ValueError("--cell-attempts must be >= 1")
+        overrides["max_attempts"] = attempts
+    return SupervisorConfig(**overrides) if overrides else None
+
+
+def _with_perf_defaults(args: argparse.Namespace, raw_argv: List[str]) -> int:
+    """Install the perf/crash-safety defaults for the dispatch, then reset."""
     jobs = getattr(args, "jobs", None)
     cache_dir = getattr(args, "cache_dir", None)
+    resume_dir = getattr(args, "resume", None)
+    run_dir = getattr(args, "run_dir", None) or resume_dir
     if args.command not in ("run", "all", "report") or (
-        jobs is None and cache_dir is None
+        jobs is None and cache_dir is None and run_dir is None
+        and getattr(args, "cell_deadline", None) is None
+        and getattr(args, "cell_attempts", None) is None
     ):
         # Only the experiment commands fan out through the executor;
         # bench manages its own phases and cache has its own dispatch.
         return _dispatch(args)
     from repro.perf.cache import ResultCache
     from repro.perf.executor import execution_defaults
+    from repro.perf.manifest import RunManifest
+    from repro.perf.supervisor import (
+        CellExecutionError,
+        reset_stats,
+        stats,
+    )
 
+    try:
+        supervisor = _supervisor_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    with execution_defaults(jobs=jobs, cache=cache):
-        code = _dispatch(args)
+    manifest = None
+    if run_dir is not None:
+        manifest = RunManifest(run_dir)
+        manifest.open_run(raw_argv, resumed=resume_dir is not None)
+        args._manifest = manifest
+    reset_stats()
+    failed_cells = None
+    with execution_defaults(
+        jobs=jobs,
+        cache=cache,
+        manifest=manifest,
+        resume=resume_dir is not None,
+        supervisor=supervisor,
+    ):
+        try:
+            code = _dispatch(args)
+        except CellExecutionError as exc:
+            failed_cells = exc
+            code = EXIT_CELLS_FAILED
+    supervision = stats()
+    if supervision.retries or supervision.failed:
+        print(supervision.summary(), file=sys.stderr)
+    if failed_cells is not None:
+        print(f"error: {failed_cells}", file=sys.stderr)
+        if manifest is not None:
+            print(
+                f"hint: fix the cause, then 'repro runs resume "
+                f"{run_dir}' to re-execute only the failed cells",
+                file=sys.stderr,
+            )
     if cache is not None:
         print(cache.stats().render(), file=sys.stderr)
+    if manifest is not None:
+        print(
+            f"run manifest: {run_dir} "
+            f"({manifest.restored} restored, {manifest.executed} executed)",
+            file=sys.stderr,
+        )
     return code
 
 
@@ -283,7 +400,10 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         results = runner.run_all(fast=args.fast)
         args.out.write_text(
-            generate_experiments_md(results, fast=args.fast) + "\n"
+            generate_experiments_md(
+                results, fast=args.fast, provenance=_provenance(args)
+            )
+            + "\n"
         )
         failed = [r.experiment_id for r in results if not r.passed]
         print(f"wrote {args.out} ({len(results)} artifacts)")
@@ -297,10 +417,78 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _chaos(args)
     if args.command == "cache":
         return _cache(args)
+    if args.command == "runs":
+        return _runs(args)
     if args.command == "bench":
         return _bench(args)
     assert args.command == "all"
     return _report(runner.run_all(fast=args.fast), args.out)
+
+
+def _provenance(args: argparse.Namespace) -> Optional[List[str]]:
+    """Report provenance lines -- only for resumed runs.
+
+    Non-resumed reports get ``None`` so their output stays byte-identical
+    to a harness without the crash-safety layer at all.
+    """
+    manifest = getattr(args, "_manifest", None)
+    if manifest is None or getattr(args, "resume", None) is None:
+        return None
+    return [
+        f"Run provenance: resumed from run directory `{manifest.root}` "
+        f"({manifest.restored} cell(s) restored from verified "
+        f"checkpoints, {manifest.executed} executed in this invocation).",
+    ]
+
+
+def _strip_run_flags(command: List[str]) -> List[str]:
+    """Drop ``--run-dir``/``--resume`` (and values) from a recorded command."""
+    out: List[str] = []
+    skip = False
+    for token in command:
+        if skip:
+            skip = False
+            continue
+        if token in ("--run-dir", "--resume"):
+            skip = True
+            continue
+        if token.startswith(("--run-dir=", "--resume=")):
+            continue
+        out.append(token)
+    return out
+
+
+def _runs(args: argparse.Namespace) -> int:
+    from repro.perf.manifest import RunManifest
+
+    manifest = RunManifest(args.dir)
+    if args.action == "status":
+        print(manifest.status().render())
+        return 0
+    if args.action == "gc":
+        removed = manifest.gc()
+        print(
+            f"gc {args.dir}: removed {removed['orphaned']} orphaned and "
+            f"{removed['stale']} stale checkpoint(s) "
+            f"({removed['bytes']} bytes)"
+        )
+        return 0
+    assert args.action == "resume"
+    status = manifest.status()
+    if not status.command:
+        print(
+            f"error: {args.dir} has no recorded command to resume "
+            "(was it created with --run-dir?)",
+            file=sys.stderr,
+        )
+        return 2
+    if status.complete:
+        print(f"nothing to resume: every cell in {args.dir} is done")
+        return 0
+    command = _strip_run_flags(status.command)
+    command += ["--resume", str(args.dir)]
+    print(f"resuming: repro {' '.join(command)}", file=sys.stderr)
+    return _main(command)
 
 
 def _cache(args: argparse.Namespace) -> int:

@@ -9,7 +9,7 @@ scale.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
 
@@ -170,9 +170,18 @@ def _artifact_section(result: ExperimentResult) -> str:
 
 
 def generate_experiments_md(
-    results: Sequence[ExperimentResult], *, fast: bool = False
+    results: Sequence[ExperimentResult],
+    *,
+    fast: bool = False,
+    provenance: Optional[Sequence[str]] = None,
 ) -> str:
-    """Render the full EXPERIMENTS.md body from live results."""
+    """Render the full EXPERIMENTS.md body from live results.
+
+    ``provenance`` carries extra header lines for resumed runs (each
+    starting with ``Run provenance:`` so diffs can filter them); it is
+    ``None`` for ordinary runs, whose output must stay byte-identical
+    whether or not a ``--run-dir`` manifest was recorded.
+    """
     if not results:
         raise ValueError("no experiment results to report")
     n_pass = sum(1 for r in results if r.passed)
@@ -213,6 +222,14 @@ def generate_experiments_md(
         "machine-dependent, so only ratios are comparable across "
         "hosts.",
         "",
+        "Runs are crash-safe: `--run-dir` checkpoints every completed "
+        "cell behind checksummed artifacts and `--resume` (or `repro "
+        "runs resume`) re-executes only what is missing — a resumed "
+        "report is byte-identical to an uninterrupted one (README § "
+        "Crash safety & resume).",
+        "",
     ]
+    if provenance:
+        header.extend(list(provenance) + [""])
     body = [_artifact_section(r) for r in results]
     return "\n".join(header) + "\n" + "\n".join(body)

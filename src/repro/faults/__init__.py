@@ -20,6 +20,14 @@ from repro.faults.config import (
 from repro.faults.injector import FAULT_PRIORITY, FaultInjector
 from repro.faults.sampling import SAMPLE_DROP, SAMPLE_OUTLIER, SampleFaults
 from repro.faults.schedule import FaultEvent, build_schedule
+from repro.faults.workers import (
+    WORKER_FAULT_KINDS,
+    WORKER_KILL,
+    WORKER_STALL,
+    FaultableCell,
+    WorkerFault,
+    plan_worker_faults,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -27,6 +35,7 @@ __all__ = [
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",
+    "FaultableCell",
     "KIND_NIC_DEGRADE",
     "KIND_PM_CRASH",
     "KIND_VM_CRASH",
@@ -34,5 +43,10 @@ __all__ = [
     "SAMPLE_DROP",
     "SAMPLE_OUTLIER",
     "SampleFaults",
+    "WORKER_FAULT_KINDS",
+    "WORKER_KILL",
+    "WORKER_STALL",
+    "WorkerFault",
     "build_schedule",
+    "plan_worker_faults",
 ]

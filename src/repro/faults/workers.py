@@ -1,0 +1,163 @@
+"""Deterministic worker-process faults for the supervised executor.
+
+The machine-level schedules in :mod:`repro.faults.schedule` perturb the
+*simulated* cluster; this module perturbs the *real* processes that run
+experiment cells, so the supervision layer
+(:mod:`repro.perf.supervisor`) can be regression-tested against the
+failures it exists for: a pool worker SIGKILLed mid-cell (OOM killer,
+preemption) and a pool worker that wedges past its deadline.
+
+Victim selection reuses the named-stream discipline of the rest of the
+fault subsystem: each fault kind draws from its own
+``faults.worker.<kind>`` stream of an :class:`~repro.sim.rng.RngRegistry`
+seeded by the caller, so a plan is a pure function of (seed, rates,
+cell count) and adding one kind never shifts another's victims.
+
+Because a killed worker cannot remember it was killed, once-only
+semantics live on disk: :class:`FaultableCell` arms its fault through a
+marker file created with ``O_EXCL`` -- the first attempt trips the
+fault and leaves the marker, every retry (in any process) finds the
+marker and runs clean.  That makes the fault deterministic *per cell*,
+not per wall-clock, which is exactly what byte-identical
+interrupted-vs-clean comparisons need.
+
+.. warning::
+   A ``kill`` fault terminates the process that runs the cell.  Only
+   execute kill-armed cells through a pool (``jobs >= 2``); inline
+   execution would kill the supervising process itself.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.perf.cells import Cell
+from repro.sim.rng import RngRegistry
+
+#: Worker is SIGKILLed mid-cell (crashed-worker path).
+WORKER_KILL = "kill"
+#: Worker sleeps past the supervisor deadline (hung-worker path).
+WORKER_STALL = "stall"
+
+WORKER_FAULT_KINDS = (WORKER_KILL, WORKER_STALL)
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One planned worker fault: which cell index, what happens."""
+
+    index: int
+    kind: str
+    stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(f"unknown worker fault kind {self.kind!r}")
+        if self.index < 0:
+            raise ValueError("cell index must be >= 0")
+
+
+def plan_worker_faults(
+    n_cells: int,
+    *,
+    seed: int,
+    kill_rate: float = 0.0,
+    stall_rate: float = 0.0,
+    stall_s: float = 2.0,
+) -> List[WorkerFault]:
+    """Draw a deterministic per-cell fault plan.
+
+    Each cell index is independently a kill victim with probability
+    ``kill_rate`` (stream ``faults.worker.kill``) and a stall victim
+    with probability ``stall_rate`` (stream ``faults.worker.stall``);
+    a cell drawn for both kills -- the stronger fault wins.  A zero
+    rate draws nothing from its stream.
+    """
+    if n_cells < 0:
+        raise ValueError("n_cells must be >= 0")
+    for name, rate in (("kill_rate", kill_rate), ("stall_rate", stall_rate)):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must be a probability, got {rate}")
+    rng = RngRegistry(seed)
+    victims: Dict[int, str] = {}
+    for kind, rate in (
+        (WORKER_STALL, stall_rate), (WORKER_KILL, kill_rate),
+    ):
+        if rate <= 0.0:
+            continue
+        stream = rng(f"faults.worker.{kind}")
+        for index in range(n_cells):
+            if float(stream.random()) < rate:
+                victims[index] = kind  # kill drawn last overrides stall
+    return [
+        WorkerFault(
+            index=index,
+            kind=kind,
+            stall_s=stall_s if kind == WORKER_STALL else 0.0,
+        )
+        for index, kind in sorted(victims.items())
+    ]
+
+
+def _arm(marker: Path) -> bool:
+    """Atomically create ``marker``; True exactly once across processes."""
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+@dataclass(frozen=True, eq=False)
+class FaultableCell(Cell):
+    """A cell that injects one worker fault on its first attempt.
+
+    Wraps any :class:`~repro.perf.cells.Cell`; ``fault`` is ``None``
+    (clean pass-through), :data:`WORKER_KILL` or :data:`WORKER_STALL`.
+    ``marker_dir`` holds the once-only markers -- point every cell of
+    one run at the same scratch directory.
+    """
+
+    inner: Cell
+    marker_dir: str
+    fault: Optional[str] = None
+    stall_s: float = 2.0
+    #: Distinguishes markers when the same inner cell appears twice.
+    tag: str = ""
+
+    group = "faulted"
+
+    def config(self) -> Dict[str, Any]:
+        return {
+            "cell": "faultable",
+            "inner": self.inner.config(),
+            "fault": self.fault,
+            "stall_s": self.stall_s,
+            "tag": self.tag,
+        }
+
+    def _marker(self) -> Path:
+        from repro.perf.cache import cell_key
+
+        return Path(self.marker_dir) / f"{cell_key(self, 'faults')}.tripped"
+
+    def run(self) -> Tuple[Any, int]:
+        if self.fault is not None and _arm(self._marker()):
+            if self.fault == WORKER_KILL:
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif self.fault == WORKER_STALL:
+                time.sleep(self.stall_s)
+            else:
+                raise ValueError(f"unknown worker fault {self.fault!r}")
+        return self.inner.run()
+
+    def label(self) -> str:
+        suffix = f"+{self.fault}" if self.fault else ""
+        return f"{self.inner.label()}{suffix}"

@@ -42,6 +42,11 @@ class LintConfig:
         "repro/cli.py", "repro/__main__.py", "repro/lint",
         "repro/experiments",
     )
+    #: Files whose ``# repro: noqa`` comments must name codes and carry
+    #: a justification (REP011) -- the sanctioned wall-clock funnels.
+    noqa_justify: Tuple[str, ...] = (
+        "repro/perf/profiler.py", "repro/perf/supervisor.py",
+    )
 
 
 _TUPLE_KEYS = {f.name for f in fields(LintConfig)}

@@ -9,6 +9,12 @@ inline comment on the offending line::
 ``# repro: noqa`` without a bracket suppresses every code on that line.
 Files that fail to parse report the pseudo-code ``REP000`` so syntax
 errors cannot hide real violations.
+
+In the files listed by ``noqa-justify`` (the sanctioned wall-clock
+funnels), every noqa must name its code(s) and carry a justification
+after the bracket; violations report REP011 and are checked on the raw
+source line *after* suppression filtering -- a noqa comment can never
+silence the audit of itself.
 """
 
 from __future__ import annotations
@@ -32,6 +38,9 @@ from repro.lint.rules import (
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
 )
+
+#: Engine-driven rule: unjustified/blanket noqa in audited files.
+NOQA_JUSTIFY_CODE = "REP011"
 
 #: ``None`` means "all codes suppressed on this line".
 _Suppressions = Dict[int, Optional[FrozenSet[str]]]
@@ -99,8 +108,58 @@ class LintEngine:
             if codes is None or v.code in codes:
                 continue
             kept.append(v)
+        # REP011 runs after suppression filtering on purpose: the noqa
+        # comments it audits must not be able to suppress it.
+        kept.extend(self._noqa_violations(source, posix))
         kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
         return kept
+
+    def _noqa_violations(self, source: str, posix: str) -> List[Violation]:
+        """REP011: audit noqa comments in ``noqa-justify`` files."""
+        if NOQA_JUSTIFY_CODE not in {r.code for r in self.rules()}:
+            return []
+        if not path_matches(posix, self.config.noqa_justify):
+            return []
+        out: List[Violation] = []
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _NOQA_RE.search(line)
+            if not m:
+                continue
+            codes = m.group("codes")
+            justification = line[m.end():].strip()
+            if codes is None:
+                out.append(
+                    Violation(
+                        code=NOQA_JUSTIFY_CODE,
+                        message=(
+                            "blanket '# repro: noqa' in an audited file "
+                            "suppresses every rule; name the code(s) "
+                            "(e.g. noqa[REP002]) and justify after the "
+                            "bracket"
+                        ),
+                        path=posix,
+                        line=lineno,
+                        col=m.start(),
+                    )
+                )
+            elif not justification:
+                pretty = ",".join(
+                    c.strip() for c in codes.split(",") if c.strip()
+                )
+                out.append(
+                    Violation(
+                        code=NOQA_JUSTIFY_CODE,
+                        message=(
+                            f"noqa[{pretty}] in an audited file needs a "
+                            "justification after the bracket saying why "
+                            "the exemption is sound"
+                        ),
+                        path=posix,
+                        line=lineno,
+                        col=m.start(),
+                    )
+                )
+        return out
 
     def lint_file(self, path: Path) -> List[Violation]:
         try:

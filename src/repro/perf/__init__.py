@@ -14,7 +14,13 @@ of code, configuration and seed):
   (``repro run --cache-dir D``, ``repro cache stats|clear``);
 * :mod:`repro.perf.profiler` / :mod:`repro.perf.bench` -- per-phase
   wall-time and event-rate instrumentation plus the ``repro bench``
-  harness emitting ``BENCH_<rev>.json`` perf-trajectory records.
+  harness emitting ``BENCH_<rev>.json`` perf-trajectory records;
+* :mod:`repro.perf.supervisor` / :mod:`repro.perf.manifest` /
+  :mod:`repro.perf.integrity` -- crash-safe execution: supervised
+  fan-out (deadlines, bounded retries, serial degradation), run
+  manifests with checkpoint/resume (``--run-dir`` / ``--resume``,
+  ``repro runs status|resume|gc``), and checksummed artifact storage
+  shared by the cache and the checkpoints.
 """
 
 from repro.perf.bench import BENCH_SCHEMA, bench_cells, run_bench, write_bench
@@ -22,6 +28,7 @@ from repro.perf.cache import (
     CacheStats,
     ResultCache,
     canonical_json,
+    cell_key,
     code_fingerprint,
 )
 from repro.perf.cells import (
@@ -35,12 +42,25 @@ from repro.perf.executor import (
     CellOutcome,
     default_cache,
     default_jobs,
+    default_manifest,
+    default_resume,
+    default_supervisor,
     execution_defaults,
     resolve_jobs,
     run_cells,
     set_default_cache,
     set_default_jobs,
+    set_default_manifest,
+    set_default_resume,
+    set_default_supervisor,
 )
+from repro.perf.integrity import (
+    ArtifactIntegrityWarning,
+    IntegrityError,
+    read_artifact,
+    write_artifact,
+)
+from repro.perf.manifest import RunManifest, RunStatus
 from repro.perf.profiler import (
     PhaseStats,
     Profiler,
@@ -48,32 +68,54 @@ from repro.perf.profiler import (
     profiled,
     set_default_profiler,
 )
+from repro.perf.supervisor import (
+    CellExecutionError,
+    SupervisionStats,
+    SupervisorConfig,
+    run_supervised,
+)
 
 __all__ = [
+    "ArtifactIntegrityWarning",
     "BENCH_SCHEMA",
     "CacheStats",
     "Cell",
+    "CellExecutionError",
     "CellOutcome",
+    "IntegrityError",
     "MicrobenchCell",
     "PhaseStats",
     "PredictionCell",
     "Profiler",
     "ResultCache",
+    "RunManifest",
+    "RunStatus",
     "ScenarioTrialCell",
+    "SupervisionStats",
+    "SupervisorConfig",
     "bench_cells",
     "canonical_json",
+    "cell_key",
     "code_fingerprint",
     "content_digest",
     "default_cache",
     "default_jobs",
+    "default_manifest",
     "default_profiler",
+    "default_resume",
+    "default_supervisor",
     "execution_defaults",
     "profiled",
+    "read_artifact",
     "resolve_jobs",
     "run_bench",
     "run_cells",
+    "run_supervised",
     "set_default_cache",
     "set_default_jobs",
+    "set_default_manifest",
     "set_default_profiler",
-    "write_bench",
+    "set_default_resume",
+    "set_default_supervisor",
+    "write_artifact",
 ]

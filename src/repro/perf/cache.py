@@ -14,24 +14,32 @@ package, so
 Layout: ``<root>/<fingerprint[:16]>/<key>.pkl``.  Grouping by
 fingerprint makes stale eviction trivial: on open, every sibling
 generation directory belongs to old code and is deleted.
+
+Entries are stored through :mod:`repro.perf.integrity`: each file
+carries a checksummed, schema-tagged header verified on every read, so
+a truncated or corrupted entry is evicted as a miss (with an
+:class:`~repro.perf.integrity.ArtifactIntegrityWarning`) instead of
+poisoning a run or crashing it.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import pickle
 import shutil
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.perf import integrity
 from repro.perf.cells import Cell
 
 #: Characters of the fingerprint used for the generation directory.
 _GENERATION_CHARS = 16
+
+#: Payload schema of cached cell outcomes (integrity header tag).
+CACHE_SCHEMA = "repro.perf.cell-outcome/v1"
 
 
 @lru_cache(maxsize=1)
@@ -59,6 +67,18 @@ def canonical_json(obj: Any) -> str:
     return json.dumps(
         obj, sort_keys=True, separators=(",", ":"), allow_nan=False
     )
+
+
+def cell_key(cell: Cell, fingerprint: str) -> str:
+    """Content address of one cell under one code fingerprint.
+
+    Shared by the result cache and the run manifest so a checkpoint and
+    a cache entry of the same cell always agree on identity.
+    """
+    material = canonical_json(
+        {"config": cell.config(), "code": fingerprint}
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -131,10 +151,7 @@ class ResultCache:
 
     def key(self, cell: Cell) -> str:
         """Content address of one cell under the current code."""
-        material = canonical_json(
-            {"config": cell.config(), "code": self.fingerprint}
-        )
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+        return cell_key(cell, self.fingerprint)
 
     def _path(self, cell: Cell) -> Path:
         return self._dir / f"{self.key(cell)}.pkl"
@@ -144,31 +161,27 @@ class ResultCache:
     def get(self, cell: Cell) -> Optional[Any]:
         """The stored outcome for ``cell``, or ``None`` on a miss.
 
-        A corrupt or truncated entry counts as a miss and is removed --
-        the caller will recompute and overwrite it.
+        Entries are verified through the integrity guard: an
+        unreadable, truncated, checksum-mismatched or wrong-schema file
+        counts as a miss, is evicted, and raises nothing -- the caller
+        recomputes and overwrites it.  A missing entry is a plain miss
+        (no warning).
         """
         path = self._path(cell)
         try:
-            with open(path, "rb") as fh:
-                outcome = pickle.load(fh)
-        except FileNotFoundError:
+            outcome = integrity.read_artifact(path, schema=CACHE_SCHEMA)
+        except integrity.IntegrityError as exc:
             self.misses += 1
-            return None
-        except (pickle.UnpicklingError, EOFError, OSError):
-            path.unlink(missing_ok=True)
-            self.misses += 1
+            if exc.reason != "missing":
+                path.unlink(missing_ok=True)
+                integrity.warn_corrupt(exc, action="evicted cache entry")
             return None
         self.hits += 1
         return outcome
 
     def put(self, cell: Cell, outcome: Any) -> None:
-        """Store one outcome atomically (write temp + rename)."""
-        self._dir.mkdir(parents=True, exist_ok=True)
-        path = self._path(cell)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "wb") as fh:
-            pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        """Store one outcome atomically under an integrity header."""
+        integrity.write_artifact(self._path(cell), outcome, schema=CACHE_SCHEMA)
 
     # -- maintenance -----------------------------------------------------
 

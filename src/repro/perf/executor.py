@@ -14,23 +14,41 @@ RNG draw counts and event-pop tally, and ships them home, where they
 are merged into the parent's collector -- so ``repro run --sanitize
 --jobs 4`` reports exactly the counts of a serial sanitized run.
 
+Execution is *supervised*: pool fan-out routes through
+:mod:`repro.perf.supervisor` (per-cell deadlines, bounded retries with
+deterministic backoff, crashed-worker recovery, serial degradation),
+and -- when a :class:`~repro.perf.manifest.RunManifest` is installed
+(``--run-dir``) -- every planned cell is recorded to an append-only
+ledger and every completed cell is checkpointed, so an interrupted run
+resumed with ``--resume`` re-executes only what is missing.  Cells that
+exhaust their attempts raise
+:class:`~repro.perf.supervisor.CellExecutionError` *after* every other
+cell has completed and been checkpointed, so a partial failure never
+discards sibling work.
+
 The module also owns the process-wide execution defaults (``--jobs``,
-``--cache-dir``) so the CLI can configure fan-out without threading
-parameters through every experiment signature -- the same pattern
-:mod:`repro.sim.sanitize` uses for its ``--sanitize`` default.
+``--cache-dir``, ``--run-dir``/``--resume``, supervisor knobs) so the
+CLI can configure fan-out without threading parameters through every
+experiment signature -- the same pattern :mod:`repro.sim.sanitize`
+uses for its ``--sanitize`` default.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.perf.cache import ResultCache
 from repro.perf.cells import Cell
+from repro.perf.manifest import RunManifest
 from repro.perf.profiler import default_profiler
+from repro.perf.supervisor import (
+    CellExecutionError,
+    SupervisorConfig,
+    run_supervised,
+)
 from repro.sim import sanitize
 
 
@@ -66,6 +84,9 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 _default_jobs = 1
 _default_cache: Optional[ResultCache] = None
+_default_manifest: Optional[RunManifest] = None
+_default_resume = False
+_default_supervisor: Optional[SupervisorConfig] = None
 
 
 def default_jobs() -> int:
@@ -90,21 +111,71 @@ def set_default_cache(cache: Optional[ResultCache]) -> None:
     _default_cache = cache
 
 
+def default_manifest() -> Optional[RunManifest]:
+    """Run manifest cells are recorded to (``--run-dir``), or ``None``."""
+    return _default_manifest
+
+
+def set_default_manifest(manifest: Optional[RunManifest]) -> None:
+    """Install (or clear) the process-wide run manifest."""
+    global _default_manifest
+    _default_manifest = manifest
+
+
+def default_resume() -> bool:
+    """True when completed cells are restored from checkpoints."""
+    return _default_resume
+
+
+def set_default_resume(resume: bool) -> None:
+    """Enable/disable checkpoint restoration (``--resume``)."""
+    global _default_resume
+    _default_resume = bool(resume)
+
+
+def default_supervisor() -> SupervisorConfig:
+    """Supervision knobs used by :func:`run_cells`."""
+    return _default_supervisor or SupervisorConfig()
+
+
+def set_default_supervisor(config: Optional[SupervisorConfig]) -> None:
+    """Install (or clear) the process-wide supervisor configuration."""
+    global _default_supervisor
+    _default_supervisor = config
+
+
 @contextmanager
 def execution_defaults(
-    *, jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    manifest: Optional[RunManifest] = None,
+    resume: Optional[bool] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> Iterator[None]:
     """Temporarily install execution defaults (CLI / test scoping)."""
-    prev_jobs, prev_cache = _default_jobs, _default_cache
+    prev = (
+        _default_jobs, _default_cache, _default_manifest,
+        _default_resume, _default_supervisor,
+    )
     if jobs is not None:
         set_default_jobs(jobs)
     if cache is not None:
         set_default_cache(cache)
+    if manifest is not None:
+        set_default_manifest(manifest)
+    if resume is not None:
+        set_default_resume(resume)
+    if supervisor is not None:
+        set_default_supervisor(supervisor)
     try:
         yield
     finally:
-        set_default_jobs(prev_jobs)
-        set_default_cache(prev_cache)
+        set_default_jobs(prev[0])
+        set_default_cache(prev[1])
+        set_default_manifest(prev[2])
+        set_default_resume(prev[3])
+        set_default_supervisor(prev[4])
 
 
 # --------------------------------------------------------------------------
@@ -177,6 +248,9 @@ def run_cells(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     phase: Optional[str] = None,
+    manifest: Optional[RunManifest] = None,
+    resume: Optional[bool] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> List[Any]:
     """Execute ``cells`` and return their values in input order.
 
@@ -193,55 +267,95 @@ def run_cells(
         default (``--cache-dir``), which may itself be absent.
     phase:
         Profiler phase name; defaults to the first cell's ``group``.
+    manifest:
+        Optional :class:`~repro.perf.manifest.RunManifest`; ``None``
+        uses the process-wide default (``--run-dir``).  When set, every
+        cell is planned in the ledger and every completed cell is
+        checkpointed before this function returns or raises.
+    resume:
+        When true (or the ``--resume`` default is installed), cells
+        with a verified checkpoint in ``manifest`` are restored instead
+        of executed.
+    supervisor:
+        Supervision knobs; ``None`` uses the process-wide default.
+
+    Raises
+    ------
+    CellExecutionError
+        When one or more cells fail permanently despite retries.  All
+        surviving cells have completed (and been checkpointed /
+        cached) first, so a subsequent ``--resume`` run re-executes
+        only the failed cells.
     """
     if not cells:
         return []
     jobs = resolve_jobs(jobs)
     if cache is None:
         cache = default_cache()
+    if manifest is None:
+        manifest = default_manifest()
+    if resume is None:
+        resume = default_resume()
+    config = supervisor or default_supervisor()
     profiler = default_profiler()
     phase_name = phase or cells[0].group
 
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     hits = 0
+    if manifest is not None:
+        manifest.plan(cells)
+        if resume:
+            for i, cell in enumerate(cells):
+                restored = manifest.load(cell)
+                if restored is not None:
+                    outcomes[i] = restored
+                    _merge_accounting(restored)
     if cache is not None:
         for i, cell in enumerate(cells):
+            if outcomes[i] is not None:
+                continue
             cached = cache.get(cell)
             if cached is not None:
                 outcomes[i] = cached
                 _merge_accounting(cached)
                 hits += 1
     missing = [i for i, out in enumerate(outcomes) if out is None]
+    attempts: Dict[int, int] = {}
 
-    def complete(i: int, outcome: CellOutcome) -> None:
+    def complete(i: int, outcome: CellOutcome, from_pool: bool) -> None:
         outcomes[i] = outcome
+        if from_pool:
+            _merge_accounting(outcome)
         if cache is not None:
             cache.put(cells[i], outcome)
+        if manifest is not None:
+            # The supervisor charges the attempt before running it, so
+            # the live count already includes the one that succeeded.
+            manifest.record_done(
+                cells[i], outcome, attempts=attempts.get(i, 0) or 1
+            )
 
     timer = (
         profiler.phase(phase_name) if profiler is not None
         else _null_context()
     )
     with timer:
-        if jobs == 1 or len(missing) <= 1:
-            for i in missing:
-                complete(i, _execute_cell(cells[i]))
-        else:
-            enabled = sanitize.default_enabled()
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(missing))
-            ) as pool:
-                futures = [
-                    (i, pool.submit(_pool_worker, cells[i], enabled))
-                    for i in missing
-                ]
-                # Collect in submission order: merged results and
-                # sanitizer accounting never depend on completion order.
-                for i, future in futures:
-                    outcome = future.result()
-                    _merge_accounting(outcome)
-                    complete(i, outcome)
+        failures = run_supervised(
+            [(i, cells[i]) for i in missing],
+            jobs=jobs if len(missing) > 1 else 1,
+            worker=_pool_worker,
+            worker_args=(sanitize.default_enabled(),),
+            execute_inline=_execute_cell,
+            complete=complete,
+            config=config,
+            attempts_out=attempts,
+        )
 
+    if manifest is not None:
+        for i, cell, error in failures:
+            manifest.record_failed(
+                cell, attempts=attempts.get(i, 0), error=error
+            )
     if profiler is not None:
         profiler.record(
             phase_name,
@@ -249,6 +363,10 @@ def run_cells(
             events=sum(o.events for o in outcomes if o is not None),
             cache_hits=hits,
             cache_misses=len(missing) if cache is not None else 0,
+        )
+    if failures:
+        raise CellExecutionError(
+            [(cell.label(), error) for _, cell, error in failures]
         )
     return [o.value for o in outcomes]  # type: ignore[union-attr]
 

@@ -62,3 +62,17 @@ class TestGenerateExperimentsMd:
     def test_deviation_ids_are_valid(self):
         unknown = [i for i in DEVIATIONS if i not in ALL_IDS]
         assert unknown == []
+
+    def test_provenance_lines_rendered_for_resumed_runs(self):
+        line = "Run provenance: resumed from run directory `x`."
+        md = generate_experiments_md([result()], provenance=[line])
+        assert line in md
+
+    def test_no_provenance_keeps_output_unchanged(self):
+        # Byte-identity guarantee: a run that never resumed renders
+        # exactly as one generated before the crash-safety layer knobs.
+        plain = generate_experiments_md([result()])
+        explicit_none = generate_experiments_md([result()], provenance=None)
+        empty = generate_experiments_md([result()], provenance=[])
+        assert plain == explicit_none == empty
+        assert "Run provenance" not in plain

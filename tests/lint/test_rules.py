@@ -26,6 +26,7 @@ class TestRegistry:
         for code in (
             "REP001", "REP002", "REP003", "REP004", "REP005",
             "REP006", "REP007", "REP008", "REP009", "REP010",
+            "REP011",
         ):
             assert code in REGISTRY
 
@@ -326,3 +327,65 @@ class TestSelectIgnore:
                 self.SRC, path="src/repro/sim/engine.py", config=cfg
             )
         ] == ["REP001"]
+
+
+class TestRep011JustifiedNoqa:
+    AUDITED = "src/repro/perf/supervisor.py"
+    CLOCK = "import time\nt = time.monotonic()"
+
+    def test_unjustified_noqa_flagged_in_audited_file(self):
+        src = self.CLOCK + "  # repro: noqa[REP002]\n"
+        assert codes_in(src, path=self.AUDITED) == ["REP011"]
+
+    def test_blanket_noqa_flagged_in_audited_file(self):
+        src = self.CLOCK + "  # repro: noqa\n"
+        assert codes_in(src, path=self.AUDITED) == ["REP011"]
+
+    def test_justified_noqa_clean(self):
+        src = (
+            self.CLOCK
+            + "  # repro: noqa[REP002] deadlines measure real liveness\n"
+        )
+        assert codes_in(src, path=self.AUDITED) == []
+
+    def test_cannot_be_suppressed_by_its_own_noqa(self):
+        # The audited comment *is* a noqa -- if REP011 respected
+        # suppressions, a blanket noqa would silence the audit of
+        # itself.
+        src = self.CLOCK + "  # repro: noqa\n"
+        assert "REP011" in codes_in(src, path=self.AUDITED)
+
+    def test_unaudited_files_exempt(self):
+        src = self.CLOCK + "  # repro: noqa[REP002]\n"
+        assert codes_in(src, path="src/repro/sim/engine.py") == []
+
+    def test_ignore_config_disables_audit(self):
+        import textwrap
+
+        from repro.lint import lint_source
+
+        src = self.CLOCK + "  # repro: noqa[REP002]\n"
+        cfg = LintConfig(ignore=("REP011",))
+        assert [
+            v.code
+            for v in lint_source(
+                textwrap.dedent(src), path=self.AUDITED, config=cfg
+            )
+        ] == []
+
+    def test_audited_paths_configurable(self):
+        import textwrap
+
+        from repro.lint import lint_source
+
+        src = self.CLOCK + "  # repro: noqa[REP002]\n"
+        cfg = LintConfig(noqa_justify=("repro/sim/engine.py",))
+        found = [
+            v.code
+            for v in lint_source(
+                textwrap.dedent(src),
+                path="src/repro/sim/engine.py",
+                config=cfg,
+            )
+        ]
+        assert found == ["REP011"]

@@ -9,6 +9,7 @@ from repro.perf.cache import (
     canonical_json,
     code_fingerprint,
 )
+from repro.perf.integrity import ArtifactIntegrityWarning
 from repro.perf.cells import MicrobenchCell, content_digest
 from repro.perf.executor import CellOutcome, run_cells
 
@@ -67,9 +68,44 @@ class TestRoundTrip:
         path = cache._path(cell)
         path.write_bytes(b"not a pickle")
         fresh = ResultCache(tmp_path)
-        (recomputed,) = run_cells([cell], cache=fresh)
+        with pytest.warns(ArtifactIntegrityWarning):
+            (recomputed,) = run_cells([cell], cache=fresh)
         assert fresh.misses == 1
         assert recomputed == good
+
+    def test_truncated_entry_is_evicted_with_warning(self, tmp_path):
+        cell = _cell()
+        cache = ResultCache(tmp_path)
+        cache.put(cell, CellOutcome(value=1.0))
+        path = cache._path(cell)
+        path.write_bytes(path.read_bytes()[:-5])
+        fresh = ResultCache(tmp_path)
+        with pytest.warns(ArtifactIntegrityWarning, match="truncated"):
+            assert fresh.get(cell) is None
+        assert fresh.misses == 1
+        assert not path.exists()  # evicted, not left to warn forever
+        # The slot is immediately writable again.
+        fresh.put(cell, CellOutcome(value=2.0))
+        assert fresh.get(cell).value == 2.0
+
+    def test_wrong_schema_entry_is_a_miss(self, tmp_path):
+        from repro.perf import integrity
+
+        cell = _cell()
+        cache = ResultCache(tmp_path)
+        integrity.write_artifact(
+            cache._path(cell), CellOutcome(value=1.0),
+            schema="repro.other/v99",
+        )
+        with pytest.warns(ArtifactIntegrityWarning, match="schema"):
+            assert cache.get(cell) is None
+        assert cache.misses == 1
+
+    def test_missing_entry_is_a_silent_miss(self, tmp_path, recwarn):
+        cache = ResultCache(tmp_path)
+        assert cache.get(_cell()) is None
+        assert cache.misses == 1
+        assert len(recwarn) == 0
 
     def test_put_get_outcome(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,98 @@
+"""Artifact integrity guards: checksummed writes, verified reads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.integrity import (
+    ArtifactIntegrityWarning,
+    IntegrityError,
+    file_digest,
+    read_artifact,
+    warn_corrupt,
+    write_artifact,
+)
+
+SCHEMA = "repro.test/v1"
+
+
+def _write(tmp_path, obj={"x": 1.0, "y": [1, 2, 3]}):
+    path = tmp_path / "a.pkl"
+    digest = write_artifact(path, obj, schema=SCHEMA)
+    return path, digest
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        path, digest = _write(tmp_path)
+        assert read_artifact(path, schema=SCHEMA) == {
+            "x": 1.0, "y": [1, 2, 3]
+        }
+        assert len(digest) == 64
+
+    def test_header_is_json_first_line(self, tmp_path):
+        path, digest = _write(tmp_path)
+        header = json.loads(path.read_bytes().split(b"\n", 1)[0])
+        assert header["schema"] == SCHEMA
+        assert header["sha256"] == digest
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        _write(tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".pkl"]
+        assert leftovers == []
+
+    def test_file_digest_covers_whole_file(self, tmp_path):
+        path, _ = _write(tmp_path)
+        before = file_digest(path)
+        with open(path, "ab") as fh:
+            fh.write(b"z")
+        assert file_digest(path) != before
+
+
+class TestRejection:
+    def _reason(self, path):
+        with pytest.raises(IntegrityError) as exc:
+            read_artifact(path, schema=SCHEMA)
+        return exc.value.reason
+
+    def test_missing_file(self, tmp_path):
+        assert self._reason(tmp_path / "absent.pkl") == "missing"
+
+    def test_not_an_artifact(self, tmp_path):
+        path = tmp_path / "a.pkl"
+        path.write_bytes(b"not a header\njunk")
+        assert self._reason(path) == "not-an-artifact"
+
+    def test_truncated_payload(self, tmp_path):
+        path, _ = _write(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        assert self._reason(path) == "truncated"
+
+    def test_flipped_payload_byte(self, tmp_path):
+        path, _ = _write(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert self._reason(path) == "checksum-mismatch"
+
+    def test_schema_mismatch(self, tmp_path):
+        path, _ = _write(tmp_path)
+        with pytest.raises(IntegrityError) as exc:
+            read_artifact(path, schema="repro.other/v9")
+        assert exc.value.reason == "schema-mismatch"
+
+    def test_error_carries_path_and_detail(self, tmp_path):
+        path = tmp_path / "absent.pkl"
+        with pytest.raises(IntegrityError) as exc:
+            read_artifact(path, schema=SCHEMA)
+        assert str(path) in str(exc.value)
+
+
+class TestWarning:
+    def test_warn_corrupt_is_structured_and_nonfatal(self, tmp_path):
+        err = IntegrityError(tmp_path / "a.pkl", "truncated", "short read")
+        with pytest.warns(ArtifactIntegrityWarning, match="truncated"):
+            warn_corrupt(err, action="evicted cache entry")

@@ -53,3 +53,123 @@ class TestCliValidate:
     def test_run_extras(self, capsys):
         assert main(["run", "purity"]) == 0
         assert "purity" in capsys.readouterr().out
+
+
+class TestCrashSafety:
+    """--run-dir / --resume / repro runs, and the supervised exit codes."""
+
+    def test_run_dir_records_manifest(self, tmp_path, capsys):
+        rd = tmp_path / "rd"
+        assert main(
+            ["run", "fig5a", "--fast", "--run-dir", str(rd)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "run manifest:" in captured.err
+        assert (rd / "manifest.jsonl").is_file()
+        assert list((rd / "cells").glob("*.pkl"))
+
+    def test_runs_status_complete(self, tmp_path, capsys):
+        rd = tmp_path / "rd"
+        main(["run", "fig5a", "--fast", "--run-dir", str(rd)])
+        capsys.readouterr()
+        assert main(["runs", "status", str(rd)]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "run fig5a --fast" in out
+
+    def test_resume_restores_and_output_identical(self, tmp_path, capsys):
+        rd = tmp_path / "rd"
+        out1, out2 = tmp_path / "o1", tmp_path / "o2"
+        main(["run", "fig5a", "--fast", "--run-dir", str(rd),
+              "--out", str(out1)])
+        capsys.readouterr()
+        assert main(["run", "fig5a", "--fast", "--resume", str(rd),
+                     "--out", str(out2)]) == 0
+        err = capsys.readouterr().err
+        assert "0 executed" in err
+        for name in ("fig5a.txt", "fig5a.csv"):
+            assert (out2 / name).read_bytes() == (out1 / name).read_bytes()
+
+    def test_runs_resume_nothing_to_do(self, tmp_path, capsys):
+        rd = tmp_path / "rd"
+        main(["run", "fig5a", "--fast", "--run-dir", str(rd)])
+        capsys.readouterr()
+        assert main(["runs", "resume", str(rd)]) == 0
+        assert "nothing to resume" in capsys.readouterr().out
+
+    def test_runs_resume_reissues_recorded_command(self, tmp_path, capsys):
+        from repro.perf.manifest import RunManifest
+
+        rd = tmp_path / "rd"
+        out = tmp_path / "out"
+        # A ledger with a recorded command but no completed cells: the
+        # shape of a run killed before any checkpoint landed.
+        RunManifest(rd).open_run(
+            ["run", "fig5a", "--fast", "--run-dir", str(rd),
+             "--out", str(out)],
+            resumed=False,
+        )
+        assert main(["runs", "resume", str(rd)]) == 0
+        captured = capsys.readouterr()
+        assert "resuming: repro run fig5a" in captured.err
+        assert "--resume" in captured.err
+        assert (out / "fig5a.txt").is_file()
+        status = RunManifest(rd).status()
+        assert status.resumed_runs == 1
+        assert status.complete
+
+    def test_runs_resume_without_command_errors(self, tmp_path, capsys):
+        assert main(["runs", "resume", str(tmp_path / "empty")]) == 2
+        assert "no recorded command" in capsys.readouterr().err
+
+    def test_runs_gc_reports_removals(self, tmp_path, capsys):
+        rd = tmp_path / "rd"
+        main(["run", "fig5a", "--fast", "--run-dir", str(rd)])
+        capsys.readouterr()
+        orphan = rd / "cells" / ("e" * 64 + ".pkl")
+        orphan.write_bytes(b"junk")
+        assert main(["runs", "gc", str(rd)]) == 0
+        assert "1 orphaned" in capsys.readouterr().out
+        assert not orphan.exists()
+
+    def test_permanent_failure_exits_3_with_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        def boom(cell):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr("repro.perf.executor._execute_cell", boom)
+        rd = tmp_path / "rd"
+        code = main(
+            ["run", "fig5a", "--fast", "--run-dir", str(rd),
+             "--cell-attempts", "2"]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "failed permanently" in err
+        assert "runs resume" in err  # the retry hint names the fix
+
+    def test_recovered_retry_exits_0_with_warning(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.perf.executor as executor
+
+        real = executor._execute_cell
+        calls = {"n": 0}
+
+        def flaky(cell):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient failure")
+            return real(cell)
+
+        monkeypatch.setattr("repro.perf.executor._execute_cell", flaky)
+        code = main(["run", "fig5a", "--fast", "--cell-attempts", "3"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "supervisor:" in err
+        assert "recovered" in err
+
+    def test_cell_attempts_validated(self, capsys):
+        assert main(["run", "fig5a", "--fast", "--cell-attempts", "0"]) == 2
+        assert "--cell-attempts" in capsys.readouterr().err
