@@ -22,6 +22,12 @@ Subcommands
 ``repro bench [--fast] [--jobs N] [--out FILE]``
     Perf harness: run the fixed bench matrix serial / parallel / cold /
     warm-cache and write a ``BENCH_<rev>.json`` record.
+``repro obs summary|export|spans [--obs-dir DIR]``
+    Inspect an observability directory written by ``--obs-dir``:
+    ``summary`` prints per-source span/error/wall totals plus counter
+    totals (``--require sim,executor`` exits 1 if a source is absent),
+    ``export`` re-emits the validated OpenMetrics exposition, and
+    ``spans`` lists recorded spans (``--source``, ``--limit``).
 
 ``repro run`` and ``repro chaos`` accept ``--sanitize`` to attach the
 runtime determinism sanitizer (event tie-break assertions, per-stream
@@ -32,6 +38,9 @@ result cache) -- both preserve byte-identical output -- plus the
 crash-safety options: ``--run-dir DIR`` records a checkpointed run
 manifest, ``--resume DIR`` restores completed cells from one, and
 ``--cell-deadline`` / ``--cell-attempts`` tune the supervisor.
+``--obs-dir DIR`` attaches the observability layer (metrics + spans)
+and exports it there after the run; without the flag nothing is
+recorded and output stays byte-identical.
 
 Exit codes for the experiment commands: 0 when everything succeeded
 (including cells that needed retries -- those print a warning
@@ -55,6 +64,9 @@ from repro.sim import sanitize
 #: Default cache location of ``repro cache`` when ``--cache-dir`` is
 #: not given (matches what most runs pass to ``--cache-dir``).
 DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+#: Default directory of ``repro obs`` when ``--obs-dir`` is not given.
+DEFAULT_OBS_DIR = Path(".repro-obs")
 
 
 def _write_out(results: List[ExperimentResult], out_dir: Path) -> None:
@@ -215,6 +227,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the runtime determinism sanitizer",
     )
 
+    obs_p = sub.add_parser(
+        "obs",
+        help="inspect an observability export written by --obs-dir",
+    )
+    obs_p.add_argument(
+        "action", choices=("summary", "export", "spans"),
+        help="summary: validate + digest; export: print the "
+        "OpenMetrics text; spans: print recorded spans",
+    )
+    obs_p.add_argument(
+        "--obs-dir", type=Path, default=DEFAULT_OBS_DIR,
+        help=f"observability directory (default: {DEFAULT_OBS_DIR})",
+    )
+    obs_p.add_argument(
+        "--require", default=None, metavar="SOURCES",
+        help="comma-separated span sources that must be present "
+        "(summary exits 1 when one is missing)",
+    )
+    obs_p.add_argument(
+        "--source", default=None, metavar="SRC",
+        help="restrict 'spans' output to one source",
+    )
+    obs_p.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="most recent spans shown by 'spans' (default 20)",
+    )
+
     lint_p = sub.add_parser(
         "lint",
         help="determinism/correctness static analysis (REPxxx rules)",
@@ -254,6 +293,12 @@ def _add_perf_options(sub_parser: argparse.ArgumentParser) -> None:
         "--cell-attempts", type=int, default=None, metavar="N",
         help="total attempts per cell before it fails permanently "
         "(default 3)",
+    )
+    sub_parser.add_argument(
+        "--obs-dir", type=Path, default=None, metavar="DIR",
+        help="collect metrics and spans for this run and export them "
+        "here (metrics.om, spans.jsonl, summary.json); output stays "
+        "byte-identical either way -- inspect with 'repro obs'",
     )
 
 
@@ -312,8 +357,10 @@ def _with_perf_defaults(args: argparse.Namespace, raw_argv: List[str]) -> int:
     cache_dir = getattr(args, "cache_dir", None)
     resume_dir = getattr(args, "resume", None)
     run_dir = getattr(args, "run_dir", None) or resume_dir
+    obs_dir = getattr(args, "obs_dir", None)
     if args.command not in ("run", "all", "report") or (
         jobs is None and cache_dir is None and run_dir is None
+        and obs_dir is None
         and getattr(args, "cell_deadline", None) is None
         and getattr(args, "cell_attempts", None) is None
     ):
@@ -340,20 +387,42 @@ def _with_perf_defaults(args: argparse.Namespace, raw_argv: List[str]) -> int:
         manifest = RunManifest(run_dir)
         manifest.open_run(raw_argv, resumed=resume_dir is not None)
         args._manifest = manifest
+    collector = None
+    if obs_dir is not None:
+        from repro.obs import runtime as obs_runtime
+
+        collector = obs_runtime.install(obs_runtime.ObsCollector())
+        obs_runtime.set_default(True)
     reset_stats()
     failed_cells = None
-    with execution_defaults(
-        jobs=jobs,
-        cache=cache,
-        manifest=manifest,
-        resume=resume_dir is not None,
-        supervisor=supervisor,
-    ):
-        try:
-            code = _dispatch(args)
-        except CellExecutionError as exc:
-            failed_cells = exc
-            code = EXIT_CELLS_FAILED
+    try:
+        with execution_defaults(
+            jobs=jobs,
+            cache=cache,
+            manifest=manifest,
+            resume=resume_dir is not None,
+            supervisor=supervisor,
+        ):
+            try:
+                code = _dispatch(args)
+            except CellExecutionError as exc:
+                failed_cells = exc
+                code = EXIT_CELLS_FAILED
+    finally:
+        if collector is not None:
+            obs_runtime.set_default(False)
+            obs_runtime.uninstall()
+    if collector is not None:
+        from repro.obs.export import write_obs_dir
+
+        obs_summary = write_obs_dir(collector, obs_dir)
+        print(
+            f"observability: wrote {obs_dir} "
+            f"({obs_summary['spans']} span(s), "
+            f"{obs_summary['series']} series; "
+            f"sources: {', '.join(obs_summary['span_sources']) or '-'})",
+            file=sys.stderr,
+        )
     supervision = stats()
     if supervision.retries or supervision.failed:
         print(supervision.summary(), file=sys.stderr)
@@ -366,6 +435,7 @@ def _with_perf_defaults(args: argparse.Namespace, raw_argv: List[str]) -> int:
                 file=sys.stderr,
             )
     if cache is not None:
+        cache.flush_stats()
         print(cache.stats().render(), file=sys.stderr)
     if manifest is not None:
         print(
@@ -417,6 +487,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _chaos(args)
     if args.command == "cache":
         return _cache(args)
+    if args.command == "obs":
+        return _obs_cmd(args)
     if args.command == "runs":
         return _runs(args)
     if args.command == "bench":
@@ -501,6 +573,50 @@ def _cache(args: argparse.Namespace) -> int:
         return 0
     assert args.action == "stats"
     print(cache.stats().render())
+    return 0
+
+
+def _obs_cmd(args: argparse.Namespace) -> int:
+    from repro.obs import Span
+    from repro.obs.export import METRICS_FILE, ObsExportError, load_obs_dir
+
+    try:
+        _metrics, spans, summary = load_obs_dir(args.obs_dir)
+    except ObsExportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "export":
+        # Re-emit the (just validated) OpenMetrics exposition verbatim
+        # so it can be piped straight into a scrape endpoint or file.
+        sys.stdout.write((args.obs_dir / METRICS_FILE).read_text())
+        return 0
+    if args.action == "spans":
+        rows = spans
+        if args.source:
+            rows = [r for r in rows if r["source"] == args.source]
+        for row in rows[-args.limit:]:
+            print(Span.from_dict(row).render())
+        print(
+            f"{len(rows)} span(s)"
+            + (f" from source '{args.source}'" if args.source else "")
+            + (f", showing last {args.limit}" if len(rows) > args.limit else ""),
+            file=sys.stderr,
+        )
+        return 0
+    assert args.action == "summary"
+    from repro.obs.export import render_summary_text
+
+    print(render_summary_text(summary))
+    if args.require:
+        wanted = [s.strip() for s in args.require.split(",") if s.strip()]
+        missing = sorted(set(wanted) - set(summary["span_sources"]))
+        if missing:
+            print(
+                f"error: required span source(s) missing from "
+                f"{args.obs_dir}: {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

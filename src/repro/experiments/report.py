@@ -228,6 +228,19 @@ def generate_experiments_md(
         "report is byte-identical to an uninterrupted one (README § "
         "Crash safety & resume).",
         "",
+        "Adding `--obs-dir DIR` records harness observability (metrics "
+        "+ spans) alongside any run without changing a single output "
+        "byte; `repro obs summary` then shows per-source span counts, "
+        "wall time, and error tallies. Interpret them as a profile of "
+        "the *harness*, not the simulated system: wall seconds are "
+        "machine-dependent (compare ratios, like the README § "
+        "Observability bench guidance), sim-clock span stamps and "
+        "counters such as `repro_sim_events_total` are deterministic "
+        "and must not vary across hosts, and a nonzero `error(s)` "
+        "column or `repro_supervisor_retries_total` means supervision "
+        "absorbed failures — worth investigating even though the "
+        "artifacts themselves stayed correct.",
+        "",
     ]
     if provenance:
         header.extend(list(provenance) + [""])

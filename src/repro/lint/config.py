@@ -35,7 +35,7 @@ class LintConfig:
     wallclock_paths: Tuple[str, ...] = (
         "repro/sim", "repro/xen", "repro/models", "repro/monitor",
         "repro/placement", "repro/faults", "repro/workloads", "repro/rubis",
-        "repro/cluster",
+        "repro/cluster", "repro/obs",
     )
     #: Paths allowed to print() (CLI and report/analysis front-ends).
     print_allowed: Tuple[str, ...] = (
@@ -46,6 +46,7 @@ class LintConfig:
     #: a justification (REP011) -- the sanctioned wall-clock funnels.
     noqa_justify: Tuple[str, ...] = (
         "repro/perf/profiler.py", "repro/perf/supervisor.py",
+        "repro/obs/runtime.py",
     )
 
 

@@ -43,6 +43,7 @@ from repro.monitor.tools import (
     VmStat,
     XenTop,
 )
+from repro.obs import runtime as _obs
 from repro.sim.process import PeriodicProcess
 from repro.traces import Trace, TraceSet
 from repro.xen.machine import MONITOR_PRIORITY, PhysicalMachine
@@ -172,6 +173,9 @@ class MeasurementScript:
         self._samples: Dict[str, List[float]] = {}
         self._valid: List[bool] = []
         self._proc: Optional[PeriodicProcess] = None
+        #: A reading failed with no previous sample to carry forward,
+        #: so the current tick holds a fabricated value.
+        self._unseeded_tick = False
         #: Readings lost to transient tool failures (each one is filled
         #: with the previous reading, as the shell script does).
         self.missed_samples = 0
@@ -181,12 +185,21 @@ class MeasurementScript:
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> None:
-        """Begin sampling at the next interval boundary."""
+        """Begin sampling at the next interval boundary.
+
+        Every per-run accumulator is reset -- including the fault
+        counters and the per-tick corruption flag, so a restarted
+        script never inherits the previous run's tallies.
+        """
         if self._proc is not None and not self._proc.stopped:
             raise RuntimeError("measurement script already running")
         self._times.clear()
         self._samples.clear()
         self._valid.clear()
+        self.missed_samples = 0
+        self.gap_samples = 0
+        self._corrupt_tick = False
+        self._unseeded_tick = False
         self._proc = PeriodicProcess(
             self.pm.sim, self.interval, self._sample, priority=MONITOR_PRIORITY
         )
@@ -203,9 +216,12 @@ class MeasurementScript:
         """Start, simulate ``duration`` seconds, stop, and report."""
         if duration < self.interval:
             raise ValueError("duration shorter than one sampling interval")
-        self.start()
-        self.pm.sim.run_until(self.pm.sim.now + duration)
-        return self.stop()
+        with _obs.span(
+            "monitor.run", "monitor", sim=self.pm.sim, pm=self.pm.name
+        ):
+            self.start()
+            self.pm.sim.run_until(self.pm.sim.now + duration)
+            return self.stop()
 
     # -- internals ---------------------------------------------------------
 
@@ -216,13 +232,23 @@ class MeasurementScript:
         self, tool, snap, scope: str, resource: str, entity: str, vm_name=None
     ) -> float:
         """One reading; a transient tool failure repeats the previous
-        sample (the shell script's carry-forward behaviour)."""
+        sample (the shell script's carry-forward behaviour).
+
+        A failure with *no* previous sample has nothing to carry
+        forward; the substituted value (0.0 under ``hold``, NaN under
+        ``nan``) is fabricated, so the whole tick is flagged invalid
+        rather than silently polluting the trace mean.
+        """
         try:
             value = tool.read(snap, scope, resource, vm_name)
         except ToolFailure:
             self.missed_samples += 1
+            _obs.inc("repro_monitor_missed_samples_total", pm=self.pm.name)
             prev = self._samples.get(trace_name(entity, resource))
-            return prev[-1] if prev else 0.0
+            if prev:
+                return prev[-1]
+            self._unseeded_tick = True
+            return float("nan") if self._gap_policy == GAP_NAN else 0.0
         if self._corrupt_tick:
             value = self._faults.corrupt(value)
         return value
@@ -248,6 +274,7 @@ class MeasurementScript:
         dropped which ticks.
         """
         self.gap_samples += 1
+        _obs.inc("repro_monitor_gap_ticks_total", pm=self.pm.name)
         for name in self._expected_traces(snap):
             prev = self._samples.get(name)
             if self._gap_policy == GAP_HOLD:
@@ -259,6 +286,7 @@ class MeasurementScript:
     def _sample(self, now: float) -> None:
         snap = self.pm.snapshot()
         self._times.append(now)
+        _obs.inc("repro_monitor_ticks_total", pm=self.pm.name)
         if self.pm.failed:
             # A crashed PM cannot run any tool: the whole tick is a gap
             # (no RNG is consumed, so recovery re-syncs deterministically).
@@ -277,6 +305,7 @@ class MeasurementScript:
             # regression path's job, not the monitor's.
             self._corrupt_tick = verdict == SAMPLE_OUTLIER
         self._valid.append(True)
+        self._unseeded_tick = False
 
         guest_cpu = guest_mem = 0.0
         for name in snap.vms:
@@ -327,6 +356,11 @@ class MeasurementScript:
             "bw",
             self._read(self._ifconfig, snap, SCOPE_PM, "bw", ENTITY_PM),
         )
+        if self._unseeded_tick:
+            # At least one reading was fabricated with no history
+            # behind it (first-tick tool failure): the tick keeps its
+            # slot but must not count as measured data.
+            self._valid[-1] = False
 
     def _build_report(self) -> MeasurementReport:
         times = np.asarray(self._times)
@@ -335,7 +369,11 @@ class MeasurementScript:
             resource = name.rsplit(".", 1)[1]
             traces.add(Trace(name, times, np.asarray(values), UNITS[resource]))
         validity = None
-        if self._faults is not None or self.gap_samples > 0:
+        if (
+            self._faults is not None
+            or self.gap_samples > 0
+            or not all(self._valid)
+        ):
             validity = np.asarray(self._valid, dtype=bool)
         return MeasurementReport(
             pm_name=self.pm.name, traces=traces, validity=validity

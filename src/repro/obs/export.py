@@ -1,0 +1,381 @@
+"""Exporters: OpenMetrics text, JSONL spans, and the ``--obs-dir`` layout.
+
+``--obs-dir DIR`` (and the ``repro obs`` CLI) use one directory per
+run::
+
+    DIR/metrics.om    OpenMetrics text exposition (ends with ``# EOF``)
+    DIR/spans.jsonl   one JSON object per finished span
+    DIR/summary.json  ``repro-obs/1`` digest of both
+
+Every renderer here has a strict re-parser next to it
+(:func:`parse_openmetrics`, :func:`parse_spans_jsonl`) -- the CI smoke
+job and ``repro obs summary`` validate exports by actually parsing
+them, not by grepping.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import (
+    KIND_COUNTER,
+    KIND_GAUGE,
+    KIND_HISTOGRAM,
+    MetricsRegistry,
+)
+from repro.obs.spans import STATUS_ERROR, STATUS_OK, Span
+
+#: Schema tag of ``summary.json``.
+SUMMARY_SCHEMA = "repro-obs/1"
+
+#: File names inside an ``--obs-dir``.
+METRICS_FILE = "metrics.om"
+SPANS_FILE = "spans.jsonl"
+SUMMARY_FILE = "summary.json"
+
+
+class ObsExportError(ValueError):
+    """An export failed to render, parse, or validate."""
+
+
+# --------------------------------------------------------------------------
+# OpenMetrics text exposition.
+# --------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(pairs: Tuple[Tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def render_openmetrics(metrics: MetricsRegistry) -> str:
+    """The registry as OpenMetrics text (terminated by ``# EOF``)."""
+    lines: List[str] = []
+    for name, kind, help, children in metrics.families():
+        family = name[: -len("_total")] if kind == KIND_COUNTER else name
+        lines.append(f"# TYPE {family} {kind}")
+        if help:
+            lines.append(f"# HELP {family} {help}")
+        for key, child in children:
+            labels = _render_labels(key)
+            if kind == KIND_HISTOGRAM:
+                cumulative = child.cumulative()
+                for bound, cum in zip(child.buckets, cumulative):
+                    le = (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{family}_bucket{_render_labels(key + le)} {cum}"
+                    )
+                inf = key + (("le", "+Inf"),)
+                lines.append(
+                    f"{family}_bucket{_render_labels(inf)} {child.count}"
+                )
+                lines.append(f"{family}_count{labels} {child.count}")
+                lines.append(
+                    f"{family}_sum{labels} {_format_value(child.sum)}"
+                )
+            elif kind == KIND_COUNTER:
+                lines.append(
+                    f"{family}_total{labels} {_format_value(child.value)}"
+                )
+            else:
+                lines.append(
+                    f"{family}{labels} {_format_value(child.value)}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(body: Optional[str]) -> Dict[str, str]:
+    if not body:
+        return {}
+    labels: Dict[str, str] = {}
+    rest = body
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            raise ObsExportError(f"malformed label set {body!r}")
+        labels[match.group(1)] = _unescape_label(match.group(2))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ObsExportError(f"malformed label set {body!r}")
+    return labels
+
+
+#: Sample-name suffixes each kind may expose.
+_KIND_SUFFIXES = {
+    KIND_COUNTER: ("_total",),
+    KIND_GAUGE: ("",),
+    KIND_HISTOGRAM: ("_bucket", "_count", "_sum"),
+}
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, object]]:
+    """Strictly parse OpenMetrics text rendered by this package.
+
+    Returns ``{family: {"kind": ..., "help": ..., "samples":
+    [(sample_name, labels, value), ...]}}`` and raises
+    :class:`ObsExportError` on any malformed line, a sample outside a
+    declared family, or a missing ``# EOF`` terminator.
+    """
+    if not text.endswith("# EOF\n"):
+        raise ObsExportError("missing '# EOF' terminator")
+    families: Dict[str, Dict[str, object]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            try:
+                _, _, family, kind = line.split(" ", 3)
+            except ValueError:
+                raise ObsExportError(f"line {lineno}: malformed TYPE line")
+            if kind not in _KIND_SUFFIXES:
+                raise ObsExportError(
+                    f"line {lineno}: unknown metric kind {kind!r}"
+                )
+            if family in families:
+                raise ObsExportError(
+                    f"line {lineno}: duplicate family {family!r}"
+                )
+            families[family] = {"kind": kind, "help": "", "samples": []}
+            continue
+        if line.startswith("# HELP "):
+            _, _, family, help_text = line.split(" ", 3)
+            if family not in families:
+                raise ObsExportError(
+                    f"line {lineno}: HELP before TYPE for {family!r}"
+                )
+            families[family]["help"] = help_text
+            continue
+        if line.startswith("#"):
+            raise ObsExportError(f"line {lineno}: unknown comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ObsExportError(f"line {lineno}: malformed sample {line!r}")
+        sample = match.group("name")
+        owner = None
+        for family, info in families.items():
+            for suffix in _KIND_SUFFIXES[info["kind"]]:
+                if sample == family + suffix:
+                    owner = family
+                    break
+            if owner:
+                break
+        if owner is None:
+            raise ObsExportError(
+                f"line {lineno}: sample {sample!r} has no declared family"
+            )
+        labels = _parse_labels(match.group("labels"))
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            if raw != "+Inf":
+                raise ObsExportError(
+                    f"line {lineno}: bad sample value {raw!r}"
+                )
+            value = float("inf")
+        families[owner]["samples"].append((sample, labels, value))
+    return families
+
+
+# --------------------------------------------------------------------------
+# JSONL spans.
+# --------------------------------------------------------------------------
+
+_SPAN_STATUSES = (STATUS_OK, STATUS_ERROR)
+
+
+def validate_span(row: Dict[str, object]) -> None:
+    """Schema-check one span row; raise :class:`ObsExportError` if bad."""
+    for key in ("name", "source"):
+        if not isinstance(row.get(key), str) or not row[key]:
+            raise ObsExportError(f"span {key!r} must be a non-empty string")
+    for key in ("wall_start", "wall_end"):
+        if not isinstance(row.get(key), (int, float)):
+            raise ObsExportError(f"span {key!r} must be a number")
+    if row["wall_end"] < row["wall_start"]:
+        raise ObsExportError("span wall_end precedes wall_start")
+    sim = (row.get("sim_start"), row.get("sim_end"))
+    if (sim[0] is None) != (sim[1] is None):
+        raise ObsExportError("span sim stamps must be both set or both null")
+    if sim[0] is not None:
+        if not all(isinstance(v, (int, float)) for v in sim):
+            raise ObsExportError("span sim stamps must be numbers")
+        if sim[1] < sim[0]:
+            raise ObsExportError("span sim_end precedes sim_start")
+    if row.get("status") not in _SPAN_STATUSES:
+        raise ObsExportError(f"span status must be one of {_SPAN_STATUSES}")
+    labels = row.get("labels")
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        raise ObsExportError("span labels must map strings to strings")
+
+
+def render_spans_jsonl(spans: List[Span]) -> str:
+    """Spans as JSON Lines, one object per span, in record order."""
+    return "".join(
+        json.dumps(span.as_dict(), sort_keys=True) + "\n" for span in spans
+    )
+
+
+def parse_spans_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse and schema-validate a JSONL span export."""
+    rows: List[Dict[str, object]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsExportError(f"line {lineno}: not JSON ({exc})")
+        if not isinstance(row, dict):
+            raise ObsExportError(f"line {lineno}: span row must be an object")
+        try:
+            validate_span(row)
+        except ObsExportError as exc:
+            raise ObsExportError(f"line {lineno}: {exc}")
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Summary digest and the --obs-dir writer/reader.
+# --------------------------------------------------------------------------
+
+
+def build_summary(collector) -> Dict[str, object]:
+    """The ``repro-obs/1`` digest of one collector."""
+    spans = collector.spans.spans()
+    per_source: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        stats = per_source.setdefault(
+            span.source, {"spans": 0, "wall_s": 0.0, "errors": 0}
+        )
+        stats["spans"] += 1
+        stats["wall_s"] += span.wall_elapsed
+        if span.status == STATUS_ERROR:
+            stats["errors"] += 1
+    counters: Dict[str, float] = {}
+    for name, kind, _help, children in collector.metrics.families():
+        if kind == KIND_COUNTER:
+            counters[name] = sum(child.value for _, child in children)
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "metric_families": sum(
+            1 for _ in collector.metrics.families()
+        ),
+        "series": len(collector.metrics),
+        "spans": len(spans),
+        "spans_emitted": collector.spans.emitted,
+        "spans_dropped": collector.spans.dropped,
+        "span_sources": collector.spans.sources(),
+        "per_source": per_source,
+        "counters": counters,
+    }
+
+
+def render_summary_text(summary: Dict[str, object]) -> str:
+    """Human-readable digest for ``repro obs summary``."""
+    lines = [
+        f"metric families:   {summary['metric_families']} "
+        f"({summary['series']} series)",
+        f"spans recorded:    {summary['spans']} "
+        f"({summary['spans_emitted']} emitted, "
+        f"{summary['spans_dropped']} dropped)",
+        f"span sources:      {', '.join(summary['span_sources']) or '-'}",
+    ]
+    for source in summary["span_sources"]:
+        stats = summary["per_source"][source]
+        lines.append(
+            f"  {source:<12} {int(stats['spans']):6d} span(s)  "
+            f"{stats['wall_s']:10.4f}s wall  "
+            f"{int(stats['errors'])} error(s)"
+        )
+    if summary["counters"]:
+        lines.append("counters:")
+        for name, value in sorted(summary["counters"].items()):
+            lines.append(f"  {name:<40} {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def write_obs_dir(collector, path: Path | str) -> Dict[str, object]:
+    """Write ``metrics.om`` / ``spans.jsonl`` / ``summary.json``.
+
+    Returns the summary dict.  Rendered exports are round-tripped
+    through their own parsers before anything is written, so a
+    malformed export fails the run instead of landing on disk.
+    """
+    out = Path(path)
+    metrics_text = render_openmetrics(collector.metrics)
+    parse_openmetrics(metrics_text)
+    spans_text = render_spans_jsonl(collector.spans.spans())
+    parse_spans_jsonl(spans_text)
+    summary = build_summary(collector)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / METRICS_FILE).write_text(metrics_text)
+    (out / SPANS_FILE).write_text(spans_text)
+    (out / SUMMARY_FILE).write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    return summary
+
+
+def load_obs_dir(
+    path: Path | str,
+) -> Tuple[Dict[str, object], List[Dict[str, object]], Dict[str, object]]:
+    """Read and validate one ``--obs-dir``; raise on anything malformed."""
+    root = Path(path)
+    if not root.is_dir():
+        raise ObsExportError(f"{root} is not an observability directory")
+    for name in (METRICS_FILE, SPANS_FILE, SUMMARY_FILE):
+        if not (root / name).is_file():
+            raise ObsExportError(f"{root} is missing {name}")
+    metrics = parse_openmetrics((root / METRICS_FILE).read_text())
+    spans = parse_spans_jsonl((root / SPANS_FILE).read_text())
+    try:
+        summary = json.loads((root / SUMMARY_FILE).read_text())
+    except json.JSONDecodeError as exc:
+        raise ObsExportError(f"{SUMMARY_FILE}: not JSON ({exc})")
+    if summary.get("schema") != SUMMARY_SCHEMA:
+        raise ObsExportError(
+            f"{SUMMARY_FILE}: unknown schema {summary.get('schema')!r}"
+        )
+    if summary.get("spans") != len(spans):
+        raise ObsExportError(
+            f"{SUMMARY_FILE} claims {summary.get('spans')} span(s) but "
+            f"{SPANS_FILE} holds {len(spans)}"
+        )
+    return metrics, spans, summary

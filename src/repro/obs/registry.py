@@ -1,0 +1,274 @@
+"""The metrics registry: counters, gauges, histograms with labels.
+
+A :class:`MetricsRegistry` holds metric *families* keyed by name; each
+family holds one child per distinct label set.  ``counter`` / ``gauge``
+/ ``histogram`` are get-or-create, so instrumentation sites never need
+registration boilerplate, and re-using a name with a different kind is
+a hard error rather than silent corruption.
+
+Registries are plain in-memory state with a deterministic, sorted
+iteration order (export output depends only on what was recorded, not
+on dict insertion history across processes).  ``snapshot`` /
+``merge_snapshot`` turn a registry into JSON-able data and back so a
+pool worker can ship its cell's metrics home, mirroring how sanitizer
+draw counts travel in :class:`repro.perf.executor.CellOutcome`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Valid metric and label names (OpenMetrics-compatible subset).
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets: latency-flavoured, seconds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+#: One label set, canonicalized: sorted ``(name, value)`` pairs.
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_HISTOGRAM = "histogram"
+
+
+def labels_key(labels: Dict[str, object]) -> LabelsKey:
+    """Canonical hashable form of one label set."""
+    for name in labels:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus/OpenMetrics semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be sorted ascending")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.buckets = bounds
+        #: Per-bound observation counts (non-cumulative; the +Inf
+        #: overflow lives in ``count - sum(counts)``).
+        self.counts = [0] * len(bounds)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per bound (what ``_bucket`` samples report)."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.children: Dict[LabelsKey, object] = {}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metric families."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def __len__(self) -> int:
+        """Total child series across every family."""
+        return sum(len(f.children) for f in self._families.values())
+
+    # -- get-or-create ---------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"requested {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        """The counter child of ``name`` for this label set.
+
+        Counter names must end in ``_total`` (the OpenMetrics sample
+        suffix), so exported names never collide with gauges.
+        """
+        if not name.endswith("_total"):
+            raise ValueError(f"counter name {name!r} must end in '_total'")
+        family = self._family(name, KIND_COUNTER, help)
+        return family.children.setdefault(  # type: ignore[return-value]
+            labels_key(labels), Counter()
+        )
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        """The gauge child of ``name`` for this label set."""
+        family = self._family(name, KIND_GAUGE, help)
+        return family.children.setdefault(  # type: ignore[return-value]
+            labels_key(labels), Gauge()
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram child of ``name`` for this label set."""
+        family = self._family(
+            name, KIND_HISTOGRAM, help, tuple(float(b) for b in buckets)
+        )
+        key = labels_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = Histogram(family.buckets or buckets)
+            family.children[key] = child
+        return child  # type: ignore[return-value]
+
+    # -- iteration (export order) ----------------------------------------
+
+    def families(self) -> Iterator[Tuple[str, str, str, List[Tuple[LabelsKey, object]]]]:
+        """``(name, kind, help, [(labels_key, child), ...])`` sorted."""
+        for name in sorted(self._families):
+            family = self._families[name]
+            yield (
+                name,
+                family.kind,
+                family.help,
+                sorted(family.children.items(), key=lambda kv: kv[0]),
+            )
+
+    # -- snapshot / merge ------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able dump of every family and child."""
+        out: Dict[str, object] = {}
+        for name, kind, help, children in self.families():
+            dumped = []
+            for key, child in children:
+                labels = [list(pair) for pair in key]
+                if kind == KIND_HISTOGRAM:
+                    dumped.append(
+                        {
+                            "labels": labels,
+                            "buckets": list(child.buckets),
+                            "counts": list(child.counts),
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    dumped.append({"labels": labels, "value": child.value})
+            out[name] = {"kind": kind, "help": help, "children": dumped}
+        return out
+
+    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histograms accumulate; gauges take the snapshot's
+        value (last writer wins, as for a plain ``set``).
+        """
+        for name, family in snap.items():
+            kind = family["kind"]
+            for child in family["children"]:
+                labels = {k: v for k, v in child["labels"]}
+                if kind == KIND_COUNTER:
+                    self.counter(name, family["help"], **labels).inc(
+                        child["value"]
+                    )
+                elif kind == KIND_GAUGE:
+                    self.gauge(name, family["help"], **labels).set(
+                        child["value"]
+                    )
+                else:
+                    hist = self.histogram(
+                        name, family["help"], buckets=child["buckets"],
+                        **labels,
+                    )
+                    if tuple(child["buckets"]) != hist.buckets:
+                        raise ValueError(
+                            f"histogram {name!r} bucket mismatch on merge"
+                        )
+                    for i, c in enumerate(child["counts"]):
+                        hist.counts[i] += c
+                    hist.sum += child["sum"]
+                    hist.count += child["count"]

@@ -23,6 +23,10 @@ JSON schema (``repro-bench/1``)
     Per-phase profiler dumps (``serial``, ``parallel``, ``cache_cold``,
     ``cache_warm``), each with ``wall_s``, ``cells``, ``events``,
     ``cache_hits``/``cache_misses`` and derived rates.
+``supervision``
+    :meth:`~repro.perf.supervisor.SupervisionStats.as_dict` of the
+    bench run: attempts, retries, recovered/failed cells, timeouts,
+    pool rebuilds -- all zeros on a healthy runner.
 ``metrics``
     The headline numbers:
 
@@ -51,6 +55,7 @@ from repro.perf.cache import ResultCache, code_fingerprint
 from repro.perf.cells import MicrobenchCell
 from repro.perf.executor import resolve_jobs, run_cells
 from repro.perf.profiler import Profiler, profiled
+from repro.perf.supervisor import reset_stats
 from repro.workloads.suite import intensity_levels
 
 #: Schema identifier embedded in every bench file.
@@ -113,6 +118,7 @@ def run_bench(
     """
     jobs = resolve_jobs(jobs if jobs is not None else 0)
     cells = bench_cells(fast=fast, seed=seed)
+    supervision = reset_stats()
 
     with profiled() as profiler:
         serial = run_cells(cells, jobs=1, cache=None, phase="serial")
@@ -168,6 +174,7 @@ def run_bench(
             "seed": seed,
         },
         "phases": summary["phases"],
+        "supervision": supervision.as_dict(),
         "metrics": metrics,
     }
 

@@ -41,6 +41,13 @@ _GENERATION_CHARS = 16
 #: Payload schema of cached cell outcomes (integrity header tag).
 CACHE_SCHEMA = "repro.perf.cell-outcome/v1"
 
+#: Payload schema of the persisted hit/miss counters.
+STATS_SCHEMA = "repro.perf.cache-stats/v1"
+
+#: Stats file inside the generation directory.  Deliberately not
+#: ``*.pkl`` so entry/size accounting never counts it.
+STATS_FILE = "stats.meta"
+
 
 @lru_cache(maxsize=1)
 def code_fingerprint() -> str:
@@ -108,7 +115,7 @@ class CacheStats:
         ]
         if self.hits or self.misses:
             lines.append(
-                f"session hits/misses: {self.hits}/{self.misses} "
+                f"hits/misses:       {self.hits}/{self.misses} "
                 f"(hit rate {self.hit_rate:.0%})"
             )
         return "\n".join(lines)
@@ -146,6 +153,49 @@ class ResultCache:
         self.misses = 0
         if evict_stale:
             self.evict_stale()
+
+    # -- persisted hit/miss counters -------------------------------------
+
+    @property
+    def _stats_path(self) -> Path:
+        return self._dir / STATS_FILE
+
+    def _persisted_stats(self) -> tuple[int, int]:
+        """Lifetime ``(hits, misses)`` recorded by earlier sessions.
+
+        The stats file is integrity-guarded like every other artifact;
+        a corrupt or truncated one is dropped (with a warning) and the
+        counters restart from zero rather than poisoning the view.
+        """
+        try:
+            payload = integrity.read_artifact(
+                self._stats_path, schema=STATS_SCHEMA
+            )
+        except integrity.IntegrityError as exc:
+            if exc.reason != "missing":
+                self._stats_path.unlink(missing_ok=True)
+                integrity.warn_corrupt(exc, action="reset cache stats")
+            return 0, 0
+        return int(payload["hits"]), int(payload["misses"])
+
+    def flush_stats(self) -> None:
+        """Fold this session's hit/miss counters into the stats file.
+
+        Called by the CLI at the end of a cached run so a later
+        ``repro cache stats`` (which opens a *fresh* ``ResultCache``)
+        reports real lifetime counters instead of zeros.  Session
+        counters reset so a double flush never double-counts.
+        """
+        if not self.hits and not self.misses:
+            return
+        hits, misses = self._persisted_stats()
+        integrity.write_artifact(
+            self._stats_path,
+            {"hits": hits + self.hits, "misses": misses + self.misses},
+            schema=STATS_SCHEMA,
+        )
+        self.hits = 0
+        self.misses = 0
 
     # -- keying ----------------------------------------------------------
 
@@ -210,19 +260,26 @@ class ResultCache:
         return removed
 
     def stats(self) -> CacheStats:
-        """Entry/size counts for the current generation."""
+        """Entry/size counts for the current generation.
+
+        ``hits``/``misses`` are this session's counters plus the
+        lifetime counters persisted by :meth:`flush_stats` -- so a
+        fresh instance (``repro cache stats``) still reports what the
+        cache actually did.
+        """
         entries = 0
         size = 0
         if self._dir.is_dir():
             for path in sorted(self._dir.glob("*.pkl")):
                 entries += 1
                 size += path.stat().st_size
+        persisted_hits, persisted_misses = self._persisted_stats()
         return CacheStats(
             root=str(self.root),
             fingerprint=self.fingerprint,
             entries=entries,
             stale_generations=len(self._stale_generations()),
             bytes=size,
-            hits=self.hits,
-            misses=self.misses,
+            hits=persisted_hits + self.hits,
+            misses=persisted_misses + self.misses,
         )

@@ -40,6 +40,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
+from repro.obs import runtime as obs
 from repro.perf.cache import ResultCache
 from repro.perf.cells import Cell
 from repro.perf.manifest import RunManifest
@@ -60,13 +61,17 @@ class CellOutcome:
     cell's own simulators (empty when the cell ran unsanitized); they
     let the parent process report aggregate counts identical to a
     serial run, and let a cache hit replay the accounting of the run
-    that produced it.
+    that produced it.  ``obs`` travels the same way: when observability
+    is enabled the cell runs under a scoped collector and ships its
+    metrics/spans snapshot home for the parent to merge (``None`` when
+    observability was off).
     """
 
     value: Any
     events: int = 0
     draw_counts: Dict[str, int] = field(default_factory=dict)
     pops: int = 0
+    obs: Optional[Dict[str, Any]] = None
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -207,22 +212,53 @@ def _sanitized_execute(cell: Cell) -> CellOutcome:
     )
 
 
-def _execute_cell(cell: Cell) -> CellOutcome:
-    """Run one cell in the current process."""
+def _plain_execute(cell: Cell) -> CellOutcome:
+    """Run one cell without observability scoping."""
     if sanitize.default_enabled():
         return _sanitized_execute(cell)
     value, events = cell.run()
     return CellOutcome(value=value, events=events)
 
 
-def _pool_worker(cell: Cell, sanitize_enabled: bool) -> CellOutcome:
+def _execute_cell(cell: Cell) -> CellOutcome:
+    """Run one cell in the current process.
+
+    With observability enabled the cell runs under its own scoped
+    collector -- in a pool worker *and* inline -- so every outcome
+    carries exactly its cell's snapshot and the parent merges them
+    identically on both paths (and on cache/checkpoint replays).
+    """
+    if not obs.default_enabled():
+        return _plain_execute(cell)
+    previous = obs.installed()
+    child = obs.install(obs.ObsCollector())
+    try:
+        with obs.span(
+            "executor.cell", "executor", cell=cell.label(), group=cell.group
+        ):
+            outcome = _plain_execute(cell)
+    finally:
+        if previous is not None:
+            obs.install(previous)
+        else:
+            obs.uninstall()
+    outcome.obs = child.snapshot()
+    return outcome
+
+
+def _pool_worker(
+    cell: Cell, sanitize_enabled: bool, obs_enabled: bool = False
+) -> CellOutcome:
     """Top-level worker entry point (must be picklable by name)."""
     previous = sanitize.default_enabled()
+    previous_obs = obs.default_enabled()
     sanitize.set_default(sanitize_enabled)
+    obs.set_default(obs_enabled)
     try:
         return _execute_cell(cell)
     finally:
         sanitize.set_default(previous)
+        obs.set_default(previous_obs)
 
 
 def _merge_accounting(outcome: CellOutcome) -> None:
@@ -240,6 +276,19 @@ def _merge_accounting(outcome: CellOutcome) -> None:
     hooks.draw_counts.update(outcome.draw_counts)
     hooks.pops = outcome.pops
     sanitize.register_hooks(hooks)
+
+
+def _merge_obs(outcome: CellOutcome) -> None:
+    """Fold a cell's observability snapshot into the parent collector.
+
+    Cache hits and checkpoint restores replay the snapshot of the run
+    that produced them, exactly as sanitizer accounting replays.
+    """
+    collector = obs.installed()
+    snap = getattr(outcome, "obs", None)
+    if collector is None or not snap:
+        return
+    collector.merge_snapshot(snap)
 
 
 def run_cells(
@@ -310,6 +359,7 @@ def run_cells(
                 if restored is not None:
                     outcomes[i] = restored
                     _merge_accounting(restored)
+                    _merge_obs(restored)
     if cache is not None:
         for i, cell in enumerate(cells):
             if outcomes[i] is not None:
@@ -318,14 +368,23 @@ def run_cells(
             if cached is not None:
                 outcomes[i] = cached
                 _merge_accounting(cached)
+                _merge_obs(cached)
                 hits += 1
     missing = [i for i, out in enumerate(outcomes) if out is None]
     attempts: Dict[int, int] = {}
+    if cache is not None:
+        obs.inc("repro_executor_cache_hits_total", hits, phase=phase_name)
+        obs.inc(
+            "repro_executor_cache_misses_total", len(missing),
+            phase=phase_name,
+        )
+    obs.inc("repro_executor_cells_total", len(cells), phase=phase_name)
 
     def complete(i: int, outcome: CellOutcome, from_pool: bool) -> None:
         outcomes[i] = outcome
         if from_pool:
             _merge_accounting(outcome)
+        _merge_obs(outcome)
         if cache is not None:
             cache.put(cells[i], outcome)
         if manifest is not None:
@@ -339,12 +398,17 @@ def run_cells(
         profiler.phase(phase_name) if profiler is not None
         else _null_context()
     )
-    with timer:
+    with timer, obs.span(
+        "executor.run_cells", "executor",
+        phase=phase_name, cells=len(cells), missing=len(missing),
+    ):
         failures = run_supervised(
             [(i, cells[i]) for i in missing],
             jobs=jobs if len(missing) > 1 else 1,
             worker=_pool_worker,
-            worker_args=(sanitize.default_enabled(),),
+            worker_args=(
+                sanitize.default_enabled(), obs.default_enabled(),
+            ),
             execute_inline=_execute_cell,
             complete=complete,
             config=config,

@@ -40,6 +40,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs import runtime as _obs
 from repro.perf.cells import Cell
 
 
@@ -98,6 +99,18 @@ class SupervisionStats:
         self.timeouts += other.timeouts
         self.pool_rebuilds += other.pool_rebuilds
         self.serial_fallbacks += other.serial_fallbacks
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able form (embedded in BENCH records and summaries)."""
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "recovered": sorted(self.recovered),
+            "failed": [[label, error] for label, error in self.failed],
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallbacks": self.serial_fallbacks,
+        }
 
     def summary(self) -> str:
         """One-line digest for the CLI's stderr warning."""
@@ -215,6 +228,59 @@ def run_supervised(
     attempts; the caller decides whether that is fatal.
     """
     config = config or SupervisorConfig()
+    baseline = (
+        _stats.attempts, _stats.retries, _stats.timeouts,
+        _stats.pool_rebuilds, _stats.serial_fallbacks,
+        len(_stats.recovered), len(_stats.failed),
+    )
+    try:
+        return _run_supervised(
+            pending,
+            jobs=jobs,
+            worker=worker,
+            worker_args=worker_args,
+            execute_inline=execute_inline,
+            complete=complete,
+            config=config,
+            attempts_out=attempts_out,
+        )
+    finally:
+        _publish_obs_counters(baseline)
+
+
+def _publish_obs_counters(baseline: Tuple[int, ...]) -> None:
+    """Mirror this fan-out's SupervisionStats deltas into obs counters."""
+    if _obs.installed() is None:
+        return
+    current = (
+        _stats.attempts, _stats.retries, _stats.timeouts,
+        _stats.pool_rebuilds, _stats.serial_fallbacks,
+        len(_stats.recovered), len(_stats.failed),
+    )
+    names = (
+        "repro_supervisor_attempts_total",
+        "repro_supervisor_retries_total",
+        "repro_supervisor_timeouts_total",
+        "repro_supervisor_pool_rebuilds_total",
+        "repro_supervisor_serial_fallbacks_total",
+        "repro_supervisor_recovered_total",
+        "repro_supervisor_failed_total",
+    )
+    for name, before, after in zip(names, baseline, current):
+        _obs.inc(name, max(0, after - before))
+
+
+def _run_supervised(
+    pending: List[Tuple[int, Cell]],
+    *,
+    jobs: int,
+    worker: Callable[..., Any],
+    worker_args: Tuple[Any, ...],
+    execute_inline: Callable[[Cell], Any],
+    complete: CompleteFn,
+    config: SupervisorConfig,
+    attempts_out: Optional[Dict[int, int]] = None,
+) -> List[Tuple[int, Cell, str]]:
     # ``attempts_out`` (when given) is maintained *live*, so the
     # caller's completion hook can record the attempt count that
     # produced each outcome.
@@ -255,7 +321,11 @@ def run_supervised(
             _backoff_sleep(config.backoff_s(attempts[i] + 1))
             _charge(i)
             try:
-                outcome = execute_inline(cell)
+                with _obs.span(
+                    "supervisor.attempt", "supervisor",
+                    cell=cell.label(), attempt=attempts[i],
+                ):
+                    outcome = execute_inline(cell)
             except Exception as exc:
                 ever_failed[i] = True
                 if attempts[i] >= config.max_attempts:
@@ -305,7 +375,11 @@ def run_supervised(
                     continue
                 try:
                     deadline = config.deadline_s
-                    outcome = future.result(timeout=deadline)
+                    with _obs.span(
+                        "supervisor.attempt", "supervisor",
+                        cell=cell.label(), attempt=attempts[i],
+                    ):
+                        outcome = future.result(timeout=deadline)
                 except FutureTimeoutError:
                     _stats.timeouts += 1
                     ever_failed[i] = True

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.models.multi_vm import MultiVMOverheadModel
+from repro.obs import runtime as _obs
 from repro.monitor.metrics import ResourceVector
 from repro.placement.migration import (
     HotspotDetector,
@@ -221,6 +222,9 @@ class MigrationExecutor:
                 reason=reason,
             )
         )
+        _obs.inc(
+            "repro_placement_migration_attempts_total", reason=reason
+        )
         if ok:
             self.stats.succeeded += 1
             self.breaker.record_success(move.dst)
@@ -341,13 +345,24 @@ class ResilientControlLoop:
         return placement
 
     def _round(self, now: float) -> None:
+        with _obs.span(
+            "placement.round", "placement", sim=self.cluster.sim,
+            round=self.rounds + 1,
+        ):
+            self._run_round(now)
+
+    def _run_round(self, now: float) -> None:
         self.rounds += 1
+        _obs.inc("repro_placement_rounds_total")
         self.executor.tick(now)
         placement = self.observe_cluster()
         hot: List[str] = []
         for name in self.cluster.pms:
             if name not in placement:
                 self.missing_observations += 1
+                _obs.inc(
+                    "repro_placement_missing_observations_total", pm=name
+                )
                 # A crashed PM ages the detector window without voting;
                 # even if still "hot", its guests are down with it, so
                 # no migration relief is planned until it reports again.
@@ -357,6 +372,7 @@ class ResilientControlLoop:
                 hot.append(name)
         for pm_name in hot:
             self.hot_rounds += 1
+            _obs.inc("repro_placement_hot_rounds_total", pm=pm_name)
             moves = self.planner.plan(
                 pm_name, placement, max_moves=self.max_moves
             )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.obs import runtime as _obs
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
 from repro.sim.rng import RngRegistry
 
@@ -144,6 +145,19 @@ class Simulator:
             raise SimulationError(
                 f"cannot run until t={t_end:.6f} < now={self._now:.6f}"
             )
+        if _obs.installed() is None:
+            self._drain(t_end)
+            self._now = t_end
+            return
+        before = self.dispatched
+        with _obs.span("sim.run_until", "sim", sim=self):
+            self._drain(t_end)
+            self._now = t_end
+        _obs.inc("repro_sim_events_total", self.dispatched - before)
+        _obs.set_gauge("repro_sim_time_seconds", self._now)
+
+    def _drain(self, t_end: float) -> None:
+        """Dispatch every queued event with ``time <= t_end``."""
         self._running = True
         try:
             while True:
@@ -153,12 +167,21 @@ class Simulator:
                 self.step()
         finally:
             self._running = False
-        self._now = t_end
 
     def run(self) -> None:
         """Run until the event queue is exhausted."""
         if self._running:
             raise SimulationError("run is not re-entrant")
+        if _obs.installed() is None:
+            self._exhaust()
+            return
+        before = self.dispatched
+        with _obs.span("sim.run", "sim", sim=self):
+            self._exhaust()
+        _obs.inc("repro_sim_events_total", self.dispatched - before)
+        _obs.set_gauge("repro_sim_time_seconds", self._now)
+
+    def _exhaust(self) -> None:
         self._running = True
         try:
             while self.step():

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.obs import runtime as _obs
+
 #: Xen's default domain weight.
 DEFAULT_WEIGHT = 256
 #: Xen's accounting period in seconds (30 ms).
@@ -103,6 +105,9 @@ def weighted_water_fill(
             active = [i for i in active if limit[i] - granted[i] > 1e-12]
         else:
             break
+    if _obs.installed() is not None:
+        _obs.inc("repro_sched_water_fill_total")
+        _obs.inc("repro_sched_water_fill_clients_total", n)
     return granted
 
 
@@ -249,8 +254,13 @@ class CreditScheduler:
         for v in self.vcpus:
             v.consumed = 0.0
         periods = max(1, round(seconds / ACCOUNTING_PERIOD))
-        for _ in range(periods):
-            self.run_period()
+        with _obs.span(
+            "sched.credit_run", "sched",
+            vcpus=len(self.vcpus), periods=periods,
+        ):
+            for _ in range(periods):
+                self.run_period()
+        _obs.inc("repro_sched_credit_periods_total", periods)
         horizon = periods * ACCOUNTING_PERIOD
         return {v.name: 100.0 * v.consumed / horizon for v in self.vcpus}
 

@@ -1,0 +1,135 @@
+"""Regression tests: restart state and first-tick tool-failure handling.
+
+Both caught real bugs:
+
+* ``start()`` used to leak ``missed_samples`` / ``gap_samples`` /
+  ``_corrupt_tick`` from the previous run into the next one, so a
+  reused script double-counted faults.
+* A ``ToolFailure`` on the very first tick has no previous sample to
+  carry forward; the fabricated 0.0 used to pass as a valid reading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, SampleFaults
+from repro.monitor import GAP_NAN
+from repro.monitor.script import MeasurementScript
+from repro.monitor.tools import ToolFailure
+from repro.sim import Simulator
+from repro.workloads import CpuHog
+from repro.xen import PhysicalMachine, VMSpec
+
+
+def make_pm(seed=37):
+    sim = Simulator(seed=seed)
+    pm = PhysicalMachine(sim, name="pm1")
+    vm = pm.create_vm(VMSpec(name="vm1"))
+    CpuHog(50.0).attach(vm)
+    pm.start()
+    sim.run_until(2.0)
+    return pm
+
+
+def fail_first_read(script, tool="_mpstat"):
+    """Make one tool's first read raise ToolFailure, then behave."""
+    real = getattr(script, tool).read
+    calls = {"n": 0}
+
+    def flaky(snap, scope, resource, vm_name=None):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise ToolFailure("injected first-tick failure")
+        return real(snap, scope, resource, vm_name)
+
+    getattr(script, tool).read = flaky
+
+
+class TestRestartResetsState:
+    def test_start_run_stop_start_resets_fault_counters(self):
+        pm = make_pm()
+        faults = SampleFaults(
+            FaultConfig.sampling_only(dropout=0.4, outliers=0.2),
+            pm.sim.rng(f"faults.monitor.{pm.name}"),
+        )
+        script = MeasurementScript(pm, faults=faults)
+        script.run(40.0)
+        assert script.gap_samples > 0  # the first run really saw faults
+
+        # A restarted script must begin with a clean slate: counters at
+        # zero and no corruption flag leaking into the first new tick.
+        script.start()
+        assert script.missed_samples == 0
+        assert script.gap_samples == 0
+        assert script._corrupt_tick is False
+        assert script._unseeded_tick is False
+        pm.sim.run_until(pm.sim.now + 10.0)
+        report = script.stop()
+        # The second run's report reflects only the second run.
+        assert script.gap_samples == report.n_gaps()
+        assert len(report.series("vm1", "cpu").values) <= 11
+
+    def test_restarted_missed_samples_only_count_new_run(self):
+        pm = make_pm()
+        script = MeasurementScript(pm)
+        fail_first_read(script)  # exactly one injected failure, run 1
+        script.run(10.0)
+        assert script.missed_samples == 1
+        # Run 2 sees no failures, so its tally must be zero -- the old
+        # code carried run 1's count over and reported 1 here.
+        report = script.run(10.0)
+        assert script.missed_samples == 0
+        assert report.validity is None
+
+
+class TestFirstTickToolFailure:
+    def test_first_tick_failure_marks_tick_invalid(self):
+        pm = make_pm()
+        script = MeasurementScript(pm)
+        script.start()
+        fail_first_read(script)
+        pm.sim.run_until(pm.sim.now + 10.0)
+        report = script.stop()
+        assert script.missed_samples == 1
+        # The fabricated reading must not count as measured data.
+        assert report.validity is not None
+        assert report.validity[0] == False  # noqa: E712
+        assert report.validity[1:].all()
+        # Under the hold policy the placeholder is 0.0 and finite.
+        assert report.series("hyp", "cpu").values[0] == 0.0
+
+    def test_first_tick_failure_nan_policy_leaves_nan(self):
+        pm = make_pm()
+        script = MeasurementScript(pm, gap_policy=GAP_NAN)
+        script.start()
+        fail_first_read(script)
+        pm.sim.run_until(pm.sim.now + 10.0)
+        report = script.stop()
+        values = report.series("hyp", "cpu").values
+        assert np.isnan(values[0])
+        assert np.isfinite(values[1:]).all()
+        assert not report.validity[0]
+        # valid_only mean skips the fabricated tick.
+        assert np.isfinite(report.mean("hyp", "cpu", valid_only=True))
+
+    def test_later_failure_carries_forward_and_stays_valid(self):
+        pm = make_pm()
+        script = MeasurementScript(pm)
+        script.start()
+        pm.sim.run_until(pm.sim.now + 3.0)  # seed some history first
+        fail_first_read(script)
+        pm.sim.run_until(pm.sim.now + 5.0)
+        report = script.stop()
+        assert script.missed_samples == 1
+        # Carry-forward of a real previous sample is still valid data.
+        assert report.validity is None
+
+
+class TestEntityName:
+    def test_hypervisor_entity_exists(self):
+        # Guard for the tests above: the mpstat-backed series is hyp.cpu.
+        pm = make_pm()
+        report = MeasurementScript(pm).run(5.0)
+        assert "hyp" in report.entities()

@@ -1,0 +1,175 @@
+"""Tests for the OpenMetrics / JSONL exporters and the obs-dir layout."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    METRICS_FILE,
+    SPANS_FILE,
+    SUMMARY_FILE,
+    ObsExportError,
+    build_summary,
+    load_obs_dir,
+    parse_openmetrics,
+    parse_spans_jsonl,
+    render_openmetrics,
+    render_spans_jsonl,
+    render_summary_text,
+    validate_span,
+    write_obs_dir,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import ObsCollector
+from repro.obs.spans import Span
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("events_total", "processed events", pm="pm1").inc(3.0)
+    reg.counter("events_total", pm='we"ird\\pm').inc(1.0)
+    reg.gauge("sim_time_seconds").set(42.5)
+    reg.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    reg.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    reg.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(5.0)
+    return reg
+
+
+def _span(**kw) -> Span:
+    base = dict(name="work", source="test", wall_start=0.0, wall_end=1.0)
+    base.update(kw)
+    return Span(**base)
+
+
+class TestOpenMetrics:
+    def test_render_parse_roundtrip(self):
+        text = render_openmetrics(_registry())
+        families = parse_openmetrics(text)
+        assert set(families) == {"events", "sim_time_seconds", "lat_seconds"}
+        assert families["events"]["kind"] == "counter"
+        assert families["events"]["help"] == "processed events"
+        # Label values survive escaping.
+        sample_labels = [s[1] for s in families["events"]["samples"]]
+        assert {"pm": 'we"ird\\pm'} in sample_labels
+
+    def test_counter_family_strips_total_suffix(self):
+        text = render_openmetrics(_registry())
+        assert "# TYPE events counter" in text
+        assert 'events_total{pm="pm1"} 3' in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_openmetrics(_registry())
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum 5.55" in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(MetricsRegistry()).endswith("# EOF\n")
+
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ObsExportError, match="EOF"):
+            parse_openmetrics("# TYPE x gauge\nx 1\n")
+
+    def test_sample_without_family_rejected(self):
+        with pytest.raises(ObsExportError, match="no declared family"):
+            parse_openmetrics("orphan 1\n# EOF\n")
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ObsExportError, match="malformed"):
+            parse_openmetrics("# TYPE x gauge\nx one two three\n# EOF\n")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObsExportError, match="unknown metric kind"):
+            parse_openmetrics("# TYPE x untyped\n# EOF\n")
+
+
+class TestSpansJsonl:
+    def test_roundtrip(self):
+        spans = [
+            _span(),
+            _span(sim_start=0.0, sim_end=3.0, labels=(("cell", "a"),)),
+        ]
+        rows = parse_spans_jsonl(render_spans_jsonl(spans))
+        assert [Span.from_dict(r) for r in rows] == spans
+
+    def test_validate_rejects_bad_rows(self):
+        good = _span().as_dict()
+        validate_span(good)
+        for mutation in (
+            {"name": ""},
+            {"wall_end": -1.0},
+            {"sim_start": 1.0},  # sim_end still null
+            {"status": "maybe"},
+            {"labels": {"k": 1}},
+        ):
+            bad = dict(good, **mutation)
+            with pytest.raises(ObsExportError):
+                validate_span(bad)
+
+    def test_parse_reports_line_numbers(self):
+        with pytest.raises(ObsExportError, match="line 2"):
+            parse_spans_jsonl(
+                render_spans_jsonl([_span()]) + "not json\n"
+            )
+
+
+class TestSummaryAndObsDir:
+    def _collector(self) -> ObsCollector:
+        collector = ObsCollector()
+        collector.metrics.counter("events_total").inc(7.0)
+        collector.record_span(_span(source="sim"))
+        collector.record_span(_span(source="executor", status="error"))
+        return collector
+
+    def test_build_summary(self):
+        summary = build_summary(self._collector())
+        assert summary["spans"] == 2
+        assert summary["span_sources"] == ["executor", "sim"]
+        assert summary["per_source"]["executor"]["errors"] == 1
+        assert summary["counters"]["events_total"] == 7.0
+
+    def test_render_summary_text(self):
+        text = render_summary_text(build_summary(self._collector()))
+        assert "spans recorded:    2" in text
+        assert "events_total" in text
+
+    def test_write_then_load_roundtrip(self, tmp_path):
+        out = tmp_path / "obs"
+        summary = write_obs_dir(self._collector(), out)
+        for name in (METRICS_FILE, SPANS_FILE, SUMMARY_FILE):
+            assert (out / name).is_file()
+        metrics, spans, loaded = load_obs_dir(out)
+        assert loaded == json.loads(json.dumps(summary))
+        assert len(spans) == 2
+        assert "events" in metrics
+
+    def test_load_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ObsExportError, match="not an observability"):
+            load_obs_dir(tmp_path / "nope")
+
+    def test_load_missing_file_rejected(self, tmp_path):
+        out = tmp_path / "obs"
+        write_obs_dir(self._collector(), out)
+        (out / SPANS_FILE).unlink()
+        with pytest.raises(ObsExportError, match=SPANS_FILE):
+            load_obs_dir(out)
+
+    def test_load_span_count_mismatch_rejected(self, tmp_path):
+        out = tmp_path / "obs"
+        write_obs_dir(self._collector(), out)
+        (out / SPANS_FILE).write_text(
+            render_spans_jsonl([_span(source="sim")])
+        )
+        with pytest.raises(ObsExportError, match="claims 2"):
+            load_obs_dir(out)
+
+    def test_load_corrupt_metrics_rejected(self, tmp_path):
+        out = tmp_path / "obs"
+        write_obs_dir(self._collector(), out)
+        (out / METRICS_FILE).write_text("garbage\n")
+        with pytest.raises(ObsExportError):
+            load_obs_dir(out)

@@ -1,0 +1,142 @@
+"""Tests for the metrics registry: families, labels, snapshots."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    KIND_COUNTER,
+    KIND_GAUGE,
+    KIND_HISTOGRAM,
+    MetricsRegistry,
+    labels_key,
+)
+
+
+class TestLabelsKey:
+    def test_sorted_and_stringified(self):
+        assert labels_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_empty(self):
+        assert labels_key({}) == ()
+
+
+class TestCounter:
+    def test_get_or_create_is_same_series(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", pm="pm1").inc()
+        reg.counter("events_total", pm="pm1").inc(2.0)
+        assert reg.counter("events_total", pm="pm1").value == 3.0
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", pm="pm1").inc()
+        reg.counter("events_total", pm="pm2").inc(5.0)
+        assert reg.counter("events_total", pm="pm1").value == 1.0
+        assert reg.counter("events_total", pm="pm2").value == 5.0
+        assert len(reg) == 2
+
+    def test_counter_name_must_end_total(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("events")
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("events_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name_total")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(5.0)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_observe_buckets_and_sum(self):
+        hist = MetricsRegistry().histogram("lat_seconds", buckets=(1.0, 5.0))
+        for v in (0.5, 2.0, 100.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.sum == 102.5
+        # Non-cumulative per-bound counts: <=1: one, <=5: one; the
+        # third observation overflows to +Inf (count - sum(counts)).
+        assert hist.counts == [1, 1]
+        assert hist.cumulative() == [1, 2]
+
+    def test_default_buckets(self):
+        hist = MetricsRegistry().histogram("lat_seconds")
+        assert hist.buckets == DEFAULT_BUCKETS
+
+    def test_nan_observation_rejected(self):
+        hist = MetricsRegistry().histogram("lat_seconds")
+        with pytest.raises(ValueError):
+            hist.observe(math.nan)
+
+
+class TestKindConflicts:
+    def test_same_name_different_kind_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_families_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("b")
+        reg.counter("a_total")
+        reg.histogram("c_seconds")
+        names = [name for name, _, _, _ in reg.families()]
+        kinds = [kind for _, kind, _, _ in reg.families()]
+        assert names == ["a_total", "b", "c_seconds"]
+        assert kinds == [KIND_COUNTER, KIND_GAUGE, KIND_HISTOGRAM]
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", pm="pm1").inc(3.0)
+        reg.gauge("depth").set(2.0)
+        reg.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        return reg
+
+    def test_merge_into_empty_equals_original(self):
+        reg = self._populated()
+        other = MetricsRegistry()
+        other.merge_snapshot(reg.snapshot())
+        assert other.snapshot() == reg.snapshot()
+
+    def test_counters_add_gauges_win_histograms_add(self):
+        reg = self._populated()
+        reg.merge_snapshot(self._populated().snapshot())
+        assert reg.counter("events_total", pm="pm1").value == 6.0
+        assert reg.gauge("depth").value == 2.0
+        hist = reg.histogram("lat_seconds", buckets=(1.0,))
+        assert hist.count == 2 and hist.sum == 1.0
+
+    def test_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("lat_seconds", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            reg.merge_snapshot(other.snapshot())
+
+    def test_snapshot_roundtrips_through_json(self):
+        import json
+
+        reg = self._populated()
+        snap = json.loads(json.dumps(reg.snapshot()))
+        other = MetricsRegistry()
+        other.merge_snapshot(snap)
+        assert other.snapshot() == reg.snapshot()

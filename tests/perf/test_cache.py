@@ -152,3 +152,71 @@ class TestStats:
         assert stats.hits == 1 and stats.misses == 1
         assert stats.hit_rate == pytest.approx(0.5)
         assert "entries" in stats.render()
+
+
+class TestPersistedStats:
+    """Regression: ``repro cache stats`` used to always report 0/0,
+    because hit/miss counters lived only on the in-process instance."""
+
+    def test_flush_makes_counters_visible_to_fresh_instance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_cells([_cell()], cache=cache)
+        run_cells([_cell()], cache=cache)
+        cache.flush_stats()
+        # The bug: a fresh instance (what the stats subcommand builds)
+        # reported hits=0, misses=0 no matter what the cache had done.
+        fresh = ResultCache(tmp_path)
+        assert fresh.stats().hits == 1
+        assert fresh.stats().misses == 1
+
+    def test_flush_accumulates_across_sessions(self, tmp_path):
+        for _ in range(2):
+            cache = ResultCache(tmp_path)
+            run_cells([_cell()], cache=cache)
+            cache.flush_stats()
+        stats = ResultCache(tmp_path).stats()
+        assert stats.hits == 1  # second session was all hits
+        assert stats.misses == 1  # first session was all misses
+
+    def test_double_flush_does_not_double_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_cells([_cell()], cache=cache)
+        cache.flush_stats()
+        cache.flush_stats()
+        assert ResultCache(tmp_path).stats().misses == 1
+
+    def test_session_counters_still_session_scoped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_cells([_cell()], cache=cache)
+        cache.flush_stats()
+        assert cache.hits == 0 and cache.misses == 0
+        # stats() folds persisted + session.
+        run_cells([_cell()], cache=cache)
+        assert cache.hits == 1
+        assert cache.stats().hits == 1 and cache.stats().misses == 1
+
+    def test_stats_file_not_counted_as_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_cells([_cell()], cache=cache)
+        before = cache.stats()
+        cache.flush_stats()
+        after = ResultCache(tmp_path).stats()
+        assert after.entries == before.entries == 1
+        assert after.bytes == before.bytes
+
+    def test_corrupt_stats_file_resets_with_warning(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_cells([_cell()], cache=cache)
+        cache.flush_stats()
+        cache._stats_path.write_bytes(b"scrambled")
+        with pytest.warns(ArtifactIntegrityWarning, match="cache stats"):
+            stats = ResultCache(tmp_path).stats()
+        assert stats.hits == 0 and stats.misses == 0
+        assert not cache._stats_path.exists()
+
+    def test_stale_eviction_drops_old_generation_stats(self, tmp_path):
+        old = ResultCache(tmp_path, fingerprint="a" * 64)
+        old.misses = 5
+        old.flush_stats()
+        new = ResultCache(tmp_path, fingerprint="b" * 64)
+        assert new.stats().misses == 0

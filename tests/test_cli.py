@@ -55,6 +55,35 @@ class TestCliValidate:
         assert "purity" in capsys.readouterr().out
 
 
+class TestCacheStatsCli:
+    """Regression: cached runs used to leave ``repro cache stats``
+    reporting nothing -- counters died with the run's process."""
+
+    def test_cache_stats_reports_lifetime_counters(self, tmp_path, capsys):
+        cd = str(tmp_path / "cache")
+        assert main(["run", "fig5a", "--fast", "--cache-dir", cd]) == 0
+        assert main(["run", "fig5a", "--fast", "--cache-dir", cd]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cd]) == 0
+        out = capsys.readouterr().out
+        assert "hits/misses:" in out  # absent before the fix (0/0)
+        counts = out.split("hits/misses:")[1].split()[0]
+        hits, misses = (int(v) for v in counts.split("/"))
+        # Run 1 misses every cell (and may re-hit shared ones); run 2
+        # replays everything from disk, so hits strictly dominate.
+        assert hits > 0 and misses > 0
+        assert hits >= misses
+
+    def test_clear_also_drops_stats(self, tmp_path, capsys):
+        cd = str(tmp_path / "cache")
+        main(["run", "fig5a", "--fast", "--cache-dir", cd])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cd]) == 0
+        assert main(["cache", "stats", "--cache-dir", cd]) == 0
+        out = capsys.readouterr().out
+        assert "hits/misses:" not in out
+
+
 class TestCrashSafety:
     """--run-dir / --resume / repro runs, and the supervised exit codes."""
 
