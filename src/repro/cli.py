@@ -227,6 +227,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the runtime determinism sanitizer",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="online overhead-prediction service: crash-safe ingest, "
+        "drift-aware refitting, versioned model registry",
+    )
+    serve_p.add_argument(
+        "action", choices=("run", "query", "status", "rollback"),
+        help="run: replay a deterministic client swarm against the "
+        "service; query: answer one placement query from the promoted "
+        "registry; status: stream/registry/stats digest; rollback: "
+        "revert one PM to its previous promoted version",
+    )
+    serve_p.add_argument(
+        "--state-dir", type=Path, required=True, metavar="DIR",
+        help="service state directory (WAL + model registry); a "
+        "SIGKILL'd run resumes from it byte-identically",
+    )
+    serve_p.add_argument(
+        "--pms", type=int, default=3, metavar="N",
+        help="fleet size of the synthetic trace (default 3)",
+    )
+    serve_p.add_argument(
+        "--ticks", type=int, default=240, metavar="N",
+        help="trace length in sim seconds (default 240)",
+    )
+    serve_p.add_argument(
+        "--queries-per-tick", type=int, default=2, metavar="N",
+        help="placement queries issued per tick (default 2)",
+    )
+    serve_p.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed of the named trace/query streams",
+    )
+    serve_p.add_argument(
+        "--drift-at", type=int, default=0, metavar="TICK",
+        help="tick of the planted-coefficient regime shift (0 = none)",
+    )
+    serve_p.add_argument(
+        "--drift-scale", type=float, default=1.6,
+        help="coefficient multiplier applied at the shift (default 1.6)",
+    )
+    serve_p.add_argument(
+        "--stop-after-tick", type=int, default=None, metavar="TICK",
+        help="abandon the drive after TICK without draining (models a "
+        "crash deterministically; re-run to resume)",
+    )
+    serve_p.add_argument(
+        "--fault-loss", type=float, default=0.0, metavar="P",
+        help="per-sample delivery-loss burst probability",
+    )
+    serve_p.add_argument(
+        "--fault-dup", type=float, default=0.0, metavar="P",
+        help="per-sample duplicated-delivery probability",
+    )
+    serve_p.add_argument(
+        "--fault-reorder", type=float, default=0.0, metavar="P",
+        help="per-sample reordered (delayed) delivery probability",
+    )
+    serve_p.add_argument(
+        "--fault-stuck", type=float, default=0.0, metavar="P",
+        help="per-sample stuck-counter burst probability",
+    )
+    serve_p.add_argument(
+        "--fault-corrupt", type=float, default=0.0, metavar="P",
+        help="per-sample NaN/outlier corruption burst probability "
+        "(exercises quarantine)",
+    )
+    serve_p.add_argument(
+        "--min-fit-samples", type=int, default=None, metavar="N",
+        help="candidate maturity before promotion (default 24; pinned "
+        "to the state dir on first open)",
+    )
+    serve_p.add_argument(
+        "--staleness-s", type=float, default=None, metavar="S",
+        help="dark-stream threshold for degraded answers (default 30; "
+        "pinned to the state dir on first open)",
+    )
+    serve_p.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="bounded per-PM ingest queue (default 64; pinned to the "
+        "state dir on first open)",
+    )
+    serve_p.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="supervised attempts for 'run' with exponential backoff "
+        "between them (default 3)",
+    )
+    serve_p.add_argument(
+        "--pm", default=None, metavar="PM",
+        help="PM stream for 'query'/'rollback' (query defaults to "
+        "every known PM)",
+    )
+    serve_p.add_argument(
+        "--vm-util", default="0.3,0.3,0.1,0.1", metavar="C,M,I,B",
+        help="query utilization vector cpu,mem,io,bw",
+    )
+    serve_p.add_argument(
+        "--at", type=float, default=None, metavar="T",
+        help="sim time of the query (default: the recovered service "
+        "clock)",
+    )
+    serve_p.add_argument(
+        "--obs-dir", type=Path, default=None, metavar="DIR",
+        help="collect service metrics/spans and export them here "
+        "(inspect with 'repro obs summary --require serve')",
+    )
+
     obs_p = sub.add_parser(
         "obs",
         help="inspect an observability export written by --obs-dir",
@@ -487,6 +594,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _chaos(args)
     if args.command == "cache":
         return _cache(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "obs":
         return _obs_cmd(args)
     if args.command == "runs":
@@ -573,6 +682,168 @@ def _cache(args: argparse.Namespace) -> int:
         return 0
     assert args.action == "stats"
     print(cache.stats().render())
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from repro.serve import PredictionService, ServiceConfig
+
+    overrides = {
+        key: value
+        for key, value in (
+            ("queue_capacity", args.queue_capacity),
+            ("min_fit_samples", args.min_fit_samples),
+            ("staleness_s", args.staleness_s),
+        )
+        if value is not None
+    }
+    try:
+        # None lets an existing state dir answer from its pinned config;
+        # explicit knobs only matter on the open that creates the dir.
+        service_config = ServiceConfig(**overrides) if overrides else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "run":
+        return _serve_run(args, service_config)
+    if not args.state_dir.is_dir():
+        # Read-only actions must not conjure (and pin) a state dir.
+        print(
+            f"error: no service state at {args.state_dir}", file=sys.stderr
+        )
+        return 2
+    service = PredictionService(args.state_dir, config=service_config)
+    try:
+        if args.action == "status":
+            print(service.status_report())
+            return 0
+        if args.action == "rollback":
+            return _serve_rollback(args, service)
+        assert args.action == "query"
+        return _serve_query(args, service)
+    finally:
+        service.wal.close()
+
+
+def _serve_run(args: argparse.Namespace, service_config) -> int:
+    from repro.faults.service import ServiceFaultConfig
+    from repro.perf.supervisor import SupervisorConfig, _backoff_sleep
+    from repro.serve import SwarmConfig, run_swarm
+
+    try:
+        faults = ServiceFaultConfig(
+            loss_prob=args.fault_loss,
+            dup_prob=args.fault_dup,
+            reorder_prob=args.fault_reorder,
+            stuck_prob=args.fault_stuck,
+            corrupt_prob=args.fault_corrupt,
+        )
+        swarm_config = SwarmConfig(
+            pms=args.pms,
+            ticks=args.ticks,
+            queries_per_tick=args.queries_per_tick,
+            seed=args.seed,
+            drift_at=args.drift_at,
+            drift_scale=args.drift_scale,
+            faults=faults if faults.faulty() else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    collector = None
+    if args.obs_dir is not None:
+        from repro.obs import runtime as obs_runtime
+
+        collector = obs_runtime.install(obs_runtime.ObsCollector())
+        obs_runtime.set_default(True)
+    # Supervised drive: a transient failure (filesystem hiccup, OOM
+    # kill of a child) retries with the PR-4 backoff schedule -- the WAL
+    # makes every retry a resume, so attempts converge, never diverge.
+    supervisor = SupervisorConfig(max_attempts=max(1, args.retries))
+    attempt = 0
+    try:
+        while True:
+            try:
+                report = run_swarm(
+                    args.state_dir,
+                    swarm_config,
+                    service_config=service_config,
+                    stop_after_tick=args.stop_after_tick,
+                )
+                break
+            except OSError as exc:
+                attempt += 1
+                if attempt >= supervisor.max_attempts:
+                    print(
+                        f"error: swarm run failed after {attempt} "
+                        f"attempt(s): {exc}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                delay = supervisor.backoff_s(attempt + 1)
+                print(
+                    f"serve: attempt {attempt} failed ({exc}); "
+                    f"resuming from WAL in {delay:.1f}s",
+                    file=sys.stderr,
+                )
+                _backoff_sleep(delay)
+    finally:
+        if collector is not None:
+            from repro.obs import runtime as obs_runtime
+
+            obs_runtime.set_default(False)
+            obs_runtime.uninstall()
+    if collector is not None:
+        from repro.obs.export import write_obs_dir
+
+        obs_summary = write_obs_dir(collector, args.obs_dir)
+        print(
+            f"observability: wrote {args.obs_dir} "
+            f"({obs_summary['spans']} span(s), "
+            f"{obs_summary['series']} series; "
+            f"sources: {', '.join(obs_summary['span_sources']) or '-'})",
+            file=sys.stderr,
+        )
+    print(report.render())
+    return 0
+
+
+def _serve_query(args: argparse.Namespace, service) -> int:
+    from repro.monitor.metrics import ResourceVector
+
+    try:
+        parts = [float(v) for v in args.vm_util.split(",")]
+        if len(parts) != 4:
+            raise ValueError(f"expected 4 components, got {len(parts)}")
+        vm_util = ResourceVector(*parts)
+    except ValueError as exc:
+        print(f"error: --vm-util: {exc}", file=sys.stderr)
+        return 2
+    at = args.at if args.at is not None else service.now
+    pms = [args.pm] if args.pm else sorted(
+        set(service.registry.pms()) | set(service.queue_depths())
+    )
+    if not pms:
+        print("error: empty service state (nothing to query)", file=sys.stderr)
+        return 2
+    for pm in pms:
+        print(service.query(pm, vm_util, now=at).render())
+    return 0
+
+
+def _serve_rollback(args: argparse.Namespace, service) -> int:
+    from repro.serve import RegistryError
+
+    if not args.pm:
+        print("error: rollback requires --pm", file=sys.stderr)
+        return 2
+    try:
+        target = service.rollback(args.pm, now=service.now)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.pm}: rolled back to v{target.version} "
+          f"(promoted at tick {target.tick}, {target.n_samples} samples)")
     return 0
 
 

@@ -241,6 +241,18 @@ def generate_experiments_md(
         "absorbed failures — worth investigating even though the "
         "artifacts themselves stayed correct.",
         "",
+        "The fitted overhead models also run as a resilient online "
+        "service: `repro serve run` ingests a monitor stream through a "
+        "crash-safe WAL into recursive-least-squares candidates, "
+        "detects regime drift (Page-Hinkley) and refits, and answers "
+        "placement queries only from an integrity-guarded versioned "
+        "model registry (README § Online prediction service). CI's "
+        "serve-smoke job SIGKILLs the service mid-stream under "
+        "injected delivery faults and requires the resumed state to be "
+        "byte-identical to an uninterrupted run's, with quarantined or "
+        "dark streams answered from the last promoted version, flagged "
+        "`degraded` — never silently wrong, never a crash.",
+        "",
     ]
     if provenance:
         header.extend(list(provenance) + [""])

@@ -20,6 +20,12 @@ from repro.faults.config import (
 from repro.faults.injector import FAULT_PRIORITY, FaultInjector
 from repro.faults.sampling import SAMPLE_DROP, SAMPLE_OUTLIER, SampleFaults
 from repro.faults.schedule import FaultEvent, build_schedule
+from repro.faults.service import (
+    Delivery,
+    ServiceFaultConfig,
+    ServiceFaults,
+    stream_name,
+)
 from repro.faults.workers import (
     WORKER_FAULT_KINDS,
     WORKER_KILL,
@@ -30,12 +36,15 @@ from repro.faults.workers import (
 )
 
 __all__ = [
+    "Delivery",
     "FAULT_KINDS",
     "FAULT_PRIORITY",
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",
     "FaultableCell",
+    "ServiceFaultConfig",
+    "ServiceFaults",
     "KIND_NIC_DEGRADE",
     "KIND_PM_CRASH",
     "KIND_VM_CRASH",
@@ -49,4 +58,5 @@ __all__ = [
     "WorkerFault",
     "build_schedule",
     "plan_worker_faults",
+    "stream_name",
 ]

@@ -1,0 +1,185 @@
+"""Delivery faults between the monitor and the prediction service.
+
+The serve ingest path (:mod:`repro.serve`) assumes nothing about its
+transport; this module makes the transport's failure modes injectable.
+One :class:`ServiceFaults` instance sits per PM stream between the
+trace generator and :meth:`PredictionService.deliver`, drawing from its
+own named stream (``faults.service.<pm>``) so enabling it never shifts
+the trace itself.  Faults modeled, in adjudication order:
+
+* **stuck counter** -- the monitor keeps emitting fresh sequence
+  numbers whose values are frozen at the last healthy reading (a wedged
+  ``/proc`` reader); bursts with geometric length.
+* **corruption** -- values replaced by NaN/absurd magnitudes (the
+  quarantine trigger in the service); bursts with geometric length.
+* **loss** -- the sample never arrives; bursts with geometric length
+  (the serve-side analogue of :class:`repro.faults.sampling.SampleFaults`
+  dropout).
+* **duplication** -- the sample is delivered twice in the same tick.
+* **reordering** -- delivery is delayed a geometric number of ticks,
+  so it arrives after its successors.
+
+Every class draws only when its probability is nonzero, preserving
+stream alignment across configs, and a null config draws nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Stream-name prefix; the full stream is ``faults.service.<pm>``.
+STREAM_PREFIX = "faults.service"
+
+
+def stream_name(pm: str) -> str:
+    """The named RNG stream for one PM's delivery-fault process."""
+    return f"{STREAM_PREFIX}.{pm}"
+
+
+@dataclass(frozen=True)
+class ServiceFaultConfig:
+    """Delivery-fault probabilities (all zero = null = draw nothing)."""
+
+    #: Per-sample probability a loss burst starts / its mean length.
+    loss_prob: float = 0.0
+    loss_burst_mean: float = 3.0
+    #: Per-sample probability of same-tick duplicated delivery.
+    dup_prob: float = 0.0
+    #: Per-sample probability of delayed (reordered) delivery / mean
+    #: extra ticks of delay.
+    reorder_prob: float = 0.0
+    reorder_delay_mean: float = 2.0
+    #: Per-sample probability a stuck-counter burst starts / mean length.
+    stuck_prob: float = 0.0
+    stuck_burst_mean: float = 5.0
+    #: Per-sample probability a corruption burst starts / mean length.
+    corrupt_prob: float = 0.0
+    corrupt_burst_mean: float = 3.0
+
+    def __post_init__(self) -> None:
+        for attr in ("loss_prob", "dup_prob", "reorder_prob",
+                     "stuck_prob", "corrupt_prob"):
+            p = getattr(self, attr)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {p}")
+        for attr in ("loss_burst_mean", "reorder_delay_mean",
+                     "stuck_burst_mean", "corrupt_burst_mean"):
+            if getattr(self, attr) < 1.0:
+                raise ValueError(f"{attr} must be >= 1")
+
+    def faulty(self) -> bool:
+        """Whether any delivery fault can ever fire."""
+        return any(
+            getattr(self, attr) > 0.0
+            for attr in ("loss_prob", "dup_prob", "reorder_prob",
+                         "stuck_prob", "corrupt_prob")
+        )
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One (possibly faulted) delivery attempt bound for the service."""
+
+    tick: int
+    seq: int
+    x: Tuple[float, ...]
+    y: Dict[str, float]
+
+
+class ServiceFaults:
+    """Per-PM delivery-fault process (deterministic given its stream)."""
+
+    def __init__(
+        self, config: ServiceFaultConfig, rng: np.random.Generator
+    ) -> None:
+        self.config = config
+        self._rng = rng
+        self._loss_left = 0
+        self._stuck_left = 0
+        self._corrupt_left = 0
+        self._frozen: Tuple[Tuple[float, ...], Dict[str, float]] | None = None
+        #: Deliveries delayed by reordering, keyed by due tick.
+        self._pending: Dict[int, List[Delivery]] = {}
+        #: Observable tallies.
+        self.lost = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.stuck = 0
+        self.corrupted = 0
+
+    def _burst(self, mean: float) -> int:
+        return int(self._rng.geometric(1.0 / mean))
+
+    def offer(
+        self, seq: int, tick: int, x: Tuple[float, ...], y: Dict[str, float]
+    ) -> List[Delivery]:
+        """Pass one trace sample through the fault process.
+
+        Returns the deliveries due *this* tick (zero, one or two);
+        reordered deliveries surface later via :meth:`due`.
+        """
+        cfg = self.config
+        # Stuck counter: fresh seq, frozen values.
+        if self._stuck_left > 0:
+            self._stuck_left -= 1
+            if self._frozen is not None:
+                x, y = self._frozen[0], dict(self._frozen[1])
+                self.stuck += 1
+        elif cfg.stuck_prob > 0.0 and self._rng.random() < cfg.stuck_prob:
+            self._stuck_left = self._burst(cfg.stuck_burst_mean) - 1
+            if self._frozen is not None:
+                x, y = self._frozen[0], dict(self._frozen[1])
+                self.stuck += 1
+        else:
+            self._frozen = (tuple(x), dict(y))
+        # Corruption: NaN feature plus an absurd target magnitude.
+        corrupt_now = False
+        if self._corrupt_left > 0:
+            self._corrupt_left -= 1
+            corrupt_now = True
+        elif cfg.corrupt_prob > 0.0 and self._rng.random() < cfg.corrupt_prob:
+            self._corrupt_left = self._burst(cfg.corrupt_burst_mean) - 1
+            corrupt_now = True
+        if corrupt_now:
+            x = (math.nan,) + tuple(x)[1:]
+            y = {k: (1.0e12 if i == 0 else v)
+                 for i, (k, v) in enumerate(sorted(y.items()))}
+            self.corrupted += 1
+        # Loss bursts.
+        if self._loss_left > 0:
+            self._loss_left -= 1
+            self.lost += 1
+            return []
+        if cfg.loss_prob > 0.0 and self._rng.random() < cfg.loss_prob:
+            self._loss_left = self._burst(cfg.loss_burst_mean) - 1
+            self.lost += 1
+            return []
+        # Reordering: the sample leaves now but arrives later.
+        if cfg.reorder_prob > 0.0 and self._rng.random() < cfg.reorder_prob:
+            delay = self._burst(cfg.reorder_delay_mean)
+            due = int(tick) + delay
+            self._pending.setdefault(due, []).append(
+                Delivery(tick=due, seq=seq, x=tuple(x), y=dict(y))
+            )
+            self.reordered += 1
+            return []
+        out = [Delivery(tick=int(tick), seq=seq, x=tuple(x), y=dict(y))]
+        if cfg.dup_prob > 0.0 and self._rng.random() < cfg.dup_prob:
+            out.append(out[0])
+            self.duplicated += 1
+        return out
+
+    def due(self, tick: int) -> List[Delivery]:
+        """Pop reordered deliveries whose delay expires at ``tick``."""
+        out: List[Delivery] = []
+        for t in sorted(k for k in self._pending if k <= tick):
+            out.extend(self._pending.pop(t))
+        return out
+
+    def pending(self) -> int:
+        """Reordered deliveries still in flight."""
+        return sum(len(v) for v in self._pending.values())

@@ -66,7 +66,16 @@ class RecursiveLeastSquares:
         phi = np.concatenate(([1.0], x))
         lam = self.forgetting
         Pphi = self._P @ phi
-        gain = Pphi / (lam + phi @ Pphi)
+        denom = lam + phi @ Pphi
+        # phi' P phi >= 0 for a PSD covariance, so denom >= lam > 0 in
+        # exact arithmetic -- but over very long streams (10^6 updates
+        # and beyond) rounding can push a nearly singular P to a tiny or
+        # negative quadratic form.  A collapsing denominator would blow
+        # the gain up and destroy the estimate in one step; clamping it
+        # at the forgetting factor caps the gain at Pphi / lam.
+        if not denom >= lam:
+            denom = lam
+        gain = Pphi / denom
         err = y - phi @ self._theta
         self._theta = self._theta + gain * err
         self._P = (self._P - np.outer(gain, Pphi)) / lam

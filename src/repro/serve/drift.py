@@ -1,0 +1,93 @@
+"""Residual drift detection: Page-Hinkley with a CUSUM-style statistic.
+
+Wang et al.'s web-workload characterization (PAPERS.md) shows
+virtualized-server workloads drift on hourly timescales, and uPredict
+re-profiles continuously for exactly that reason.  The service feeds
+each PM's *pre-update* prediction error -- the residual of the live
+model evaluated on the arriving sample -- into one :class:`PageHinkley`
+per PM; an alarm means the coefficient set no longer explains the
+stream, and the service opens a refit epoch (fresh candidate model)
+while continuing to answer queries from the last promoted version.
+
+The detector is pure arithmetic over the values it is fed: no clock, no
+randomness, so replaying a WAL reproduces alarm ticks exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PageHinkley:
+    """One-sided Page-Hinkley test on a stream of residual magnitudes.
+
+    Maintains the running mean of the inputs and the CUSUM
+    ``m_t = sum_i (x_i - mean_i - delta)``; an alarm fires when
+    ``m_t - min_i m_i > lambda_`` -- i.e. the recent inputs sit
+    persistently *above* their historical mean by more than the
+    tolerance ``delta``.
+
+    Parameters
+    ----------
+    delta:
+        Tolerated drift per observation (absorbs noise floor).
+    lambda_:
+        Alarm threshold on the accumulated exceedance.
+    min_samples:
+        Observations required before an alarm may fire (a cold detector
+        never alarms on its burn-in noise).
+    """
+
+    delta: float = 0.05
+    lambda_: float = 5.0
+    min_samples: int = 30
+
+    #: Observations folded in since the last reset.
+    n: int = 0
+    #: Running mean of the inputs.
+    mean: float = 0.0
+    #: CUSUM statistic and its running minimum.
+    cum: float = 0.0
+    cum_min: float = 0.0
+    #: Alarms fired since construction (never reset).
+    alarms: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ValueError("delta must be >= 0")
+        if self.lambda_ <= 0:
+            raise ValueError("lambda_ must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+
+    def update(self, value: float) -> bool:
+        """Fold one residual magnitude in; ``True`` when drift alarms.
+
+        An alarm resets the test statistics (one alarm per drift
+        episode), so callers can treat ``True`` as an edge trigger.
+        """
+        value = float(value)
+        self.n += 1
+        self.mean += (value - self.mean) / self.n
+        self.cum += value - self.mean - self.delta
+        self.cum_min = min(self.cum_min, self.cum)
+        if self.n >= self.min_samples and (
+            self.cum - self.cum_min > self.lambda_
+        ):
+            self.alarms += 1
+            self.reset()
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget the stream statistics (alarm counter is preserved)."""
+        self.n = 0
+        self.mean = 0.0
+        self.cum = 0.0
+        self.cum_min = 0.0
+
+    @property
+    def score(self) -> float:
+        """Current exceedance ``m_t - min m`` (0 for a fresh detector)."""
+        return self.cum - self.cum_min

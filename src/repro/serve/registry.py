@@ -1,0 +1,352 @@
+"""Versioned model registry: atomic snapshots, promote/rollback, replay.
+
+Queries are never answered from the live (still-learning) estimator;
+they read the *promoted* coefficient snapshot for the PM, so a
+half-trained refit epoch can never leak into placement decisions.  The
+registry persists each promotion as an integrity-guarded artifact
+(:mod:`repro.perf.integrity`, same container as the PR-4 checkpoints)
+plus one record in an append-only, checksummed ledger; version ids are
+globally monotonic and the *active* version per PM is derived by
+replaying the ledger (last promote/rollback wins).
+
+Crash safety contract (what the serve kill/restart CI job checks):
+
+* snapshot writes are atomic (temp + ``os.replace``) and happen
+  *before* their ledger record -- a SIGKILL between the two leaves an
+  orphan snapshot that the deterministic replay simply rewrites
+  byte-identically;
+* a partial ledger tail line is compacted away on open;
+* :meth:`ModelRegistry.promote` is **idempotent under WAL replay**: a
+  promotion whose content digest matches the next already-ledgered
+  promote record for that PM re-verifies the snapshot instead of
+  appending a duplicate, so a killed-and-restarted service converges to
+  a registry byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.perf import integrity
+from repro.serve.wal import decode_line, encode_line
+
+#: Ledger file name inside a service state directory.
+LEDGER_NAME = "registry.jsonl"
+#: Snapshot subdirectory.
+MODELS_DIR = "models"
+#: Payload schema of promoted coefficient snapshots.
+MODEL_SCHEMA = "repro.serve.model/v1"
+
+
+class RegistryError(Exception):
+    """A registry operation could not be satisfied (e.g. no rollback)."""
+
+
+class RegistryReplayWarning(UserWarning):
+    """Replay diverged from the ledgered promotion history."""
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One promoted coefficient snapshot."""
+
+    version: int
+    pm: str
+    tick: int
+    n_samples: int
+    digest: str
+
+    def path_in(self, models_dir: Path) -> Path:
+        return models_dir / f"v{self.version:06d}.pkl"
+
+
+def snapshot_payload(
+    pm: str, tick: int, n_samples: int, targets: Dict[str, Dict[str, object]]
+) -> Dict[str, object]:
+    """The canonical (version-free) snapshot payload.
+
+    Plain floats and lists only, so the pickle -- and therefore the
+    artifact digest and the on-disk bytes -- is a pure function of the
+    coefficient values.
+    """
+    return {
+        "pm": str(pm),
+        "tick": int(tick),
+        "n_samples": int(n_samples),
+        "targets": {
+            str(t): {
+                "intercept": float(m["intercept"]),
+                "coef": [float(c) for c in m["coef"]],
+            }
+            for t, m in sorted(targets.items())
+        },
+    }
+
+
+class ModelRegistry:
+    """Ledgered, integrity-guarded store of promoted models."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.path = self.root / LEDGER_NAME
+        self.models_dir = self.root / MODELS_DIR
+        #: Full promotion history per PM, ledger order.
+        self._history: Dict[str, List[ModelVersion]] = {}
+        #: Active version per PM (None after ledger replay = never promoted).
+        self._active: Dict[str, ModelVersion] = {}
+        #: Highest version id ever ledgered (global, monotonic).
+        self._max_version = 0
+        #: Replay cursor per PM into the *preloaded* promotion history.
+        self._cursor: Dict[str, int] = {}
+        #: Promotions appended by this process (not replay matches).
+        self.promotions = 0
+        #: Promotions matched against the preloaded ledger (replay).
+        self.replayed = 0
+        self._sweep_tmp_files()
+        self._load()
+
+    # -- ledger ----------------------------------------------------------
+
+    def _sweep_tmp_files(self) -> None:
+        """Drop atomic-write temp files orphaned by a SIGKILL."""
+        for candidate in (self.root, self.models_dir):
+            if not candidate.is_dir():
+                continue
+            for stray in candidate.glob("*.tmp.*"):
+                stray.unlink(missing_ok=True)
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        raw = self.path.read_text(encoding="utf-8")
+        valid_lines: List[str] = []
+        damaged = 0
+        for line in raw.split("\n"):
+            if not line:
+                continue
+            body = decode_line(line)
+            if body is None:
+                damaged += 1
+                continue
+            valid_lines.append(line)
+            self._apply_record(body)
+        if damaged:
+            # Compact: rewrite atomically without the damaged tail so
+            # the recovered ledger is byte-identical to a clean one.
+            warnings.warn(
+                f"registry ledger {self.path}: dropped {damaged} damaged "
+                "line(s) during recovery",
+                RegistryReplayWarning,
+                stacklevel=2,
+            )
+            tmp = self.path.with_suffix(self.path.suffix + f".tmp.{os.getpid()}")
+            tmp.write_text(
+                "".join(line + "\n" for line in valid_lines),
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.path)
+        self._cursor = {pm: 0 for pm in self._history}
+
+    def _apply_record(self, body: Dict[str, object]) -> None:
+        rtype = body.get("type")
+        if rtype == "promote":
+            mv = ModelVersion(
+                version=int(body["version"]),
+                pm=str(body["pm"]),
+                tick=int(body["tick"]),
+                n_samples=int(body["n_samples"]),
+                digest=str(body["digest"]),
+            )
+            self._history.setdefault(mv.pm, []).append(mv)
+            self._active[mv.pm] = mv
+            self._max_version = max(self._max_version, mv.version)
+        elif rtype == "rollback":
+            pm = str(body["pm"])
+            to = int(body["to"])
+            for mv in self._history.get(pm, ()):
+                if mv.version == to:
+                    self._active[pm] = mv
+                    break
+
+    def _append(self, body: Dict[str, object]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(encode_line(body) + "\n")
+            fh.flush()
+
+    # -- promote / rollback ----------------------------------------------
+
+    def promote(
+        self,
+        pm: str,
+        targets: Dict[str, Dict[str, object]],
+        *,
+        tick: int,
+        n_samples: int,
+    ) -> ModelVersion:
+        """Snapshot one PM's fitted coefficients as the active version.
+
+        Idempotent under WAL replay: when the content digest equals the
+        next unmatched ledgered promotion for this PM, the existing
+        version is re-verified (and its snapshot rewritten if missing
+        or corrupt) instead of allocating a new id.
+        """
+        payload = snapshot_payload(pm, tick, n_samples, targets)
+        digest = integrity.payload_digest(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        history = self._history.setdefault(pm, [])
+        cursor = self._cursor.setdefault(pm, 0)
+        if cursor < len(history):
+            expected = history[cursor]
+            if expected.digest == digest:
+                self._cursor[pm] = cursor + 1
+                self.replayed += 1
+                self._ensure_snapshot(expected, payload)
+                return expected
+            warnings.warn(
+                f"registry replay diverged for {pm}: expected digest "
+                f"{expected.digest[:12]} at version {expected.version}, "
+                f"recomputed {digest[:12]}; appending fresh versions",
+                RegistryReplayWarning,
+                stacklevel=2,
+            )
+            self._cursor[pm] = len(history)
+        mv = ModelVersion(
+            version=self._max_version + 1,
+            pm=pm,
+            tick=int(tick),
+            n_samples=int(n_samples),
+            digest=digest,
+        )
+        integrity.write_artifact(
+            mv.path_in(self.models_dir), payload, schema=MODEL_SCHEMA
+        )
+        self._append(
+            {
+                "type": "promote",
+                "version": mv.version,
+                "pm": mv.pm,
+                "tick": mv.tick,
+                "n_samples": mv.n_samples,
+                "digest": mv.digest,
+            }
+        )
+        self._max_version = mv.version
+        history.append(mv)
+        self._cursor[pm] = len(history)
+        self._active[pm] = mv
+        self.promotions += 1
+        return mv
+
+    def _ensure_snapshot(
+        self, mv: ModelVersion, payload: Dict[str, object]
+    ) -> None:
+        """Re-verify (or deterministically rewrite) a matched snapshot."""
+        path = mv.path_in(self.models_dir)
+        try:
+            integrity.read_artifact(path, schema=MODEL_SCHEMA)
+            return
+        except integrity.IntegrityError as exc:
+            if exc.reason != "missing":
+                integrity.warn_corrupt(exc, action="rewriting snapshot")
+        integrity.write_artifact(path, payload, schema=MODEL_SCHEMA)
+
+    def rollback(self, pm: str, *, tick: int) -> ModelVersion:
+        """Revert one PM's active version to its predecessor."""
+        active = self._active.get(pm)
+        if active is None:
+            raise RegistryError(f"{pm}: nothing promoted, nothing to roll back")
+        history = self._history.get(pm, [])
+        older = [mv for mv in history if mv.version < active.version]
+        if not older:
+            raise RegistryError(
+                f"{pm}: version {active.version} is the oldest promotion"
+            )
+        target = older[-1]
+        self._append(
+            {
+                "type": "rollback",
+                "pm": pm,
+                "tick": int(tick),
+                "from": active.version,
+                "to": target.version,
+            }
+        )
+        self._active[pm] = target
+        return target
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def max_version(self) -> int:
+        """Highest version id ever ledgered (0 = empty registry)."""
+        return self._max_version
+
+    def replay_active(self, pm: str) -> Optional[ModelVersion]:
+        """The active version as seen by the WAL-replay timeline.
+
+        While the promote cursor still trails the preloaded ledger,
+        promotion decisions must be judged against the history *up to
+        the cursor*: judging them against the final preloaded state
+        would skip re-executing already-ledgered promotions, desync the
+        idempotent replay matching, and turn a read-only reopen into a
+        ledger append.  Once the cursor has caught up this is exactly
+        :meth:`active`.
+        """
+        history = self._history.get(pm, ())
+        cursor = self._cursor.get(pm, 0)
+        if cursor < len(history):
+            return history[cursor - 1] if cursor else None
+        return self._active.get(pm)
+
+    def active(self, pm: str) -> Optional[ModelVersion]:
+        """The serving version for one PM (``None`` = never promoted)."""
+        return self._active.get(pm)
+
+    def history(self, pm: str) -> List[ModelVersion]:
+        """Full promotion history for one PM, oldest first."""
+        return list(self._history.get(pm, ()))
+
+    def pms(self) -> List[str]:
+        """PMs with at least one promotion, sorted."""
+        return sorted(self._history)
+
+    def load_payload(self, mv: ModelVersion) -> Dict[str, object]:
+        """Load and doubly verify one snapshot payload.
+
+        Checks both the artifact's own integrity header and the digest
+        recorded in the ledger, mirroring the PR-4 checkpoint loader.
+        """
+        path = mv.path_in(self.models_dir)
+        payload = integrity.read_artifact(path, schema=MODEL_SCHEMA)
+        found = integrity.payload_digest(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        if found != mv.digest:
+            raise integrity.IntegrityError(
+                path,
+                "checksum-mismatch",
+                "snapshot digest does not match the registry ledger",
+            )
+        return payload
+
+    def render(self) -> str:
+        """Human-readable registry summary (CLI ``repro serve status``)."""
+        lines = [f"model registry:    {self._max_version} version(s)"]
+        for pm in self.pms():
+            active = self._active.get(pm)
+            history = self._history[pm]
+            mark = f"v{active.version}" if active else "-"
+            lines.append(
+                f"  {pm:<10} active={mark:<7} "
+                f"promotions={len(history)} "
+                f"(last tick {history[-1].tick}, "
+                f"{history[-1].n_samples} samples)"
+            )
+        return "\n".join(lines)

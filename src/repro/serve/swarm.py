@@ -1,0 +1,285 @@
+"""Deterministic client swarm: fleet-scale traces against the service.
+
+One :func:`run_swarm` call drives a :class:`PredictionService` through a
+synthetic fleet trace: per-PM monitor streams with *planted* linear
+coefficients (so the fitted models have a known ground truth), an
+optional mid-run regime shift that exercises the drift detector, an
+optional :class:`repro.faults.service.ServiceFaults` delivery-fault
+layer, and a stream of placement queries whose sim-latency percentiles
+the report records.
+
+Everything is a pure function of ``SwarmConfig`` -- named RNG streams
+(``serve.trace.<pm>``, ``serve.queries``), no wall clock -- so driving
+a *restarted* service through the same config re-generates the same
+trace byte-for-byte; the service's WAL dedup folds the already-
+processed prefix away and the run converges on the uninterrupted
+outcome.  That property is what ``scripts/serve_kill_resume_smoke.sh``
+byte-diffs in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.service import ServiceFaultConfig, ServiceFaults, stream_name
+from repro.models.samples import TARGETS
+from repro.monitor.metrics import ResourceVector
+from repro.obs import runtime as _obs
+from repro.serve.service import PredictionService, ServiceConfig
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class SwarmConfig:
+    """Shape of the synthetic fleet trace and query load."""
+
+    #: Fleet size (PM streams) and trace length in sim seconds.
+    pms: int = 3
+    ticks: int = 240
+    #: Monitor samples emitted per PM per tick.
+    samples_per_tick: int = 1
+    #: Placement queries issued per tick (round-robin across PMs).
+    queries_per_tick: int = 2
+    #: Master seed of the named trace/query streams.
+    seed: int = 0
+    #: Tick of the planted-coefficient regime shift (0 = no drift).
+    drift_at: int = 0
+    #: Multiplier applied to the planted coefficients at the shift.
+    drift_scale: float = 1.6
+    #: Gaussian noise on the planted targets.
+    noise: float = 0.005
+    #: Optional delivery-fault layer (None = clean transport).
+    faults: Optional[ServiceFaultConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.pms < 1:
+            raise ValueError("pms must be >= 1")
+        if self.ticks < 1:
+            raise ValueError("ticks must be >= 1")
+        if self.samples_per_tick < 1:
+            raise ValueError("samples_per_tick must be >= 1")
+        if self.queries_per_tick < 0:
+            raise ValueError("queries_per_tick must be >= 0")
+        if self.drift_at < 0:
+            raise ValueError("drift_at must be >= 0")
+        if self.drift_scale <= 0:
+            raise ValueError("drift_scale must be positive")
+        if self.noise < 0:
+            raise ValueError("noise must be >= 0")
+
+    def pm_names(self) -> List[str]:
+        return [f"pm{i:02d}" for i in range(self.pms)]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(np.ceil(q / 100.0 * len(sorted_values))))
+    return float(sorted_values[rank - 1])
+
+
+@dataclass
+class SwarmReport:
+    """What one swarm run observed (JSON-able, render()-able)."""
+
+    config_ticks: int
+    config_pms: int
+    emitted: int = 0
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    queries: int = 0
+    queries_ok: int = 0
+    queries_degraded: int = 0
+    queries_unavailable: int = 0
+    latency_p50_ms: float = 0.0
+    latency_p90_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_max_ms: float = 0.0
+    drift_alarms: int = 0
+    quarantines: int = 0
+    promotions: int = 0
+    registry_versions: int = 0
+    recovered_records: int = 0
+    faults_lost: int = 0
+    faults_duplicated: int = 0
+    faults_reordered: int = 0
+    faults_stuck: int = 0
+    faults_corrupted: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        out = dict(vars(self))
+        out["verdicts"] = dict(self.verdicts)
+        return out
+
+    def render(self) -> str:
+        v = self.verdicts
+        lines = [
+            f"swarm: {self.config_pms} PM(s) x {self.config_ticks} tick(s), "
+            f"{self.emitted} sample(s) emitted",
+            "  ingest: " + " ".join(
+                f"{k}={v.get(k, 0)}" for k in sorted(v)
+            ),
+            f"  queries: {self.queries} "
+            f"(ok={self.queries_ok} degraded={self.queries_degraded} "
+            f"unavailable={self.queries_unavailable})",
+            f"  latency_ms: p50={self.latency_p50_ms:.3f} "
+            f"p90={self.latency_p90_ms:.3f} p99={self.latency_p99_ms:.3f} "
+            f"max={self.latency_max_ms:.3f}",
+            f"  models: promotions={self.promotions} "
+            f"drift_alarms={self.drift_alarms} "
+            f"quarantines={self.quarantines} "
+            f"registry_versions={self.registry_versions}",
+        ]
+        if self.recovered_records:
+            lines.append(
+                f"  recovery: {self.recovered_records} WAL record(s) replayed"
+            )
+        if any((self.faults_lost, self.faults_duplicated,
+                self.faults_reordered, self.faults_stuck,
+                self.faults_corrupted)):
+            lines.append(
+                f"  faults: lost={self.faults_lost} "
+                f"dup={self.faults_duplicated} "
+                f"reordered={self.faults_reordered} "
+                f"stuck={self.faults_stuck} "
+                f"corrupted={self.faults_corrupted}"
+            )
+        return "\n".join(lines)
+
+
+class _PlantedStream:
+    """One PM's synthetic monitor stream with known linear ground truth."""
+
+    def __init__(self, pm: str, rng: np.random.Generator,
+                 config: SwarmConfig) -> None:
+        self.pm = pm
+        self._rng = rng
+        self._config = config
+        #: Planted per-target (intercept, weights) -- the ground truth.
+        self.coef: Dict[str, np.ndarray] = {}
+        self.intercept: Dict[str, float] = {}
+        for target in TARGETS:
+            self.intercept[target] = float(rng.uniform(0.005, 0.05))
+            self.coef[target] = rng.uniform(0.05, 0.4, size=4)
+        self._seq = 0
+
+    def emit(self, tick: int):
+        """One (seq, x, y) monitor sample at ``tick``."""
+        cfg = self._config
+        drifted = cfg.drift_at > 0 and tick >= cfg.drift_at
+        x = self._rng.uniform(0.05, 0.9, size=4)
+        y: Dict[str, float] = {}
+        for target in TARGETS:
+            w = self.coef[target]
+            if drifted:
+                w = w * cfg.drift_scale
+            value = self.intercept[target] + float(w @ x)
+            if cfg.noise > 0.0:
+                value += cfg.noise * float(self._rng.standard_normal())
+            y[target] = value
+        seq = self._seq
+        self._seq += 1
+        return seq, tuple(float(v) for v in x), y
+
+
+def run_swarm(
+    root,
+    config: Optional[SwarmConfig] = None,
+    *,
+    service_config: Optional[ServiceConfig] = None,
+    stop_after_tick: Optional[int] = None,
+) -> SwarmReport:
+    """Replay one fleet trace against the service rooted at ``root``.
+
+    ``stop_after_tick`` truncates the drive mid-trace (the kill/resume
+    tests use it to model a crash at a known point without signals);
+    re-running with the full trace afterwards converges on the clean
+    outcome.
+    """
+    cfg = config or SwarmConfig()
+    service = PredictionService(root, config=service_config)
+    rng = RngRegistry(cfg.seed)
+    streams = [
+        _PlantedStream(pm, rng(f"serve.trace.{pm}"), cfg)
+        for pm in cfg.pm_names()
+    ]
+    faults: Dict[str, ServiceFaults] = {}
+    if cfg.faults is not None and cfg.faults.faulty():
+        faults = {
+            stream.pm: ServiceFaults(cfg.faults, rng(stream_name(stream.pm)))
+            for stream in streams
+        }
+    query_rng = rng("serve.queries")
+    names = cfg.pm_names()
+    latencies: List[float] = []
+    report = SwarmReport(config_ticks=cfg.ticks, config_pms=cfg.pms)
+    last_tick = cfg.ticks - 1
+    truncated = stop_after_tick is not None and stop_after_tick < last_tick
+    if truncated:
+        last_tick = stop_after_tick
+    with _obs.span("serve.swarm", source="serve"):
+        for tick in range(last_tick + 1):
+            for stream in streams:
+                fault = faults.get(stream.pm)
+                deliveries = []
+                if fault is not None:
+                    deliveries.extend(fault.due(tick))
+                for _ in range(cfg.samples_per_tick):
+                    seq, x, y = stream.emit(tick)
+                    report.emitted += 1
+                    if fault is None:
+                        service.deliver(stream.pm, seq, tick, x, y)
+                        continue
+                    deliveries.extend(fault.offer(seq, tick, x, y))
+                for d in deliveries:
+                    service.deliver(stream.pm, d.seq, tick, d.x, d.y)
+            service.tick(tick)
+            for q in range(cfg.queries_per_tick):
+                pm = names[(tick * cfg.queries_per_tick + q) % cfg.pms]
+                vm_util = ResourceVector(
+                    *(float(v) for v in query_rng.uniform(0.05, 0.9, size=4))
+                )
+                answer = service.query(pm, vm_util, now=tick)
+                latencies.append(answer.latency_ms)
+        if truncated:
+            # Model a crash: pending queue state is abandoned (the WAL
+            # already has every accepted sample); a full re-run against
+            # the same root converges on the clean outcome.
+            service.wal.close()
+        else:
+            service.flush()
+    stats = service.stats
+    report.verdicts = {
+        "accepted": stats.accepted,
+        "duplicate": stats.duplicates,
+        "stale": stats.stale_drops,
+        "invalid": stats.invalid,
+        "quarantined": stats.quarantine_drops,
+        "shed": stats.shed,
+    }
+    report.queries = stats.queries
+    report.queries_ok = stats.queries_ok
+    report.queries_degraded = stats.queries_degraded
+    report.queries_unavailable = stats.queries_unavailable
+    latencies.sort()
+    report.latency_p50_ms = _percentile(latencies, 50.0)
+    report.latency_p90_ms = _percentile(latencies, 90.0)
+    report.latency_p99_ms = _percentile(latencies, 99.0)
+    report.latency_max_ms = latencies[-1] if latencies else 0.0
+    report.drift_alarms = stats.drift_alarms
+    report.quarantines = stats.quarantines
+    report.promotions = stats.promotions
+    report.registry_versions = service.registry.max_version
+    report.recovered_records = stats.recovered_records
+    for fault in faults.values():
+        report.faults_lost += fault.lost
+        report.faults_duplicated += fault.duplicated
+        report.faults_reordered += fault.reordered
+        report.faults_stuck += fault.stuck
+        report.faults_corrupted += fault.corrupted
+    _obs.set_gauge("serve_registry_versions", service.registry.max_version)
+    _obs.set_gauge("serve_streams", cfg.pms)
+    return report

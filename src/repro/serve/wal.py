@@ -1,0 +1,214 @@
+"""Checksummed write-ahead log for the prediction service's ingest path.
+
+Every sample the service *accepts* -- and every invalid sample it
+*strikes* against a stream's quarantine budget -- is appended here
+before it touches any model state.  The format is one JSON object per
+line, ``{"c": <crc32 of the canonical body>, "v": <body>}``, flushed per
+record, so the log is exactly as durable against SIGKILL as the
+PR-4 run manifests: a kill mid-write leaves at most one partial tail
+line, which :meth:`SampleWAL.recover` truncates away before the service
+appends again.  Because model state is a pure function of the WAL
+record sequence, replaying a recovered log rebuilds byte-identical
+coefficients, drift-detector state and registry promotions.
+
+Floats survive the JSON round trip exactly (``json`` serializes with
+``repr``), which the replay-determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: WAL file name inside a service state directory.
+WAL_NAME = "wal.jsonl"
+
+#: Record types.
+RECORD_SAMPLE = "sample"
+RECORD_STRIKE = "strike"
+RECORD_TYPES = (RECORD_SAMPLE, RECORD_STRIKE)
+
+
+class WalCorruptionWarning(UserWarning):
+    """A WAL tail failed its checksum and was truncated on recovery."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable ingest event.
+
+    ``kind`` is ``"sample"`` (accepted, will be applied to the model)
+    or ``"strike"`` (rejected as NaN/outlier; counts against the
+    stream's quarantine budget but never reaches a model).  ``x`` is
+    the 4-feature utilization vector and ``y`` the target dict for
+    samples; both are empty for strikes.
+    """
+
+    kind: str
+    pm: str
+    seq: int
+    tick: int
+    x: Tuple[float, ...] = ()
+    y: Tuple[Tuple[str, float], ...] = ()
+
+    def body(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "k": self.kind, "pm": self.pm, "seq": self.seq, "t": self.tick,
+        }
+        if self.kind == RECORD_SAMPLE:
+            out["x"] = list(self.x)
+            out["y"] = {k: v for k, v in self.y}
+        return out
+
+    @classmethod
+    def from_body(cls, body: Dict[str, object]) -> "WalRecord":
+        kind = body["k"]
+        if kind not in RECORD_TYPES:
+            raise ValueError(f"unknown WAL record kind {kind!r}")
+        x: Tuple[float, ...] = ()
+        y: Tuple[Tuple[str, float], ...] = ()
+        if kind == RECORD_SAMPLE:
+            x = tuple(float(v) for v in body["x"])
+            y = tuple(sorted(
+                (str(k), float(v)) for k, v in body["y"].items()
+            ))
+        return cls(
+            kind=kind, pm=str(body["pm"]), seq=int(body["seq"]),
+            tick=int(body["t"]), x=x, y=y,
+        )
+
+
+def encode_line(body: Dict[str, object]) -> str:
+    """One checksummed ledger line (no newline): ``{"c": crc, "v": body}``."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(canonical.encode("utf-8"))
+    return f'{{"c":{crc},"v":{canonical}}}'
+
+
+def decode_line(line: str) -> Optional[Dict[str, object]]:
+    """Parse and checksum-verify one ledger line; ``None`` when damaged."""
+    try:
+        obj = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(obj, dict) or set(obj) != {"c", "v"}:
+        return None
+    body = obj["v"]
+    if not isinstance(body, dict):
+        return None
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(canonical.encode("utf-8")) != obj["c"]:
+        return None
+    return body
+
+
+def _encode(record: WalRecord) -> str:
+    return encode_line(record.body())
+
+
+def _decode(line: str) -> Optional[WalRecord]:
+    """Parse and verify one WAL line; ``None`` when damaged."""
+    body = decode_line(line)
+    if body is None:
+        return None
+    try:
+        return WalRecord.from_body(body)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class SampleWAL:
+    """Append-only, checksummed, truncation-tolerant sample log."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.path = self.root / WAL_NAME
+        self._fh = None
+        #: Records appended by this process (not counting recovery).
+        self.appended = 0
+
+    # -- recovery --------------------------------------------------------
+
+    def recover(self) -> List[WalRecord]:
+        """Load the valid record prefix, truncating a damaged tail.
+
+        A SIGKILL mid-append leaves at most one partial final line; the
+        file is physically truncated back to the end of the last valid
+        record (with a :class:`WalCorruptionWarning` naming the bytes
+        dropped) so subsequent appends leave the log byte-identical to
+        one written by an uninterrupted process.
+        """
+        records: List[WalRecord] = []
+        if not self.path.is_file():
+            return records
+        raw = self.path.read_bytes()
+        good = 0
+        pos = 0
+        while True:
+            nl = raw.find(b"\n", pos)
+            if nl == -1:
+                # Unterminated tail (killed mid-write): always damaged.
+                break
+            chunk = raw[pos:nl]
+            record = _decode(chunk.decode("utf-8", errors="replace"))
+            if record is None:
+                break
+            records.append(record)
+            good = nl + 1
+            pos = nl + 1
+        if good < len(raw):
+            warnings.warn(
+                f"WAL {self.path}: truncating {len(raw) - good} damaged "
+                f"tail byte(s) after {len(records)} valid record(s)",
+                WalCorruptionWarning,
+                stacklevel=2,
+            )
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good)
+        return records
+
+    # -- appends ---------------------------------------------------------
+
+    def _handle(self):
+        if self._fh is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, record: WalRecord) -> None:
+        """Durably append one record (flushed to the OS per record)."""
+        fh = self._handle()
+        fh.write(_encode(record) + "\n")
+        fh.flush()
+        self.appended += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SampleWAL":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- inspection ------------------------------------------------------
+
+    def iter_records(self) -> Iterator[WalRecord]:
+        """Stream the currently valid records (no truncation)."""
+        if not self.path.is_file():
+            return iter(())
+        return iter(self.recover())
+
+    def byte_size(self) -> int:
+        """Current on-disk size (0 when the log does not exist)."""
+        try:
+            return os.stat(self.path).st_size
+        except OSError:
+            return 0

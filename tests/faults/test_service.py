@@ -1,0 +1,144 @@
+"""Tests for the serve-path delivery-fault streams."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults.service import (
+    Delivery,
+    ServiceFaultConfig,
+    ServiceFaults,
+    stream_name,
+)
+from repro.sim.rng import RngRegistry
+
+
+def _sample(seq: int):
+    x = (0.1 + 0.01 * seq, 0.2, 0.3, 0.4)
+    y = {"dom0.cpu": 0.5 + 0.01 * seq, "hyp.cpu": 0.25}
+    return seq, x, y
+
+
+def _run(config: ServiceFaultConfig, n: int = 400, seed: int = 0):
+    faults = ServiceFaults(config, RngRegistry(seed)(stream_name("pm00")))
+    out = []
+    for tick in range(n):
+        seq, x, y = _sample(tick)
+        out.extend(faults.due(tick))
+        out.extend(faults.offer(seq, tick, x, y))
+    return faults, out
+
+
+class TestNullConfig:
+    def test_null_passes_everything_through_untouched(self):
+        faults, out = _run(ServiceFaultConfig())
+        assert len(out) == 400
+        assert [d.seq for d in out] == list(range(400))
+        assert faults.lost == faults.duplicated == faults.reordered == 0
+        assert faults.stuck == faults.corrupted == 0
+
+    def test_null_draws_nothing(self):
+        rng_a = RngRegistry(7)(stream_name("pm00"))
+        ServiceFaults(ServiceFaultConfig(), rng_a)
+        faults = ServiceFaults(ServiceFaultConfig(), rng_a)
+        for tick in range(50):
+            seq, x, y = _sample(tick)
+            faults.offer(seq, tick, x, y)
+        # The stream was never consumed: a fresh registry draw matches.
+        rng_b = RngRegistry(7)(stream_name("pm00"))
+        assert rng_a.random() == rng_b.random()  # repro: noqa[REP004] stream alignment is the property under test
+
+    def test_faulty_flag(self):
+        assert not ServiceFaultConfig().faulty()
+        assert ServiceFaultConfig(loss_prob=0.1).faulty()
+        assert ServiceFaultConfig(stuck_prob=0.1).faulty()
+
+
+class TestFaultClasses:
+    def test_loss_bursts_drop_samples(self):
+        faults, out = _run(ServiceFaultConfig(loss_prob=0.05,
+                                              loss_burst_mean=4.0))
+        assert faults.lost > 0
+        assert len(out) == 400 - faults.lost
+
+    def test_duplication_delivers_twice_same_tick(self):
+        faults, out = _run(ServiceFaultConfig(dup_prob=0.2))
+        assert faults.duplicated > 0
+        assert len(out) == 400 + faults.duplicated
+        seqs = [d.seq for d in out]
+        dup_seq = next(s for s in seqs if seqs.count(s) == 2)
+        pair = [d for d in out if d.seq == dup_seq]
+        assert pair[0] == pair[1]
+
+    def test_reordering_delays_delivery(self):
+        faults, out = _run(ServiceFaultConfig(reorder_prob=0.2,
+                                              reorder_delay_mean=3.0))
+        assert faults.reordered > 0
+        late = [d for d in out if d.tick > d.seq]
+        assert late  # delayed deliveries surfaced via due()
+        # Every non-pending sample eventually delivered exactly once.
+        assert len(out) + faults.pending() == 400
+
+    def test_stuck_counter_freezes_values(self):
+        faults, out = _run(ServiceFaultConfig(stuck_prob=0.05,
+                                              stuck_burst_mean=6.0))
+        assert faults.stuck > 0
+        by_seq = {d.seq: d for d in out}
+        frozen = [
+            d for d in out
+            if d.y["dom0.cpu"] != 0.5 + 0.01 * d.seq
+        ]
+        # Stuck samples carry fresh seqs but stale values.
+        assert len(frozen) == faults.stuck
+        assert all(by_seq[d.seq] is d for d in frozen)
+
+    def test_corruption_produces_quarantinable_garbage(self):
+        faults, out = _run(ServiceFaultConfig(corrupt_prob=0.05,
+                                              corrupt_burst_mean=3.0))
+        assert faults.corrupted > 0
+        garbage = [d for d in out if math.isnan(d.x[0])]
+        assert len(garbage) == faults.corrupted
+        assert all(max(d.y.values()) >= 1.0e12 for d in garbage)
+
+
+class TestDeterminism:
+    def test_same_stream_same_faults(self):
+        cfg = ServiceFaultConfig(loss_prob=0.05, dup_prob=0.1,
+                                 reorder_prob=0.1, stuck_prob=0.02,
+                                 corrupt_prob=0.02)
+        _, out_a = _run(cfg, seed=3)
+        _, out_b = _run(cfg, seed=3)
+        assert out_a == out_b
+
+    def test_named_streams_are_independent_per_pm(self):
+        cfg = ServiceFaultConfig(loss_prob=0.1)
+        registry = RngRegistry(0)
+        a = ServiceFaults(cfg, registry(stream_name("pm00")))
+        b = ServiceFaults(cfg, registry(stream_name("pm01")))
+        outcomes_a = [len(a.offer(t, t, (0.1,), {"y": 0.1}))
+                      for t in range(100)]
+        outcomes_b = [len(b.offer(t, t, (0.1,), {"y": 0.1}))
+                      for t in range(100)]
+        assert outcomes_a != outcomes_b
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_prob": -0.1},
+            {"dup_prob": 1.5},
+            {"loss_burst_mean": 0.5},
+            {"reorder_delay_mean": 0.0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceFaultConfig(**kwargs)
+
+    def test_delivery_is_frozen(self):
+        d = Delivery(tick=1, seq=2, x=(0.1,), y={"a": 1.0})
+        with pytest.raises(AttributeError):
+            d.tick = 5

@@ -135,3 +135,96 @@ class TestOnlineOverheadModel:
         online.update(samples[0])
         got = online.predict(ResourceVector())
         assert set(got) == set(TARGETS) | {"pm.cpu"}
+
+
+class TestNumericHardening:
+    """Long-stream stability of the RLS update (serve-path regression)."""
+
+    def test_million_update_stream_stays_finite_and_accurate(self):
+        # The prediction service folds samples in forever; after 10^6
+        # updates with forgetting the covariance must stay symmetric,
+        # finite and informative -- no drift blow-up, no NaN estimate.
+        rng = np.random.default_rng(0)
+        rls = RecursiveLeastSquares(4, forgetting=0.999, delta=1e6)
+        coef = np.array([0.5, -0.2, 0.1, 0.3])
+        X = rng.uniform(0, 100, size=(1_000_000, 4))
+        noise = rng.normal(0, 0.01, 1_000_000)
+        for i in range(1_000_000):
+            rls.update(X[i], 2.0 + X[i] @ coef + noise[i])
+        assert np.isfinite(rls._theta).all()
+        assert np.isfinite(rls._P).all()
+        # Symmetrization keeps the covariance exactly symmetric.
+        np.testing.assert_array_equal(rls._P, rls._P.T)
+        m = rls.as_linear_model()
+        assert m.intercept == pytest.approx(2.0, abs=0.01)
+        np.testing.assert_allclose(m.coef, coef, atol=1e-3)
+
+    def test_gain_denominator_guard(self):
+        # A rounding-collapsed covariance can push the gain denominator
+        # to (or below) zero; the guard clamps it at the forgetting
+        # factor so one pathological step cannot destroy the estimate.
+        rls = RecursiveLeastSquares(2, forgetting=1.0)
+        rls.update([1.0, 2.0], 3.0)
+        theta_before = rls._theta.copy()
+        rls._P = -0.9 * np.eye(3)  # quadratic form now negative
+        rls.update([1.0, 1.0], 100.0)
+        assert np.isfinite(rls._theta).all()
+        # With denom clamped at lam=1, the step is bounded by |Pphi*err|.
+        assert np.abs(rls._theta - theta_before).max() < 1000.0
+
+    def test_guard_never_engages_on_healthy_streams(self):
+        # On a well-conditioned stream the clamp must be inert: the
+        # guarded update stays bitwise identical to the raw textbook
+        # recursion computed here without any guard.
+        rng = np.random.default_rng(3)
+        rls = RecursiveLeastSquares(3, delta=1e4)
+        theta = np.zeros(4)
+        P = 1e4 * np.eye(4)
+        for _ in range(500):
+            x = rng.uniform(-2, 2, 3)
+            y = 1.0 + x @ [0.5, -1.0, 2.0]
+            rls.update(x, y)
+            phi = np.concatenate(([1.0], x))
+            Pphi = P @ phi
+            gain = Pphi / (1.0 + phi @ Pphi)
+            theta = theta + gain * (y - phi @ theta)
+            P = P - np.outer(gain, Pphi)
+            P = 0.5 * (P + P.T)
+        np.testing.assert_array_equal(rls._theta, theta)
+
+
+class TestBatchParity:
+    """RLS with forgetting=1.0 reproduces the batch OLS coefficients."""
+
+    def test_matches_single_vm_ols_per_target(self):
+        from repro.models import SingleVMOverheadModel
+        from repro.models.samples import TrainingSample
+
+        rng = np.random.default_rng(1)
+        planted = {
+            t: (0.01 * (i + 1), rng.uniform(0.05, 0.5, 4))
+            for i, t in enumerate(TARGETS)
+        }
+        samples = []
+        for _ in range(400):
+            x = rng.uniform(0, 80, 4)
+            targets = {
+                t: b + w @ x + rng.normal(0, 0.05)
+                for t, (b, w) in planted.items()
+            }
+            samples.append(
+                TrainingSample(
+                    n_vms=1, vm_sum=ResourceVector(*x), targets=targets
+                )
+            )
+        batch = SingleVMOverheadModel.fit(samples)
+        online = OnlineOverheadModel(forgetting=1.0, delta=1e10)
+        for s in samples:
+            online.update(s)
+        for t in TARGETS:
+            bm = batch.coefficients(t)
+            om = online.coefficients(t)
+            assert om.intercept == pytest.approx(bm.intercept, abs=1e-4)
+            np.testing.assert_allclose(
+                np.asarray(om.coef), np.asarray(bm.coef), atol=1e-4
+            )

@@ -1,0 +1,73 @@
+"""Tests for the Page-Hinkley drift detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.drift import PageHinkley
+
+
+class TestPageHinkley:
+    def test_no_alarm_on_stationary_noise(self):
+        rng = np.random.default_rng(0)
+        ph = PageHinkley(delta=0.05, lambda_=4.0, min_samples=30)
+        fired = [ph.update(abs(v)) for v in rng.normal(0.0, 0.02, 2000)]
+        assert not any(fired)
+        assert ph.alarms == 0
+
+    def test_alarms_on_level_shift(self):
+        rng = np.random.default_rng(1)
+        ph = PageHinkley(delta=0.05, lambda_=4.0, min_samples=30)
+        for v in rng.normal(0.02, 0.005, 200):
+            assert not ph.update(abs(v))
+        fired_at = None
+        for i, v in enumerate(rng.normal(0.5, 0.02, 200)):
+            if ph.update(abs(v)):
+                fired_at = i
+                break
+        assert fired_at is not None
+        # The shift is ~0.43 above the old mean per sample against a
+        # lambda of 4 -- detection within a couple dozen samples.
+        assert fired_at < 50
+        assert ph.alarms == 1
+
+    def test_burn_in_suppresses_early_alarms(self):
+        ph = PageHinkley(delta=0.0, lambda_=0.5, min_samples=50)
+        # A huge step immediately: must stay silent for min_samples.
+        for i in range(49):
+            assert not ph.update(10.0 if i else 0.0)
+
+    def test_alarm_is_edge_triggered_and_resets(self):
+        ph = PageHinkley(delta=0.0, lambda_=1.0, min_samples=2)
+        ph.update(0.0)
+        ph.update(0.0)
+        assert ph.update(5.0)
+        # Statistics reset: the very next sample cannot re-alarm.
+        assert ph.n == 1 or not ph.update(0.0)
+        assert ph.alarms == 1
+
+    def test_score_property(self):
+        ph = PageHinkley()
+        assert ph.score == 0.0
+        ph.update(1.0)
+        assert ph.score >= 0.0
+
+    def test_determinism(self):
+        rng = np.random.default_rng(2)
+        values = [abs(v) for v in rng.normal(0.1, 0.05, 500)]
+        a, b = PageHinkley(), PageHinkley()
+        assert [a.update(v) for v in values] == [b.update(v) for v in values]
+        assert (a.n, a.mean, a.cum, a.cum_min) == (b.n, b.mean, b.cum, b.cum_min)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"delta": -0.1},
+            {"lambda_": 0.0},
+            {"min_samples": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PageHinkley(**kwargs)

@@ -1,0 +1,173 @@
+"""Tests for the versioned model registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import integrity
+from repro.serve.registry import (
+    MODEL_SCHEMA,
+    ModelRegistry,
+    RegistryError,
+    RegistryReplayWarning,
+)
+
+
+def _targets(scale: float = 1.0):
+    return {
+        t: {"intercept": 0.01 * scale, "coef": [0.1 * scale] * 4}
+        for t in ("dom0.cpu", "hyp.cpu", "pm.mem", "pm.io", "pm.bw")
+    }
+
+
+class TestPromote:
+    def test_monotonic_versions_across_pms(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        v1 = reg.promote("pm00", _targets(1.0), tick=10, n_samples=24)
+        v2 = reg.promote("pm01", _targets(2.0), tick=11, n_samples=24)
+        v3 = reg.promote("pm00", _targets(3.0), tick=20, n_samples=24)
+        assert (v1.version, v2.version, v3.version) == (1, 2, 3)
+        assert reg.active("pm00").version == 3
+        assert reg.active("pm01").version == 2
+        assert reg.max_version == 3
+
+    def test_snapshot_payload_round_trip(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        mv = reg.promote("pm00", _targets(1.5), tick=5, n_samples=30)
+        payload = reg.load_payload(mv)
+        assert payload["pm"] == "pm00"
+        assert payload["n_samples"] == 30
+        assert payload["targets"]["dom0.cpu"]["intercept"] == pytest.approx(
+            0.015
+        )
+
+    def test_ledger_survives_reopen(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        reg.promote("pm00", _targets(2.0), tick=2, n_samples=24)
+        reg.rollback("pm00", tick=3)
+        reopened = ModelRegistry(tmp_path)
+        assert reopened.active("pm00").version == 1
+        assert [mv.version for mv in reopened.history("pm00")] == [1, 2]
+        assert reopened.max_version == 2
+
+    def test_replay_idempotency(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        a = reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        b = reg.promote("pm00", _targets(2.0), tick=2, n_samples=24)
+        before = sorted(
+            (p.name, p.read_bytes()) for p in tmp_path.rglob("*") if p.is_file()
+        )
+        # A restarted service re-promotes the same content in the same
+        # order: versions are matched, nothing is appended or rewritten.
+        replayed = ModelRegistry(tmp_path)
+        ra = replayed.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        rb = replayed.promote("pm00", _targets(2.0), tick=2, n_samples=24)
+        assert (ra, rb) == (a, b)
+        assert replayed.promotions == 0
+        assert replayed.replayed == 2
+        after = sorted(
+            (p.name, p.read_bytes()) for p in tmp_path.rglob("*") if p.is_file()
+        )
+        assert before == after
+        # Post-replay promotions continue the monotonic sequence.
+        c = replayed.promote("pm00", _targets(3.0), tick=3, n_samples=24)
+        assert c.version == 3
+
+    def test_replay_divergence_warns_and_appends_fresh(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        replayed = ModelRegistry(tmp_path)
+        with pytest.warns(RegistryReplayWarning):
+            fresh = replayed.promote(
+                "pm00", _targets(99.0), tick=1, n_samples=24
+            )
+        assert fresh.version == 2
+        assert replayed.active("pm00").version == 2
+
+
+class TestRollback:
+    def test_rollback_then_promote(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        reg.promote("pm00", _targets(2.0), tick=2, n_samples=24)
+        back = reg.rollback("pm00", tick=3)
+        assert back.version == 1
+        nxt = reg.promote("pm00", _targets(3.0), tick=4, n_samples=24)
+        assert nxt.version == 3
+        assert reg.active("pm00").version == 3
+
+    def test_rollback_requires_history(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        with pytest.raises(RegistryError):
+            reg.rollback("pm00", tick=0)
+        reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        with pytest.raises(RegistryError):
+            reg.rollback("pm00", tick=2)
+
+
+class TestCrashWindows:
+    def test_partial_ledger_tail_is_compacted(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        ledger = tmp_path / "registry.jsonl"
+        intact = ledger.read_bytes()
+        ledger.write_bytes(intact + b'{"c":3,"v":{"type":"prom')
+        with pytest.warns(RegistryReplayWarning):
+            recovered = ModelRegistry(tmp_path)
+        assert recovered.active("pm00").version == 1
+        assert ledger.read_bytes() == intact
+
+    def test_orphan_snapshot_is_rewritten_identically(self, tmp_path):
+        # SIGKILL between snapshot write and ledger append: the snapshot
+        # exists but no record names it.  Replay re-promotes the same
+        # content and must converge on identical bytes.
+        reg = ModelRegistry(tmp_path)
+        mv = reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        snapshot = mv.path_in(tmp_path / "models")
+        orphan_bytes = snapshot.read_bytes()
+        # Simulate the crash window: drop the ledger, keep the snapshot.
+        (tmp_path / "registry.jsonl").unlink()
+        replayed = ModelRegistry(tmp_path)
+        again = replayed.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        assert again.version == 1
+        assert snapshot.read_bytes() == orphan_bytes
+
+    def test_corrupt_snapshot_is_rewritten_on_replay_match(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        mv = reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        snapshot = mv.path_in(tmp_path / "models")
+        good = snapshot.read_bytes()
+        snapshot.write_bytes(good[:-4] + b"XXXX")
+        replayed = ModelRegistry(tmp_path)
+        with pytest.warns(integrity.ArtifactIntegrityWarning):
+            replayed.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        assert snapshot.read_bytes() == good
+
+    def test_stray_tmp_files_are_swept(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        stray = tmp_path / "models" / "v000009.pkl.tmp.1234"
+        stray.write_bytes(b"half-written")
+        ModelRegistry(tmp_path)
+        assert not stray.exists()
+
+    def test_load_payload_cross_checks_ledger_digest(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        mv = reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        # Replace the snapshot with a *valid* artifact of different
+        # content -- the ledger digest check must still catch it.
+        integrity.write_artifact(
+            mv.path_in(tmp_path / "models"),
+            {"pm": "pm00", "tick": 1, "n_samples": 24, "targets": {}},
+            schema=MODEL_SCHEMA,
+        )
+        with pytest.raises(integrity.IntegrityError) as exc:
+            reg.load_payload(mv)
+        assert exc.value.reason == "checksum-mismatch"
+
+    def test_render_lists_active_versions(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.promote("pm00", _targets(1.0), tick=1, n_samples=24)
+        text = reg.render()
+        assert "pm00" in text and "active=v1" in text

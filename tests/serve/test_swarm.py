@@ -1,0 +1,200 @@
+"""Tests for the deterministic client swarm (and its obs export)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.service import ServiceFaultConfig
+from repro.serve import ServiceConfig, SwarmConfig, run_swarm
+from repro.serve.swarm import _percentile
+
+
+def _tree(root):
+    return {
+        p.relative_to(root).as_posix(): p.read_bytes()
+        for p in sorted(root.rglob("*")) if p.is_file()
+    }
+
+
+FAULTY = ServiceFaultConfig(
+    loss_prob=0.02, dup_prob=0.05, reorder_prob=0.05,
+    stuck_prob=0.01, corrupt_prob=0.01,
+)
+
+
+def _swarm_config(**overrides) -> SwarmConfig:
+    base = dict(pms=2, ticks=80, seed=11)
+    base.update(overrides)
+    return SwarmConfig(**base)
+
+
+def _service_config() -> ServiceConfig:
+    return ServiceConfig(min_fit_samples=10, staleness_s=15.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_report_and_bytes(self, tmp_path):
+        cfg = _swarm_config(faults=FAULTY)
+        a = run_swarm(tmp_path / "a", cfg, service_config=_service_config())
+        b = run_swarm(tmp_path / "b", cfg, service_config=_service_config())
+        assert a.as_dict() == b.as_dict()
+        assert _tree(tmp_path / "a") == _tree(tmp_path / "b")
+
+    def test_different_seed_different_trace(self, tmp_path):
+        a = run_swarm(tmp_path / "a", _swarm_config(seed=1),
+                      service_config=_service_config())
+        b = run_swarm(tmp_path / "b", _swarm_config(seed=2),
+                      service_config=_service_config())
+        assert _tree(tmp_path / "a") != _tree(tmp_path / "b")
+        assert a.emitted == b.emitted
+
+    def test_crash_resume_converges_bytewise(self, tmp_path):
+        # The CI smoke does this with a real SIGKILL; here the crash is
+        # modeled by stop_after_tick (drive abandoned, queues dropped).
+        cfg = _swarm_config(ticks=100, faults=FAULTY, drift_at=50)
+        sc = _service_config()
+        run_swarm(tmp_path / "clean", cfg, service_config=sc)
+        run_swarm(tmp_path / "crash", cfg, service_config=sc,
+                  stop_after_tick=43)
+        resumed = run_swarm(tmp_path / "crash", cfg, service_config=sc)
+        assert resumed.recovered_records > 0
+        assert _tree(tmp_path / "clean") == _tree(tmp_path / "crash")
+
+    def test_double_crash_still_converges(self, tmp_path):
+        cfg = _swarm_config(ticks=90, faults=FAULTY)
+        sc = _service_config()
+        run_swarm(tmp_path / "clean", cfg, service_config=sc)
+        run_swarm(tmp_path / "crash", cfg, service_config=sc,
+                  stop_after_tick=20)
+        run_swarm(tmp_path / "crash", cfg, service_config=sc,
+                  stop_after_tick=60)
+        run_swarm(tmp_path / "crash", cfg, service_config=sc)
+        assert _tree(tmp_path / "clean") == _tree(tmp_path / "crash")
+
+
+class TestReportShape:
+    def test_clean_run_report(self, tmp_path):
+        report = run_swarm(tmp_path, _swarm_config(),
+                           service_config=_service_config())
+        assert report.emitted == 2 * 80
+        assert report.verdicts["accepted"] == report.emitted
+        assert report.queries == 80 * 2
+        assert report.queries_ok > 0
+        # Before the first promotion, queries are unavailable -- and
+        # explicitly reported as such, never silently wrong.
+        assert report.queries_unavailable > 0
+        assert report.promotions == 2
+        assert report.latency_p50_ms > 0
+        assert report.latency_max_ms >= report.latency_p99_ms
+        text = report.render()
+        assert "swarm:" in text and "latency_ms" in text
+
+    def test_drift_shift_triggers_refit(self, tmp_path):
+        report = run_swarm(
+            tmp_path,
+            _swarm_config(pms=1, ticks=220, drift_at=110, drift_scale=2.0,
+                          seed=3),
+            service_config=_service_config(),
+        )
+        assert report.drift_alarms >= 1
+        assert report.registry_versions >= 2
+
+    def test_corruption_quarantines_and_degrades(self, tmp_path):
+        report = run_swarm(
+            tmp_path,
+            _swarm_config(
+                ticks=150, seed=5,
+                faults=ServiceFaultConfig(
+                    corrupt_prob=0.03, corrupt_burst_mean=3.0
+                ),
+            ),
+            service_config=_service_config(),
+        )
+        assert report.quarantines >= 1
+        assert report.verdicts["invalid"] >= 1
+        assert report.verdicts["quarantined"] >= 1
+        # Queries during the fault window still answered (degraded).
+        assert report.queries_degraded >= 1
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 50.0) == 2.0
+        assert _percentile(values, 100.0) == 4.0
+        assert _percentile(values, 1.0) == 1.0
+        assert _percentile([], 50.0) == 0.0
+
+
+class TestObsIntegration:
+    def test_obs_disabled_state_is_byte_identical(self, tmp_path):
+        from repro.obs import runtime as obs_runtime
+
+        cfg = _swarm_config(faults=FAULTY)
+        run_swarm(tmp_path / "plain", cfg, service_config=_service_config())
+        with obs_runtime.collecting():
+            run_swarm(tmp_path / "obs", cfg, service_config=_service_config())
+        assert _tree(tmp_path / "plain") == _tree(tmp_path / "obs")
+
+    def test_serve_metrics_round_trip_through_obs_dir(self, tmp_path):
+        from repro.obs import runtime as obs_runtime
+        from repro.obs.export import load_obs_dir, write_obs_dir
+
+        cfg = _swarm_config(faults=FAULTY, ticks=60)
+        with obs_runtime.collecting() as collector:
+            run_swarm(tmp_path / "state", cfg,
+                      service_config=_service_config())
+        out = tmp_path / "obsdir"
+        write_obs_dir(collector, out)
+        metrics, spans, summary = load_obs_dir(out)
+        assert "serve" in summary["span_sources"]
+        assert "serve_samples" in metrics
+        assert "serve_queries" in metrics
+        assert "serve_query_latency_ms" in metrics
+        # Counter samples carry the _total suffix and verdict labels.
+        sample_names = {
+            name for name, _labels, _v in metrics["serve_samples"]["samples"]
+        }
+        assert "serve_samples_total" in sample_names
+        verdicts = {
+            labels.get("verdict")
+            for _n, labels, _v in metrics["serve_samples"]["samples"]
+        }
+        assert "accepted" in verdicts
+        assert any(s["name"] == "serve.swarm" for s in spans)
+
+    def test_obs_summary_require_serve_gates(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs import runtime as obs_runtime
+        from repro.obs.export import write_obs_dir
+
+        with obs_runtime.collecting() as collector:
+            run_swarm(tmp_path / "state", _swarm_config(ticks=30),
+                      service_config=_service_config())
+        out = tmp_path / "obsdir"
+        write_obs_dir(collector, out)
+        assert main(["obs", "summary", "--obs-dir", str(out),
+                     "--require", "serve"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summary", "--obs-dir", str(out),
+                     "--require", "serve,executor"]) == 1
+        err = capsys.readouterr().err
+        assert "executor" in err
+
+
+class TestSwarmConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pms": 0},
+            {"ticks": 0},
+            {"samples_per_tick": 0},
+            {"queries_per_tick": -1},
+            {"drift_at": -1},
+            {"drift_scale": 0.0},
+            {"noise": -0.1},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            SwarmConfig(**kwargs)
