@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Autofixer self-check: `repro lint --fix` must be (a) a byte-identical
+# no-op on the already-clean source tree, and (b) idempotent -- fixing
+# a planted violation twice produces the same bytes as fixing it once,
+# and the fixed file lints clean of the fixable codes.
+#
+# Usage: bash scripts/lint_selfcheck.sh   (from the repo root)
+set -euo pipefail
+
+export PYTHONPATH=src
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== --fix is a byte-identical no-op on the clean tree =="
+cp -r src "$WORK/clean"
+python -m repro lint "$WORK/clean" --fix --config pyproject.toml \
+    > "$WORK/clean.log" 2>&1 || {
+    cat "$WORK/clean.log"
+    echo "FAIL: clean tree does not lint clean under --fix" >&2
+    exit 1
+}
+diff -r src "$WORK/clean" || {
+    echo "FAIL: --fix modified an already-clean tree" >&2
+    exit 1
+}
+
+echo "== --fix converges on a planted fixable violation =="
+PLANT="$WORK/plant/repro/models"
+mkdir -p "$PLANT"
+cat > "$PLANT/seeded.py" <<'EOF'
+def merge(xs=[]):
+    for k in {"b", "a"}:
+        xs.append(k)
+    return xs
+EOF
+
+python -m repro lint "$WORK/plant" --fix --config pyproject.toml \
+    > "$WORK/fix1.log" 2>&1 || true
+cp "$PLANT/seeded.py" "$WORK/after-one-fix.py"
+
+grep -q "def merge(xs=None):" "$PLANT/seeded.py" || {
+    echo "FAIL: REP005 sentinel rewrite missing" >&2
+    exit 1
+}
+grep -q 'sorted({"b", "a"})' "$PLANT/seeded.py" || {
+    echo "FAIL: REP003 sort wrap missing" >&2
+    exit 1
+}
+
+echo "== second --fix pass is byte-identical (idempotent) =="
+python -m repro lint "$WORK/plant" --fix --config pyproject.toml \
+    > "$WORK/fix2.log" 2>&1 || true
+cmp "$WORK/after-one-fix.py" "$PLANT/seeded.py" || {
+    echo "FAIL: --fix is not idempotent" >&2
+    exit 1
+}
+
+echo "== fixed file lints clean of the fixable codes =="
+if python -m repro lint "$WORK/plant" --select REP003 \
+    --config pyproject.toml > "$WORK/left.log" 2>&1 \
+    && python -m repro lint "$WORK/plant" --select REP005 \
+    --config pyproject.toml >> "$WORK/left.log" 2>&1; then
+    :
+else
+    cat "$WORK/left.log"
+    echo "FAIL: fixable violations survived --fix" >&2
+    exit 1
+fi
+
+echo "lint selfcheck OK: --fix is a clean-tree no-op and idempotent"

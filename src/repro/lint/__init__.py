@@ -3,8 +3,20 @@
 An AST-based rule engine that machine-enforces this reproduction's
 determinism contract -- named RNG streams only, no wall-clock in the
 simulated core, no unordered iteration feeding decisions, no silently
-swallowed errors.  See :mod:`repro.lint.rules` for the rule catalogue
-(``REP001``..``REP010``) and :mod:`repro.lint.cli` for the CLI.
+swallowed errors.  Two rule scopes share one registry:
+
+* file-scope rules (``REP001``..``REP011``, :mod:`repro.lint.rules`)
+  see one module at a time;
+* project-scope rules (``REP101``..``REP106``,
+  :mod:`repro.lint.rules_xmod`) see the whole-program
+  :class:`~repro.lint.graph.ProjectGraph` -- symbol table, import
+  graph, approximate call graph -- plus taint propagation
+  (:mod:`repro.lint.taint`) over it.
+
+The CLI (:mod:`repro.lint.cli`) adds SARIF 2.1.0 output
+(:mod:`repro.lint.sarif`), an incremental cache
+(:mod:`repro.lint.cache`) and mechanical autofixes
+(:mod:`repro.lint.fixes`).
 
 Typical library use::
 
@@ -14,17 +26,25 @@ Typical library use::
     violations = engine.lint_paths([Path("src")])
 """
 
+from repro.lint.cache import LintCache
 from repro.lint.config import LintConfig, load_config
-from repro.lint.engine import LintEngine, lint_paths, lint_source
+from repro.lint.engine import LintEngine, LintReport, lint_paths, lint_source
+from repro.lint.fixes import FIXABLE_CODES, fix_source
+from repro.lint.graph import ProjectGraph
 from repro.lint.rules import REGISTRY, Rule, Violation, all_rules
 
 __all__ = [
+    "FIXABLE_CODES",
+    "LintCache",
     "LintConfig",
     "LintEngine",
+    "LintReport",
+    "ProjectGraph",
     "REGISTRY",
     "Rule",
     "Violation",
     "all_rules",
+    "fix_source",
     "lint_paths",
     "lint_source",
     "load_config",

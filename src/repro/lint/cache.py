@@ -1,0 +1,148 @@
+"""Incremental lint cache: content hashes + config digest + SCC closure.
+
+The expensive part of a lint run is the per-file rule pass; parsing is
+cheap and the whole-program graph must exist every run anyway (the
+cross-module pack and the cache's own invalidation both need it).  So
+the cache stores each file's **file-scope** violations keyed by
+
+    sha256(engine version, config digest,
+           content hashes of the file's import-dependency closure)
+
+computed on the SCC condensation of the import graph.  Touching one
+leaf module therefore re-analyzes exactly that module plus its
+transitive dependents -- everything else replays from cache -- and a
+config or engine change invalidates everything at once.  Cross-module
+violations are *never* cached: they are recomputed each run from the
+already-built graph (a cheap worklist), which keeps global rules sound
+without cross-file invalidation bookkeeping.
+
+The cache file is a single JSON document written atomically; a corrupt
+or version-skewed cache degrades to a full re-analysis, never a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.rules import Violation
+
+#: Bump on any change to rules or engine semantics.
+ENGINE_VERSION = "2"
+
+_CACHE_FORMAT = "repro-lint-cache/1"
+
+
+def file_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def config_digest(config, rule_codes: Sequence[str]) -> str:
+    """Digest of the effective policy: config + enabled rules + engine."""
+    payload = json.dumps(
+        {
+            "engine": ENGINE_VERSION,
+            "config": asdict(config),
+            "rules": sorted(rule_codes),
+        },
+        sort_keys=True,
+        default=list,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def closure_key(
+    cfg_digest: str, closure_hashes: Sequence[str]
+) -> str:
+    """Cache key for one file given its dependency-closure hashes."""
+    h = hashlib.sha256()
+    h.update(cfg_digest.encode("ascii"))
+    for digest in sorted(closure_hashes):
+        h.update(digest.encode("ascii"))
+    return h.hexdigest()
+
+
+def _violation_to_dict(v: Violation) -> Dict[str, object]:
+    return {
+        "code": v.code, "message": v.message, "path": v.path,
+        "line": v.line, "col": v.col,
+    }
+
+
+def _violation_from_dict(d: Dict[str, object]) -> Violation:
+    return Violation(
+        code=str(d["code"]),
+        message=str(d["message"]),
+        path=str(d["path"]),
+        line=int(d["line"]),  # type: ignore[arg-type]
+        col=int(d["col"]),  # type: ignore[arg-type]
+    )
+
+
+class LintCache:
+    """Per-file result cache persisted under ``--cache-dir``."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "repro-lint-cache.json"
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("format") != _CACHE_FORMAT:
+            return
+        entries = data.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, path: str, key: str) -> Optional[List[Violation]]:
+        """Cached file-scope violations, or ``None`` on any mismatch."""
+        entry = self._entries.get(path)
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        raw = entry.get("violations")
+        if not isinstance(raw, list):
+            return None
+        try:
+            return [_violation_from_dict(d) for d in raw]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, path: str, key: str, violations: List[Violation]) -> None:
+        self._entries[path] = {
+            "key": key,
+            "violations": [_violation_to_dict(v) for v in violations],
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer part of the run."""
+        live = set(live_paths)
+        stale = [p for p in sorted(self._entries) if p not in live]
+        for p in stale:
+            del self._entries[p]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"format": _CACHE_FORMAT, "files": self._entries},
+            sort_keys=True,
+        )
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, self.path)
+        self._dirty = False

@@ -2,6 +2,12 @@
 
 Exit codes follow CI conventions: 0 clean, 1 violations found, 2 usage
 error (unknown path / unknown rule code).
+
+Output formats: ``text`` (human, plus optional per-rule statistics and
+cache counters), ``json`` (machine), ``sarif`` (SARIF 2.1.0, for
+GitHub code-scanning upload).  ``--cache-dir`` enables the incremental
+cache; ``--fix`` applies the mechanical autofixes (REP003/REP005)
+before reporting what remains.
 """
 
 from __future__ import annotations
@@ -13,13 +19,26 @@ from collections import Counter
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.lint.config import LintConfig, load_config
+from repro.lint import sarif
+from repro.lint.cache import LintCache
+from repro.lint.config import load_config
 from repro.lint.engine import LintEngine
+from repro.lint.fixes import FIXABLE_CODES, fix_source
 from repro.lint.rules import REGISTRY, all_rules
+
+
+def _catalogue_range() -> str:
+    codes = sorted(REGISTRY)
+    return f"{codes[0]}..{codes[-1]}"
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
     """Attach ``repro lint`` arguments to ``parser`` (shared with main CLI)."""
+    parser.epilog = (
+        f"rule catalogue: {_catalogue_range()} "
+        "(file-scope REP0xx, cross-module REP1xx); "
+        "run --list-rules for the full table"
+    )
     parser.add_argument(
         "paths",
         nargs="*",
@@ -28,15 +47,15 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif emits SARIF 2.1.0)",
     )
     parser.add_argument(
         "--select",
         default=None,
         metavar="CODES",
-        help="comma-separated rule codes to run (e.g. REP004,REP007)",
+        help="comma-separated rule codes to run (e.g. REP004,REP102)",
     )
     parser.add_argument(
         "--ignore",
@@ -51,6 +70,25 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         metavar="PYPROJECT",
         help="pyproject.toml to read [tool.repro.lint] from "
         "(default: ./pyproject.toml)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="enable the incremental cache: re-analyze only files whose "
+        "import-dependency closure changed since the cached run",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="report analyzed vs cache-replayed file counts",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical autofixes "
+        f"({', '.join(FIXABLE_CODES)}) before reporting",
     )
     parser.add_argument(
         "--statistics",
@@ -78,10 +116,33 @@ def _parse_codes(raw: Optional[str]) -> Optional[List[str]]:
 
 
 def _rule_table() -> str:
-    lines = ["code    name                  summary"]
+    lines = ["code    name                  scope    summary"]
     for rule in all_rules():
-        lines.append(f"{rule.code}  {rule.name:<20}  {rule.summary}")
+        lines.append(
+            f"{rule.code}  {rule.name:<20}  {rule.scope:<7}  {rule.summary}"
+        )
     return "\n".join(lines)
+
+
+def _apply_fixes(engine: LintEngine, paths: Sequence[Path]) -> None:
+    """Rewrite fixable violations in place; summary goes to stderr so
+    machine-readable stdout (json/sarif) stays clean."""
+    fixed_total = 0
+    fixed_files = 0
+    for path in engine.walk(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        new, n = fix_source(source, path=path.as_posix(), config=engine.config)
+        if n and new != source:
+            path.write_text(new, encoding="utf-8")
+            fixed_total += n
+            fixed_files += 1
+    print(
+        f"--fix: rewrote {fixed_total} violation(s) in {fixed_files} file(s)",
+        file=sys.stderr,
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -117,20 +178,30 @@ def run_from_args(args: argparse.Namespace) -> int:
         return 2
 
     engine = LintEngine(config)
-    files = engine.walk(paths)
-    violations = engine.lint_paths(paths)
+    if args.fix:
+        _apply_fixes(engine, paths)
+    cache = LintCache(args.cache_dir) if args.cache_dir is not None else None
+    report = engine.run(paths, cache=cache)
+    violations = report.violations
 
     if args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "files": len(files),
-                    "count": len(violations),
-                    "violations": [v.as_dict() for v in violations],
-                },
-                indent=2,
+        payload = {
+            "files": len(report.files),
+            "count": len(violations),
+            "violations": [v.as_dict() for v in violations],
+        }
+        if args.stats:
+            payload["analyzed"] = report.analyzed
+            payload["cached"] = report.cached
+        print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        print(sarif.render_text(violations, engine.rules()))
+        if args.stats:
+            print(
+                f"cache: {report.analyzed} analyzed, "
+                f"{report.cached} replayed",
+                file=sys.stderr,
             )
-        )
     else:
         for v in violations:
             print(v.render())
@@ -139,11 +210,16 @@ def run_from_args(args: argparse.Namespace) -> int:
             for code, n in sorted(Counter(v.code for v in violations).items()):
                 print(f"{code}  {n:4d}  {REGISTRY[code].name}")
         summary = (
-            f"{len(violations)} violation(s) in {len(files)} file(s)"
+            f"{len(violations)} violation(s) in {len(report.files)} file(s)"
             if violations
-            else f"clean: 0 violations in {len(files)} file(s)"
+            else f"clean: 0 violations in {len(report.files)} file(s)"
         )
         print(summary)
+        if args.stats:
+            print(
+                f"cache: {report.analyzed} file(s) analyzed, "
+                f"{report.cached} replayed from cache"
+            )
     return 1 if violations else 0
 
 
@@ -151,7 +227,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Standalone entry point (``python -m repro.lint.cli``)."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="determinism/correctness static analysis (REPxxx rules)",
+        description=(
+            "determinism/correctness static analysis "
+            f"(rules {_catalogue_range()})"
+        ),
     )
     configure_parser(parser)
     return run_from_args(parser.parse_args(argv))

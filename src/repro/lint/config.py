@@ -48,6 +48,28 @@ class LintConfig:
         "repro/perf/profiler.py", "repro/perf/supervisor.py",
         "repro/obs/runtime.py",
     )
+    #: Declared RNG stream manifest (REP102): ``(pattern, owners)``
+    #: pairs loaded from ``[tool.repro.lint.streams]``.  Exact names or
+    #: glob patterns (dynamic f-string families, declared verbatim) map
+    #: to the path fragment(s) of their owning module(s).  Empty means
+    #: "no manifest": REP102 then only checks cross-module collisions.
+    streams: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    #: Dotted qualnames of functions executed inside ``--jobs`` pool
+    #: workers; everything they reach is process-boundary code (REP103).
+    worker_entrypoints: Tuple[str, ...] = (
+        "repro.perf.executor._pool_worker",
+        "repro.faults.workers.FaultableCell.run",
+    )
+    #: Modules whose module-level state is *meant* to be per-worker
+    #: (sanitizer/obs process defaults, set and restored in the worker).
+    worker_state_allowed: Tuple[str, ...] = (
+        "repro/sim/sanitize.py", "repro/obs/runtime.py",
+    )
+    #: Collector-internal modules the deterministic core must not
+    #: import (REP106); the runtime funnels are the sanctioned surface.
+    obs_internal: Tuple[str, ...] = (
+        "repro.obs.registry", "repro.obs.spans",
+    )
 
 
 _TUPLE_KEYS = {f.name for f in fields(LintConfig)}
@@ -80,7 +102,26 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
                 f"unknown [tool.repro.lint] key {raw_key!r}; "
                 f"expected one of {sorted(_TUPLE_KEYS)}"
             )
+        if key == "streams":
+            if not isinstance(value, dict):
+                raise ValueError(
+                    "[tool.repro.lint.streams] must be a table of "
+                    "stream name/pattern -> owning module path(s)"
+                )
+            overrides[key] = _normalise_streams(value)
+            continue
         if isinstance(value, str):
             value = [value]
         overrides[key] = tuple(str(v) for v in value)
     return replace(cfg, **overrides)
+
+
+def _normalise_streams(table: dict) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+    """``{pattern: path | [paths]}`` -> sorted hashable pairs."""
+    pairs = []
+    for pattern in sorted(table):
+        owners = table[pattern]
+        if isinstance(owners, str):
+            owners = [owners]
+        pairs.append((str(pattern), tuple(str(o) for o in owners)))
+    return tuple(pairs)

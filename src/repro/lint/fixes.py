@@ -1,0 +1,205 @@
+"""``repro lint --fix``: autofixes for the mechanical rule subset.
+
+Only rewrites whose semantics are fully determined by the AST are
+attempted:
+
+* **REP003** (unordered iteration): wrap the offending iterable in
+  ``sorted(...)`` -- ``for x in {a, b}:`` becomes
+  ``for x in sorted({a, b}):``; ``d.keys()`` becomes ``sorted(d)``.
+* **REP005** (mutable default): the standard sentinel rewrite --
+  the default becomes ``None`` and a guard is inserted at the top of
+  the body (after the docstring)::
+
+      def f(xs=[]):          def f(xs=None):
+          ...          ->        if xs is None:
+                                     xs = []
+                                 ...
+
+Fixes are applied bottom-up from exact AST spans, then the file is
+re-linted and the pass repeats until it converges, so the result is
+idempotent: running ``--fix`` on its own output changes nothing, and
+on an already-clean tree it is byte-identical a no-op
+(``scripts/lint_selfcheck.sh`` asserts exactly that).
+
+Violations suppressed with ``# repro: noqa[...]`` are never touched --
+an intentional, annotated hit stays as written.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.rules import Violation
+
+#: Codes the fixer knows how to rewrite.
+FIXABLE_CODES = ("REP003", "REP005")
+
+#: Maximum convergence passes per file (each pass fixes every
+#: currently-reported violation, so 2 is the norm).
+_MAX_PASSES = 10
+
+#: (line0, col_start, col_end, replacement) -- single-line span edit.
+_Edit = Tuple[int, int, int, str]
+
+#: (line0, text) -- full line(s) inserted *before* line0.
+_Insert = Tuple[int, str]
+
+
+def fix_source(
+    source: str, path: str = "<string>", config: Optional[LintConfig] = None
+) -> Tuple[str, int]:
+    """Return ``(fixed_source, number_of_violations_fixed)``."""
+    total = 0
+    for _ in range(_MAX_PASSES):
+        new, n = _fix_once(source, path, config)
+        if n == 0 or new == source:
+            break
+        source = new
+        total += n
+    return source, total
+
+
+def _fix_once(
+    source: str, path: str, config: Optional[LintConfig]
+) -> Tuple[str, int]:
+    from repro.lint.engine import LintEngine
+
+    engine = LintEngine(config)
+    violations = [
+        v for v in engine.lint_source(source, path=path)
+        if v.code in FIXABLE_CODES
+    ]
+    if not violations:
+        return source, 0
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    lines = source.splitlines(keepends=True)
+    edits: List[_Edit] = []
+    inserts: List[_Insert] = []
+    fixed = 0
+    for v in violations:
+        if v.code == "REP003":
+            done = _fix_unordered_iteration(tree, lines, v, edits)
+        else:
+            done = _fix_mutable_default(tree, lines, v, edits, inserts)
+        if done:
+            fixed += 1
+    if not fixed:
+        return source, 0
+    _apply(lines, edits, inserts)
+    return "".join(lines), fixed
+
+
+def _segment(lines: List[str], node: ast.expr) -> Optional[str]:
+    """Source text of a single-line node, or ``None``."""
+    if node.end_lineno != node.lineno or node.end_col_offset is None:
+        return None
+    return lines[node.lineno - 1][node.col_offset: node.end_col_offset]
+
+
+def _fix_unordered_iteration(
+    tree: ast.AST, lines: List[str], v: Violation, edits: List[_Edit]
+) -> bool:
+    target: Optional[ast.expr] = None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.comprehension)):
+            it = node.iter
+            if it.lineno == v.line and it.col_offset == v.col:
+                target = it
+                break
+    if target is None or _segment(lines, target) is None:
+        return False
+    seg = _segment(lines, target)
+    if (
+        isinstance(target, ast.Call)
+        and isinstance(target.func, ast.Attribute)
+        and target.func.attr == "keys"
+        and not target.args
+    ):
+        obj = _segment(lines, target.func.value)
+        if obj is None:
+            return False
+        replacement = f"sorted({obj})"
+    else:
+        replacement = f"sorted({seg})"
+    edits.append(
+        (target.lineno - 1, target.col_offset, target.end_col_offset,
+         replacement)
+    )
+    return True
+
+
+def _fix_mutable_default(
+    tree: ast.AST,
+    lines: List[str],
+    v: Violation,
+    edits: List[_Edit],
+    inserts: List[_Insert],
+) -> bool:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        pairs = _defaults_with_args(node)
+        for arg_name, default in pairs:
+            if default.lineno != v.line or default.col_offset != v.col:
+                continue
+            # the guard re-creates the original default verbatim, so
+            # non-empty displays ([0] * 3 is not flagged; [1, 2] is)
+            # keep their contents
+            ctor = _segment(lines, default)
+            if ctor is None:
+                return False
+            body = node.body
+            insert_at = body[0]
+            if (
+                isinstance(insert_at, ast.Expr)
+                and isinstance(insert_at.value, ast.Constant)
+                and isinstance(insert_at.value.value, str)
+                and len(body) > 1
+            ):
+                insert_at = body[1]
+            if insert_at.lineno == node.lineno:
+                return False  # one-liner def; leave it to a human
+            indent = " " * insert_at.col_offset
+            guard = (
+                f"{indent}if {arg_name} is None:\n"
+                f"{indent}    {arg_name} = {ctor}\n"
+            )
+            edits.append(
+                (default.lineno - 1, default.col_offset,
+                 default.end_col_offset, "None")
+            )
+            inserts.append((insert_at.lineno - 1, guard))
+            return True
+    return False
+
+
+def _defaults_with_args(node) -> List[Tuple[str, ast.expr]]:
+    """Pair each default expression with the argument it belongs to."""
+    args = node.args
+    out: List[Tuple[str, ast.expr]] = []
+    positional = [*args.posonlyargs, *args.args]
+    for arg, default in zip(
+        positional[len(positional) - len(args.defaults):], args.defaults
+    ):
+        out.append((arg.arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            out.append((arg.arg, default))
+    return out
+
+
+def _apply(
+    lines: List[str], edits: List[_Edit], inserts: List[_Insert]
+) -> None:
+    for line0, start, end, replacement in sorted(
+        edits, key=lambda e: (e[0], e[1]), reverse=True
+    ):
+        text = lines[line0]
+        lines[line0] = text[:start] + replacement + text[end:]
+    for line0, text in sorted(inserts, key=lambda i: i[0], reverse=True):
+        lines.insert(line0, text)

@@ -15,11 +15,34 @@ yielding :class:`Violation` objects from :meth:`Rule.check`.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Type
 
 #: Pseudo-code used for files that fail to parse; always enabled.
 PARSE_ERROR_CODE = "REP000"
+
+#: ``# repro: noqa[CODES] justification`` suppression comments.
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+def noqa_suppressions(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map line number -> suppressed codes (``None`` = all codes)."""
+    out: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = NOQA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip()
+            )
+    return out
 
 
 @dataclass(frozen=True)
@@ -116,6 +139,10 @@ class Rule:
     code: str = ""
     name: str = ""
     summary: str = ""
+    #: ``"file"`` rules run per parsed module; ``"project"`` rules run
+    #: once over the whole-program :class:`repro.lint.graph.ProjectGraph`
+    #: (they subclass ``ProjectRule`` in :mod:`repro.lint.rules_xmod`).
+    scope: str = "file"
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Path-level gate; rules scoped by config override this."""

@@ -1,0 +1,433 @@
+"""Cross-module determinism rules (``REP101``..``REP106``).
+
+These rules run once per lint invocation over the whole-program
+:class:`~repro.lint.graph.ProjectGraph` instead of per file: the bugs
+they catch -- wall-clock laundered through helper funnels, RNG stream
+names colliding between subsystems, state shipped across the ``--jobs``
+process boundary -- are invisible to any single-file pass.
+
+Suppression works exactly as for the per-file pack: an inline
+``# repro: noqa[REP103] <why>`` on the reported line.  The engine
+applies suppressions after ``check_project`` returns.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint import taint
+from repro.lint.graph import ProjectGraph, StreamUse
+from repro.lint.rules import Rule, Violation, path_matches, register
+
+
+class ProjectRule(Rule):
+    """Base for whole-program rules: one code, one graph pass."""
+
+    scope = "project"
+
+    def applies_to(self, ctx) -> bool:  # pragma: no cover - never file-run
+        return False
+
+    def check(self, tree, ctx) -> Iterator[Violation]:  # pragma: no cover
+        return iter(())
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def at(self, path: str, line: int, col: int, message: str) -> Violation:
+        return Violation(
+            code=self.code, message=message, path=path, line=line, col=col
+        )
+
+
+@register
+class LaunderedWallClock(ProjectRule):
+    """REP101: wall-clock/env taint reaching the core through a chain.
+
+    REP002/REP009 catch *direct* reads inside ``wallclock-paths``; this
+    rule catches the laundered variant -- a core module calling a helper
+    (defined outside the core) whose call chain eventually reads real
+    time or the environment.  Funnels whose read carries a justified
+    ``noqa[REP002]``/``noqa[REP009]`` do not seed taint, so the
+    sanctioned entry points for real time stay transparent.
+    """
+
+    code = "REP101"
+    name = "laundered-wall-clock"
+    summary = "call chain from deterministic core reaching a wall-clock/env read"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Violation]:
+        cfg = graph.config
+        tainted = taint.propagate(graph, taint.clock_sources(graph))
+        for name in sorted(graph.modules):
+            mod = graph.modules[name]
+            if not path_matches(mod.path, cfg.wallclock_paths):
+                continue
+            for fn in graph.iter_functions(name):
+                for site in fn.calls:
+                    callee = site.callee
+                    if callee is None or callee not in tainted:
+                        continue
+                    callee_fn = graph.functions[callee]
+                    if path_matches(callee_fn.path, cfg.wallclock_paths):
+                        continue  # a direct read there is REP002's job
+                    t = tainted[callee]
+                    src = graph.functions[t.chain[-1]]
+                    yield self.at(
+                        mod.path,
+                        site.line,
+                        site.col,
+                        f"call into '{callee}' reaches wall-clock: "
+                        f"{t.render()} reads {t.read.resolved} at "
+                        f"{src.path}:{t.read.line}; route real time "
+                        "through a sanctioned funnel or pass sim.now in",
+                    )
+
+
+@register
+class StreamManifest(ProjectRule):
+    """REP102: RNG stream-name provenance across the whole codebase.
+
+    Every statically-extractable stream name handed to the named-stream
+    registry (``rng("...")``, ``sim.rng(f"faults.{kind}...")``) is
+    collected project-wide.  Exact names must be unique across modules;
+    with a ``[tool.repro.lint.streams]`` manifest declared, every name
+    must be covered by an entry and used only from that entry's owning
+    module(s).  Dynamic families (f-strings) must be declared verbatim
+    as glob patterns (``"faults.worker.*"``).  Per-file REP007 cannot
+    see two subsystems independently minting ``"noise"``; this rule
+    can.
+    """
+
+    code = "REP102"
+    name = "stream-manifest"
+    summary = "RNG stream name undeclared, or colliding across modules"
+
+    @staticmethod
+    def _covering(
+        use: StreamUse, manifest: Dict[str, Tuple[str, ...]]
+    ) -> List[str]:
+        if use.family:
+            return [use.pattern] if use.pattern in manifest else []
+        return [
+            pat for pat in sorted(manifest)
+            if fnmatch.fnmatchcase(use.pattern, pat)
+        ]
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Violation]:
+        manifest: Dict[str, Tuple[str, ...]] = dict(graph.config.streams)
+        uses: List[Tuple[str, StreamUse]] = []
+        for name in sorted(graph.modules):
+            mod = graph.modules[name]
+            for use in mod.stream_uses:
+                uses.append((name, use))
+        if manifest:
+            for name, use in uses:
+                mod = graph.modules[name]
+                covering = self._covering(use, manifest)
+                if not covering:
+                    kind = (
+                        "dynamic RNG stream family"
+                        if use.family else "RNG stream"
+                    )
+                    verbatim = (
+                        " (families must be declared verbatim as a "
+                        "glob pattern)" if use.family else ""
+                    )
+                    yield self.at(
+                        mod.path,
+                        use.line,
+                        use.col,
+                        f"{kind} '{use.pattern}' is not declared in "
+                        f"[tool.repro.lint.streams]{verbatim}; declare "
+                        "it with its owning module",
+                    )
+                    continue
+                owned = any(
+                    path_matches(mod.path, manifest[pat])
+                    for pat in covering
+                )
+                if not owned:
+                    owners = sorted(
+                        {o for pat in covering for o in manifest[pat]}
+                    )
+                    yield self.at(
+                        mod.path,
+                        use.line,
+                        use.col,
+                        f"RNG stream '{use.pattern}' is declared to "
+                        f"{', '.join(owners)}; drawing it from "
+                        f"{mod.path} collides across subsystems",
+                    )
+        else:
+            by_name: Dict[str, List[Tuple[str, StreamUse]]] = {}
+            for name, use in uses:
+                if not use.family:
+                    by_name.setdefault(use.pattern, []).append((name, use))
+            for stream in sorted(by_name):
+                sites = by_name[stream]
+                mods = sorted({m for m, _ in sites})
+                if len(mods) < 2:
+                    continue
+                for mod_name, use in sites:
+                    others = ", ".join(
+                        graph.modules[m].path for m in mods
+                        if m != mod_name
+                    )
+                    yield self.at(
+                        graph.modules[mod_name].path,
+                        use.line,
+                        use.col,
+                        f"RNG stream name '{stream}' is also minted in "
+                        f"{others}; colliding names share one generator "
+                        "and desynchronize both subsystems",
+                    )
+
+
+@register
+class WorkerSharedState(ProjectRule):
+    """REP103: state that cannot cross the ``--jobs`` process boundary.
+
+    Functions reachable from a pool-worker entrypoint
+    (``worker-entrypoints``) run in a forked/spawned worker: writes to
+    module-level state there die with the worker (or race the parent's
+    copy) instead of being observed by the parent.  Modules in
+    ``worker-state-allowed`` (the sanitizer/obs per-process defaults,
+    set and restored inside the worker by design) are exempt.  Also
+    flags lambdas / locally-nested functions handed to ``.submit`` --
+    they cannot be pickled by name.
+    """
+
+    code = "REP103"
+    name = "worker-shared-state"
+    summary = "module state written in pool-reachable code / unpicklable submit"
+
+    def _is_module_global(self, graph: ProjectGraph, name: str) -> bool:
+        """Does a *candidate* dotted write name hit a real module global?
+
+        Bare names were validated against the writer's own globals at
+        visit time; dotted ones (``repro.sim.core.SHARED``) are kept
+        only when the prefix is a linted module defining that global --
+        local attribute chains (``self.buf.append``) drop out here.
+        """
+        if "." not in name:
+            return True
+        mod_name, _, attr = name.rpartition(".")
+        mod = graph.modules.get(mod_name)
+        return mod is not None and attr in mod.global_names
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Violation]:
+        cfg = graph.config
+        reach = graph.reachable(cfg.worker_entrypoints)
+        for qual in sorted(reach):
+            fn = graph.functions[qual]
+            if path_matches(fn.path, cfg.worker_state_allowed):
+                continue
+            entry, _ = reach[qual]
+            for write in fn.global_writes:
+                if not self._is_module_global(graph, write.name):
+                    continue
+                target_mod = graph.modules.get(
+                    write.name.rpartition(".")[0]
+                )
+                if target_mod is not None and path_matches(
+                    target_mod.path, cfg.worker_state_allowed
+                ):
+                    continue
+                yield self.at(
+                    fn.path,
+                    write.line,
+                    write.col,
+                    f"'{qual}' is reachable from pool-worker entrypoint "
+                    f"'{entry}' and writes module-level '{write.name}'; "
+                    "a worker's write never reaches the parent process "
+                    "(ship it via the returned outcome instead)",
+                )
+        for name in sorted(graph.modules):
+            mod = graph.modules[name]
+            for issue in mod.submit_issues:
+                what = (
+                    "a lambda" if issue.kind == "lambda"
+                    else "a locally-nested function"
+                )
+                yield self.at(
+                    mod.path,
+                    issue.line,
+                    issue.col,
+                    f"{what} submitted to a process pool cannot be "
+                    "pickled by name; submit a module-level function",
+                )
+
+
+@register
+class UnorderedReduction(ProjectRule):
+    """REP104: float accumulation whose order is not pinned.
+
+    ``sum()`` over a set (or a comprehension over one) accumulates IEEE
+    floats in an order that varies run to run; the same applies when an
+    unordered collection is passed into a *reduction helper* -- a
+    function the call graph shows summing one of its parameters (the
+    sweep-merge helpers).  Sort first, or use ``math.fsum`` (correctly
+    rounded, order-independent).
+    """
+
+    code = "REP104"
+    name = "unordered-reduction"
+    summary = "sum() over an unordered collection (directly or via a reduction helper)"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Violation]:
+        for name in sorted(graph.modules):
+            mod = graph.modules[name]
+            for line, col in mod.unordered_sums:
+                yield self.at(
+                    mod.path,
+                    line,
+                    col,
+                    "sum() over an unordered collection accumulates "
+                    "floats in a run-varying order; sort first or use "
+                    "math.fsum",
+                )
+            for fn in graph.iter_functions(name):
+                for site in fn.calls:
+                    if not site.unordered_arg or site.callee is None:
+                        continue
+                    callee = graph.functions[site.callee]
+                    if not callee.reduces_params:
+                        continue
+                    yield self.at(
+                        mod.path,
+                        site.line,
+                        site.col,
+                        "unordered collection passed to float-reduction "
+                        f"helper '{site.callee}' ({callee.path}:"
+                        f"{callee.line}); its accumulation order varies "
+                        "run to run -- sort before merging",
+                    )
+
+
+@register
+class SchemaDrift(ProjectRule):
+    """REP105: artifact schema-version literals must not drift or fork.
+
+    Integrity-guarded artifacts (cache entries, checkpoints, the obs
+    summary, model snapshots) are tagged with ``"<prefix>/v<N>"``
+    literals.  A writer and reader disagreeing on the version, or a
+    reader re-typing the literal instead of importing the writer's
+    constant, silently turns every artifact into a structured-warning
+    miss after the next bump.  The whole-program pass sees every
+    occurrence at once.
+    """
+
+    code = "REP105"
+    name = "schema-drift"
+    summary = "schema-version literal re-typed across modules or version-forked"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Violation]:
+        by_literal: Dict[str, List[Tuple[str, object]]] = {}
+        by_prefix: Dict[str, Dict[str, List[Tuple[str, object]]]] = {}
+        for name in sorted(graph.modules):
+            mod = graph.modules[name]
+            for use in mod.schema_uses:
+                by_literal.setdefault(use.literal, []).append((name, use))
+                by_prefix.setdefault(use.prefix, {}).setdefault(
+                    use.version, []
+                ).append((name, use))
+        for prefix in sorted(by_prefix):
+            versions = by_prefix[prefix]
+            if len(versions) < 2:
+                continue
+            pinned = ", ".join(
+                f"{v} in {graph.modules[m].path}:{u.line}"
+                for v in sorted(versions)
+                for m, u in versions[v]
+            )
+            for version in sorted(versions):
+                for mod_name, use in versions[version]:
+                    yield self.at(
+                        graph.modules[mod_name].path,
+                        use.line,
+                        use.col,
+                        f"schema prefix '{prefix}' is pinned at multiple "
+                        f"versions ({pinned}); writer and reader must "
+                        "share one constant",
+                    )
+        for literal in sorted(by_literal):
+            sites = by_literal[literal]
+            mods = sorted({m for m, _ in sites})
+            if len(mods) < 2:
+                continue
+            def_mods = sorted(
+                {m for m, u in sites if u.const_def is not None}
+            )
+            if len(def_mods) == 1:
+                owner = graph.modules[def_mods[0]]
+                const = next(
+                    u.const_def for m, u in sites
+                    if m == def_mods[0] and u.const_def
+                )
+                for mod_name, use in sites:
+                    if mod_name == def_mods[0]:
+                        continue
+                    yield self.at(
+                        graph.modules[mod_name].path,
+                        use.line,
+                        use.col,
+                        f"re-typed schema literal '{literal}'; import "
+                        f"{const} from {owner.path} so writer and "
+                        "reader can never drift",
+                    )
+            else:
+                for mod_name, use in sites:
+                    yield self.at(
+                        graph.modules[mod_name].path,
+                        use.line,
+                        use.col,
+                        f"schema literal '{literal}' is defined in "
+                        f"{len(mods)} modules "
+                        f"({', '.join(graph.modules[m].path for m in mods)});"
+                        " keep one owning constant and import it",
+                    )
+
+
+@register
+class ObsFunnel(ProjectRule):
+    """REP106: deterministic core uses only the zero-overhead obs funnels.
+
+    The core instruments itself through ``repro.obs.runtime``'s helpers
+    (``inc``/``set_gauge``/``observe``/``span``), which are no-ops when
+    no collector is installed -- that is what keeps obs-disabled runs
+    byte-identical.  Importing the collector internals
+    (``repro.obs.registry``, ``repro.obs.spans``) into a core module
+    bypasses that contract and mutates collector state directly.
+    """
+
+    code = "REP106"
+    name = "obs-funnel"
+    summary = "deterministic core importing repro.obs internals instead of the runtime funnels"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Violation]:
+        cfg = graph.config
+        banned = tuple(cfg.obs_internal)
+        for name in sorted(graph.modules):
+            mod = graph.modules[name]
+            if not path_matches(mod.path, cfg.wallclock_paths):
+                continue
+            if mod.name == "repro.obs" or mod.name.startswith("repro.obs."):
+                continue
+            for origin, line, col in mod.import_sites:
+                hit: Optional[str] = None
+                for prefix in banned:
+                    if origin == prefix or origin.startswith(prefix + "."):
+                        hit = prefix
+                        break
+                if hit is not None:
+                    yield self.at(
+                        mod.path,
+                        line,
+                        col,
+                        f"deterministic core imports '{origin}' (collector "
+                        "internals); instrument through the zero-overhead "
+                        "repro.obs runtime funnels (inc/set_gauge/observe/"
+                        "span) instead",
+                    )

@@ -1,0 +1,193 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+Emits a single-run SARIF log whose driver carries the full rule
+catalogue (so GitHub code-scanning renders rule help inline) and whose
+results point at 1-based line/column regions.  :func:`validate` is a
+structural validator for the subset of the 2.1.0 schema this renderer
+uses -- CI and the self-check script validate every emitted document
+before uploading, so a malformed log can never reach the annotation
+step silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.rules import PARSE_ERROR_CODE, Rule, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = ("none", "note", "warning", "error")
+
+
+def render(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> Dict[str, object]:
+    """Build the SARIF log object for one lint run."""
+    catalogue = list(rules)
+    ids = [r.code for r in catalogue]
+    if PARSE_ERROR_CODE not in ids:
+        ids.insert(0, PARSE_ERROR_CODE)
+        catalogue = [_parse_error_rule(), *catalogue]
+    index_of = {code: i for i, code in enumerate(ids)}
+    results = []
+    for v in violations:
+        results.append(
+            {
+                "ruleId": v.code,
+                "ruleIndex": index_of.get(v.code, -1),
+                "level": "error",
+                "message": {"text": f"{v.code} {v.message}"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": v.path},
+                            "region": {
+                                "startLine": max(1, v.line),
+                                "startColumn": v.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    rule_objs = [
+        {
+            "id": rule.code,
+            "name": _pascal(rule.name or rule.code),
+            "shortDescription": {"text": rule.summary or rule.code},
+        }
+        for rule in catalogue
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro#determinism-"
+                            "enforcement"
+                        ),
+                        "rules": rule_objs,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_text(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> str:
+    return json.dumps(render(violations, rules), indent=2)
+
+
+def _pascal(name: str) -> str:
+    return "".join(part.capitalize() for part in name.split("-") if part)
+
+
+class _ParseErrorRule(Rule):
+    """Unregistered stand-in so REP000 results resolve to a rule."""
+
+    code = PARSE_ERROR_CODE
+    name = "parse-error"
+    summary = "file failed to parse; no rule can vouch for it"
+
+
+def _parse_error_rule() -> Rule:
+    return _ParseErrorRule()
+
+
+def validate(doc: object) -> List[str]:
+    """Structural 2.1.0 validation; returns a list of problems (empty
+    = valid for the subset of the schema this tool emits)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("version") != SARIF_VERSION:
+        errors.append(f"version must be {SARIF_VERSION!r}")
+    if not isinstance(doc.get("$schema"), str):
+        errors.append("$schema must be a string URI")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return [*errors, "runs must be a non-empty array"]
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver", {}) if isinstance(
+            run.get("tool"), dict
+        ) else {}
+        if not isinstance(driver.get("name"), str) or not driver.get("name"):
+            errors.append(f"{where}.tool.driver.name missing")
+        rules = driver.get("rules", [])
+        ids: List[str] = []
+        if not isinstance(rules, list):
+            errors.append(f"{where}.tool.driver.rules must be an array")
+            rules = []
+        for j, rule in enumerate(rules):
+            if not isinstance(rule, dict) or not isinstance(
+                rule.get("id"), str
+            ):
+                errors.append(f"{where}.tool.driver.rules[{j}].id missing")
+                continue
+            ids.append(rule["id"])
+        if len(ids) != len(set(ids)):
+            errors.append(f"{where}: duplicate rule ids")
+        results = run.get("results")
+        if not isinstance(results, list):
+            errors.append(f"{where}.results must be an array")
+            continue
+        for j, res in enumerate(results):
+            rwhere = f"{where}.results[{j}]"
+            if not isinstance(res, dict):
+                errors.append(f"{rwhere} is not an object")
+                continue
+            if not isinstance(res.get("ruleId"), str):
+                errors.append(f"{rwhere}.ruleId missing")
+            elif ids and res["ruleId"] not in ids:
+                errors.append(
+                    f"{rwhere}.ruleId {res['ruleId']!r} not in driver rules"
+                )
+            if res.get("level") not in _LEVELS:
+                errors.append(f"{rwhere}.level invalid")
+            message = res.get("message")
+            if not isinstance(message, dict) or not isinstance(
+                message.get("text"), str
+            ):
+                errors.append(f"{rwhere}.message.text missing")
+            locations = res.get("locations")
+            if not isinstance(locations, list) or not locations:
+                errors.append(f"{rwhere}.locations must be non-empty")
+                continue
+            for k, loc in enumerate(locations):
+                lwhere = f"{rwhere}.locations[{k}]"
+                phys = loc.get("physicalLocation") if isinstance(
+                    loc, dict
+                ) else None
+                if not isinstance(phys, dict):
+                    errors.append(f"{lwhere}.physicalLocation missing")
+                    continue
+                art = phys.get("artifactLocation")
+                if not isinstance(art, dict) or not isinstance(
+                    art.get("uri"), str
+                ):
+                    errors.append(f"{lwhere}...artifactLocation.uri missing")
+                region = phys.get("region")
+                if not isinstance(region, dict):
+                    errors.append(f"{lwhere}...region missing")
+                    continue
+                start = region.get("startLine")
+                if not isinstance(start, int) or start < 1:
+                    errors.append(f"{lwhere}...region.startLine must be >= 1")
+    return errors

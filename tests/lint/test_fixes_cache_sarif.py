@@ -1,0 +1,318 @@
+"""The fixer, the incremental cache, SARIF output, and docs sync."""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    FIXABLE_CODES,
+    LintCache,
+    LintEngine,
+    all_rules,
+    fix_source,
+    sarif,
+)
+from repro.lint.config import LintConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestFixes:
+    def _fix(self, source: str, path: str = "repro/models/z.py"):
+        return fix_source(source, path=path, config=LintConfig())
+
+    def test_set_display_iteration_sorted(self):
+        fixed, n = self._fix(
+            "def f():\n    for k in {'b', 'a'}:\n        print(k)\n"
+        )
+        assert n == 1
+        assert "for k in sorted({'b', 'a'}):" in fixed
+
+    def test_dict_keys_becomes_sorted_dict(self):
+        fixed, n = self._fix(
+            "def f(d):\n    for k in d.keys():\n        print(k)\n"
+        )
+        assert n == 1
+        assert "for k in sorted(d):" in fixed
+
+    def test_mutable_default_sentinel_rewrite(self):
+        fixed, n = self._fix(
+            "def f(xs=[]):\n    xs.append(1)\n    return xs\n"
+        )
+        assert n == 1
+        assert "def f(xs=None):" in fixed
+        assert "if xs is None:" in fixed
+        assert "xs = []" in fixed
+
+    def test_nonempty_default_contents_preserved(self):
+        fixed, n = self._fix(
+            "def f(xs=[1, 2]):\n    return xs\n"
+        )
+        assert n == 1
+        assert "xs = [1, 2]" in fixed
+
+    def test_guard_inserted_after_docstring(self):
+        fixed, n = self._fix(
+            'def f(d={}):\n    """Doc."""\n    return d\n'
+        )
+        assert n == 1
+        lines = fixed.splitlines()
+        assert lines.index('    """Doc."""') < lines.index(
+            "    if d is None:"
+        )
+
+    def test_fix_is_idempotent(self):
+        source = (
+            "def f(xs=[], d={}):\n"
+            "    for k in {'b', 'a'}:\n"
+            "        xs.append(k)\n"
+            "    return xs, d\n"
+        )
+        fixed, n = self._fix(source)
+        assert n == 3
+        again, n2 = self._fix(fixed)
+        assert n2 == 0
+        assert again == fixed
+
+    def test_fixed_output_lints_clean_of_fixable_codes(self):
+        source = (
+            "def f(xs=[]):\n"
+            "    for k in {'b', 'a'}:\n"
+            "        xs.append(k)\n"
+            "    return xs\n"
+        )
+        fixed, _ = self._fix(source)
+        left = [
+            v for v in LintEngine(LintConfig()).lint_source(
+                fixed, path="repro/models/z.py"
+            )
+            if v.code in FIXABLE_CODES
+        ]
+        assert left == []
+
+    def test_noqa_suppressed_hit_is_not_touched(self):
+        source = (
+            "def f():\n"
+            "    for k in {'b', 'a'}:  # repro: noqa[REP003] tiny set\n"
+            "        print(k)\n"
+        )
+        fixed, n = self._fix(source)
+        assert n == 0
+        assert fixed == source
+
+    def test_clean_source_is_byte_identical(self):
+        source = "def f(xs):\n    return sorted(xs)\n"
+        fixed, n = self._fix(source)
+        assert n == 0
+        assert fixed == source
+
+
+class TestIncrementalCache:
+    TREE = {
+        "repro/leaf.py": "def one():\n    return 1\n",
+        "repro/mid.py": (
+            "from repro import leaf\n\n\n"
+            "def two():\n    return leaf.one() + 1\n"
+        ),
+        "repro/island.py": "def alone():\n    return 0\n",
+    }
+
+    def _write(self, tmp_path):
+        for rel, source in self.TREE.items():
+            f = tmp_path / rel
+            f.parent.mkdir(parents=True, exist_ok=True)
+            f.write_text(source)
+
+    def test_second_run_replays_everything(self, tmp_path):
+        self._write(tmp_path)
+        engine = LintEngine(LintConfig())
+        cache_dir = tmp_path / ".cache"
+        first = engine.run([tmp_path], cache=LintCache(cache_dir))
+        assert first.analyzed == 3 and first.cached == 0
+        second = engine.run([tmp_path], cache=LintCache(cache_dir))
+        assert second.analyzed == 0 and second.cached == 3
+
+    def test_touching_leaf_reanalyzes_only_dependents(self, tmp_path):
+        self._write(tmp_path)
+        engine = LintEngine(LintConfig())
+        cache_dir = tmp_path / ".cache"
+        engine.run([tmp_path], cache=LintCache(cache_dir))
+        leaf = tmp_path / "repro" / "leaf.py"
+        leaf.write_text(leaf.read_text() + "\n# touched\n")
+        report = engine.run([tmp_path], cache=LintCache(cache_dir))
+        # leaf + its dependent mid re-analyze; the island replays
+        assert report.analyzed == 2
+        assert report.cached == 1
+
+    def test_config_change_invalidates_everything(self, tmp_path):
+        self._write(tmp_path)
+        cache_dir = tmp_path / ".cache"
+        LintEngine(LintConfig()).run([tmp_path], cache=LintCache(cache_dir))
+        changed = LintConfig(ignore=("REP004",))
+        report = LintEngine(changed).run(
+            [tmp_path], cache=LintCache(cache_dir)
+        )
+        assert report.analyzed == 3 and report.cached == 0
+
+    def test_cached_run_reports_same_violations(self, tmp_path):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+        engine = LintEngine(LintConfig())
+        cache_dir = tmp_path / ".cache"
+        first = engine.run([tmp_path], cache=LintCache(cache_dir))
+        second = engine.run([tmp_path], cache=LintCache(cache_dir))
+        assert second.cached == 1
+        assert [v.render() for v in second.violations] == [
+            v.render() for v in first.violations
+        ]
+
+    def test_corrupt_cache_degrades_to_full_run(self, tmp_path):
+        self._write(tmp_path)
+        cache_dir = tmp_path / ".cache"
+        engine = LintEngine(LintConfig())
+        engine.run([tmp_path], cache=LintCache(cache_dir))
+        (cache_dir / "repro-lint-cache.json").write_text("{not json")
+        report = engine.run([tmp_path], cache=LintCache(cache_dir))
+        assert report.analyzed == 3
+        assert report.violations == []
+
+    def test_prune_drops_deleted_files(self, tmp_path):
+        self._write(tmp_path)
+        cache_dir = tmp_path / ".cache"
+        engine = LintEngine(LintConfig())
+        engine.run([tmp_path], cache=LintCache(cache_dir))
+        (tmp_path / "repro" / "island.py").unlink()
+        engine.run([tmp_path], cache=LintCache(cache_dir))
+        data = json.loads(
+            (cache_dir / "repro-lint-cache.json").read_text()
+        )
+        assert not any("island" in p for p in data["files"])
+
+
+class TestSarif:
+    def test_clean_run_validates(self):
+        doc = sarif.render([], LintEngine(LintConfig()).rules())
+        assert sarif.validate(doc) == []
+        assert doc["version"] == "2.1.0"
+
+    def test_violations_round_trip(self, tmp_path):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+        engine = LintEngine(LintConfig())
+        violations = engine.lint_paths([tmp_path])
+        assert violations
+        doc = sarif.render(violations, engine.rules())
+        assert sarif.validate(doc) == []
+        results = doc["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {v.code for v in violations}
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_rule_catalogue_covers_every_result(self):
+        engine = LintEngine(LintConfig())
+        doc = sarif.render([], engine.rules())
+        ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {r.code for r in engine.rules()} <= ids
+        assert "REP000" in ids  # parse failures resolve to a rule too
+
+    def test_validator_catches_malformed_docs(self):
+        assert sarif.validate([]) != []
+        assert sarif.validate({"version": "2.1.0"}) != []
+        doc = sarif.render([], [])
+        doc["runs"][0]["results"] = [{"ruleId": 7}]
+        assert sarif.validate(doc) != []
+
+    def test_cli_sarif_output_parses_and_validates(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("x = y == 1.5\n")
+        assert main(["lint", str(tmp_path), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert sarif.validate(doc) == []
+        assert doc["runs"][0]["results"]
+
+
+class TestCliAdditions:
+    def test_stats_counts_cached_files(self, tmp_path, capsys):
+        f = tmp_path / "repro" / "ok.py"
+        f.parent.mkdir(parents=True)
+        f.write_text("x = 1\n")
+        cache_dir = str(tmp_path / ".cache")
+        assert main(
+            ["lint", str(tmp_path), "--cache-dir", cache_dir, "--stats"]
+        ) == 0
+        assert "1 file(s) analyzed, 0 replayed" in capsys.readouterr().out
+        assert main(
+            ["lint", str(tmp_path), "--cache-dir", cache_dir, "--stats"]
+        ) == 0
+        assert "0 file(s) analyzed, 1 replayed" in capsys.readouterr().out
+
+    def test_fix_flag_rewrites_in_place(self, tmp_path, capsys):
+        f = tmp_path / "repro" / "models" / "m.py"
+        f.parent.mkdir(parents=True)
+        f.write_text("def f(xs=[]):\n    return xs\n")
+        assert main(["lint", str(tmp_path), "--fix"]) == 0
+        assert "def f(xs=None):" in f.read_text()
+        assert "rewrote 1 violation(s)" in capsys.readouterr().err
+
+    def test_epilogue_range_tracks_registry(self, capsys):
+        from repro.lint.cli import _catalogue_range
+
+        rng = _catalogue_range()
+        assert rng.startswith("REP001")
+        assert rng.endswith(max(r.code for r in all_rules()))
+
+    def test_list_rules_includes_project_scope(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP106" in out and "project" in out
+
+
+class TestDocsSync:
+    """The README rule table stays in lock-step with the registry."""
+
+    ROW = re.compile(
+        r"^\|\s*(REP\d{3})\s*\|\s*([a-z0-9-]+)\s*\|", re.MULTILINE
+    )
+
+    def test_readme_table_matches_registry(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        documented = {m.group(1): m.group(2) for m in self.ROW.finditer(text)}
+        live = {r.code: r.name for r in all_rules()}
+        assert documented == live, (
+            "README 'Determinism enforcement' table out of sync with "
+            "repro.lint REGISTRY"
+        )
+
+    def test_pyproject_comment_names_live_range(self):
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert "REP001..REP010" not in text
+        codes = sorted(r.code for r in all_rules())
+        file_codes = sorted(
+            r.code for r in all_rules() if r.scope == "file"
+        )
+        project_codes = sorted(
+            r.code for r in all_rules() if r.scope == "project"
+        )
+        assert f"{file_codes[0]}..{file_codes[-1]}" in text
+        assert f"{project_codes[0]}..{project_codes[-1]}" in text
+        assert codes  # registry is non-empty by construction
+
+    def test_streams_manifest_covers_audited_call_sites(self):
+        """Every statically-extractable stream in src/ is manifest-covered
+        (the self-lint asserts this end to end; here we assert the
+        manifest itself is non-trivial so REP102 runs in coverage mode)."""
+        from repro.lint import load_config
+
+        cfg = load_config(REPO_ROOT / "pyproject.toml")
+        manifest = dict(cfg.streams)
+        assert len(manifest) >= 10
+        assert manifest["trial-clients"] == ("repro/placement/scenario.py",)
+        assert "faults.worker.*" in manifest
