@@ -19,9 +19,11 @@ Subcommands
     Inspect or empty the content-addressed result cache.
 ``repro runs status|resume|gc DIR``
     Inspect, continue, or clean a crash-safe run directory.
-``repro bench [--fast] [--jobs N] [--out FILE]``
+``repro bench [--fast] [--jobs N] [--chunk N] [--out FILE] [--compare BASELINE]``
     Perf harness: run the fixed bench matrix serial / parallel / cold /
-    warm-cache and write a ``BENCH_<rev>.json`` record.
+    warm-cache and write a ``BENCH_<rev>.json`` record; ``--compare``
+    exits non-zero on a >20 % regression in ``events_per_sec`` or
+    ``parallel_speedup`` against a baseline record.
 ``repro obs summary|export|spans [--obs-dir DIR]``
     Inspect an observability directory written by ``--obs-dir``:
     ``summary`` prints per-source span/error/wall totals plus counter
@@ -33,8 +35,10 @@ Subcommands
 runtime determinism sanitizer (event tie-break assertions, per-stream
 RNG draw accounting, NaN guards on training inputs).  ``repro run``,
 ``repro all`` and ``repro report`` accept ``--jobs N`` (parallel cell
-execution; 0 = all CPUs) and ``--cache-dir DIR`` (content-addressed
-result cache) -- both preserve byte-identical output -- plus the
+execution over the warm process pool; 0 = all CPUs), ``--chunk N``
+(cells per worker task; 0 = cost-model default) and ``--cache-dir DIR``
+(content-addressed result cache) -- all preserve byte-identical
+output -- plus the
 crash-safety options: ``--run-dir DIR`` records a checkpointed run
 manifest, ``--resume DIR`` restores completed cells from one, and
 ``--cell-deadline`` / ``--cell-attempts`` tune the supervisor.
@@ -193,8 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="workers for the parallel phase (0 = all CPUs, default)",
     )
     bench_p.add_argument(
+        "--chunk", type=int, default=None, metavar="N",
+        help="cells per worker task in the parallel phase (0 = "
+        "cost-model default)",
+    )
+    bench_p.add_argument(
         "--out", type=Path, default=None,
         help="output JSON path (default: BENCH_<rev>.json in the cwd)",
+    )
+    bench_p.add_argument(
+        "--compare", type=Path, default=None, metavar="BASELINE",
+        help="exit non-zero when events_per_sec or parallel_speedup "
+        "regresses more than 20%% against this baseline BENCH json",
     )
 
     validate_p = sub.add_parser(
@@ -376,6 +390,12 @@ def _add_perf_options(sub_parser: argparse.ArgumentParser) -> None:
         "CPUs); output is byte-identical to serial",
     )
     sub_parser.add_argument(
+        "--chunk", type=int, default=None, metavar="N",
+        help="cells dispatched to a worker per pool task (0 = "
+        "deterministic cost-model default); larger chunks amortize "
+        "dispatch overhead, output stays byte-identical",
+    )
+    sub_parser.add_argument(
         "--cache-dir", type=Path, default=None, metavar="DIR",
         help="serve previously computed cells from this "
         "content-addressed cache (and populate it)",
@@ -461,13 +481,14 @@ def _supervisor_config(args: argparse.Namespace):
 def _with_perf_defaults(args: argparse.Namespace, raw_argv: List[str]) -> int:
     """Install the perf/crash-safety defaults for the dispatch, then reset."""
     jobs = getattr(args, "jobs", None)
+    chunk = getattr(args, "chunk", None)
     cache_dir = getattr(args, "cache_dir", None)
     resume_dir = getattr(args, "resume", None)
     run_dir = getattr(args, "run_dir", None) or resume_dir
     obs_dir = getattr(args, "obs_dir", None)
     if args.command not in ("run", "all", "report") or (
-        jobs is None and cache_dir is None and run_dir is None
-        and obs_dir is None
+        jobs is None and chunk is None and cache_dir is None
+        and run_dir is None and obs_dir is None
         and getattr(args, "cell_deadline", None) is None
         and getattr(args, "cell_attempts", None) is None
     ):
@@ -505,6 +526,7 @@ def _with_perf_defaults(args: argparse.Namespace, raw_argv: List[str]) -> int:
     try:
         with execution_defaults(
             jobs=jobs,
+            chunk=chunk,
             cache=cache,
             manifest=manifest,
             resume=resume_dir is not None,
@@ -516,6 +538,11 @@ def _with_perf_defaults(args: argparse.Namespace, raw_argv: List[str]) -> int:
                 failed_cells = exc
                 code = EXIT_CELLS_FAILED
     finally:
+        # The warm pool's explicit end-of-invocation shutdown (the
+        # atexit hook is only the backstop for API users).
+        from repro.perf import pool as warm_pool
+
+        warm_pool.shutdown_pool()
         if collector is not None:
             obs_runtime.set_default(False)
             obs_runtime.uninstall()
@@ -892,9 +919,26 @@ def _obs_cmd(args: argparse.Namespace) -> int:
 
 
 def _bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import default_output_path, run_bench, write_bench
+    import json
 
-    record = run_bench(fast=args.fast, jobs=args.jobs)
+    from repro.perf.bench import (
+        compare_bench,
+        default_output_path,
+        run_bench,
+        write_bench,
+    )
+
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = json.loads(args.compare.read_text())
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: cannot read baseline {args.compare}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    record = run_bench(fast=args.fast, jobs=args.jobs, chunk=args.chunk)
     out = args.out if args.out is not None else default_output_path()
     write_bench(record, out)
     metrics = record["metrics"]
@@ -907,6 +951,21 @@ def _bench(args: argparse.Namespace) -> int:
         "cache_hit_rate",
     ):
         print(f"  {key:<20} {metrics[key]:.3f}")
+    if baseline is not None:
+        problems = compare_bench(record, baseline)
+        if problems:
+            for problem in problems:
+                print(f"bench regression: {problem}", file=sys.stderr)
+            print(
+                f"bench: regression against {args.compare} "
+                f"(baseline rev {baseline.get('revision', '?')})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"bench: no regression against {args.compare} "
+            f"(baseline rev {baseline.get('revision', '?')})"
+        )
     return 0
 
 

@@ -214,12 +214,20 @@ def generate_experiments_md(
         "",
         "Determinism also makes the reproduction parallel and "
         "cacheable: `repro report --jobs N` fans experiment cells over "
-        "worker processes and `--cache-dir` serves repeated cells from "
-        "a content-addressed cache — both byte-identical to a serial "
-        "run (README § Parallel execution & caching). `repro bench` "
-        "records the perf trajectory (`BENCH_<rev>.json`: events/sec, "
-        "parallel speedup, cache hit rate); wall-clock numbers are "
-        "machine-dependent, so only ratios are comparable across "
+        "worker processes (batched `--chunk` tasks on a warm pool) and "
+        "`--cache-dir` serves repeated cells from a content-addressed "
+        "cache — both byte-identical to a serial run (README § "
+        "Parallel execution & caching). The numbers below were "
+        "produced by the default fast-path simulation core (batched "
+        "event dispatch, steady-state quantum memo, vectorized "
+        "scheduler and monitor kernels — README § Performance); the "
+        "fast path only skips provably redundant work, so every figure "
+        "is byte-for-byte identical to the scalar reference path "
+        "(`REPRO_SIM_SLOWPATH=1`), which CI re-proves on every push. "
+        "`repro bench` records the perf trajectory (`BENCH_<rev>."
+        "json`: events/sec, parallel speedup, cache hit rate) and "
+        "`repro bench --compare` gates regressions; wall-clock numbers "
+        "are machine-dependent, so only ratios are comparable across "
         "hosts.",
         "",
         "Runs are crash-safe: `--run-dir` checkpoints every completed "

@@ -37,6 +37,7 @@ from repro.monitor.tools import (
     SCOPE_PM,
     SCOPE_VM,
     IfConfig,
+    MeasurementTool,
     MpStat,
     ToolFailure,
     Top,
@@ -44,6 +45,7 @@ from repro.monitor.tools import (
     XenTop,
 )
 from repro.obs import runtime as _obs
+from repro.sim import fastpath as _fastpath
 from repro.sim.process import PeriodicProcess
 from repro.traces import Trace, TraceSet
 from repro.xen.machine import MONITOR_PRIORITY, PhysicalMachine
@@ -169,6 +171,26 @@ class MeasurementScript:
         self._mpstat = MpStat(pm.cal, rng(f"{key}.mpstat"), **kw)
         self._vmstat = VmStat(pm.cal, rng(f"{key}.vmstat"), **kw)
         self._ifconfig = IfConfig(pm.cal, rng(f"{key}.ifconfig"), **kw)
+        # Hoisted per-tick constants for the precompiled sampling plan.
+        self._noiseless = noiseless
+        self._failure_prob = tool_failure_prob
+        self._noise_floor = pm.cal.noise_floor
+        self._sigmas = {
+            res: pm.cal.noise_sigma_for(res) for res in RESOURCES
+        }
+        self._tools = (
+            self._xentop,
+            self._top,
+            self._mpstat,
+            self._vmstat,
+            self._ifconfig,
+        )
+        #: The fast plan inlines MeasurementTool.read; a tool subclass
+        #: with its own read() must keep routing through it.
+        self._tools_native = all(
+            type(t).read is MeasurementTool.read for t in self._tools
+        )
+        self._fast_plan: Optional[tuple] = None
         self._times: List[float] = []
         self._samples: Dict[str, List[float]] = {}
         self._valid: List[bool] = []
@@ -200,6 +222,7 @@ class MeasurementScript:
         self.gap_samples = 0
         self._corrupt_tick = False
         self._unseeded_tick = False
+        self._fast_plan = None
         self._proc = PeriodicProcess(
             self.pm.sim, self.interval, self._sample, priority=MONITOR_PRIORITY
         )
@@ -284,6 +307,146 @@ class MeasurementScript:
             self._samples.setdefault(name, []).append(value)
 
     def _sample(self, now: float) -> None:
+        """One 1 Hz tick: dispatch to the precompiled fast plan or the
+        reference path.
+
+        The fast plan applies only to *clean* ticks -- no fault model,
+        no tool-failure probability, PM up, observability off, fast path
+        enabled.  Anything else (including a crashed PM mid-run) routes
+        through the reference implementation, whose gap/carry-forward
+        machinery appends to the very same sample lists.
+        """
+        if (
+            self._faults is None
+            and self._failure_prob == 0.0  # repro: noqa[REP004] exact "no failures configured" sentinel
+            and not self.pm.failed
+            and self._tools_native
+            # An instance-level read() override (tests inject failures
+            # this way) must keep being called.
+            and not any("read" in t.__dict__ for t in self._tools)
+            and not _fastpath.slowpath_enabled()
+            and _obs.installed() is None
+        ):
+            self._sample_fast(now)
+            return
+        self._sample_slow(now)
+
+    def _fast_perturb(self, rng, value: float, sigma: float) -> float:
+        """Inline :meth:`MeasurementTool._perturb`: identical arithmetic
+        and identical draw order on the same per-tool stream, with the
+        capability checks and sigma lookups hoisted into the plan."""
+        if self._noiseless or value == 0.0:  # repro: noqa[REP004] idle counters read exactly zero
+            return value
+        noisy = value * float(np.exp(rng.normal(0.0, sigma)))
+        noisy += float(rng.uniform(0.0, self._noise_floor))
+        return max(0.0, noisy)
+
+    def _build_fast_plan(self) -> tuple:
+        """Bind every trace list this PM's clean ticks will append to.
+
+        Rebuilt whenever the hosted VM set changes; the lists live in
+        ``self._samples``, so fast and reference ticks interleave safely
+        within one run.
+        """
+        samples = self._samples
+
+        def lst(entity: str, resource: str) -> List[float]:
+            return samples.setdefault(trace_name(entity, resource), [])
+
+        vms = self.pm.vms
+        plan = (
+            tuple(vms),
+            [
+                (
+                    vm,
+                    lst(name, "cpu"),
+                    lst(name, "io"),
+                    lst(name, "bw"),
+                    lst(name, "mem"),
+                )
+                for name, vm in vms.items()
+            ],
+            lst(ENTITY_DOM0, "cpu"),
+            lst(ENTITY_DOM0, "mem"),
+            lst(ENTITY_DOM0, "io"),
+            lst(ENTITY_DOM0, "bw"),
+            lst(ENTITY_HYPERVISOR, "cpu"),
+            lst(ENTITY_PM, "cpu"),
+            lst(ENTITY_PM, "mem"),
+            lst(ENTITY_PM, "io"),
+            lst(ENTITY_PM, "bw"),
+        )
+        self._fast_plan = plan
+        return plan
+
+    def _sample_fast(self, now: float) -> None:
+        """Clean-tick sampling without snapshot allocation or per-read
+        capability checks; draw order and arithmetic match
+        :meth:`_sample_slow` bit for bit."""
+        pm = self.pm
+        plan = self._fast_plan
+        if plan is None or plan[0] != tuple(pm.vms):
+            plan = self._build_fast_plan()
+        (
+            _,
+            vm_rows,
+            l_dom0_cpu,
+            l_dom0_mem,
+            l_dom0_io,
+            l_dom0_bw,
+            l_hyp_cpu,
+            l_pm_cpu,
+            l_pm_mem,
+            l_pm_io,
+            l_pm_bw,
+        ) = plan
+        self._times.append(now)
+        self._valid.append(True)
+        self._unseeded_tick = False
+        self._corrupt_tick = False
+
+        perturb = self._fast_perturb
+        sigmas = self._sigmas
+        s_cpu = sigmas["cpu"]
+        s_mem = sigmas["mem"]
+        s_io = sigmas["io"]
+        s_bw = sigmas["bw"]
+        xt_rng = self._xentop._rng
+        top_rng = self._top._rng
+
+        guest_cpu = guest_mem = 0.0
+        for vm, l_cpu, l_io, l_bw, l_mem in vm_rows:
+            g = vm.granted
+            cpu = perturb(xt_rng, g.cpu_pct, s_cpu)
+            io = perturb(xt_rng, g.io_bps, s_io)
+            bw = perturb(xt_rng, g.bw_kbps, s_bw)
+            mem = perturb(top_rng, g.mem_mb, s_mem)
+            l_cpu.append(cpu)
+            l_io.append(io)
+            l_bw.append(bw)
+            l_mem.append(mem)
+            guest_cpu += cpu
+            guest_mem += mem
+
+        dom0_cpu = perturb(xt_rng, pm.dom0.state.cpu_pct, s_cpu)
+        dom0_mem = perturb(top_rng, pm.dom0.mem_mb, s_mem)
+        l_dom0_cpu.append(dom0_cpu)
+        l_dom0_mem.append(dom0_mem)
+        # Dom0 consumes no disk or network itself (snapshot reads 0.0);
+        # exact zeros skip the noise draws, so append them directly.
+        l_dom0_io.append(0.0)
+        l_dom0_bw.append(0.0)
+
+        hyp_cpu = perturb(
+            self._mpstat._rng, pm.hypervisor.state.cpu_pct, s_cpu
+        )
+        l_hyp_cpu.append(hyp_cpu)
+        l_pm_cpu.append(dom0_cpu + hyp_cpu + guest_cpu)
+        l_pm_mem.append(dom0_mem + guest_mem)
+        l_pm_io.append(perturb(self._vmstat._rng, pm._pm_io_bps, s_io))
+        l_pm_bw.append(perturb(self._ifconfig._rng, pm._pm_bw_kbps, s_bw))
+
+    def _sample_slow(self, now: float) -> None:
         snap = self.pm.snapshot()
         self._times.append(now)
         _obs.inc("repro_monitor_ticks_total", pm=self.pm.name)

@@ -16,13 +16,18 @@ JSON schema (``repro-bench/1``)
     Whether the reduced workload matrix was used.
 ``jobs``
     Worker processes used for the parallel phase.
+``chunk``
+    Requested cells-per-task of the parallel phase (0 = cost model).
 ``workload``
     The cell matrix: benchmark kinds, VM counts, per-cell simulated
     duration, number of cells.
 ``phases``
     Per-phase profiler dumps (``serial``, ``parallel``, ``cache_cold``,
     ``cache_warm``), each with ``wall_s``, ``cells``, ``events``,
-    ``cache_hits``/``cache_misses`` and derived rates.
+    ``cache_hits``/``cache_misses`` and derived rates.  A pure
+    cache-replay phase (``cache_warm``) reports ``events_per_sec`` as
+    ``null`` -- it dispatched no events, so a rate would be nonsense;
+    its headline is ``cache_warm_speedup``.
 ``supervision``
     :meth:`~repro.perf.supervisor.SupervisionStats.as_dict` of the
     bench run: attempts, retries, recovered/failed cells, timeouts,
@@ -42,6 +47,11 @@ All numbers are wall-clock measurements and therefore machine-dependent;
 only *ratios* (speedups, hit rate) are comparable across hosts.  The
 events/cells rates are comparable across revisions on the same runner,
 which is what the CI perf-smoke job records.
+
+``repro bench --compare BASELINE.json`` additionally regresses the new
+record against a committed baseline: :func:`compare_bench` fails (and
+the CLI exits non-zero) when ``events_per_sec`` or ``parallel_speedup``
+drops more than :data:`REGRESSION_TOLERANCE` below the baseline.
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.perf import pool as warmpool
 from repro.perf.cache import ResultCache, code_fingerprint
 from repro.perf.cells import MicrobenchCell
 from repro.perf.executor import resolve_jobs, run_cells
@@ -60,6 +71,12 @@ from repro.workloads.suite import intensity_levels
 
 #: Schema identifier embedded in every bench file.
 BENCH_SCHEMA = "repro-bench/1"
+
+#: Fractional drop in a headline metric that fails ``--compare``.
+REGRESSION_TOLERANCE = 0.20
+
+#: Metrics ``--compare`` regresses on (higher is better for both).
+COMPARE_METRICS = ("events_per_sec", "parallel_speedup")
 
 #: Paper-scale bench matrix: all four kinds, 1 and 2 VMs.
 FULL_KINDS = ("cpu", "mem", "io", "bw")
@@ -107,6 +124,7 @@ def run_bench(
     *,
     fast: bool = False,
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     cache_dir: Optional[Path] = None,
     seed: int = 42,
 ) -> Dict[str, object]:
@@ -114,24 +132,33 @@ def run_bench(
 
     ``cache_dir`` defaults to a throwaway temp directory so the cold /
     warm phases always start from an empty cache; pass a path to bench
-    a persistent cache instead.
+    a persistent cache instead.  ``chunk`` feeds the parallel phase
+    (``None``/``0`` = cost-model default).
     """
     jobs = resolve_jobs(jobs if jobs is not None else 0)
     cells = bench_cells(fast=fast, seed=seed)
     supervision = reset_stats()
 
-    with profiled() as profiler:
-        serial = run_cells(cells, jobs=1, cache=None, phase="serial")
-        parallel = run_cells(cells, jobs=jobs, cache=None, phase="parallel")
-        if cache_dir is not None:
-            cache = ResultCache(cache_dir)
-            run_cells(cells, jobs=1, cache=cache, phase="cache_cold")
-            run_cells(cells, jobs=1, cache=cache, phase="cache_warm")
-        else:
-            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
-                cache = ResultCache(tmp)
+    try:
+        with profiled() as profiler:
+            serial = run_cells(cells, jobs=1, cache=None, phase="serial")
+            parallel = run_cells(
+                cells, jobs=jobs, chunk=chunk, cache=None, phase="parallel"
+            )
+            if cache_dir is not None:
+                cache = ResultCache(cache_dir)
                 run_cells(cells, jobs=1, cache=cache, phase="cache_cold")
                 run_cells(cells, jobs=1, cache=cache, phase="cache_warm")
+            else:
+                with tempfile.TemporaryDirectory(
+                    prefix="repro-bench-"
+                ) as tmp:
+                    cache = ResultCache(tmp)
+                    run_cells(cells, jobs=1, cache=cache, phase="cache_cold")
+                    run_cells(cells, jobs=1, cache=cache, phase="cache_warm")
+    finally:
+        # The bench owns its warm pool's lifecycle end to end.
+        warmpool.shutdown_pool()
 
     if any(s != p for s, p in zip(serial, parallel)):
         raise AssertionError(
@@ -166,6 +193,7 @@ def run_bench(
         "revision": code_fingerprint()[:12],
         "fast": fast,
         "jobs": jobs,
+        "chunk": chunk if chunk else 0,
         "workload": {
             "kinds": list(FAST_KINDS if fast else FULL_KINDS),
             "vm_counts": list(FAST_VM_COUNTS if fast else FULL_VM_COUNTS),
@@ -182,3 +210,35 @@ def run_bench(
 def write_bench(record: Dict[str, object], path: Path) -> None:
     """Write one bench record as stable, human-diffable JSON."""
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def compare_bench(
+    record: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Regression failures of ``record`` against ``baseline``.
+
+    Returns one message per :data:`COMPARE_METRICS` metric that fell
+    more than ``tolerance`` below the baseline value (empty = pass).
+    Metrics missing or non-positive on either side are skipped --
+    ratios against nothing prove nothing.
+    """
+    failures: List[str] = []
+    base_metrics = baseline.get("metrics") or {}
+    new_metrics = record.get("metrics") or {}
+    for key in COMPARE_METRICS:
+        base = base_metrics.get(key)
+        new = new_metrics.get(key)
+        if not isinstance(base, (int, float)) or base <= 0:
+            continue
+        if not isinstance(new, (int, float)):
+            continue
+        floor = base * (1.0 - tolerance)
+        if new < floor:
+            failures.append(
+                f"{key}: {new:.3f} < {floor:.3f} "
+                f"({tolerance:.0%} below baseline {base:.3f})"
+            )
+    return failures

@@ -47,7 +47,12 @@ class PhaseStats:
     def cells_per_sec(self) -> float:
         return self.cells / self.wall_s if self.wall_s > 0 else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    @property
+    def pure_replay(self) -> bool:
+        """True when every cell was served from cache (nothing executed)."""
+        return self.cells > 0 and self.cache_hits >= self.cells
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
         return {
             "wall_s": self.wall_s,
             "intervals": self.intervals,
@@ -55,7 +60,12 @@ class PhaseStats:
             "events": self.events,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
-            "events_per_sec": self.events_per_sec,
+            # A pure cache-replay phase dispatched no events; dividing
+            # its *recorded* events by its (near-zero) replay wall time
+            # would report an absurd rate, so it reports none.
+            "events_per_sec": (
+                None if self.pure_replay else self.events_per_sec
+            ),
             "cells_per_sec": self.cells_per_sec,
         }
 

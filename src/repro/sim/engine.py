@@ -11,9 +11,11 @@ their own timestamp when they fire.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from repro.obs import runtime as _obs
+from repro.sim import fastpath as _fastpath
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
 from repro.sim.rng import RngRegistry
 
@@ -116,6 +118,26 @@ class Simulator:
             self._now + delay, callback, priority=priority, payload=payload
         )
 
+    def reschedule(self, event: Event, time: float) -> Event:
+        """Requeue a popped ``event`` at absolute ``time``, reusing it.
+
+        The allocation-free companion to :meth:`at` for periodic
+        processes: the event object is recycled instead of minting a new
+        one per tick.  ``event`` must have been popped already (it is
+        *not* in the queue); passing a still-queued event corrupts heap
+        order.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is earlier than the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot reschedule at t={time:.6f} < now={self._now:.6f}"
+            )
+        return self._queue.repush(event, time)
+
     def step(self) -> bool:
         """Dispatch the single next event.
 
@@ -127,7 +149,13 @@ class Simulator:
             return False
         if self.sanitizer is not None:
             self.sanitizer.check_pop(ev, next_seq=self._queue.next_seq)
-        assert ev.time >= self._now
+        if ev.time < self._now:
+            # A real raise, not an assert: the monotonicity guarantee is
+            # part of the engine contract and must survive ``python -O``.
+            raise SimulationError(
+                f"event at t={ev.time:.6f} popped behind clock "
+                f"now={self._now:.6f}"
+            )
         self._now = ev.time
         self.dispatched += 1
         ev.fire()
@@ -157,14 +185,49 @@ class Simulator:
         _obs.set_gauge("repro_sim_time_seconds", self._now)
 
     def _drain(self, t_end: float) -> None:
-        """Dispatch every queued event with ``time <= t_end``."""
+        """Dispatch every queued event with ``time <= t_end``.
+
+        Two implementations with identical observable behaviour:
+
+        * When a sanitizer is attached or ``REPRO_SIM_SLOWPATH`` is set,
+          the reference loop peeks and :meth:`step`\\ s one event at a
+          time -- every pop routes through the sanitizer's tie-break
+          check.
+        * Otherwise the batched fast path runs: the heap and ``heappop``
+          are hoisted into locals and events dispatch straight off the
+          heap entries, skipping the per-event ``peek_time``/``pop``
+          method calls and the sanitizer/cancelled double-checks.  The
+          clock and ``dispatched`` counter are still written through
+          per event because callbacks read ``sim.now``.
+        """
         self._running = True
         try:
-            while True:
-                nxt = self._queue.peek_time()
-                if nxt is None or nxt > t_end:
+            if self.sanitizer is not None or _fastpath.slowpath_enabled():
+                while True:
+                    nxt = self._queue.peek_time()
+                    if nxt is None or nxt > t_end:
+                        break
+                    self.step()
+                return
+            heap = self._queue._heap
+            pop = heapq.heappop
+            while heap:
+                t = heap[0][0]
+                if t > t_end:
                     break
-                self.step()
+                ev = pop(heap)[3]
+                if ev.cancelled:
+                    continue
+                if t < self._now:
+                    raise SimulationError(
+                        f"event at t={t:.6f} popped behind clock "
+                        f"now={self._now:.6f}"
+                    )
+                self._now = t
+                self.dispatched += 1
+                cb = ev.callback
+                if cb is not None:
+                    cb(ev)
         finally:
             self._running = False
 
@@ -182,10 +245,29 @@ class Simulator:
         _obs.set_gauge("repro_sim_time_seconds", self._now)
 
     def _exhaust(self) -> None:
+        """Dispatch until the queue is empty (see :meth:`_drain`)."""
         self._running = True
         try:
-            while self.step():
-                pass
+            if self.sanitizer is not None or _fastpath.slowpath_enabled():
+                while self.step():
+                    pass
+                return
+            heap = self._queue._heap
+            pop = heapq.heappop
+            while heap:
+                t, _, _, ev = pop(heap)
+                if ev.cancelled:
+                    continue
+                if t < self._now:
+                    raise SimulationError(
+                        f"event at t={t:.6f} popped behind clock "
+                        f"now={self._now:.6f}"
+                    )
+                self._now = t
+                self.dispatched += 1
+                cb = ev.callback
+                if cb is not None:
+                    cb(ev)
         finally:
             self._running = False
 

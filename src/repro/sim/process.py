@@ -47,6 +47,7 @@ class PeriodicProcess:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval!r}")
         self._sim = sim
+        self._queue = sim._queue
         self._interval = interval
         self._body = body
         self._priority = priority
@@ -80,9 +81,17 @@ class PeriodicProcess:
             self._next_time, self._tick, priority=self._priority
         )
 
-    def _tick(self, _ev: Event) -> None:
+    def _tick(self, ev: Event) -> None:
+        # Detach first so a stop() from inside the body cannot cancel
+        # the event we are about to recycle.
         self._event = None
         self.ticks += 1
-        self._body(self._sim.now)
+        self._body(self._sim._now)
         self._next_time += self._interval
-        self._schedule()
+        if not self._stopped:
+            # Recycle the just-fired event instead of allocating a new
+            # one per tick; ordering is identical (fresh seq on repush).
+            # Direct repush: the next tick is now + interval, which can
+            # never be behind the clock, so the reschedule() guard is
+            # redundant on this (hottest) path.
+            self._event = self._queue.repush(ev, self._next_time)

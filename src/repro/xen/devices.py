@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.xen import stateclock
 from repro.xen.calibration import XenCalibration
 from repro.xen.scheduler import weighted_water_fill
 from repro.xen.specs import MachineSpec
@@ -105,11 +106,13 @@ class PhysicalNic:
             raise ValueError("loss_frac must be in [0, 1)")
         self._bw_factor = bw_factor
         self._loss_frac = loss_frac
+        stateclock.bump()
 
     def restore(self) -> None:
         """End the degradation episode (full line rate, no loss)."""
         self._bw_factor = 1.0
         self._loss_frac = 0.0
+        stateclock.bump()
 
     def arbitrate(
         self, flow_kbps: Sequence[float], n_senders: int

@@ -23,8 +23,9 @@ zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
+from repro.xen import stateclock
 from repro.xen.calibration import XenCalibration
 
 
@@ -52,6 +53,12 @@ class Dom0:
         #: CPU burned by monitoring probes running in Dom0 (xentop,
         #: vmstat, ...); owned by :mod:`repro.monitor.overhead`.
         self.probe_cpu_pct = 0.0
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # ``probe_cpu_pct`` is scheduler input (demand); ``state`` holds
+        # outputs and is mutated in place by record(), never rebinding
+        # an attribute here.
+        stateclock.set_if_changed(self, name, value)
 
     def cpu_demand(
         self,

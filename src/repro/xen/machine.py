@@ -23,8 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs import runtime as _obs
+from repro.sim import fastpath as _fastpath
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
+from repro.xen import stateclock
 from repro.xen.calibration import DEFAULT_CALIBRATION, XenCalibration
 from repro.xen.devices import PhysicalNic, VirtualDiskArray
 from repro.xen.dom0 import Dom0
@@ -105,11 +108,17 @@ class PhysicalMachine:
         #: destination VM name, optionally namespaced as
         #: ``"<source-tag>:<vm>"`` (the cluster router and applications
         #: use distinct tags so their entries never collide).
-        self.external_inbound_kbps: Dict[str, float] = {}
+        self.external_inbound_kbps: Dict[str, float] = (
+            stateclock.VersionedDict()
+        )
         self._proc: Optional[PeriodicProcess] = None
         self._pm_io_bps = self.cal.pm_io_floor_bps
         self._pm_bw_kbps = self.cal.pm_bw_floor_kbps
         self._quanta = 0
+        #: Steady-state quantum memo: ``True`` when the grant feedback
+        #: reached its fixed point at state-clock ``_steady_version``.
+        self._steady = False
+        self._steady_version = -1
         #: Fault-injection state: a failed PM grants nothing and reads
         #: as all-zero until :meth:`restore` (crash + reboot window).
         self.failed = False
@@ -139,14 +148,17 @@ class PhysicalMachine:
                 f"{self.spec.mem_mb} MB present)"
             )
         self._vms[vm.name] = vm
+        stateclock.bump()
         return vm
 
     def remove_vm(self, name: str) -> GuestVM:
         """Evict a guest (its object is returned for re-placement)."""
         try:
-            return self._vms.pop(name)
+            vm = self._vms.pop(name)
         except KeyError:
             raise KeyError(f"no VM named {name!r} on {self.name}") from None
+        stateclock.bump()
+        return vm
 
     def free_mem_mb(self) -> float:
         """Memory still available for new guests."""
@@ -213,17 +225,38 @@ class PhysicalMachine:
         self.hypervisor.record(0.0)
         self._pm_io_bps = 0.0
         self._pm_bw_kbps = 0.0
+        # Grants were force-zeroed outside a quantum, so any previously
+        # detected fixed point no longer describes the recorded state.
+        self._steady = False
+        stateclock.bump()
 
     def restore(self) -> None:
         """Reboot after a crash; grants repopulate from the next quantum."""
         self.failed = False
         self._pm_io_bps = self.cal.pm_io_floor_bps
         self._pm_bw_kbps = self.cal.pm_bw_floor_kbps
+        self._steady = False
+        stateclock.bump()
 
     def _tick(self, _now: float) -> None:
         if self.failed:
             return
         self._quanta += 1
+        # Steady-state memo: when no scheduler-visible input changed
+        # since the grant feedback reached its fixed point, this quantum
+        # recomputes bit-identical state -- skip it.  Disabled under
+        # REPRO_SIM_SLOWPATH (reference behaviour) and when observability
+        # is installed (the water-fill counters must keep counting).
+        # The guard reads the module globals directly: three function
+        # calls per 30 ms quantum are measurable at paper scale.
+        version = stateclock._version
+        if (
+            self._steady
+            and version == self._steady_version
+            and not _fastpath._slowpath
+            and _obs._collector is None
+        ):
+            return
         cal = self.cal
         vms = list(self._vms.values())
 
@@ -293,6 +326,15 @@ class PhysicalMachine:
         self.hypervisor.record(hyp_granted)
         self._pm_io_bps = disk_out.pm_io_bps
         self._pm_bw_kbps = min(pm_bw, self.spec.nic_kbps)
+
+        # Fixed-point detection: the only quantum-to-quantum feedback is
+        # granted guest CPU (Dom0/hypervisor demand reads it one quantum
+        # late).  Everything else recorded above is a pure function of
+        # the state-clock-guarded inputs, so once the CPU grants
+        # reproduce their own feedback exactly, a re-run of this body at
+        # the same clock value is a bitwise no-op.
+        self._steady = granted_cpu == last_granted
+        self._steady_version = version
 
     # -- observation -------------------------------------------------------
 

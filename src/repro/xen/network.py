@@ -17,7 +17,9 @@ same PM) or an external host such as a load-generator client.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
+
+from repro.xen import stateclock
 
 #: Destination prefix for hosts outside the simulated cluster.
 EXTERNAL_PREFIX = "external:"
@@ -54,6 +56,12 @@ class Flow:
     packet_kb: float = 12.0
     intra_pm: bool = False
     name: str = ""
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Flow rates are scheduler input (workloads ramp ``kbps`` every
+        # tick, often to the value already set); bump the machine memo's
+        # state clock only when the value actually changes.
+        stateclock.set_if_changed(self, name, value)
 
     def __post_init__(self) -> None:
         if not self.src:

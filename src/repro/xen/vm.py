@@ -14,8 +14,9 @@ A :class:`GuestVM` carries two vectors of state:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
+from repro.xen import stateclock
 from repro.xen.network import Flow
 from repro.xen.specs import VMSpec
 
@@ -27,6 +28,10 @@ class ResourceDemand:
     ``cpu_pct`` here is *workload* CPU; the guest OS baseline from the
     spec is added by the machine.  ``mem_mb`` likewise excludes the OS
     resident set.
+
+    Demand is a scheduler *input*: every field write routes through the
+    :mod:`~repro.xen.stateclock` so the machine's steady-state quantum
+    memo is invalidated exactly when a demand actually changes.
     """
 
     cpu_pct: float = 0.0
@@ -36,6 +41,9 @@ class ResourceDemand:
     #: Table I ``*`` tools); owned by :mod:`repro.monitor.overhead`, so
     #: it never fights the workload's writer.
     probe_cpu_pct: float = 0.0
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        stateclock.set_if_changed(self, name, value)
 
     def reset(self) -> None:
         """Zero out the demand (workload detached; probes kept)."""
@@ -84,6 +92,12 @@ class GuestVM:
         #: :class:`~repro.faults.injector.FaultInjector`.
         self.stalled = False
 
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Attribute rebinding (stalled, cap_override_pct, demand swap)
+        # changes scheduler input; flows-list mutation is hooked in the
+        # add/remove/clear methods below.
+        stateclock.set_if_changed(self, name, value)
+
     @property
     def effective_cap_pct(self) -> float:
         """The cap currently enforced by the scheduler (0 = uncapped)."""
@@ -107,14 +121,18 @@ class GuestVM:
                 f"flow src {flow.src!r} does not match VM {self.name!r}"
             )
         self.flows.append(flow)
+        stateclock.bump()
         return flow
 
     def remove_flow(self, flow: Flow) -> None:
         """Detach a previously added flow."""
         self.flows.remove(flow)
+        stateclock.bump()
 
     def clear_flows(self) -> None:
         """Drop all outbound flows."""
+        if self.flows:
+            stateclock.bump()
         self.flows.clear()
 
     # -- derived quantities ---------------------------------------------
