@@ -9,9 +9,22 @@ Subcommands
     the series and shape-check verdicts; non-zero exit if a check fails.
 ``repro all [--fast]``
     The full reproduction sweep.
-``repro chaos [--fast] [--dropout F] [--outliers F]``
+``repro chaos [sweep] [--fast] [--dropout F] [--outliers F]``
     Fault-injection sweep: model degradation under monitor faults plus
-    a placement-resilience run with flaky migrations.
+    a placement-resilience run with flaky migrations.  ``--seed N``
+    pins the placement seed and ``--plan-out PLAN.json`` captures the
+    concrete fault schedule as a replayable plan.
+``repro chaos fuzz [--seed N] [--runs N] [--out-dir DIR]``
+    Deterministic chaos-fuzz campaign: sample fault plans across every
+    fault surface, execute them through the sim/serve/worker stacks,
+    check the invariant oracles, shrink any violation to a minimal
+    replayable plan, and write a ``resilience.json`` scorecard.
+``repro chaos replay PLAN.json``
+    Re-execute a captured or fuzzed fault plan bit-identically and
+    re-check the oracles; exit 1 if any invariant fails.
+``repro chaos shrink PLAN.json [--out FILE]``
+    Delta-debug a failing plan down to a minimal plan that still
+    violates the same oracle(s).
 ``repro lint [paths ...]``
     Determinism/correctness static analysis (REPxxx rules) over the
     source tree; nonzero exit on any violation.
@@ -56,6 +69,7 @@ fixing the cause).
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -220,8 +234,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos_p = sub.add_parser(
         "chaos",
-        help="fault-injection sweep: model degradation + placement "
-        "resilience under chaos",
+        help="fault injection: sweep (default), seed-driven fuzzing with "
+        "invariant oracles, plan replay, and failing-plan shrinking",
+    )
+    chaos_p.add_argument(
+        "action",
+        nargs="?",
+        default="sweep",
+        choices=("sweep", "fuzz", "replay", "shrink"),
+        help="sweep: degradation + resilience experiments (default); "
+        "fuzz: randomized fault campaigns judged by invariant oracles; "
+        "replay PLAN.json: re-execute a plan bit-identically; "
+        "shrink PLAN.json: minimize a failing plan",
+    )
+    chaos_p.add_argument(
+        "plan", nargs="?", type=Path, default=None,
+        help="fault plan file (replay/shrink)",
     )
     chaos_p.add_argument("--fast", action="store_true")
     chaos_p.add_argument(
@@ -239,6 +267,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="attach the runtime determinism sanitizer",
+    )
+    chaos_p.add_argument(
+        "--seed", type=int, default=None,
+        help="sweep: placement seed of the chaosb scenario; "
+        "fuzz: campaign master seed (default 2015)",
+    )
+    chaos_p.add_argument(
+        "--plan-out", type=Path, default=None,
+        help="write the concrete fault schedule as a replayable plan",
+    )
+    chaos_p.add_argument(
+        "--runs", type=int, default=4,
+        help="fuzz: scenarios per campaign (default 4)",
+    )
+    chaos_p.add_argument(
+        "--out-dir", type=Path, default=Path(".repro-chaos"),
+        help="fuzz: campaign artifact directory (plans/, repros/, "
+        "resilience.json; default .repro-chaos)",
     )
 
     serve_p = sub.add_parser(
@@ -970,7 +1016,18 @@ def _bench(args: argparse.Namespace) -> int:
 
 
 def _chaos(args: argparse.Namespace) -> int:
+    if args.action == "fuzz":
+        return _chaos_fuzz(args)
+    if args.action == "replay":
+        return _chaos_replay(args)
+    if args.action == "shrink":
+        return _chaos_shrink(args)
+    return _chaos_sweep(args)
+
+
+def _chaos_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import chaos
+    from repro.faults.plan import dump_plan
 
     kwargs = runner._fast_kwargs("chaos", args.fast)
     if args.dropout is not None or args.outliers is not None:
@@ -986,10 +1043,141 @@ def _chaos(args: argparse.Namespace) -> int:
         # Keep the clean level so degradation is always measured
         # against the fault-free baseline.
         kwargs["levels"] = ((0.0, 0.0), level)
+    if args.seed is not None:
+        kwargs["placement_seed"] = args.seed
+    capture: dict = {}
+    if args.plan_out is not None:
+        kwargs["capture"] = capture
     results = chaos.run_chaos(**kwargs)
     if args.sanitize:
         _sanitizer_summary()
+    if args.plan_out is not None and "plan" in capture:
+        dump_plan(capture["plan"], args.plan_out)
+        print(f"replayable fault plan written to {args.plan_out}")
     return _report(results, args.out)
+
+
+def _chaos_fuzz(args: argparse.Namespace) -> int:
+    from repro.faults.fuzz import FuzzConfig, run_campaign
+
+    try:
+        cfg = FuzzConfig(
+            seed=args.seed if args.seed is not None else 2015,
+            runs=args.runs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scorecard = run_campaign(cfg, args.out_dir)
+    print(
+        f"chaos fuzz: seed={scorecard['seed']} "
+        f"runs={scorecard['runs']} -> {args.out_dir}"
+    )
+    oracles = scorecard["oracles"]
+    for name in sorted(oracles):
+        tally = oracles[name]
+        if not tally["checked"]:
+            continue
+        print(
+            f"  {name:<24} checked={tally['checked']:<3} "
+            f"passed={tally['passed']:<3} failed={tally['failed']}"
+        )
+    coverage = scorecard["coverage"]
+    print(
+        "  coverage: "
+        + " ".join(f"{k}={coverage[k]}" for k in sorted(coverage))
+    )
+    for violation in scorecard["violations"]:
+        names = ", ".join(f["oracle"] for f in violation["failed"])
+        print(
+            f"  VIOLATION run {violation['run']}: {names} "
+            f"-> {violation['min_plan']} "
+            f"({violation['shrink_executions']} shrink execution(s))",
+            file=sys.stderr,
+        )
+    if scorecard["all_passed"]:
+        print("  all invariants held")
+        return 0
+    return 1
+
+
+def _chaos_replay(args: argparse.Namespace) -> int:
+    from repro.experiments import chaos
+    from repro.faults.oracles import failures
+    from repro.faults.plan import (
+        DRIVER_CHAOSB,
+        PlanError,
+        dump_plan,
+        load_plan,
+    )
+
+    if args.plan is None:
+        print("error: replay needs a plan file", file=sys.stderr)
+        return 2
+    try:
+        plan = load_plan(args.plan)
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.plan_out is not None:
+        dump_plan(plan, args.plan_out)
+    if plan.driver == DRIVER_CHAOSB:
+        result = chaos.run_chaosb(plan=plan)
+        return _report([result], args.out)
+    from repro.faults.fuzz import execute_plan
+
+    workdir = args.out_dir / "replay-work"
+    try:
+        _ctx, verdicts = execute_plan(plan, workdir=workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print(f"replay {args.plan}: surfaces={', '.join(plan.surfaces())}")
+    for verdict in verdicts:
+        mark = "pass" if verdict.passed else "FAIL"
+        print(f"  [{mark}] {verdict.name}: {verdict.detail}")
+    return 1 if failures(verdicts) else 0
+
+
+def _chaos_shrink(args: argparse.Namespace) -> int:
+    from repro.faults.fuzz import _make_judge, default_model
+    from repro.faults.plan import PlanError, dump_plan, load_plan
+    from repro.faults.shrink import shrink_plan
+
+    if args.plan is None:
+        print("error: shrink needs a plan file", file=sys.stderr)
+        return 2
+    try:
+        plan = load_plan(args.plan)
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    model = (
+        default_model(plan.placement.train_duration)
+        if plan.placement is not None else None
+    )
+    workdir = args.out_dir / "shrink-work"
+    try:
+        judge = _make_judge(model, workdir)
+        failing = judge(plan)
+        if not failing:
+            print(
+                f"{args.plan}: every invariant holds -- nothing to shrink",
+                file=sys.stderr,
+            )
+            return 2
+        result = shrink_plan(plan, failing, judge)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    out_path = args.out or Path(f"{args.plan}.min.json")
+    dump_plan(result.min_plan, out_path)
+    print(
+        f"shrunk {args.plan} -> {out_path} "
+        f"({result.executions} execution(s), "
+        f"{len(result.steps)} reduction(s): "
+        f"{', '.join(result.steps) or 'already minimal'})"
+    )
+    print(f"  still failing: {', '.join(sorted(set(failing)))}")
+    return 0
 
 
 def _validate(*, fast: bool) -> int:

@@ -164,6 +164,17 @@ def run_chaosa(
     )
 
 
+#: Fault intensity of the chaosb scenario (also pinned into plans).
+CHAOSB_FAULTS = FaultConfig(
+    pm_crash_rate=1.0 / 80.0,
+    pm_reboot_s=10.0,
+    vm_stall_rate=1.0 / 120.0,
+    vm_stall_s=4.0,
+    nic_degrade_rate=1.0 / 60.0,
+    nic_degrade_s=8.0,
+)
+
+
 def run_chaosb(
     *,
     model: Optional[MultiVMOverheadModel] = None,
@@ -171,8 +182,33 @@ def run_chaosb(
     placement_seed: int = 2023,
     migration_failure_prob: float = 0.3,
     train_duration: float = 40.0,
+    plan: Optional["FaultPlan"] = None,
+    capture: Optional[Dict[str, object]] = None,
 ) -> ExperimentResult:
-    """Placement resilience under PM/VM/NIC faults + flaky migrations."""
+    """Placement resilience under PM/VM/NIC faults + flaky migrations.
+
+    ``plan`` replays a previously captured chaosb scenario: its pinned
+    seed, horizon, fault config and *concrete* event schedule override
+    the keyword knobs, so the rerun is bit-identical (the explicit
+    schedule skips every ``faults.*`` stream draw, and stream
+    independence keeps all other randomness untouched).  ``capture``,
+    when given a dict, receives the scenario as a replayable
+    ``FaultPlan`` under key ``"plan"`` (the ``--plan-out`` path).
+    """
+    from repro.faults.plan import DRIVER_CHAOSB, FaultPlan, PlacementPlan
+
+    config = CHAOSB_FAULTS
+    schedule = None
+    if plan is not None:
+        if plan.placement is None:
+            raise ValueError("chaosb replay needs a placement section")
+        pp = plan.placement
+        placement_seed = pp.seed
+        duration_s = pp.duration_s
+        migration_failure_prob = pp.migration_failure_prob
+        train_duration = pp.train_duration
+        config = pp.config
+        schedule = list(pp.events)
     if model is None:
         _single, model = trained_models(duration=train_duration)
 
@@ -191,18 +227,25 @@ def run_chaosb(
     cluster.start()
 
     injector = FaultInjector(
-        cluster,
-        FaultConfig(
-            pm_crash_rate=1.0 / 80.0,
-            pm_reboot_s=10.0,
-            vm_stall_rate=1.0 / 120.0,
-            vm_stall_s=4.0,
-            nic_degrade_rate=1.0 / 60.0,
-            nic_degrade_s=8.0,
-        ),
-        horizon=duration_s,
+        cluster, config, horizon=duration_s, schedule=schedule,
     )
     injector.arm()
+    if capture is not None:
+        capture["plan"] = FaultPlan(
+            seed=placement_seed,
+            driver=DRIVER_CHAOSB,
+            placement=PlacementPlan(
+                seed=placement_seed,
+                duration_s=duration_s,
+                train_duration=train_duration,
+                migration_failure_prob=migration_failure_prob,
+                pm_count=3,
+                hot_vms=4,
+                bg_vms=2,
+                config=config,
+                events=tuple(injector.schedule),
+            ),
+        )
 
     executor = MigrationExecutor(
         cluster,
@@ -309,7 +352,7 @@ def run_chaos(**kwargs) -> List[ExperimentResult]:
     }
     b_keys = {
         "model", "duration_s", "placement_seed", "migration_failure_prob",
-        "train_duration",
+        "train_duration", "plan", "capture",
     }
     a_kw = {k: v for k, v in kwargs.items() if k in a_keys}
     b_kw = {k: v for k, v in kwargs.items() if k in b_keys}

@@ -261,6 +261,23 @@ def generate_experiments_md(
         "dark streams answered from the last promoted version, flagged "
         "`degraded` — never silently wrong, never a crash.",
         "",
+        "Resilience is fuzzed, not assumed: `repro chaos fuzz` samples "
+        "deterministic fault plans across every fault surface — "
+        "machine faults into the resilient placement loop, delivery "
+        "faults into the serve ingest path, SIGKILL/stall faults into "
+        "the supervised executor — executes each plan, and judges the "
+        "outcome against machine-checked invariant oracles (guest "
+        "conservation, migration accounting, circuit-breaker "
+        "monotonicity, WAL-replay idempotency, crash-resume identity, "
+        "zero-fault byte-identity, exactly-once worker faults). A "
+        "violation is delta-debugged down to a minimal replayable JSON "
+        "plan (`repro chaos replay`), and the campaign is summarized "
+        "in a byte-reproducible `resilience.json` scorecard (README § "
+        "Chaos fuzzing & resilience scorecard). CI runs a fixed-seed "
+        "campaign on every push and proves the detector itself works "
+        "by replaying a committed planted-violation fixture, requiring "
+        "it to fail and to shrink to the committed known-minimal plan.",
+        "",
     ]
     if provenance:
         header.extend(list(provenance) + [""])

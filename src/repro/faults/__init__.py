@@ -18,8 +18,21 @@ from repro.faults.config import (
     FaultConfig,
 )
 from repro.faults.injector import FAULT_PRIORITY, FaultInjector
+from repro.faults.oracles import ORACLE_NAMES, OracleVerdict, check_all
+from repro.faults.plan import (
+    DRIVER_CHAOSB,
+    DRIVER_FUZZ,
+    PLANTED_VM_LEAK,
+    FaultPlan,
+    PlacementPlan,
+    PlanError,
+    ServePlan,
+    WorkerPlan,
+    dump_plan,
+    load_plan,
+)
 from repro.faults.sampling import SAMPLE_DROP, SAMPLE_OUTLIER, SampleFaults
-from repro.faults.schedule import FaultEvent, build_schedule
+from repro.faults.schedule import FaultEvent, build_schedule, faulty_time
 from repro.faults.service import (
     Delivery,
     ServiceFaultConfig,
@@ -37,14 +50,24 @@ from repro.faults.workers import (
 
 __all__ = [
     "Delivery",
+    "DRIVER_CHAOSB",
+    "DRIVER_FUZZ",
     "FAULT_KINDS",
     "FAULT_PRIORITY",
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",
+    "FaultPlan",
     "FaultableCell",
+    "ORACLE_NAMES",
+    "OracleVerdict",
+    "PLANTED_VM_LEAK",
+    "PlacementPlan",
+    "PlanError",
+    "ServePlan",
     "ServiceFaultConfig",
     "ServiceFaults",
+    "WorkerPlan",
     "KIND_NIC_DEGRADE",
     "KIND_PM_CRASH",
     "KIND_VM_CRASH",
@@ -57,6 +80,10 @@ __all__ = [
     "WORKER_STALL",
     "WorkerFault",
     "build_schedule",
+    "check_all",
+    "dump_plan",
+    "faulty_time",
+    "load_plan",
     "plan_worker_faults",
     "stream_name",
 ]

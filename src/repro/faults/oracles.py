@@ -1,0 +1,479 @@
+"""Machine-checked invariants of the chaos-fuzzed stack.
+
+Each oracle is a pure predicate over the *outcome record* of one
+executed :class:`~repro.faults.plan.FaultPlan` (assembled by
+:mod:`repro.faults.fuzz`).  An oracle returns ``None`` when the plan
+did not exercise its surface, otherwise an :class:`OracleVerdict`
+whose ``detail`` names the concrete numbers behind the decision -- a
+failing verdict must be actionable on its own, because the shrinker
+re-judges thousands of candidate plans against these exact verdicts.
+
+The invariants (ISSUE 9):
+
+========================  ==================================================
+``vm-conservation``       no guest lost or duplicated across migrations,
+                          rollbacks and planted evictions
+``move-accounting``       every submitted move succeeded, was abandoned, or
+                          is still pending -- nothing leaks
+``breaker-monotonic``     circuit-open times never regress; open windows
+                          only move forward; ``opened`` matches the log
+``schedule-window``       every fault window is inside ``(0, horizon]``,
+                          sorted, with positive duration and a consistent
+                          horizon clamp
+``replay-determinism``    re-executing the identical plan reproduces the
+                          outcome digest and per-stream RNG draw counts
+``zero-fault-identity``   a null plan's run is byte-identical to a run with
+                          no fault machinery constructed at all
+``no-silent-valid``       no WAL-accepted sample is non-finite or beyond
+                          the outlier limit (nothing invalid trains)
+``degraded-promoted-only``degraded/ok answers cite a ledgered promoted
+                          version; unavailable answers carry no predictions
+``wal-replay-idempotent`` reopening the service (WAL replay) twice leaves
+                          state bytes and status output unchanged
+``resume-identity``       an interrupted-then-resumed drive converges on
+                          the uninterrupted run's state bytes
+``worker-once``           a planned worker fault fires exactly once and the
+                          final results equal the clean reference
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.faults.schedule import FaultEvent, faulty_time
+from repro.sim.sanitize import diff_draw_counts
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """One invariant's judgement of one run."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    """What one placement-loop scenario run produced."""
+
+    horizon: float
+    guests_before: int
+    guests_after: int
+    stats: Dict[str, int]
+    pending: int
+    applied_events: int
+    skipped_events: int
+    breaker_transitions: Tuple[Tuple[float, str, float], ...]
+    breaker_opened: int
+    breaker_cooldown_s: float
+    rounds: int
+    missing_observations: int
+    events: Tuple[FaultEvent, ...]
+    digest: str
+    draw_counts: Dict[str, int]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "horizon": self.horizon,
+            "guests_before": self.guests_before,
+            "guests_after": self.guests_after,
+            "stats": {k: self.stats[k] for k in sorted(self.stats)},
+            "pending": self.pending,
+            "applied_events": self.applied_events,
+            "skipped_events": self.skipped_events,
+            "breaker_opened": self.breaker_opened,
+            "rounds": self.rounds,
+            "missing_observations": self.missing_observations,
+            "digest": self.digest,
+        }
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """What one serve-ingest scenario run produced."""
+
+    report: Dict[str, object]
+    #: Every query answer as ``(pm, status, degraded, version, has_preds)``.
+    answers: Tuple[Tuple[str, str, bool, Optional[int], bool], ...]
+    #: Promoted versions in the ledger, per PM (name-sorted keys).
+    promoted: Dict[str, Tuple[int, ...]]
+    clean_digest: str
+    reopen_digests: Tuple[str, str]
+    reopen_status: Tuple[str, str]
+    #: WAL-accepted samples violating the validity bound (detail lines).
+    wal_bad_samples: Tuple[str, ...]
+    wal_samples: int
+    resumed_digest: Optional[str]
+    outlier_limit: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "report": {
+                k: self.report[k] for k in sorted(self.report)
+            },
+            "answers": [list(a) for a in self.answers],
+            "promoted": {
+                pm: list(vs)
+                for pm, vs in sorted(self.promoted.items())
+            },
+            "clean_digest": self.clean_digest,
+            "wal_samples": self.wal_samples,
+        }
+
+
+@dataclass(frozen=True)
+class WorkersOutcome:
+    """What one supervised-executor scenario run produced."""
+
+    expected: Tuple[object, ...]
+    got: Tuple[object, ...]
+    planned: Tuple[Tuple[int, str], ...]
+    markers: int
+    retries: int
+    kills: int
+    stalls: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "planned": [list(p) for p in self.planned],
+            "markers": self.markers,
+            "retries": self.retries,
+            "kills": self.kills,
+            "stalls": self.stalls,
+            "results_match": list(self.got) == list(self.expected),
+        }
+
+
+@dataclass
+class RunContext:
+    """Everything the oracle library judges for one executed plan."""
+
+    plan: FaultPlan
+    placement: Optional[PlacementOutcome] = None
+    #: Second execution of the identical placement surface (replay).
+    placement_repeat: Optional[PlacementOutcome] = None
+    #: Null-plan run with no fault machinery constructed at all.
+    placement_bare_digest: Optional[str] = None
+    serve: Optional[ServeOutcome] = None
+    workers: Optional[WorkersOutcome] = None
+    notes: List[str] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# The oracles.
+# --------------------------------------------------------------------------
+
+
+def _vm_conservation(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.placement
+    if out is None:
+        return None
+    # A planted eviction *should* trip this oracle: the leak is the bug
+    # the fixture plants, so conservation is judged on raw counts.
+    ok = out.guests_after == out.guests_before
+    return OracleVerdict(
+        "vm-conservation",
+        ok,
+        f"guests {out.guests_after}/{out.guests_before} after "
+        f"{out.stats.get('succeeded', 0)} landed move(s) and "
+        f"{out.stats.get('rollbacks', 0)} rollback(s)",
+    )
+
+
+def _move_accounting(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.placement
+    if out is None:
+        return None
+    accounted = (
+        out.stats.get("succeeded", 0)
+        + out.stats.get("abandoned", 0)
+        + out.pending
+    )
+    submitted = out.stats.get("submitted", 0)
+    return OracleVerdict(
+        "move-accounting",
+        accounted == submitted,
+        f"succeeded+abandoned+pending={accounted} submitted={submitted}",
+    )
+
+
+def _breaker_monotonic(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.placement
+    if out is None:
+        return None
+    problems: List[str] = []
+    last_time = -float("inf")
+    last_open_until: Dict[str, float] = {}
+    for when, pm, open_until in out.breaker_transitions:
+        if when < last_time:
+            problems.append(
+                f"open at t={when} after t={last_time} (time regressed)"
+            )
+        last_time = when
+        if open_until < when:
+            problems.append(
+                f"{pm}: open_until={open_until} before its own open t={when}"
+            )
+        if open_until < last_open_until.get(pm, -float("inf")):
+            problems.append(
+                f"{pm}: open window shrank to {open_until} from "
+                f"{last_open_until[pm]}"
+            )
+        if abs((open_until - when) - out.breaker_cooldown_s) > 1.0e-9:
+            problems.append(
+                f"{pm}: window {open_until - when}s != cooldown "
+                f"{out.breaker_cooldown_s}s"
+            )
+        last_open_until[pm] = open_until
+    if out.breaker_opened != len(out.breaker_transitions):
+        problems.append(
+            f"opened counter {out.breaker_opened} != "
+            f"{len(out.breaker_transitions)} logged transition(s)"
+        )
+    return OracleVerdict(
+        "breaker-monotonic",
+        not problems,
+        "; ".join(problems)
+        or f"{len(out.breaker_transitions)} circuit-open(s), all monotone",
+    )
+
+
+def _schedule_window(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.placement
+    if out is None:
+        return None
+    problems: List[str] = []
+    horizon = out.horizon
+    last_key: Optional[Tuple[float, str, str]] = None
+    for ev in out.events:
+        key = (ev.time, ev.kind, ev.target)
+        if last_key is not None and key < last_key:
+            problems.append(f"schedule unsorted at {key} after {last_key}")
+        last_key = key
+        if not 0.0 <= ev.time <= horizon:
+            problems.append(
+                f"{ev.kind}@{ev.target}: onset {ev.time} outside "
+                f"[0, {horizon}]"
+            )
+        if ev.duration <= 0:
+            problems.append(
+                f"{ev.kind}@{ev.target}: non-positive duration {ev.duration}"
+            )
+        clamped = ev.clamped_end(horizon)
+        if clamped > horizon or clamped < min(ev.time, horizon):
+            problems.append(
+                f"{ev.kind}@{ev.target}: clamped end {clamped} outside "
+                f"[{ev.time}, {horizon}]"
+            )
+        if ev.active_at(ev.end):
+            problems.append(
+                f"{ev.kind}@{ev.target}: window not half-open at its end"
+            )
+        if ev.time < horizon and not ev.active_at(ev.time):
+            problems.append(
+                f"{ev.kind}@{ev.target}: inactive at its own onset"
+            )
+    targets = sorted({ev.target for ev in out.events})
+    for target in targets:
+        busy = faulty_time(out.events, horizon, target)
+        if busy < 0 or busy > horizon:
+            problems.append(
+                f"{target}: merged faulty time {busy} outside [0, {horizon}]"
+            )
+    return OracleVerdict(
+        "schedule-window",
+        not problems,
+        "; ".join(problems)
+        or f"{len(out.events)} event(s) within the {horizon}s horizon",
+    )
+
+
+def _replay_determinism(ctx: RunContext) -> Optional[OracleVerdict]:
+    out, rep = ctx.placement, ctx.placement_repeat
+    if out is None or rep is None:
+        return None
+    problems: List[str] = []
+    if rep.digest != out.digest:
+        problems.append(
+            f"outcome digest diverged: {out.digest[:12]} != {rep.digest[:12]}"
+        )
+    problems.extend(diff_draw_counts(out.draw_counts, rep.draw_counts))
+    return OracleVerdict(
+        "replay-determinism",
+        not problems,
+        "; ".join(problems)
+        or f"replay reproduced digest {out.digest[:12]} and "
+        f"{sum(out.draw_counts.values())} RNG draw(s)",
+    )
+
+
+def _zero_fault_identity(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.placement
+    if out is None or ctx.placement_bare_digest is None:
+        return None
+    if not ctx.plan.is_null():
+        return None
+    ok = ctx.placement_bare_digest == out.digest
+    return OracleVerdict(
+        "zero-fault-identity",
+        ok,
+        f"null-plan run {out.digest[:12]} vs fault-machinery-free run "
+        f"{ctx.placement_bare_digest[:12]}",
+    )
+
+
+def _no_silent_valid(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.serve
+    if out is None:
+        return None
+    return OracleVerdict(
+        "no-silent-valid",
+        not out.wal_bad_samples,
+        "; ".join(out.wal_bad_samples)
+        or f"{out.wal_samples} WAL-accepted sample(s) all finite and "
+        f"within |{out.outlier_limit}|",
+    )
+
+
+def _degraded_promoted_only(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.serve
+    if out is None:
+        return None
+    problems: List[str] = []
+    answered = 0
+    for pm, status, degraded, version, has_preds in out.answers:
+        if status == "unavailable":
+            if has_preds or version is not None:
+                problems.append(
+                    f"{pm}: unavailable answer carries "
+                    f"predictions/version {version}"
+                )
+            continue
+        answered += 1
+        promoted = out.promoted.get(pm, ())
+        if version is None or version not in promoted:
+            problems.append(
+                f"{pm}: {status} answer cites version {version} "
+                f"not in promoted ledger {list(promoted)}"
+            )
+        if degraded and status != "degraded":
+            problems.append(
+                f"{pm}: degraded flag with status {status!r}"
+            )
+    return OracleVerdict(
+        "degraded-promoted-only",
+        not problems,
+        "; ".join(problems[:5])
+        or f"{answered} answered quer(ies) all cite promoted versions",
+    )
+
+
+def _wal_replay_idempotent(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.serve
+    if out is None:
+        return None
+    problems: List[str] = []
+    first, second = out.reopen_digests
+    if first != out.clean_digest:
+        problems.append(
+            f"first WAL replay changed state bytes: "
+            f"{out.clean_digest[:12]} -> {first[:12]}"
+        )
+    if second != first:
+        problems.append(
+            f"second WAL replay changed state bytes: "
+            f"{first[:12]} -> {second[:12]}"
+        )
+    if out.reopen_status[0] != out.reopen_status[1]:
+        problems.append("status report differs between replays")
+    return OracleVerdict(
+        "wal-replay-idempotent",
+        not problems,
+        "; ".join(problems)
+        or f"two replays left state at {out.clean_digest[:12]}",
+    )
+
+
+def _resume_identity(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.serve
+    if out is None or out.resumed_digest is None:
+        return None
+    ok = out.resumed_digest == out.clean_digest
+    return OracleVerdict(
+        "resume-identity",
+        ok,
+        f"interrupted+resumed state {out.resumed_digest[:12]} vs clean "
+        f"{out.clean_digest[:12]}",
+    )
+
+
+def _worker_once(ctx: RunContext) -> Optional[OracleVerdict]:
+    out = ctx.workers
+    if out is None:
+        return None
+    problems: List[str] = []
+    if list(out.got) != list(out.expected):
+        problems.append(
+            f"supervised results diverged from the clean reference "
+            f"({len(out.got)} vs {len(out.expected)} value(s))"
+        )
+    if out.markers != len(out.planned):
+        problems.append(
+            f"{out.markers} once-marker(s) for {len(out.planned)} "
+            f"planned fault(s)"
+        )
+    if out.retries < out.kills:
+        problems.append(
+            f"only {out.retries} supervised retr(ies) for {out.kills} "
+            f"kill fault(s)"
+        )
+    return OracleVerdict(
+        "worker-once",
+        not problems,
+        "; ".join(problems)
+        or f"{len(out.planned)} fault(s) fired once; results identical",
+    )
+
+
+#: Every oracle, in reporting order.
+ORACLES: Tuple[Tuple[str, Callable[[RunContext], Optional[OracleVerdict]]], ...] = (
+    ("vm-conservation", _vm_conservation),
+    ("move-accounting", _move_accounting),
+    ("breaker-monotonic", _breaker_monotonic),
+    ("schedule-window", _schedule_window),
+    ("replay-determinism", _replay_determinism),
+    ("zero-fault-identity", _zero_fault_identity),
+    ("no-silent-valid", _no_silent_valid),
+    ("degraded-promoted-only", _degraded_promoted_only),
+    ("wal-replay-idempotent", _wal_replay_idempotent),
+    ("resume-identity", _resume_identity),
+    ("worker-once", _worker_once),
+)
+
+ORACLE_NAMES: Tuple[str, ...] = tuple(name for name, _fn in ORACLES)
+
+
+def check_all(ctx: RunContext) -> List[OracleVerdict]:
+    """Judge one run against every applicable oracle, in order."""
+    verdicts: List[OracleVerdict] = []
+    for _name, fn in ORACLES:
+        verdict = fn(ctx)
+        if verdict is not None:
+            verdicts.append(verdict)
+    return verdicts
+
+
+def failures(verdicts: List[OracleVerdict]) -> List[OracleVerdict]:
+    """The failing subset, preserving order."""
+    return [v for v in verdicts if not v.passed]

@@ -46,6 +46,58 @@ class FaultEvent:
         """When the fault's effect is reverted."""
         return self.time + self.duration
 
+    def active_at(self, t: float) -> bool:
+        """Whether the fault is in effect at time ``t``.
+
+        Windows are half-open ``[time, end)``: the fault applies at its
+        onset instant and is already reverted at its end instant, so
+        back-to-back episodes (``a.end == b.time``) never double-count.
+        """
+        return self.time <= t < self.end
+
+    def clamped_end(self, horizon: float) -> float:
+        """The effective end inside a run of length ``horizon``.
+
+        An episode that starts before the horizon but outlasts it is
+        cut short at the horizon; one starting at or beyond the horizon
+        contributes nothing (its clamped window is empty).
+        """
+        return min(max(self.time, min(self.end, horizon)), horizon)
+
+    def clamped_duration(self, horizon: float) -> float:
+        """Seconds of effect actually inside ``[0, horizon)``."""
+        return self.clamped_end(horizon) - min(self.time, horizon)
+
+
+def faulty_time(
+    events: Iterable[FaultEvent], horizon: float, target: str = ""
+) -> float:
+    """Total seconds inside ``[0, horizon)`` with >= 1 fault in effect.
+
+    Overlapping and back-to-back windows are merged first so a target
+    hit by two simultaneous faults is not counted twice.  With
+    ``target`` given, only that target's events count.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    windows = sorted(
+        (min(ev.time, horizon), ev.clamped_end(horizon))
+        for ev in events
+        if (not target or ev.target == target) and ev.time < horizon
+    )
+    total = 0.0
+    cur_start = cur_end = None
+    for start, end in windows:
+        if cur_end is None or start > cur_end:
+            if cur_end is not None:
+                total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        elif end > cur_end:
+            cur_end = end
+    if cur_end is not None:
+        total += cur_end - cur_start
+    return total
+
 
 def _arrivals(
     rng: RngRegistry, kind: str, target: str, rate: float, horizon: float

@@ -1,0 +1,257 @@
+"""Delta-debugging minimizer for failing fault plans.
+
+Given a :class:`~repro.faults.plan.FaultPlan` that violates at least
+one invariant oracle, :func:`shrink_plan` greedily applies a fixed,
+deterministic sequence of plan transforms -- drop whole surfaces, drop
+fault classes, bisect the event schedule, zero rates, halve horizons --
+keeping a candidate only when a *judge* confirms it still fails one of
+the originally-failing oracles.  Because plans carry their concrete
+schedules and every scenario runs under the named-stream RNG
+discipline, every candidate (and therefore the final minimal repro) is
+bit-reproducible from its JSON form alone.
+
+The judge is injected (``candidate -> failing oracle names``) so this
+module stays free of execution machinery; :mod:`repro.faults.fuzz`
+provides the real one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.faults.plan import (
+    FaultPlan,
+    PlacementPlan,
+    PlanError,
+    ServePlan,
+    WorkerPlan,
+)
+
+#: Ceiling on judge executions per shrink (a failing campaign run must
+#: not turn into an unbounded search).
+DEFAULT_BUDGET = 64
+
+#: Horizon floors the shrinker never cuts below.
+MIN_DURATION_S = 10.0
+MIN_TICKS = 40
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    min_plan: FaultPlan
+    #: Judge executions spent.
+    executions: int
+    #: Names of the transforms that survived, in application order.
+    steps: Tuple[str, ...]
+
+
+def _replace_placement(plan: FaultPlan, **kwargs) -> Optional[FaultPlan]:
+    if plan.placement is None:
+        return None
+    try:
+        return dataclasses.replace(
+            plan, placement=dataclasses.replace(plan.placement, **kwargs)
+        )
+    except PlanError:
+        return None
+
+
+def _replace_serve(plan: FaultPlan, **kwargs) -> Optional[FaultPlan]:
+    if plan.serve is None:
+        return None
+    try:
+        return dataclasses.replace(
+            plan, serve=dataclasses.replace(plan.serve, **kwargs)
+        )
+    except PlanError:
+        return None
+
+
+def _replace_workers(plan: FaultPlan, **kwargs) -> Optional[FaultPlan]:
+    if plan.workers is None:
+        return None
+    try:
+        return dataclasses.replace(
+            plan, workers=dataclasses.replace(plan.workers, **kwargs)
+        )
+    except PlanError:
+        return None
+
+
+def _drop_surface(plan: FaultPlan, surface: str) -> Optional[FaultPlan]:
+    if getattr(plan, surface) is None:
+        return None
+    try:
+        return dataclasses.replace(plan, **{surface: None})
+    except PlanError:
+        # The last surface, or a planted violation pinned to it.
+        return None
+
+
+def _zero_rate_kwargs(kind: str) -> dict:
+    return {
+        "pm_crash": {"pm_crash_rate": 0.0},
+        "vm_stall": {"vm_stall_rate": 0.0},
+        "vm_crash": {"vm_crash_rate": 0.0},
+        "nic_degrade": {"nic_degrade_rate": 0.0},
+    }[kind]
+
+
+def _placement_candidates(
+    plan: FaultPlan,
+) -> Iterator[Tuple[str, Optional[FaultPlan]]]:
+    pp = plan.placement
+    if pp is None:
+        return
+    events = pp.events
+    if events:
+        yield "placement-drop-all-events", _replace_placement(
+            plan, events=()
+        )
+        for kind in sorted({ev.kind for ev in events}):
+            kept = tuple(ev for ev in events if ev.kind != kind)
+            candidate = _replace_placement(plan, events=kept)
+            if candidate is not None:
+                candidate = dataclasses.replace(
+                    candidate,
+                    placement=dataclasses.replace(
+                        candidate.placement,
+                        config=dataclasses.replace(
+                            pp.config, **_zero_rate_kwargs(kind)
+                        ),
+                    ),
+                )
+            yield f"placement-drop-kind-{kind}", candidate
+        if len(events) >= 2:
+            half = len(events) // 2
+            yield "placement-first-half", _replace_placement(
+                plan, events=events[:half]
+            )
+            yield "placement-second-half", _replace_placement(
+                plan, events=events[half:]
+            )
+        if len(events) <= 8:
+            for i in range(len(events)):
+                kept = events[:i] + events[i + 1:]
+                yield f"placement-drop-event-{i}", _replace_placement(
+                    plan, events=kept
+                )
+    if pp.migration_failure_prob > 0.0:
+        yield "placement-clean-migrations", _replace_placement(
+            plan, migration_failure_prob=0.0
+        )
+    if pp.duration_s > 2.0 * MIN_DURATION_S:
+        new_horizon = max(MIN_DURATION_S, pp.duration_s / 2.0)
+        kept = tuple(ev for ev in events if ev.time <= new_horizon)
+        yield "placement-halve-horizon", _replace_placement(
+            plan, duration_s=new_horizon, events=kept
+        )
+    if not events and (pp.pm_count > 2 or pp.bg_vms > 1):
+        yield "placement-shrink-cluster", _replace_placement(
+            plan, pm_count=2, bg_vms=1
+        )
+
+
+def _serve_candidates(
+    plan: FaultPlan,
+) -> Iterator[Tuple[str, Optional[FaultPlan]]]:
+    sp = plan.serve
+    if sp is None:
+        return
+    for attr in ("loss", "dup", "reorder", "stuck", "corrupt"):
+        if getattr(sp.faults, f"{attr}_prob") > 0.0:
+            faults = dataclasses.replace(sp.faults, **{f"{attr}_prob": 0.0})
+            yield f"serve-drop-{attr}", _replace_serve(plan, faults=faults)
+    if sp.crash_at_tick is not None:
+        yield "serve-no-crash", _replace_serve(plan, crash_at_tick=None)
+    if sp.drift_at > 0:
+        yield "serve-no-drift", _replace_serve(plan, drift_at=0)
+    if sp.ticks > 2 * MIN_TICKS:
+        new_ticks = max(MIN_TICKS, sp.ticks // 2)
+        crash = sp.crash_at_tick
+        if crash is not None:
+            crash = crash // 2
+            if not 0 < crash < new_ticks - 1:
+                crash = None
+        yield "serve-halve-ticks", _replace_serve(
+            plan,
+            ticks=new_ticks,
+            crash_at_tick=crash,
+            drift_at=sp.drift_at // 2,
+        )
+
+
+def _worker_candidates(
+    plan: FaultPlan,
+) -> Iterator[Tuple[str, Optional[FaultPlan]]]:
+    wp = plan.workers
+    if wp is None:
+        return
+    if wp.kill_rate > 0.0:
+        yield "workers-no-kills", _replace_workers(plan, kill_rate=0.0)
+    if wp.stall_rate > 0.0:
+        yield "workers-no-stalls", _replace_workers(plan, stall_rate=0.0)
+    if wp.n_cells > 2:
+        yield "workers-halve-cells", _replace_workers(
+            plan, n_cells=max(2, wp.n_cells // 2)
+        )
+
+
+def candidates(plan: FaultPlan) -> Iterator[Tuple[str, FaultPlan]]:
+    """Every next-step reduction of ``plan``, biggest cuts first."""
+    raw: List[Tuple[str, Optional[FaultPlan]]] = [
+        ("drop-workers", _drop_surface(plan, "workers")),
+        ("drop-serve", _drop_surface(plan, "serve")),
+        ("drop-placement", _drop_surface(plan, "placement")),
+    ]
+    raw.extend(_placement_candidates(plan))
+    raw.extend(_serve_candidates(plan))
+    raw.extend(_worker_candidates(plan))
+    for name, candidate in raw:
+        if candidate is not None and candidate != plan:
+            yield name, candidate
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    failing: Sequence[str],
+    judge: Callable[[FaultPlan], Sequence[str]],
+    *,
+    budget: int = DEFAULT_BUDGET,
+) -> ShrinkResult:
+    """Greedily minimize ``plan`` while it keeps failing.
+
+    ``failing`` names the oracles the original plan violated; a
+    candidate is accepted when the judge reports at least one of them
+    still failing (a shrink must chase the *same* bug, not trade it
+    for a new one).  The transform scan restarts from the top after
+    every accepted reduction, so the result is a fixpoint: no single
+    remaining transform keeps the failure alive.
+    """
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    target: Set[str] = set(failing)
+    if not target:
+        raise ValueError("shrink_plan needs at least one failing oracle")
+    best = plan
+    executions = 0
+    steps: List[str] = []
+    progress = True
+    while progress and executions < budget:
+        progress = False
+        for name, candidate in candidates(best):
+            if executions >= budget:
+                break
+            executions += 1
+            if target & set(judge(candidate)):
+                best = candidate
+                steps.append(name)
+                progress = True
+                break
+    return ShrinkResult(
+        min_plan=best, executions=executions, steps=tuple(steps)
+    )

@@ -93,6 +93,11 @@ class PmCircuitBreaker:
         self._open_until: Dict[str, float] = {}
         #: Times a circuit opened (diagnostics).
         self.opened = 0
+        #: Every circuit-open as ``(now, pm, open_until)`` -- the
+        #: chaos-fuzz monotonicity oracle replays this log to check
+        #: that open windows never move backwards in time and that
+        #: ``opened`` agrees with the log length.
+        self.transitions: List[Tuple[float, str, float]] = []
 
     def allow(self, pm_name: str, now: float) -> bool:
         """Whether migrations to ``pm_name`` are currently permitted."""
@@ -110,6 +115,7 @@ class PmCircuitBreaker:
             self._open_until[pm_name] = now + self.cooldown_s
             self._failures[pm_name] = 0
             self.opened += 1
+            self.transitions.append((now, pm_name, now + self.cooldown_s))
         else:
             self._failures[pm_name] = count
 

@@ -20,7 +20,7 @@ byte-diffs in CI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.faults.service import ServiceFaultConfig, ServiceFaults, stream_name
 from repro.models.samples import TARGETS
 from repro.monitor.metrics import ResourceVector
 from repro.obs import runtime as _obs
-from repro.serve.service import PredictionService, ServiceConfig
+from repro.serve.service import PredictionService, QueryAnswer, ServiceConfig
 from repro.sim.rng import RngRegistry
 
 
@@ -191,13 +191,17 @@ def run_swarm(
     *,
     service_config: Optional[ServiceConfig] = None,
     stop_after_tick: Optional[int] = None,
+    on_answer: Optional[Callable[[QueryAnswer], None]] = None,
 ) -> SwarmReport:
     """Replay one fleet trace against the service rooted at ``root``.
 
     ``stop_after_tick`` truncates the drive mid-trace (the kill/resume
     tests use it to model a crash at a known point without signals);
     re-running with the full trace afterwards converges on the clean
-    outcome.
+    outcome.  ``on_answer`` observes every query answer as it is
+    produced (the chaos-fuzz oracles use it to audit that degraded
+    answers are only ever served from promoted registry snapshots); it
+    must not mutate the answer.
     """
     cfg = config or SwarmConfig()
     service = PredictionService(root, config=service_config)
@@ -243,6 +247,8 @@ def run_swarm(
                     *(float(v) for v in query_rng.uniform(0.05, 0.9, size=4))
                 )
                 answer = service.query(pm, vm_util, now=tick)
+                if on_answer is not None:
+                    on_answer(answer)
                 latencies.append(answer.latency_ms)
         if truncated:
             # Model a crash: pending queue state is abandoned (the WAL

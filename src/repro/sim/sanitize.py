@@ -200,6 +200,26 @@ def total_pops() -> int:
     return sum(hooks.pops for hooks in _collected)
 
 
+def diff_draw_counts(
+    a: Mapping[str, int], b: Mapping[str, int]
+) -> List[str]:
+    """Human-readable differences between two draw-count snapshots.
+
+    Returns one line per stream whose count differs (or exists on only
+    one side), name-sorted; an empty list means the runs consumed
+    randomness identically.  The chaos-fuzz determinism oracle reports
+    these lines verbatim, so a replay divergence names the exact stream
+    that drifted instead of a bare digest mismatch.
+    """
+    lines: List[str] = []
+    for name in sorted(set(a) | set(b)):
+        left = a.get(name)
+        right = b.get(name)
+        if left != right:
+            lines.append(f"{name}: {left} != {right}")
+    return lines
+
+
 @contextmanager
 def sanitized() -> Iterator[None]:
     """Enable the default and reset collection for the block's duration."""

@@ -11,6 +11,7 @@ from repro.faults import (
     FaultConfig,
     FaultEvent,
     build_schedule,
+    faulty_time,
 )
 from repro.sim import Simulator
 
@@ -99,3 +100,76 @@ class TestBuildSchedule:
             for ev in events
             if ev.kind == KIND_NIC_DEGRADE
         )
+
+
+def _ev(time, duration, target="pm1", kind=KIND_PM_CRASH) -> FaultEvent:
+    return FaultEvent(time, kind, target, duration)
+
+
+class TestWindowArithmetic:
+    """Edge cases of the fault-window math the oracles lean on."""
+
+    def test_zero_duration_event_rejected(self):
+        # A zero-length window would make active_at() unsatisfiable and
+        # the clamp arithmetic ambiguous, so construction refuses it.
+        with pytest.raises(ValueError):
+            _ev(5.0, 0.0)
+        with pytest.raises(ValueError):
+            _ev(5.0, -1.0)
+
+    def test_window_is_half_open(self):
+        ev = _ev(3.0, 4.0)
+        assert ev.active_at(3.0)  # onset instant included
+        assert ev.active_at(6.999)
+        assert not ev.active_at(7.0)  # end instant excluded
+        assert not ev.active_at(2.999)
+
+    def test_back_to_back_windows_never_double_count(self):
+        first, second = _ev(0.0, 5.0), _ev(5.0, 5.0)
+        assert not (first.active_at(5.0) and second.active_at(5.0))
+        assert faulty_time([first, second], 100.0) == 10.0
+
+    def test_end_of_horizon_clamp(self):
+        straddling = _ev(8.0, 10.0)  # ends at 18, horizon 10
+        assert straddling.clamped_end(10.0) == 10.0
+        assert straddling.clamped_duration(10.0) == 2.0
+        beyond = _ev(12.0, 3.0)  # starts past the horizon
+        assert beyond.clamped_end(10.0) == 10.0
+        assert beyond.clamped_duration(10.0) == 0.0
+        at_edge = _ev(10.0, 3.0)  # onset exactly at the horizon
+        assert at_edge.clamped_duration(10.0) == 0.0
+        inside = _ev(2.0, 3.0)
+        assert inside.clamped_end(10.0) == 5.0
+        assert inside.clamped_duration(10.0) == 3.0
+
+    def test_fully_overlapping_windows_merge(self):
+        outer, inner = _ev(2.0, 10.0), _ev(4.0, 3.0)
+        assert faulty_time([outer, inner], 100.0) == 10.0
+        # identical twins count once, not twice
+        assert faulty_time([outer, outer], 100.0) == 10.0
+
+    def test_partially_overlapping_windows_merge(self):
+        a, b = _ev(0.0, 6.0), _ev(4.0, 6.0)
+        assert faulty_time([a, b], 100.0) == 10.0
+
+    def test_disjoint_windows_sum(self):
+        a, b = _ev(0.0, 2.0), _ev(10.0, 3.0)
+        assert faulty_time([a, b], 100.0) == 5.0
+
+    def test_faulty_time_clamps_at_horizon(self):
+        events = [_ev(8.0, 10.0), _ev(50.0, 5.0)]
+        assert faulty_time(events, 10.0) == 2.0
+
+    def test_faulty_time_filters_by_target(self):
+        events = [
+            _ev(0.0, 2.0, target="pm1"),
+            _ev(0.0, 5.0, target="pm2"),
+        ]
+        assert faulty_time(events, 100.0, "pm1") == 2.0
+        assert faulty_time(events, 100.0, "pm2") == 5.0
+        assert faulty_time(events, 100.0) == 5.0  # union across targets
+
+    def test_faulty_time_validates_horizon(self):
+        with pytest.raises(ValueError):
+            faulty_time([], 0.0)
+        assert faulty_time([], 10.0) == 0.0

@@ -121,3 +121,60 @@ class TestFaultableCell:
         a.run()
         b.run()
         assert len(list(tmp_path.glob("*.tripped"))) == 2
+
+
+class TestChunkedDispatch:
+    """Once-marker semantics under ``--chunk``: a faulted cell inside a
+    chunk must fire exactly once even though the supervisor retries the
+    failed chunk by re-dispatching its cells as singletons."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_pool(self):
+        from repro.perf import pool as warmpool
+
+        yield
+        warmpool.shutdown_pool()
+
+    def _run_chunked(self, tmp_path, fault_index, fault_kind, **fault_kw):
+        from repro.perf import supervisor as _supervisor
+        from repro.perf.executor import run_cells
+        from repro.perf.supervisor import SupervisorConfig
+
+        inners = [_cell(index=i, duration=2.0) for i in range(4)]
+        expected = [cell.run()[0] for cell in inners]
+        cells = [
+            FaultableCell(
+                inner=inner,
+                marker_dir=str(tmp_path),
+                fault=fault_kind if i == fault_index else None,
+                tag=f"chunked{i}",
+                **fault_kw,
+            )
+            for i, inner in enumerate(inners)
+        ]
+        _supervisor.reset_stats()
+        got = run_cells(
+            cells,
+            jobs=2,
+            chunk=2,
+            supervisor=SupervisorConfig(deadline_s=60.0, max_attempts=3),
+        )
+        return expected, got, _supervisor.stats()
+
+    def test_kill_in_chunk_fires_once_and_results_match(self, tmp_path):
+        expected, got, stats = self._run_chunked(
+            tmp_path, 1, WORKER_KILL
+        )
+        # The chunk containing the killed cell died with the worker; on
+        # retry its cells are re-run, the marker suppresses a second
+        # kill, and every output equals the clean reference.
+        assert got == expected
+        assert len(list(tmp_path.glob("*.tripped"))) == 1
+        assert stats.retries >= 1
+
+    def test_stall_in_chunk_fires_once_and_results_match(self, tmp_path):
+        expected, got, _stats = self._run_chunked(
+            tmp_path, 2, WORKER_STALL, stall_s=0.05
+        )
+        assert got == expected
+        assert len(list(tmp_path.glob("*.tripped"))) == 1

@@ -202,3 +202,76 @@ class TestCrashSafety:
     def test_cell_attempts_validated(self, capsys):
         assert main(["run", "fig5a", "--fast", "--cell-attempts", "0"]) == 2
         assert "--cell-attempts" in capsys.readouterr().err
+
+
+class TestChaosActions:
+    """``repro chaos fuzz|replay|shrink`` front-ends."""
+
+    def test_fuzz_campaign_exits_0_and_writes_scorecard(
+        self, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "camp"
+        code = main(
+            ["chaos", "fuzz", "--seed", "5", "--runs", "1",
+             "--out-dir", str(out_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        assert "zero-fault-identity" in out
+        assert (out_dir / "resilience.json").is_file()
+
+    def test_fuzz_validates_runs(self, capsys):
+        assert main(["chaos", "fuzz", "--runs", "0"]) == 2
+        assert "runs" in capsys.readouterr().err
+
+    def test_replay_requires_a_plan(self, capsys):
+        assert main(["chaos", "replay"]) == 2
+        assert "plan" in capsys.readouterr().err
+
+    def test_replay_rejects_a_bad_plan_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        assert main(["chaos", "replay", str(bad)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_replay_fuzz_plan_rechecks_oracles(self, tmp_path, capsys):
+        from repro.faults.fuzz import FuzzConfig, sample_plan
+        from repro.faults.plan import dump_plan
+
+        plan_path = tmp_path / "plan.json"
+        dump_plan(sample_plan(FuzzConfig(seed=5), 0), plan_path)
+        code = main(
+            ["chaos", "replay", str(plan_path),
+             "--out-dir", str(tmp_path / "work")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[pass] vm-conservation" in out
+
+    def test_shrink_refuses_a_passing_plan(self, tmp_path, capsys):
+        from repro.faults.fuzz import FuzzConfig, sample_plan
+        from repro.faults.plan import dump_plan
+
+        plan_path = tmp_path / "plan.json"
+        dump_plan(sample_plan(FuzzConfig(seed=5), 0), plan_path)
+        code = main(
+            ["chaos", "shrink", str(plan_path),
+             "--out-dir", str(tmp_path / "work")]
+        )
+        assert code == 2
+        assert "nothing to shrink" in capsys.readouterr().err
+
+    def test_sweep_seed_and_plan_out_capture(self, tmp_path, capsys):
+        from repro.faults.plan import load_plan
+
+        plan_path = tmp_path / "sweep.json"
+        code = main(
+            ["chaos", "--fast", "--seed", "77",
+             "--plan-out", str(plan_path),
+             "--out", str(tmp_path / "arts")]
+        )
+        assert code == 0
+        plan = load_plan(plan_path)
+        assert plan.driver == "chaosb"
+        assert plan.placement.seed == 77
