@@ -32,6 +32,10 @@ Subcommands
     Inspect or empty the content-addressed result cache.
 ``repro runs status|resume|gc DIR``
     Inspect, continue, or clean a crash-safe run directory.
+``repro fleet [--pms N] [--vms N] [--clients N] [--shards N] [--fast]``
+    Datacenter-scale VOA-vs-VOU experiment over the sharded fleet
+    simulator with streaming per-cell aggregation; artifacts are
+    byte-identical at any ``--shards`` value and serial vs ``--jobs``.
 ``repro bench [--fast] [--jobs N] [--chunk N] [--out FILE] [--compare BASELINE]``
     Perf harness: run the fixed bench matrix serial / parallel / cold /
     warm-cache and write a ``BENCH_<rev>.json`` record; ``--compare``
@@ -47,7 +51,8 @@ Subcommands
 ``repro run`` and ``repro chaos`` accept ``--sanitize`` to attach the
 runtime determinism sanitizer (event tie-break assertions, per-stream
 RNG draw accounting, NaN guards on training inputs).  ``repro run``,
-``repro all`` and ``repro report`` accept ``--jobs N`` (parallel cell
+``repro all``, ``repro report`` and ``repro fleet`` accept ``--jobs N``
+(parallel cell
 execution over the warm process pool; 0 = all CPUs), ``--chunk N``
 (cells per worker task; 0 = cost-model default) and ``--cache-dir DIR``
 (content-addressed result cache) -- all preserve byte-identical
@@ -196,6 +201,58 @@ def build_parser() -> argparse.ArgumentParser:
     runs_p.add_argument(
         "dir", type=Path, help="run directory written by --run-dir"
     )
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="datacenter-scale VOA-vs-VOU sweep over the sharded fleet "
+        "simulator (streaming aggregation, shard-count-invariant output)",
+    )
+    fleet_p.add_argument(
+        "--pms", type=int, default=None, metavar="N",
+        help="physical machines in the fleet (default 1000)",
+    )
+    fleet_p.add_argument(
+        "--vms", type=int, default=None, metavar="N",
+        help="virtual machines to deploy (default 10000)",
+    )
+    fleet_p.add_argument(
+        "--clients", type=int, default=None, metavar="N",
+        help="peak open-loop client population (default 100000)",
+    )
+    fleet_p.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="simulated seconds per trial (default 300)",
+    )
+    fleet_p.add_argument(
+        "--epoch", type=float, default=None, metavar="S",
+        help="cross-shard barrier epoch length (default 10)",
+    )
+    fleet_p.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="event-queue shards the PMs are partitioned over; any "
+        "value produces byte-identical output (default 1)",
+    )
+    fleet_p.add_argument(
+        "--trials", type=int, default=None, metavar="N",
+        help="seeds per strategy (default 2)",
+    )
+    fleet_p.add_argument(
+        "--seed", type=int, default=2015,
+        help="master seed of trial 0 (default 2015)",
+    )
+    fleet_p.add_argument(
+        "--fast", action="store_true",
+        help="smoke scale: 24 PMs, 240 VMs, 20k clients, one trial",
+    )
+    fleet_p.add_argument(
+        "--out", type=Path, default=None,
+        help="directory to write reports",
+    )
+    fleet_p.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the runtime determinism sanitizer",
+    )
+    _add_perf_options(fleet_p)
 
     bench_p = sub.add_parser(
         "bench",
@@ -532,7 +589,7 @@ def _with_perf_defaults(args: argparse.Namespace, raw_argv: List[str]) -> int:
     resume_dir = getattr(args, "resume", None)
     run_dir = getattr(args, "run_dir", None) or resume_dir
     obs_dir = getattr(args, "obs_dir", None)
-    if args.command not in ("run", "all", "report") or (
+    if args.command not in ("run", "all", "report", "fleet") or (
         jobs is None and chunk is None and cache_dir is None
         and run_dir is None and obs_dir is None
         and getattr(args, "cell_deadline", None) is None
@@ -675,6 +732,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _runs(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "fleet":
+        return _fleet(args)
     assert args.command == "all"
     return _report(runner.run_all(fast=args.fast), args.out)
 
@@ -1013,6 +1072,42 @@ def _bench(args: argparse.Namespace) -> int:
             f"(baseline rev {baseline.get('revision', '?')})"
         )
     return 0
+
+
+#: ``repro fleet --fast`` smoke scale (CI-sized; same code paths).
+FLEET_FAST = {
+    "pms": 24,
+    "vms": 240,
+    "clients": 20_000,
+    "duration_s": 120.0,
+    "trials": 1,
+}
+
+
+def _fleet(args: argparse.Namespace) -> int:
+    from repro.experiments.fleet import run_fleet_experiment
+
+    kwargs = dict(FLEET_FAST) if args.fast else {}
+    for key, value in (
+        ("pms", args.pms),
+        ("vms", args.vms),
+        ("clients", args.clients),
+        ("duration_s", args.duration),
+        ("epoch_s", args.epoch),
+        ("trials", args.trials),
+    ):
+        if value is not None:
+            kwargs[key] = value
+    try:
+        results = run_fleet_experiment(
+            shards=args.shards, seed=args.seed, **kwargs
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.sanitize:
+        _sanitizer_summary()
+    return _report(results, args.out)
 
 
 def _chaos(args: argparse.Namespace) -> int:

@@ -1,4 +1,4 @@
-"""Multi-PM testbed orchestration."""
+"""Multi-PM testbed orchestration and the sharded fleet simulator."""
 
 from repro.cluster.cluster import ROUTING_PRIORITY, Cluster
 from repro.cluster.deployment import (
@@ -9,14 +9,23 @@ from repro.cluster.deployment import (
     WorkloadRef,
     build_deployment,
 )
+from repro.cluster.fleet import FleetConfig, FleetSummary, run_fleet
+from repro.cluster.mailbox import CONTROL, Message, Outbox, merge_epoch
 
 __all__ = [
+    "CONTROL",
     "Cluster",
     "Deployment",
     "DeploymentSpec",
+    "FleetConfig",
+    "FleetSummary",
+    "Message",
+    "Outbox",
     "ROUTING_PRIORITY",
     "RubisRef",
     "VmPlacement",
     "WorkloadRef",
     "build_deployment",
+    "merge_epoch",
+    "run_fleet",
 ]

@@ -1,0 +1,104 @@
+"""Epoch-barrier mailboxes: deterministic cross-shard message passing.
+
+The fleet simulator partitions PMs across per-shard event queues
+(:mod:`repro.cluster.fleet`).  Shards never call into each other while
+an epoch is running; every cross-PM interaction is a :class:`Message`
+dropped into the sending shard's :class:`Outbox`.  At the epoch
+barrier the driver drains every outbox through :func:`merge_epoch`,
+which imposes one global delivery order -- the stable key
+``(time, src_shard, seq)`` -- and the batch is delivered at the start
+of the *next* epoch.
+
+That key is what makes results independent of the shard count.  PMs
+are assigned to shards in contiguous index blocks and, within a shard,
+same-time sends occur in PM-creation (= PM-index) order, so sorting by
+``(time, src_shard, seq)`` reproduces exactly the order a single-shard
+run would have produced: first by time, then by PM index, then by each
+PM's own send order.  The key is unique (``seq`` is per-outbox), so
+the sort is total and the merged batch is byte-stable.
+
+The placement coordinator participates as the pseudo-shard
+:data:`CONTROL` (= -1): it consumes shard messages at the barrier and
+its own messages (migrations) sort ahead of every shard's at equal
+time, again identically at any shard count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+#: Pseudo shard id of the placement coordinator (sorts before shards).
+CONTROL = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One cross-shard message, delivered at the next epoch barrier."""
+
+    #: Simulation time at which the message was sent.
+    time: float
+    #: Sending shard (:data:`CONTROL` for the coordinator).
+    src_shard: int
+    #: Per-outbox send counter; makes the sort key unique.
+    seq: int
+    #: Receiving shard (:data:`CONTROL` to address the coordinator).
+    dst_shard: int
+    #: Message type, e.g. ``"hotspot"`` / ``"migrate_out"`` / ``"migrate_in"``.
+    kind: str
+    #: Immutable payload items, ``(key, value)`` pairs.
+    payload: Tuple[Tuple[str, object], ...] = ()
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """The global delivery-order key."""
+        return (self.time, self.src_shard, self.seq)
+
+    def data(self) -> Dict[str, object]:
+        """The payload as a dict."""
+        return dict(self.payload)
+
+
+class Outbox:
+    """One sender's buffered messages for the current epoch."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self._seq = 0
+        self._messages: List[Message] = []
+        #: Total messages ever sent through this outbox.
+        self.sent = 0
+
+    def send(
+        self, time: float, dst_shard: int, kind: str, **payload: object
+    ) -> Message:
+        """Buffer one message; it is delivered at the next barrier."""
+        msg = Message(
+            time=float(time),
+            src_shard=self.shard,
+            seq=self._seq,
+            dst_shard=dst_shard,
+            kind=kind,
+            payload=tuple(sorted(payload.items())),
+        )
+        self._seq += 1
+        self.sent += 1
+        self._messages.append(msg)
+        return msg
+
+    def drain(self) -> List[Message]:
+        """Remove and return this epoch's buffered messages."""
+        batch, self._messages = self._messages, []
+        return batch
+
+
+def merge_epoch(outboxes: Iterable[Outbox]) -> List[Message]:
+    """Drain ``outboxes`` into one globally ordered delivery batch.
+
+    An empty epoch (no sends anywhere) merges to an empty batch; the
+    barrier itself never fabricates messages.
+    """
+    batch: List[Message] = []
+    for outbox in outboxes:
+        batch.extend(outbox.drain())
+    batch.sort(key=Message.sort_key)
+    return batch

@@ -9,7 +9,9 @@ function of (code, configuration, seed):
 * :class:`PredictionCell` -- one client-count RUBiS deployment of the
   Figures 7-9 prediction experiments;
 * :class:`ScenarioTrialCell` -- one (scenario, strategy, trial)
-  placement run of the Figure 10 grid.
+  placement run of the Figure 10 grid;
+* :class:`FleetCell` -- one (strategy, trial) sharded fleet simulation
+  of the datacenter-scale VOA-vs-VOU experiment.
 
 A cell is a frozen, picklable configuration record.  ``run()`` executes
 the cell in the calling process and returns ``(value, events)`` where
@@ -198,3 +200,53 @@ class ScenarioTrialCell(Cell):
 
     def label(self) -> str:
         return f"placement:s{self.scenario}:{self.strategy}:{self.seed}"
+
+
+@dataclass(frozen=True)
+class FleetCell(Cell):
+    """One (strategy, trial) run of the fleet-scale VOA-vs-VOU sweep.
+
+    The value is the run's :meth:`~repro.cluster.fleet.FleetSummary.
+    as_dict` -- bounded per-epoch aggregates, never per-VM state -- so
+    a fleet sweep streams cleanly through ``run_cells``' incremental-
+    consume mode.  ``shards`` is part of the cache key (it selects the
+    partitioning, even though the summary's invariant fields do not
+    depend on it).
+    """
+
+    pms: int
+    vms: int
+    clients: int
+    duration_s: float
+    epoch_s: float
+    shards: int
+    strategy: str
+    seed: int
+    ramp_s: float
+    max_migrations_per_epoch: int
+
+    group = "fleet"
+
+    def config(self) -> Dict[str, Any]:
+        return {
+            "cell": "fleet",
+            "version": CELL_SCHEMA_VERSION,
+            "pms": self.pms,
+            "vms": self.vms,
+            "clients": self.clients,
+            "duration_s": self.duration_s,
+            "epoch_s": self.epoch_s,
+            "shards": self.shards,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "ramp_s": self.ramp_s,
+            "max_migrations_per_epoch": self.max_migrations_per_epoch,
+        }
+
+    def run(self) -> Tuple[Any, int]:
+        from repro.cluster import fleet
+
+        return fleet.run_fleet_cell(self)
+
+    def label(self) -> str:
+        return f"fleet:{self.strategy}:{self.pms}pm:{self.seed}"

@@ -42,7 +42,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.obs import runtime as obs
 from repro.perf import pool as warmpool
@@ -347,6 +347,11 @@ def _merge_obs(outcome: CellOutcome) -> None:
     collector.merge_snapshot(snap)
 
 
+#: Marks an outcome slot whose value was handed to ``consume`` and
+#: released -- distinct from ``None`` (still missing).
+_CONSUMED = object()
+
+
 def run_cells(
     cells: Sequence[Cell],
     *,
@@ -357,6 +362,7 @@ def run_cells(
     manifest: Optional[RunManifest] = None,
     resume: Optional[bool] = None,
     supervisor: Optional[SupervisorConfig] = None,
+    consume: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
     """Execute ``cells`` and return their values in input order.
 
@@ -389,6 +395,19 @@ def run_cells(
         of executed.
     supervisor:
         Supervision knobs; ``None`` uses the process-wide default.
+    consume:
+        Incremental-consume (streaming) mode: ``consume(index, value)``
+        is invoked for every cell **in strict cell order** as soon as
+        the ordered prefix completes, and the outcome's slot is
+        released immediately afterwards -- the fan-out never holds more
+        than the out-of-order completion window in memory, which is
+        what lets a fleet sweep aggregate thousands of cell summaries
+        with bounded RSS.  Checkpointing, caching and sanitizer/obs
+        accounting are unchanged (a resumed run re-consumes restored
+        cells, so aggregators rebuild exactly).  The return value is
+        then an empty list.  If a cell fails permanently, cells after
+        it are *not* consumed (their order slot never fills) and
+        :class:`CellExecutionError` is raised as usual.
 
     Raises
     ------
@@ -419,6 +438,8 @@ def run_cells(
         warmpool.prestart(jobs, context)
 
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    #: Running totals survive slot release in incremental-consume mode.
+    events_total = 0
     hits = 0
     if manifest is not None:
         manifest.plan(cells)
@@ -427,6 +448,7 @@ def run_cells(
                 restored = manifest.load(cell)
                 if restored is not None:
                     outcomes[i] = restored
+                    events_total += restored.events
                     _merge_accounting(restored)
                     _merge_obs(restored)
     if cache is not None:
@@ -436,6 +458,7 @@ def run_cells(
             cached = cache.get(cell)
             if cached is not None:
                 outcomes[i] = cached
+                events_total += cached.events
                 _merge_accounting(cached)
                 _merge_obs(cached)
                 hits += 1
@@ -449,8 +472,24 @@ def run_cells(
         )
     obs.inc("repro_executor_cells_total", len(cells), phase=phase_name)
 
+    consumed_through = 0
+
+    def drain() -> None:
+        """Hand the completed ordered prefix to ``consume``, freeing
+        each outcome slot as it goes (streaming mode only)."""
+        nonlocal consumed_through
+        while consumed_through < len(cells):
+            outcome = outcomes[consumed_through]
+            if outcome is None:
+                return
+            consume(consumed_through, outcome.value)
+            outcomes[consumed_through] = _CONSUMED  # type: ignore[call-overload]
+            consumed_through += 1
+
     def complete(i: int, outcome: CellOutcome, from_pool: bool) -> None:
+        nonlocal events_total
         outcomes[i] = outcome
+        events_total += outcome.events
         if from_pool:
             _merge_accounting(outcome)
         _merge_obs(outcome)
@@ -462,6 +501,12 @@ def run_cells(
             manifest.record_done(
                 cells[i], outcome, attempts=attempts.get(i, 0) or 1
             )
+        if consume is not None:
+            drain()
+
+    if consume is not None:
+        # Cache/checkpoint hits may already form a consumable prefix.
+        drain()
 
     timer = (
         profiler.phase(phase_name) if profiler is not None
@@ -499,7 +544,7 @@ def run_cells(
         profiler.record(
             phase_name,
             cells=len(cells),
-            events=sum(o.events for o in outcomes if o is not None),
+            events=events_total,
             cache_hits=hits,
             cache_misses=len(missing) if cache is not None else 0,
         )
@@ -507,6 +552,8 @@ def run_cells(
         raise CellExecutionError(
             [(cell.label(), error) for _, cell, error in failures]
         )
+    if consume is not None:
+        return []
     return [o.value for o in outcomes]  # type: ignore[union-attr]
 
 

@@ -361,7 +361,22 @@ class RunManifest:
                 kind = "orphaned"
             else:
                 continue
-            removed["bytes"] += path.stat().st_size
-            path.unlink(missing_ok=True)
+            # A concurrent resume/gc may remove the file between the
+            # directory listing and this sweep: stat defensively and
+            # count bytes only for files this call actually removed.
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            removed["bytes"] += size
             removed[kind] += 1
         return removed
+
+
+#: Fleet-facing alias: a fleet sweep's manifest is a regular run
+#: manifest whose checkpoints are *streamed* back out -- ``run_cells``'
+#: incremental-consume mode restores, consumes and releases each
+#: checkpointed ``CellOutcome`` in cell order instead of holding the
+#: whole sweep in memory.
+ClusterManifest = RunManifest

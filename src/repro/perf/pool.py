@@ -35,8 +35,15 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Optional, Tuple
 
+from repro.obs import runtime as obs
+
 _pool: Optional[ProcessPoolExecutor] = None
 _signature: Optional[Tuple[int, str]] = None
+
+#: Executors dropped via :func:`discard` whose ``shutdown`` has not run
+#: yet -- :func:`shutdown_pool` reaps them so a discarded pool's
+#: manager thread cannot outlive the invocation.
+_discarded: list = []
 
 #: Worker-side shared context, set once per worker by the initializer.
 _worker_context: Optional[Tuple[Any, ...]] = None
@@ -124,21 +131,49 @@ def discard(pool: Optional[ProcessPoolExecutor] = None) -> None:
     Called by the executor after the supervisor tore down a broken
     pool (:func:`repro.perf.supervisor._terminate_workers` already
     reclaimed the processes); the next :func:`get_pool` builds fresh.
-    A ``pool`` argument that is not the current handle is ignored.
+    The discarded executor is remembered so :func:`shutdown_pool` can
+    still run its ``shutdown`` (releasing the manager thread) even
+    though it is no longer the warm handle.  A ``pool`` argument that
+    is not the current handle only joins that reap list.
     """
     global _pool, _signature
+    target = pool if pool is not None else _pool
+    if target is not None and not any(p is target for p in _discarded):
+        _discarded.append(target)
     if pool is not None and pool is not _pool:
         return
     _pool = None
     _signature = None
 
 
+def _shutdown_one(pool: ProcessPoolExecutor, *, wait: bool) -> None:
+    """Best-effort ``shutdown``: a broken pool must not abort teardown."""
+    try:
+        pool.shutdown(wait=wait, cancel_futures=True)
+    except Exception as exc:
+        # A pool whose workers were killed mid-task can raise from its
+        # own teardown; shutdown is idempotent cleanup, never fatal --
+        # but the churn is worth a counter on supervision dashboards.
+        obs.inc(
+            "repro_pool_shutdown_errors_total", error=type(exc).__name__
+        )
+
+
 def shutdown_pool() -> None:
-    """Explicitly shut the warm pool down (end of invocation / bench)."""
+    """Explicitly shut the warm pool down (end of invocation / bench).
+
+    Idempotent and safe to double-fire: the explicit CLI shutdown and
+    the ``atexit`` backstop may both run, and either may race a pool
+    that is already broken or was :func:`discard`-ed.  Discarded
+    executors are reaped without waiting (their workers are gone).
+    """
     global _pool, _signature
     pool, _pool, _signature = _pool, None, None
-    if pool is not None:
-        pool.shutdown(wait=True, cancel_futures=True)
+    stale, _discarded[:] = list(_discarded), []
+    for executor in stale:
+        _shutdown_one(executor, wait=False)
+    if pool is not None and not any(p is pool for p in stale):
+        _shutdown_one(pool, wait=True)
 
 
 atexit.register(shutdown_pool)

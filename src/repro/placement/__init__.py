@@ -1,5 +1,6 @@
 """Overhead-aware resource provisioning (paper Section VI-B)."""
 
+from repro.placement.admission import AdmissionPolicy, LinearOverhead
 from repro.placement.autoscaler import ScalerConfig, VerticalScaler
 from repro.placement.cloudscale import DemandPredictor, PredictorConfig
 from repro.placement.consolidation import ConsolidationPlan, ConsolidationPlanner
@@ -40,6 +41,8 @@ from repro.placement.scenario import (
 
 __all__ = [
     "AUX_CPU_PCT",
+    "AdmissionPolicy",
+    "LinearOverhead",
     "ConsolidationPlan",
     "ConsolidationPlanner",
     "ScalerConfig",

@@ -7,6 +7,7 @@ from repro.rubis.client import (
     ClientPopulation,
 )
 from repro.rubis.mixes import BROWSING_MIX, MIXES, get_mix
+from repro.rubis.openloop import OpenLoopArrivals
 from repro.rubis.requests import (
     BIDDING_MIX,
     RequestClass,
@@ -22,6 +23,7 @@ __all__ = [
     "get_mix",
     "ClientPopulation",
     "DEFAULT_THINK_TIME_S",
+    "OpenLoopArrivals",
     "PAPER_CLIENT_COUNTS",
     "RequestClass",
     "RUBiSApplication",

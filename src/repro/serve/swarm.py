@@ -74,12 +74,21 @@ class SwarmConfig:
         return [f"pm{i:02d}" for i in range(self.pms)]
 
 
-def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
+def _percentile(sorted_values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``None`` for an empty sample: a run that answered zero queries has
+    *no* latency distribution, and reporting 0.0 would make it
+    indistinguishable from a perfect one.
+    """
     if not sorted_values:
-        return 0.0
+        return None
     rank = max(1, int(np.ceil(q / 100.0 * len(sorted_values))))
     return float(sorted_values[rank - 1])
+
+
+def _fmt_latency(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:.3f}"
 
 
 @dataclass
@@ -94,10 +103,12 @@ class SwarmReport:
     queries_ok: int = 0
     queries_degraded: int = 0
     queries_unavailable: int = 0
-    latency_p50_ms: float = 0.0
-    latency_p90_ms: float = 0.0
-    latency_p99_ms: float = 0.0
-    latency_max_ms: float = 0.0
+    #: ``None`` (JSON ``null``) when no queries produced a latency
+    #: sample -- rendered as ``n/a``, never conflated with 0 ms.
+    latency_p50_ms: Optional[float] = None
+    latency_p90_ms: Optional[float] = None
+    latency_p99_ms: Optional[float] = None
+    latency_max_ms: Optional[float] = None
     drift_alarms: int = 0
     quarantines: int = 0
     promotions: int = 0
@@ -125,9 +136,10 @@ class SwarmReport:
             f"  queries: {self.queries} "
             f"(ok={self.queries_ok} degraded={self.queries_degraded} "
             f"unavailable={self.queries_unavailable})",
-            f"  latency_ms: p50={self.latency_p50_ms:.3f} "
-            f"p90={self.latency_p90_ms:.3f} p99={self.latency_p99_ms:.3f} "
-            f"max={self.latency_max_ms:.3f}",
+            f"  latency_ms: p50={_fmt_latency(self.latency_p50_ms)} "
+            f"p90={_fmt_latency(self.latency_p90_ms)} "
+            f"p99={_fmt_latency(self.latency_p99_ms)} "
+            f"max={_fmt_latency(self.latency_max_ms)}",
             f"  models: promotions={self.promotions} "
             f"drift_alarms={self.drift_alarms} "
             f"quarantines={self.quarantines} "
@@ -274,7 +286,7 @@ def run_swarm(
     report.latency_p50_ms = _percentile(latencies, 50.0)
     report.latency_p90_ms = _percentile(latencies, 90.0)
     report.latency_p99_ms = _percentile(latencies, 99.0)
-    report.latency_max_ms = latencies[-1] if latencies else 0.0
+    report.latency_max_ms = latencies[-1] if latencies else None
     report.drift_alarms = stats.drift_alarms
     report.quarantines = stats.quarantines
     report.promotions = stats.promotions

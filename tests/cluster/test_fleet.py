@@ -1,0 +1,142 @@
+"""Sharded fleet simulator: shard-count invariance and model shape.
+
+The tentpole guarantee: partitioning the fleet over any number of
+event-queue shards changes *nothing* observable -- every field of
+:meth:`FleetSummary.invariant_dict` (totals, per-epoch float series,
+event counts) is byte-identical at ``shards`` 1, 2 and 4, and the
+sanitizer sees the same per-stream RNG draw counts.  Plus the model's
+headline shape: VOA absorbs the open-loop load that overloads VOU's
+overhead-blind packing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.fleet import FleetConfig, pm_stream, run_fleet
+from repro.placement.placer import VOA, VOU
+from repro.sim import sanitize
+
+
+def _config(shards: int = 1, strategy: str = VOU, **overrides) -> FleetConfig:
+    # Small but overcommitted: VOU packs ~64 * ~15% CPU of guests onto
+    # few PMs and overloads; VOA spreads.  Big enough for migrations.
+    kwargs = dict(
+        pms=8,
+        vms=64,
+        clients=6_000,
+        duration_s=40.0,
+        epoch_s=10.0,
+        ramp_s=15.0,
+        shards=shards,
+        strategy=strategy,
+        seed=7,
+    )
+    kwargs.update(overrides)
+    return FleetConfig(**kwargs)
+
+
+def _sanitized_run(config: FleetConfig):
+    sanitize.reset_collector()
+    with sanitize.sanitized():
+        summary = run_fleet(config)
+    return summary, dict(sanitize.aggregate_draw_counts())
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("strategy", [VOA, VOU])
+    def test_invariant_dict_identical_at_shards_1_2_4(self, strategy):
+        base = run_fleet(_config(1, strategy)).invariant_dict()
+        for shards in (2, 4):
+            sharded = run_fleet(_config(shards, strategy)).invariant_dict()
+            assert sharded == base, f"shards={shards} diverged"
+
+    def test_float_series_are_bitwise_equal_across_shards(self):
+        # Dict equality tolerates -0.0 == 0.0 etc; compare exact reprs
+        # to pin the byte-identical artifact guarantee.
+        one = run_fleet(_config(1)).invariant_dict()
+        four = run_fleet(_config(4)).invariant_dict()
+        for key in ("epoch_offered", "epoch_served", "offered_total"):
+            assert repr(one[key]) == repr(four[key])
+
+    def test_sanitizer_draw_counts_identical_across_shards(self):
+        _, base = _sanitized_run(_config(1))
+        assert base, "sanitized run recorded no draws"
+        for shards in (2, 4):
+            _, counts = _sanitized_run(_config(shards))
+            assert counts == base, f"shards={shards} draw counts diverged"
+
+    def test_rng_streams_are_named_per_pm_not_per_shard(self):
+        _, counts = _sanitized_run(_config(2))
+        config = _config(2)
+        for index in range(config.pms):
+            assert pm_stream(index) in counts
+        assert "fleet.deploy" in counts
+
+    def test_cross_shard_migrations_occur_and_only_that_field_differs(self):
+        one = run_fleet(_config(1))
+        four = run_fleet(_config(4))
+        assert one.migrations_cross_shard == 0
+        assert four.migrations > 0
+        assert four.migrations_cross_shard > 0
+        assert four.invariant_dict() == one.invariant_dict()
+
+    def test_same_seed_same_summary_different_seed_differs(self):
+        a = run_fleet(_config(1)).as_dict()
+        b = run_fleet(_config(1)).as_dict()
+        assert a == b
+        c = run_fleet(_config(1, seed=8)).as_dict()
+        assert c != a
+
+
+class TestModelShape:
+    def test_voa_serves_what_overloads_vou(self):
+        voa = run_fleet(_config(1, VOA))
+        vou = run_fleet(_config(1, VOU))
+        assert voa.served_fraction > vou.served_fraction
+        assert vou.overloaded_pm_ticks > voa.overloaded_pm_ticks
+        assert vou.migrations > voa.migrations
+        assert voa.pms_used > vou.pms_used
+
+    def test_served_never_exceeds_offered(self):
+        summary = run_fleet(_config(1, VOU))
+        assert summary.served_total <= summary.offered_total
+        for offered, served in zip(
+            summary.epoch_offered, summary.epoch_served
+        ):
+            assert served <= offered + 1e-9
+
+    def test_epoch_series_cover_the_run(self):
+        config = _config(1)
+        summary = run_fleet(config)
+        assert len(summary.epoch_time) == config.epochs
+        assert summary.epoch_time[-1] == pytest.approx(config.duration_s)
+        assert summary.events == config.pms * int(
+            config.duration_s / config.tick_s
+        )
+
+    def test_migration_cap_bounds_each_epoch(self):
+        capped = run_fleet(_config(1, max_migrations_per_epoch=2))
+        assert capped.epoch_migrations
+        assert max(capped.epoch_migrations) <= 2
+        assert capped.migrations_rejected > 0
+
+
+class TestConfigValidation:
+    def test_shards_must_not_exceed_pms(self):
+        with pytest.raises(ValueError, match="shards"):
+            FleetConfig(pms=4, shards=5)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            FleetConfig(strategy="best-effort")
+
+    def test_duration_must_cover_an_epoch(self):
+        with pytest.raises(ValueError, match="duration"):
+            FleetConfig(duration_s=5.0, epoch_s=10.0)
+
+    def test_shard_of_partitions_contiguously_and_exhaustively(self):
+        config = FleetConfig(pms=10, shards=3)
+        owners = [config.shard_of(i) for i in range(10)]
+        assert owners == sorted(owners)
+        assert set(owners) == {0, 1, 2}

@@ -1,0 +1,89 @@
+"""Epoch-barrier mailbox ordering: the fleet's determinism substrate.
+
+The shard-count invariance of :mod:`repro.cluster.fleet` rests on one
+property: :func:`merge_epoch` imposes a single total delivery order --
+``(time, src_shard, seq)`` -- regardless of how many outboxes the
+messages arrived through.  These tests pin the tie-breaks, the empty
+epoch, and the coordinator's CONTROL precedence.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.mailbox import CONTROL, Message, Outbox, merge_epoch
+
+
+class TestOutbox:
+    def test_seq_is_per_outbox_and_monotonic(self):
+        box = Outbox(0)
+        msgs = [box.send(1.0, 1, "ping") for _ in range(3)]
+        assert [m.seq for m in msgs] == [0, 1, 2]
+        assert box.sent == 3
+
+    def test_drain_empties_but_keeps_seq_running(self):
+        box = Outbox(0)
+        box.send(1.0, 1, "a")
+        assert [m.kind for m in box.drain()] == ["a"]
+        assert box.drain() == []
+        # seq continues across epochs: later messages sort after.
+        later = box.send(1.0, 1, "b")
+        assert later.seq == 1
+
+    def test_payload_round_trips_as_dict(self):
+        box = Outbox(2)
+        msg = box.send(3.0, CONTROL, "hotspot", pm=7, vm=42)
+        assert msg.data() == {"pm": 7, "vm": 42}
+
+    def test_payload_item_order_is_key_sorted(self):
+        # Keyword order must not leak into the frozen payload tuple
+        # (it would make Message equality/pickling order-sensitive).
+        a = Outbox(0).send(0.0, 1, "k", b=2, a=1)
+        b = Outbox(0).send(0.0, 1, "k", a=1, b=2)
+        assert a.payload == b.payload == (("a", 1), ("b", 2))
+
+
+class TestMergeEpoch:
+    def test_empty_epoch_merges_to_empty_batch(self):
+        assert merge_epoch([Outbox(0), Outbox(1), Outbox(2)]) == []
+
+    def test_orders_by_time_first(self):
+        early, late = Outbox(1), Outbox(0)
+        late.send(5.0, CONTROL, "late")
+        early.send(2.0, CONTROL, "early")
+        kinds = [m.kind for m in merge_epoch([late, early])]
+        assert kinds == ["early", "late"]
+
+    def test_equal_time_breaks_by_src_shard(self):
+        boxes = [Outbox(shard) for shard in (3, 0, 2, 1)]
+        for box in boxes:
+            box.send(1.0, CONTROL, f"from{box.shard}")
+        batch = merge_epoch(boxes)
+        assert [m.src_shard for m in batch] == [0, 1, 2, 3]
+
+    def test_equal_time_and_shard_breaks_by_seq(self):
+        box = Outbox(0)
+        box.send(1.0, CONTROL, "first")
+        box.send(1.0, CONTROL, "second")
+        assert [m.kind for m in merge_epoch([box])] == ["first", "second"]
+
+    def test_control_sorts_before_every_shard_at_equal_time(self):
+        coord, shard = Outbox(CONTROL), Outbox(0)
+        shard.send(4.0, CONTROL, "hotspot")
+        coord.send(4.0, 0, "migrate_out")
+        batch = merge_epoch([shard, coord])
+        assert [m.src_shard for m in batch] == [CONTROL, 0]
+
+    def test_merge_order_independent_of_outbox_iteration_order(self):
+        def build():
+            a, b = Outbox(0), Outbox(1)
+            a.send(2.0, 1, "x")
+            b.send(1.0, 0, "y")
+            a.send(1.0, 1, "z")
+            return a, b
+
+        a1, b1 = build()
+        a2, b2 = build()
+        assert merge_epoch([a1, b1]) == merge_epoch([b2, a2])
+
+    def test_sort_key_matches_message_fields(self):
+        msg = Message(time=2.5, src_shard=3, seq=7, dst_shard=0, kind="k")
+        assert msg.sort_key() == (2.5, 3, 7)

@@ -151,6 +151,38 @@ class TestGc:
         assert not orphan.exists()
         assert manifest._checkpoint_path(manifest.key(cell)).exists()
 
+    def test_gc_tolerates_concurrently_vanishing_file(
+        self, tmp_path, monkeypatch
+    ):
+        # A concurrent resume/gc can unlink a checkpoint between the
+        # directory listing and our stat; gc must skip it and count
+        # bytes only for files this sweep actually removed.
+        import os
+        import pathlib
+
+        manifest = RunManifest(tmp_path)
+        manifest.plan([_cell()])
+        manifest.cells_dir.mkdir(parents=True, exist_ok=True)
+        vanishing = manifest.cells_dir / ("a" * 64 + ".pkl")
+        vanishing.write_bytes(b"gone")
+        survivor = manifest.cells_dir / ("f" * 64 + ".pkl")
+        survivor.write_bytes(b"junk!")
+        real_stat = pathlib.Path.stat
+        raced = {"done": False}
+
+        def racing_stat(self, *args, **kwargs):
+            if self.name == vanishing.name and not raced["done"]:
+                raced["done"] = True
+                os.unlink(self)  # the concurrent sweep wins the race
+            return real_stat(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "stat", racing_stat)
+        removed = RunManifest(tmp_path).gc()
+        assert raced["done"]
+        assert removed["orphaned"] == 1
+        assert removed["bytes"] == len(b"junk!")
+        assert not survivor.exists()
+
     def test_gc_drops_everything_after_code_change(self, tmp_path):
         old = RunManifest(tmp_path, fingerprint="a" * 64)
         cell = _cell()

@@ -1,0 +1,75 @@
+"""Warm-pool lifecycle: idempotent shutdown, discarded-pool reaping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import pool as warm_pool
+
+
+@pytest.fixture(autouse=True)
+def clean_pool():
+    warm_pool.shutdown_pool()
+    yield
+    warm_pool.shutdown_pool()
+
+
+def _answer() -> int:
+    return 42
+
+
+class TestShutdownIdempotence:
+    def test_double_shutdown_is_harmless(self):
+        # The explicit CLI shutdown and the atexit backstop both fire.
+        warm_pool.get_pool(1, ())
+        warm_pool.shutdown_pool()
+        warm_pool.shutdown_pool()
+
+    def test_shutdown_without_pool_is_noop(self):
+        warm_pool.shutdown_pool()
+        warm_pool.shutdown_pool()
+
+    def test_shutdown_survives_broken_pool_teardown(self):
+        pool = warm_pool.get_pool(1, ())
+        original = pool.shutdown
+
+        def exploding_shutdown(*args, **kwargs):
+            raise OSError("broken pool")
+
+        pool.shutdown = exploding_shutdown  # instance attr shadows method
+        try:
+            warm_pool.shutdown_pool()  # must not raise
+        finally:
+            del pool.shutdown
+            original(wait=True, cancel_futures=True)
+
+
+class TestDiscardedPoolReaping:
+    def test_discarded_pool_is_reaped_by_shutdown(self):
+        pool = warm_pool.get_pool(1, ())
+        assert pool.submit(_answer).result() == 42
+        warm_pool.discard(pool)
+        warm_pool.shutdown_pool()
+        # The discarded executor must have been shut down too -- before
+        # the fix it was only dropped, leaking its manager thread.
+        with pytest.raises(RuntimeError):
+            pool.submit(_answer)
+
+    def test_handleless_discard_still_reaps_current(self):
+        pool = warm_pool.get_pool(1, ())
+        warm_pool.discard()
+        warm_pool.discard(pool)  # re-discard of the same pool: no-op
+        warm_pool.shutdown_pool()
+        with pytest.raises(RuntimeError):
+            pool.submit(_answer)
+
+    def test_discard_then_get_pool_builds_fresh(self):
+        first = warm_pool.get_pool(1, ())
+        warm_pool.discard(first)
+        second = warm_pool.get_pool(1, ())
+        assert second is not first
+        assert second.submit(_answer).result() == 42
+        # The replaced pool is reaped when the fresh one shuts down.
+        warm_pool.shutdown_pool()
+        with pytest.raises(RuntimeError):
+            first.submit(_answer)

@@ -123,7 +123,26 @@ class TestPercentile:
         assert _percentile(values, 50.0) == 2.0
         assert _percentile(values, 100.0) == 4.0
         assert _percentile(values, 1.0) == 1.0
-        assert _percentile([], 50.0) == 0.0
+
+    def test_empty_sample_has_no_percentile(self):
+        # 0.0 would be indistinguishable from a perfect run.
+        assert _percentile([], 50.0) is None
+        assert _percentile([], 99.0) is None
+
+
+class TestZeroQueryRun:
+    def test_zero_answered_queries_report_null_latency(self, tmp_path):
+        report = run_swarm(tmp_path, _swarm_config(queries_per_tick=0),
+                           service_config=_service_config())
+        assert report.queries == 0
+        assert report.latency_p50_ms is None
+        assert report.latency_p90_ms is None
+        assert report.latency_p99_ms is None
+        assert report.latency_max_ms is None
+        as_dict = report.as_dict()
+        assert as_dict["latency_p50_ms"] is None  # JSON null, not 0.0
+        text = report.render()
+        assert "p50=n/a" in text and "max=n/a" in text
 
 
 class TestObsIntegration:
